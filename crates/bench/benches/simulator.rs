@@ -1,0 +1,83 @@
+//! Criterion benchmarks of the discrete-event simulator itself: raw event
+//! throughput and end-to-end simulated-BLAST runs (the cost of
+//! regenerating a paper figure).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use parblast_core::hwsim::{Cluster, Ev, FsMsg, HwParams};
+use parblast_core::mpiblast::{run_simblast, SimBlastConfig, SimScheme};
+use parblast_core::simcore::{CompId, Component, Ctx, Engine, SimTime};
+
+/// Self-perpetuating reader used to measure raw engine throughput.
+struct Chain {
+    fs: CompId,
+    left: u64,
+    offset: u64,
+}
+impl Component<Ev> for Chain {
+    fn on_event(&mut self, ctx: &mut Ctx<'_, Ev>, _ev: Ev) {
+        if self.left == 0 {
+            return;
+        }
+        self.left -= 1;
+        ctx.send(
+            self.fs,
+            Ev::Fs(FsMsg::Read {
+                file: 1,
+                offset: self.offset % (1 << 30),
+                len: 128 << 10,
+                mmap: false,
+                unit: 0,
+                reply_to: ctx.self_id(),
+                tag: 0,
+            }),
+        );
+        self.offset += 128 << 10;
+    }
+}
+
+fn bench_engine_events(c: &mut Criterion) {
+    let n_reads = 10_000u64;
+    let mut g = c.benchmark_group("des_engine");
+    // Each read is ~5 events through fs + disk.
+    g.throughput(Throughput::Elements(n_reads * 5));
+    g.bench_function("disk_read_chain_10k", |b| {
+        b.iter(|| {
+            let mut eng: Engine<Ev> = Engine::new(1);
+            let cl = Cluster::build(&mut eng, 1, HwParams::default());
+            let chain = eng.add(Chain {
+                fs: cl.nodes[0].fs,
+                left: n_reads,
+                offset: 0,
+            });
+            eng.schedule(SimTime::ZERO, chain, Ev::Timer(0));
+            eng.run();
+            eng.events_processed()
+        })
+    });
+    g.finish();
+}
+
+fn bench_simblast_run(c: &mut Criterion) {
+    let mut g = c.benchmark_group("simblast");
+    g.sample_size(10);
+    g.bench_function("pvfs_8x8_256MB", |b| {
+        b.iter(|| {
+            run_simblast(&SimBlastConfig {
+                nodes: 9,
+                workers: 8,
+                fragments: 8,
+                db_bytes: 256 << 20,
+                scheme: SimScheme::Pvfs {
+                    servers: (0..8).collect(),
+                },
+                master_node: 8,
+                warmup_s: 1.0,
+                ..Default::default()
+            })
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_engine_events, bench_simblast_run);
+criterion_main!(benches);

@@ -1,0 +1,112 @@
+//! Criterion benchmarks of the real parallel-I/O library: striped-read
+//! throughput vs. server count and stripe size (the DESIGN.md stripe-size
+//! ablation), and the mirrored store's dual-half read vs. plain striping.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use parblast_core::pio::{MirroredStore, ObjectStore, StripedStore};
+use std::path::PathBuf;
+
+const OBJECT: &str = "bench.obj";
+const SIZE: usize = 8 << 20;
+
+fn payload() -> Vec<u8> {
+    (0..SIZE).map(|i| (i * 131 % 251) as u8).collect()
+}
+
+fn dirs(tag: &str, n: usize) -> Vec<PathBuf> {
+    (0..n)
+        .map(|i| std::env::temp_dir().join(format!("pio_bench_{tag}_{}_{i}", std::process::id())))
+        .collect()
+}
+
+fn bench_striped_servers(c: &mut Criterion) {
+    let data = payload();
+    let mut g = c.benchmark_group("striped_read_by_servers");
+    g.throughput(Throughput::Bytes(SIZE as u64));
+    g.sample_size(20);
+    for servers in [1usize, 2, 4, 8] {
+        let ds = dirs("srv", servers);
+        let st = StripedStore::new(ds.clone(), 64 << 10).unwrap();
+        st.put(OBJECT, &data).unwrap();
+        g.bench_with_input(BenchmarkId::from_parameter(servers), &servers, |b, _| {
+            let mut r = st.open(OBJECT).unwrap();
+            let mut buf = vec![0u8; SIZE];
+            b.iter(|| r.read_at(0, &mut buf).unwrap())
+        });
+        for d in ds {
+            std::fs::remove_dir_all(d).ok();
+        }
+    }
+    g.finish();
+}
+
+fn bench_stripe_size(c: &mut Criterion) {
+    // DESIGN.md ablation: stripe size vs read throughput at 4 servers.
+    let data = payload();
+    let mut g = c.benchmark_group("striped_read_by_stripe_size");
+    g.throughput(Throughput::Bytes(SIZE as u64));
+    g.sample_size(20);
+    for stripe_kib in [16u64, 64, 256, 1024] {
+        let ds = dirs(&format!("ss{stripe_kib}"), 4);
+        let st = StripedStore::new(ds.clone(), stripe_kib << 10).unwrap();
+        st.put(OBJECT, &data).unwrap();
+        g.bench_with_input(
+            BenchmarkId::from_parameter(format!("{stripe_kib}KiB")),
+            &stripe_kib,
+            |b, _| {
+                let mut r = st.open(OBJECT).unwrap();
+                let mut buf = vec![0u8; SIZE];
+                b.iter(|| r.read_at(0, &mut buf).unwrap())
+            },
+        );
+        for d in ds {
+            std::fs::remove_dir_all(d).ok();
+        }
+    }
+    g.finish();
+}
+
+fn bench_mirrored_vs_striped(c: &mut Criterion) {
+    // CEFT's dual-half read against plain RAID-0 with the same number of
+    // physical directories (the Figure 7 comparison on real files).
+    let data = payload();
+    let mut g = c.benchmark_group("mirrored_vs_striped_8_dirs");
+    g.throughput(Throughput::Bytes(SIZE as u64));
+    g.sample_size(20);
+    {
+        let ds = dirs("flat8", 8);
+        let st = StripedStore::new(ds.clone(), 64 << 10).unwrap();
+        st.put(OBJECT, &data).unwrap();
+        g.bench_function("striped_8", |b| {
+            let mut r = st.open(OBJECT).unwrap();
+            let mut buf = vec![0u8; SIZE];
+            b.iter(|| r.read_at(0, &mut buf).unwrap())
+        });
+        for d in ds {
+            std::fs::remove_dir_all(d).ok();
+        }
+    }
+    {
+        let p = dirs("mp4", 4);
+        let m = dirs("mm4", 4);
+        let st = MirroredStore::new(p.clone(), m.clone(), 64 << 10).unwrap();
+        st.put(OBJECT, &data).unwrap();
+        g.bench_function("mirrored_4_plus_4_dual_half", |b| {
+            let mut r = st.open(OBJECT).unwrap();
+            let mut buf = vec![0u8; SIZE];
+            b.iter(|| r.read_at(0, &mut buf).unwrap())
+        });
+        for d in p.into_iter().chain(m) {
+            std::fs::remove_dir_all(d).ok();
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_striped_servers,
+    bench_stripe_size,
+    bench_mirrored_vs_striped
+);
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! # parblast-bench
+//!
+//! Experiment harness: binaries that regenerate every figure of the
+//! paper's evaluation (run with `cargo run -p parblast-bench --release
+//! --bin <figN>`) and criterion micro-benchmarks (`cargo bench`).
+
+#![warn(missing_docs)]
+
+/// Minimal fixed-width table printer for experiment output.
+pub fn print_table(headers: &[&str], rows: &[Vec<String>]) {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let line = |cells: Vec<String>| {
+        let mut s = String::new();
+        for (i, c) in cells.iter().enumerate() {
+            s.push_str(&format!("{:>w$}  ", c, w = widths[i]));
+        }
+        println!("{}", s.trim_end());
+    };
+    line(headers.iter().map(|h| h.to_string()).collect());
+    line(widths.iter().map(|w| "-".repeat(*w)).collect());
+    for row in rows {
+        line(row.clone());
+    }
+}
+
+/// Parse `--key value` style arguments; returns the value for `key`.
+pub fn arg_value(key: &str) -> Option<String> {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == key)
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
+/// Parse a `--key N` numeric argument with a default.
+pub fn arg_u64(key: &str, default: u64) -> u64 {
+    arg_value(key)
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn arg_u64_default() {
+        assert_eq!(super::arg_u64("--nope", 7), 7);
+    }
+}

@@ -1,0 +1,151 @@
+//! DUST-style low-complexity masking for nucleotide queries.
+//!
+//! 2003-era NCBI blastn filtered query regions of low compositional
+//! complexity (poly-A runs, microsatellites) with DUST before seeding,
+//! because such regions produce floods of statistically meaningless word
+//! hits. This is a faithful simplification of the classic algorithm: a
+//! sliding window is scored by its triplet-repeat content,
+//! `S = Σ_t c_t (c_t − 1) / 2 / (n − 1)` over the 64 possible
+//! trinucleotides (`c_t` = count of triplet `t`, `n` = triplets in the
+//! window), and windows scoring above the threshold are masked.
+//!
+//! Masking is *soft*, as in NCBI blastn: masked positions produce no
+//! seeds, but extensions may run through them.
+
+/// DUST parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DustParams {
+    /// Window length (classic DUST: 64).
+    pub window: usize,
+    /// Score threshold; higher = less masking (classic level-20 ≈ 2.0).
+    pub threshold: f64,
+}
+
+impl Default for DustParams {
+    fn default() -> Self {
+        DustParams {
+            window: 64,
+            threshold: 2.0,
+        }
+    }
+}
+
+/// Triplet-repeat score of one window of 2-bit codes.
+fn window_score(window: &[u8]) -> f64 {
+    if window.len() < 4 {
+        return 0.0;
+    }
+    let mut counts = [0u32; 64];
+    let mut t = ((window[0] as usize) << 2) | window[1] as usize;
+    for &c in &window[2..] {
+        t = ((t << 2) | c as usize) & 0x3F;
+        counts[t] += 1;
+    }
+    let n = (window.len() - 2) as f64;
+    let repeats: f64 = counts
+        .iter()
+        .map(|&c| (c as f64) * (c as f64 - 1.0) / 2.0)
+        .sum();
+    repeats / (n - 1.0).max(1.0)
+}
+
+/// Compute masked intervals `[start, end)` of a 2-bit nucleotide sequence.
+/// Overlapping/adjacent masked windows are merged.
+pub fn dust_mask(seq: &[u8], params: DustParams) -> Vec<(usize, usize)> {
+    let w = params.window.max(8);
+    if seq.len() < 8 {
+        return Vec::new();
+    }
+    let mut out: Vec<(usize, usize)> = Vec::new();
+    let step = w / 2;
+    let mut start = 0usize;
+    while start < seq.len() {
+        let end = (start + w).min(seq.len());
+        if end - start >= 8 && window_score(&seq[start..end]) > params.threshold {
+            match out.last_mut() {
+                Some(last) if last.1 >= start => last.1 = end,
+                _ => out.push((start, end)),
+            }
+        }
+        if end == seq.len() {
+            break;
+        }
+        start += step;
+    }
+    out
+}
+
+/// True when position `pos` falls inside any masked interval.
+pub fn is_masked(mask: &[(usize, usize)], pos: usize) -> bool {
+    mask.iter().any(|&(s, e)| pos >= s && pos < e)
+}
+
+/// True when the word `[pos, pos + word)` overlaps any masked interval.
+pub fn word_masked(mask: &[(usize, usize)], pos: usize, word: usize) -> bool {
+    mask.iter().any(|&(s, e)| pos < e && pos + word > s)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parblast_seqdb::encode_nt_seq;
+    use rand::rngs::StdRng;
+    use rand::{RngExt, SeedableRng};
+
+    #[test]
+    fn poly_a_is_masked() {
+        let seq = vec![0u8; 200]; // AAAA...
+        let mask = dust_mask(&seq, DustParams::default());
+        assert_eq!(mask.len(), 1);
+        let (s, e) = mask[0];
+        assert!(s == 0 && e >= 190, "mask {mask:?}");
+    }
+
+    #[test]
+    fn dinucleotide_repeat_is_masked() {
+        let seq = encode_nt_seq(&b"AT".repeat(100));
+        let mask = dust_mask(&seq, DustParams::default());
+        assert!(!mask.is_empty());
+        assert!(is_masked(&mask, 100));
+    }
+
+    #[test]
+    fn random_sequence_is_not_masked() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let seq: Vec<u8> = (0..2000).map(|_| rng.random_range(0..4u8)).collect();
+        let mask = dust_mask(&seq, DustParams::default());
+        assert!(mask.is_empty(), "random seq masked: {mask:?}");
+    }
+
+    #[test]
+    fn mixed_sequence_masks_only_the_repeat() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let mut seq: Vec<u8> = (0..500).map(|_| rng.random_range(0..4u8)).collect();
+        seq.extend(std::iter::repeat_n(2u8, 150)); // GGG... run
+        seq.extend((0..500).map(|_| rng.random_range(0..4u8)));
+        let mask = dust_mask(&seq, DustParams::default());
+        assert!(!mask.is_empty());
+        // The repeat is covered...
+        assert!(is_masked(&mask, 560));
+        // ...but most of the random flanks are not.
+        let masked_len: usize = mask.iter().map(|&(s, e)| e - s).sum();
+        assert!(masked_len < 350, "over-masking: {masked_len}");
+        assert!(!is_masked(&mask, 100));
+        assert!(!is_masked(&mask, 1000));
+    }
+
+    #[test]
+    fn word_masking_detects_overlap() {
+        let mask = vec![(10usize, 20usize)];
+        assert!(word_masked(&mask, 5, 11)); // spans into the interval
+        assert!(word_masked(&mask, 15, 4)); // inside
+        assert!(!word_masked(&mask, 0, 10)); // ends exactly at start
+        assert!(!word_masked(&mask, 20, 5)); // starts exactly at end
+    }
+
+    #[test]
+    fn short_sequences_never_mask() {
+        assert!(dust_mask(&[0, 0, 0], DustParams::default()).is_empty());
+        assert!(dust_mask(&[], DustParams::default()).is_empty());
+    }
+}

@@ -1,0 +1,484 @@
+//! Gapped alignment: X-drop gapped extension (scoring stage) and banded
+//! global alignment with traceback (reporting stage).
+//!
+//! The X-drop extension is the NCBI `ALIGN_EX`-style dynamic-band DP: rows
+//! advance along the query, the live cell window widens and narrows as
+//! cells fall more than `x_drop` below the running best, and extension in
+//! each direction stops when a row goes empty. It returns score and
+//! end-points only; per-column traceback for the final report is recomputed
+//! with a banded global alignment over the (small) aligned ranges.
+
+use crate::matrix::{GapPenalties, Scorer};
+
+const NEG: i32 = i32::MIN / 4;
+
+/// Result of a one-directional X-drop extension.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExtensionResult {
+    /// Best score achieved (≥ 0; 0 means no extension helped).
+    pub score: i32,
+    /// Query residues consumed at the best cell.
+    pub q_ext: usize,
+    /// Subject residues consumed at the best cell.
+    pub s_ext: usize,
+}
+
+/// X-drop gapped extension of `query` vs `subject` starting at their
+/// beginnings (callers slice/reverse to anchor). Affine gaps; `x_drop` in
+/// raw score units.
+#[allow(clippy::needless_range_loop)] // absolute-j indexing mirrors the DP recurrences
+pub fn xdrop_extend(
+    query: &[u8],
+    subject: &[u8],
+    scorer: &Scorer,
+    gaps: GapPenalties,
+    x_drop: i32,
+) -> ExtensionResult {
+    let n = subject.len();
+    if n == 0 || query.is_empty() {
+        return ExtensionResult {
+            score: 0,
+            q_ext: 0,
+            s_ext: 0,
+        };
+    }
+    let open_ext = gaps.open + gaps.extend;
+    let ext = gaps.extend;
+
+    let mut best = 0;
+    let mut best_cell = (0usize, 0usize);
+
+    // Previous row (absolute j indexing over [lo_prev, hi_prev]).
+    let mut lo_prev = 0usize;
+    let mut hi_prev = 0usize;
+    let mut h_prev = vec![0i32; n + 1];
+    let mut f_prev = vec![NEG; n + 1];
+    // Row 0: leading gap in the query.
+    for j in 1..=n {
+        let v = -gaps.open - ext * j as i32;
+        if v <= -x_drop {
+            break;
+        }
+        h_prev[j] = v;
+        hi_prev = j;
+    }
+
+    let mut h_row = vec![NEG; n + 1];
+    let mut e_row = vec![NEG; n + 1];
+    let mut f_row = vec![NEG; n + 1];
+
+    for i in 1..=query.len() {
+        let qc = query[i - 1];
+        let jlo = lo_prev;
+        let jhi = (hi_prev + 1).min(n);
+        let mut row_lo = usize::MAX;
+        let mut row_hi = 0usize;
+        for j in jlo..=jhi {
+            // F: gap in subject (vertical), from previous row same j.
+            let f = if j >= lo_prev && j <= hi_prev {
+                (h_prev[j] - open_ext).max(f_prev[j] - ext)
+            } else {
+                NEG
+            };
+            // E: gap in query (horizontal), from current row j-1.
+            let e = if j > jlo {
+                (h_row[j - 1] - open_ext).max(e_row[j - 1] - ext)
+            } else {
+                NEG
+            };
+            // M: diagonal from previous row j-1.
+            let m = if j >= 1 && j > lo_prev && j - 1 <= hi_prev && h_prev[j - 1] > NEG / 2 {
+                h_prev[j - 1] + scorer.score(qc, subject[j - 1])
+            } else {
+                NEG
+            };
+            let mut h = m.max(e).max(f);
+            if h < best - x_drop {
+                h = NEG;
+            }
+            h_row[j] = h;
+            e_row[j] = if h > NEG / 2 { e } else { NEG };
+            f_row[j] = if h > NEG / 2 { f } else { NEG };
+            if h > NEG / 2 {
+                if h > best {
+                    best = h;
+                    best_cell = (i, j);
+                }
+                if row_lo == usize::MAX {
+                    row_lo = j;
+                }
+                row_hi = j;
+            }
+        }
+        if row_lo == usize::MAX {
+            break; // row died: extension complete
+        }
+        // Current row becomes the previous row; clear only the touched span.
+        for j in jlo..=jhi {
+            h_prev[j] = h_row[j];
+            f_prev[j] = f_row[j];
+            h_row[j] = NEG;
+            e_row[j] = NEG;
+            f_row[j] = NEG;
+        }
+        lo_prev = row_lo;
+        hi_prev = row_hi;
+    }
+
+    ExtensionResult {
+        score: best,
+        q_ext: best_cell.0,
+        s_ext: best_cell.1,
+    }
+}
+
+/// Bidirectional gapped extension anchored at `(q0, s0)` (the anchor pair
+/// itself is scored by the right extension). Returns `(score, q_range,
+/// s_range)`.
+pub fn extend_gapped(
+    query: &[u8],
+    subject: &[u8],
+    q0: usize,
+    s0: usize,
+    scorer: &Scorer,
+    gaps: GapPenalties,
+    x_drop: i32,
+) -> (i32, std::ops::Range<usize>, std::ops::Range<usize>) {
+    let right = xdrop_extend(&query[q0..], &subject[s0..], scorer, gaps, x_drop);
+    let left_q: Vec<u8> = query[..q0].iter().rev().copied().collect();
+    let left_s: Vec<u8> = subject[..s0].iter().rev().copied().collect();
+    let left = xdrop_extend(&left_q, &left_s, scorer, gaps, x_drop);
+    (
+        left.score + right.score,
+        (q0 - left.q_ext)..(q0 + right.q_ext),
+        (s0 - left.s_ext)..(s0 + right.s_ext),
+    )
+}
+
+/// One aligned column in a traceback.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AlignOp {
+    /// Query and subject residues aligned (match or mismatch).
+    Sub,
+    /// Gap in the query (subject residue unmatched).
+    InsSubject,
+    /// Gap in the subject (query residue unmatched).
+    InsQuery,
+}
+
+/// Alignment summary statistics from a traceback.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct AlignStats {
+    /// Aligned columns.
+    pub length: usize,
+    /// Identical pairs.
+    pub identities: usize,
+    /// Substituted (non-identical) pairs.
+    pub mismatches: usize,
+    /// Gap openings.
+    pub gap_opens: usize,
+    /// Total gapped columns.
+    pub gap_letters: usize,
+}
+
+/// Banded global alignment of `query` vs `subject` with affine gaps and
+/// full traceback. `extra_band` widens the band beyond the length
+/// difference. Returns `(score, ops)`.
+pub fn banded_global(
+    query: &[u8],
+    subject: &[u8],
+    scorer: &Scorer,
+    gaps: GapPenalties,
+    extra_band: usize,
+) -> (i32, Vec<AlignOp>) {
+    let (m, n) = (query.len(), subject.len());
+    if m == 0 {
+        return (
+            if n == 0 {
+                0
+            } else {
+                -gaps.cost(n as i32)
+            },
+            vec![AlignOp::InsSubject; n],
+        );
+    }
+    if n == 0 {
+        return (-gaps.cost(m as i32), vec![AlignOp::InsQuery; m]);
+    }
+    let band = (m as i64 - n as i64).unsigned_abs() as usize + extra_band.max(1);
+    let width = 2 * band + 1;
+    let idx = |i: usize, j: i64| -> Option<usize> {
+        // j ranges over [i - band, i + band] mapped onto [0, width).
+        let off = j - (i as i64 - band as i64);
+        if off < 0 || off >= width as i64 {
+            None
+        } else {
+            Some(off as usize)
+        }
+    };
+    let open_ext = gaps.open + gaps.extend;
+    let ext = gaps.extend;
+    // 3 DP matrices H/E/F stored banded; traceback bytes per state.
+    let mut h = vec![vec![NEG; width]; m + 1];
+    let mut e = vec![vec![NEG; width]; m + 1];
+    let mut f = vec![vec![NEG; width]; m + 1];
+    // Traceback: 0=diag,1=from E,2=from F for H; for E: bit, for F: bit.
+    let mut bt_h = vec![vec![0u8; width]; m + 1];
+    let mut bt_e = vec![vec![0u8; width]; m + 1];
+    let mut bt_f = vec![vec![0u8; width]; m + 1];
+
+    if let Some(k) = idx(0, 0) {
+        h[0][k] = 0;
+    }
+    for j in 1..=n as i64 {
+        if let Some(k) = idx(0, j) {
+            e[0][k] = -gaps.open - ext * j as i32;
+            h[0][k] = e[0][k];
+            bt_h[0][k] = 1;
+            bt_e[0][k] = if j > 1 { 1 } else { 0 }; // 1 = extend, 0 = open
+        }
+    }
+    for i in 1..=m {
+        let jlo = (i as i64 - band as i64).max(0);
+        let jhi = (i as i64 + band as i64).min(n as i64);
+        for j in jlo..=jhi {
+            let k = idx(i, j).unwrap();
+            // F (gap in subject: vertical from i-1, same j).
+            let fv = {
+                let up_h = idx(i - 1, j).map_or(NEG, |k2| h[i - 1][k2]);
+                let up_f = idx(i - 1, j).map_or(NEG, |k2| f[i - 1][k2]);
+                if up_h - open_ext >= up_f - ext {
+                    bt_f[i][k] = 0;
+                    up_h - open_ext
+                } else {
+                    bt_f[i][k] = 1;
+                    up_f - ext
+                }
+            };
+            f[i][k] = fv;
+            // E (gap in query: horizontal from j-1, same i).
+            let ev = if j > 0 {
+                let left_h = idx(i, j - 1).map_or(NEG, |k2| h[i][k2]);
+                let left_e = idx(i, j - 1).map_or(NEG, |k2| e[i][k2]);
+                if left_h - open_ext >= left_e - ext {
+                    bt_e[i][k] = 0;
+                    left_h - open_ext
+                } else {
+                    bt_e[i][k] = 1;
+                    left_e - ext
+                }
+            } else {
+                NEG
+            };
+            e[i][k] = ev;
+            // H.
+            let diag = if j > 0 {
+                idx(i - 1, j - 1).map_or(NEG, |k2| h[i - 1][k2])
+            } else {
+                NEG
+            };
+            let mv = if diag > NEG / 2 {
+                diag + scorer.score(query[i - 1], subject[j as usize - 1])
+            } else {
+                NEG
+            };
+            let (hv, tb) = if mv >= ev && mv >= fv {
+                (mv, 0u8)
+            } else if ev >= fv {
+                (ev, 1u8)
+            } else {
+                (fv, 2u8)
+            };
+            h[i][k] = hv;
+            bt_h[i][k] = tb;
+        }
+    }
+
+    let score = idx(m, n as i64).map_or(NEG, |k| h[m][k]);
+    // Traceback from (m, n) in state H.
+    let mut ops_rev = Vec::with_capacity(m + n);
+    let (mut i, mut j) = (m, n as i64);
+    let mut state = 0u8; // 0=H,1=E,2=F
+    while i > 0 || j > 0 {
+        let k = idx(i, j).expect("in band");
+        match state {
+            0 => match bt_h[i][k] {
+                0 if i > 0 && j > 0 => {
+                    ops_rev.push(AlignOp::Sub);
+                    i -= 1;
+                    j -= 1;
+                }
+                1 => state = 1,
+                2 => state = 2,
+                _ => {
+                    // Degenerate: fall back to gaps to terminate.
+                    if j > 0 {
+                        state = 1;
+                    } else {
+                        state = 2;
+                    }
+                }
+            },
+            1 => {
+                ops_rev.push(AlignOp::InsSubject);
+                let was_extend = bt_e[i][k] == 1;
+                j -= 1;
+                state = if was_extend { 1 } else { 0 };
+            }
+            _ => {
+                ops_rev.push(AlignOp::InsQuery);
+                let was_extend = bt_f[i][k] == 1;
+                i -= 1;
+                state = if was_extend { 2 } else { 0 };
+            }
+        }
+    }
+    ops_rev.reverse();
+    (score, ops_rev)
+}
+
+/// Compute alignment statistics by walking ops over the aligned ranges.
+pub fn align_stats(query: &[u8], subject: &[u8], ops: &[AlignOp]) -> AlignStats {
+    let mut st = AlignStats {
+        length: ops.len(),
+        ..Default::default()
+    };
+    let (mut qi, mut si) = (0usize, 0usize);
+    let mut in_gap = false;
+    for &op in ops {
+        match op {
+            AlignOp::Sub => {
+                if query[qi] == subject[si] {
+                    st.identities += 1;
+                } else {
+                    st.mismatches += 1;
+                }
+                qi += 1;
+                si += 1;
+                in_gap = false;
+            }
+            AlignOp::InsSubject => {
+                if !in_gap {
+                    st.gap_opens += 1;
+                }
+                st.gap_letters += 1;
+                si += 1;
+                in_gap = true;
+            }
+            AlignOp::InsQuery => {
+                if !in_gap {
+                    st.gap_opens += 1;
+                }
+                st.gap_letters += 1;
+                qi += 1;
+                in_gap = true;
+            }
+        }
+    }
+    st
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parblast_seqdb::encode_nt_seq;
+
+    fn nt() -> Scorer {
+        Scorer::Nucleotide {
+            reward: 1,
+            penalty: -3,
+        }
+    }
+    fn g() -> GapPenalties {
+        GapPenalties::blastn()
+    }
+
+    #[test]
+    fn xdrop_perfect_extension() {
+        let q = encode_nt_seq(b"ACGTACGTACGT");
+        let s = q.clone();
+        let r = xdrop_extend(&q, &s, &nt(), g(), 20);
+        assert_eq!(r.score, 12);
+        assert_eq!((r.q_ext, r.s_ext), (12, 12));
+    }
+
+    #[test]
+    fn xdrop_stops_at_junk() {
+        let q = encode_nt_seq(b"ACGTACGTCCCCCCCC");
+        let s = encode_nt_seq(b"ACGTACGTGGGGGGGG");
+        let r = xdrop_extend(&q, &s, &nt(), g(), 6);
+        assert_eq!(r.score, 8);
+        assert_eq!((r.q_ext, r.s_ext), (8, 8));
+    }
+
+    #[test]
+    fn xdrop_crosses_insertion() {
+        // Subject has a 2-base insertion; with gaps the extension should
+        // bridge it: 8 matches, gap(2) = −9, then 12 more matches.
+        let q = encode_nt_seq(b"ACGTACGTTTGCATGCATGC");
+        let s = encode_nt_seq(b"ACGTACGTGGTTGCATGCATGC");
+        let r = xdrop_extend(&q, &s, &nt(), g(), 25);
+        // Best: 20 matches − gap cost 9 = 11.
+        assert_eq!(r.score, 20 - 9);
+        assert_eq!(r.q_ext, 20);
+        assert_eq!(r.s_ext, 22);
+    }
+
+    #[test]
+    fn bidirectional_extension_covers_hsp() {
+        let q = encode_nt_seq(b"TTTTACGTACGTACGTTTTT");
+        let s = encode_nt_seq(b"GGGGACGTACGTACGTGGGG");
+        // Anchor inside the common core.
+        let (score, qr, sr) = extend_gapped(&q, &s, 8, 8, &nt(), g(), 8);
+        assert_eq!(score, 12);
+        assert_eq!(qr, 4..16);
+        assert_eq!(sr, 4..16);
+    }
+
+    #[test]
+    fn banded_global_identity() {
+        let q = encode_nt_seq(b"ACGTACGT");
+        let (score, ops) = banded_global(&q, &q, &nt(), g(), 4);
+        assert_eq!(score, 8);
+        assert!(ops.iter().all(|&o| o == AlignOp::Sub));
+        let st = align_stats(&q, &q, &ops);
+        assert_eq!(st.identities, 8);
+        assert_eq!(st.mismatches, 0);
+        assert_eq!(st.gap_opens, 0);
+    }
+
+    #[test]
+    fn banded_global_with_gap() {
+        let q = encode_nt_seq(b"ACGTACGT");
+        let s = encode_nt_seq(b"ACGTTACGT"); // one inserted T in subject
+        let (score, ops) = banded_global(&q, &s, &nt(), g(), 4);
+        assert_eq!(score, 8 - 7); // 8 matches − gap(1)
+        let st = align_stats(&q, &s, &ops);
+        assert_eq!(st.identities, 8);
+        assert_eq!(st.gap_opens, 1);
+        assert_eq!(st.gap_letters, 1);
+        assert_eq!(st.length, 9);
+    }
+
+    #[test]
+    fn banded_global_mismatch_vs_gap_choice() {
+        let q = encode_nt_seq(b"AAAATTTT");
+        let s = encode_nt_seq(b"AAAACTTT");
+        let (score, ops) = banded_global(&q, &s, &nt(), g(), 4);
+        // One mismatch (−3) beats two gaps (−14): 7 − 3 = 4.
+        assert_eq!(score, 4);
+        let st = align_stats(&q, &s, &ops);
+        assert_eq!(st.mismatches, 1);
+        assert_eq!(st.identities, 7);
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let q = encode_nt_seq(b"ACG");
+        let (score, ops) = banded_global(&q, &[], &nt(), g(), 2);
+        assert_eq!(ops.len(), 3);
+        assert_eq!(score, -(5 + 2 * 3));
+        let r = xdrop_extend(&[], &q, &nt(), g(), 10);
+        assert_eq!(r.score, 0);
+    }
+}

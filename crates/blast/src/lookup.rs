@@ -1,0 +1,283 @@
+//! Query word lookup tables.
+//!
+//! * [`NtLookup`] — blastn: exact `w`-mer matching via a direct-address
+//!   table over the 2-bit alphabet (4^w cells, CSR-packed positions), the
+//!   same structure NCBI's blastn scanner uses for its default `W=11`.
+//! * [`AaLookup`] — blastp: 3-mer *neighborhood* lookup: every database
+//!   word scoring ≥ T against some query word hits that query position.
+
+use crate::dust::word_masked;
+use crate::matrix::Scorer;
+
+/// blastn exact-word lookup.
+pub struct NtLookup {
+    /// Word size (≤ 12 for the direct table).
+    pub word: usize,
+    mask: u32,
+    starts: Vec<u32>,
+    positions: Vec<u32>,
+}
+
+impl NtLookup {
+    /// Build over a 2-bit-coded query (one "context"). Panics if `word`
+    /// is 0 or > 12.
+    pub fn build(query: &[u8], word: usize) -> Self {
+        Self::build_masked(query, word, &[])
+    }
+
+    /// Build with soft masking: query words overlapping a masked interval
+    /// produce no seeds (NCBI blastn's DUST behaviour).
+    pub fn build_masked(query: &[u8], word: usize, mask: &[(usize, usize)]) -> Self {
+        assert!(word > 0 && word <= 12, "word size must be 1..=12");
+        let cells = 1usize << (2 * word);
+        let code_mask = (cells - 1) as u32;
+        let mut counts = vec![0u32; cells + 1];
+        let mut w = 0u32;
+        for (i, &c) in query.iter().enumerate() {
+            w = ((w << 2) | c as u32) & code_mask;
+            if i + 1 >= word && !word_masked(mask, i + 1 - word, word) {
+                counts[w as usize + 1] += 1;
+            }
+        }
+        for i in 1..=cells {
+            counts[i] += counts[i - 1];
+        }
+        let mut positions = vec![0u32; *counts.last().unwrap() as usize];
+        let mut cursor = counts.clone();
+        let mut w = 0u32;
+        for (i, &c) in query.iter().enumerate() {
+            w = ((w << 2) | c as u32) & code_mask;
+            if i + 1 >= word && !word_masked(mask, i + 1 - word, word) {
+                let qpos = (i + 1 - word) as u32;
+                positions[cursor[w as usize] as usize] = qpos;
+                cursor[w as usize] += 1;
+            }
+        }
+        NtLookup {
+            word,
+            mask: code_mask,
+            starts: counts,
+            positions,
+        }
+    }
+
+    /// Query positions whose `word`-mer equals `w`.
+    #[inline]
+    pub fn hits(&self, w: u32) -> &[u32] {
+        let w = (w & self.mask) as usize;
+        &self.positions[self.starts[w] as usize..self.starts[w + 1] as usize]
+    }
+
+    /// Scan a 2-bit-coded subject, invoking `f(qpos, spos)` for every word
+    /// hit.
+    pub fn scan<F: FnMut(u32, u32)>(&self, subject: &[u8], mut f: F) {
+        if subject.len() < self.word {
+            return;
+        }
+        let mut w = 0u32;
+        for (i, &c) in subject.iter().enumerate() {
+            w = ((w << 2) | c as u32) & self.mask;
+            if i + 1 >= self.word {
+                let spos = (i + 1 - self.word) as u32;
+                for &qpos in self.hits(w) {
+                    f(qpos, spos);
+                }
+            }
+        }
+    }
+}
+
+/// blastp neighborhood lookup over 3-mers.
+pub struct AaLookup {
+    /// Word size (fixed 3 in practice; 2 allowed for tests).
+    pub word: usize,
+    alpha: usize,
+    table: Vec<Vec<u32>>,
+}
+
+impl AaLookup {
+    /// Build over a protein query: cell for word `W` holds every query
+    /// position whose word scores ≥ `threshold` against `W` (including the
+    /// exact word itself if it passes).
+    pub fn build(query: &[u8], word: usize, scorer: &Scorer, threshold: i32) -> Self {
+        assert!(word == 2 || word == 3, "protein word size must be 2 or 3");
+        let alpha = scorer.alphabet();
+        let cells = alpha.pow(word as u32);
+        let mut table = vec![Vec::new(); cells];
+        let nwords = query.len().saturating_sub(word - 1);
+        // For every query word, enumerate neighbor words scoring ≥ T.
+        // 24^3 = 13824 candidates per query word: fine for real queries.
+        let mut stack_word = vec![0u8; word];
+        for qpos in 0..nwords {
+            let qw = &query[qpos..qpos + word];
+            // Depth-first enumeration with score-bound pruning.
+            enumerate_neighbors(
+                qw,
+                scorer,
+                threshold,
+                0,
+                0,
+                &mut stack_word,
+                &mut |cell_word: &[u8]| {
+                    let mut idx = 0usize;
+                    for &c in cell_word {
+                        idx = idx * alpha + c as usize;
+                    }
+                    table[idx].push(qpos as u32);
+                },
+            );
+        }
+        AaLookup { word, alpha, table }
+    }
+
+    /// Query positions matching subject word starting at `sw`.
+    #[inline]
+    pub fn hits(&self, sw: &[u8]) -> &[u32] {
+        let mut idx = 0usize;
+        for &c in sw {
+            idx = idx * self.alpha + c as usize;
+        }
+        &self.table[idx]
+    }
+
+    /// Scan a protein subject, invoking `f(qpos, spos)` for every
+    /// neighborhood hit.
+    pub fn scan<F: FnMut(u32, u32)>(&self, subject: &[u8], mut f: F) {
+        if subject.len() < self.word {
+            return;
+        }
+        for spos in 0..=subject.len() - self.word {
+            for &qpos in self.hits(&subject[spos..spos + self.word]) {
+                f(qpos, spos as u32);
+            }
+        }
+    }
+}
+
+/// Enumerate all words over the scorer's alphabet scoring ≥ `threshold`
+/// against `qw`, with branch-and-bound pruning on the best possible
+/// remaining score.
+fn enumerate_neighbors(
+    qw: &[u8],
+    scorer: &Scorer,
+    threshold: i32,
+    depth: usize,
+    score: i32,
+    current: &mut [u8],
+    emit: &mut impl FnMut(&[u8]),
+) {
+    if depth == qw.len() {
+        if score >= threshold {
+            emit(current);
+        }
+        return;
+    }
+    // Upper bound on the remaining positions: max matrix value (11 for
+    // BLOSUM62's W–W) per position.
+    let remaining_max = 11 * (qw.len() - depth - 1) as i32;
+    for c in 0..scorer.alphabet() as u8 {
+        let s = score + scorer.score(qw[depth], c);
+        if s + remaining_max < threshold {
+            continue;
+        }
+        current[depth] = c;
+        enumerate_neighbors(qw, scorer, threshold, depth + 1, s, current, emit);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parblast_seqdb::{encode_aa_seq, encode_nt_seq};
+
+    #[test]
+    fn nt_lookup_finds_exact_words() {
+        let q = encode_nt_seq(b"ACGTACGTTT");
+        let lk = NtLookup::build(&q, 4);
+        // Word "ACGT" occurs at positions 0 and 4.
+        let subject = encode_nt_seq(b"GGACGTGG");
+        let mut hits = vec![];
+        lk.scan(&subject, |qp, sp| hits.push((qp, sp)));
+        assert_eq!(hits, vec![(0, 2), (4, 2)]);
+    }
+
+    #[test]
+    fn nt_lookup_no_false_hits() {
+        let q = encode_nt_seq(b"AAAAAAAA");
+        let lk = NtLookup::build(&q, 6);
+        let subject = encode_nt_seq(b"CCCCCCCCCC");
+        let mut hits = 0;
+        lk.scan(&subject, |_, _| hits += 1);
+        assert_eq!(hits, 0);
+    }
+
+    #[test]
+    fn nt_lookup_word_11_default() {
+        // The blastn default word size used in the paper's searches.
+        let q: Vec<u8> = (0..64).map(|i| (i % 4) as u8).collect();
+        let lk = NtLookup::build(&q, 11);
+        let mut hits = vec![];
+        lk.scan(&q, |qp, sp| hits.push((qp, sp)));
+        // Self-scan must include the diagonal (qp == sp) for every word.
+        let diag = hits.iter().filter(|&&(q, s)| q == s).count();
+        assert_eq!(diag, 64 - 10);
+    }
+
+    #[test]
+    fn nt_subject_shorter_than_word() {
+        let q = encode_nt_seq(b"ACGTACGTACGT");
+        let lk = NtLookup::build(&q, 8);
+        let mut hits = 0;
+        lk.scan(&encode_nt_seq(b"ACG"), |_, _| hits += 1);
+        assert_eq!(hits, 0);
+    }
+
+    #[test]
+    fn aa_lookup_exact_word_hits_itself() {
+        let q = encode_aa_seq(b"MKWVLAAR");
+        let lk = AaLookup::build(&q, 3, &Scorer::Blosum62, 11);
+        let mut hits = vec![];
+        lk.scan(&q, |qp, sp| hits.push((qp, sp)));
+        // Every position whose self-word scores ≥ 11 must self-hit.
+        for qpos in 0..q.len() - 2 {
+            let w = &q[qpos..qpos + 3];
+            let self_score: i32 = w.iter().map(|&c| Scorer::Blosum62.score(c, c)).sum();
+            if self_score >= 11 {
+                assert!(
+                    hits.contains(&(qpos as u32, qpos as u32)),
+                    "missing self hit at {qpos}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn aa_lookup_neighborhood_includes_similar_words() {
+        // KKK vs RKK scores 2+5+5 = 12 ≥ 11 → neighbor.
+        let q = encode_aa_seq(b"KKK");
+        let lk = AaLookup::build(&q, 3, &Scorer::Blosum62, 11);
+        let subj = encode_aa_seq(b"RKK");
+        let mut hits = vec![];
+        lk.scan(&subj, |qp, sp| hits.push((qp, sp)));
+        assert_eq!(hits, vec![(0, 0)]);
+        // But an unrelated word must not hit: GGG vs KKK = 3×(−2) = −6.
+        let mut hits2 = 0;
+        lk.scan(&encode_aa_seq(b"GGG"), |_, _| hits2 += 1);
+        assert_eq!(hits2, 0);
+    }
+
+    #[test]
+    fn aa_threshold_controls_neighborhood_size() {
+        let q = encode_aa_seq(b"WWW");
+        let loose = AaLookup::build(&q, 3, &Scorer::Blosum62, 8);
+        let tight = AaLookup::build(&q, 3, &Scorer::Blosum62, 20);
+        let count = |lk: &AaLookup| -> usize {
+            (0..24u8)
+                .flat_map(|a| (0..24u8).flat_map(move |b| (0..24u8).map(move |c| [a, b, c])))
+                .map(|w| lk.hits(&w).len())
+                .sum()
+        };
+        assert!(count(&loose) > count(&tight));
+        assert!(count(&tight) >= 1); // WWW itself scores 33
+    }
+}

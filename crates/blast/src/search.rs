@@ -1,0 +1,910 @@
+//! The BLAST search pipeline: word hits → ungapped X-drop extension →
+//! (optionally) gapped X-drop extension → E-value filtering → reporting.
+//!
+//! Nucleotide searches (blastn) scan both query strands with exact-word
+//! seeds and one-hit triggering; protein searches (blastp and the
+//! translated programs) use the 3-mer neighborhood lookup with two-hit
+//! triggering on a diagonal, like NCBI BLAST 2.x.
+
+use std::collections::HashMap;
+
+use parblast_seqdb::{reverse_complement, SeqType, Volume};
+
+use crate::dust::{dust_mask, DustParams};
+use crate::extend::extend_ungapped;
+use crate::gapped::{align_stats, banded_global, extend_gapped};
+use crate::karlin::{gapped_params, scorer_params, KarlinParams};
+use crate::lookup::{AaLookup, NtLookup};
+use crate::matrix::{GapPenalties, Scorer};
+use crate::report::{Hit, Hsp};
+use crate::translate::six_frames;
+
+/// Which BLAST program to run (§2.1 of the paper lists all five).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Program {
+    /// Nucleotide query vs nucleotide database.
+    Blastn,
+    /// Protein query vs protein database.
+    Blastp,
+    /// Translated nucleotide query vs protein database.
+    Blastx,
+    /// Protein query vs translated nucleotide database.
+    Tblastn,
+    /// Translated query vs translated database (ungapped, like NCBI).
+    Tblastx,
+}
+
+/// Whole-database statistics used for E-values. mpiBLAST passes the *full*
+/// database figures even when a worker searches a single fragment, so that
+/// E-values are identical to an unsegmented search — we do the same.
+#[derive(Debug, Clone, Copy)]
+pub struct DbStats {
+    /// Total residues in the database.
+    pub residues: u64,
+    /// Number of sequences.
+    pub nseq: u64,
+}
+
+/// Search parameters.
+#[derive(Debug, Clone)]
+pub struct SearchParams {
+    /// Scoring system.
+    pub scorer: Scorer,
+    /// Affine gap penalties.
+    pub gaps: GapPenalties,
+    /// Word size (blastn 11, protein 3).
+    pub word_size: usize,
+    /// Protein neighborhood threshold T.
+    pub neighbor_threshold: i32,
+    /// Two-hit window A (0 = one-hit triggering).
+    pub two_hit_window: usize,
+    /// Ungapped X-drop, raw score units.
+    pub x_drop_ungapped: i32,
+    /// Gapped X-drop, raw score units.
+    pub x_drop_gapped: i32,
+    /// Bit-score threshold that triggers a gapped extension.
+    pub gap_trigger_bits: f64,
+    /// E-value report cutoff.
+    pub evalue: f64,
+    /// Perform gapped extensions.
+    pub gapped: bool,
+    /// DUST low-complexity query masking (blastn only; `None` disables).
+    /// Soft masking: masked regions seed nothing but extensions may cross
+    /// them — NCBI blastn's 2003 default behaviour.
+    pub dust: Option<DustParams>,
+    /// Keep at most this many hits (by best E-value).
+    pub max_hits: usize,
+}
+
+impl SearchParams {
+    /// blastn defaults as used in the paper's era (W=11, +1/−3, gap 5/2).
+    pub fn blastn() -> Self {
+        SearchParams {
+            scorer: Scorer::Nucleotide {
+                reward: 1,
+                penalty: -3,
+            },
+            gaps: GapPenalties::blastn(),
+            word_size: 11,
+            neighbor_threshold: 0,
+            two_hit_window: 0,
+            x_drop_ungapped: 16,
+            x_drop_gapped: 30,
+            gap_trigger_bits: 25.0,
+            evalue: 10.0,
+            gapped: true,
+            dust: Some(DustParams::default()),
+            max_hits: 500,
+        }
+    }
+
+    /// blastp defaults (W=3, T=11, BLOSUM62, gap 11/1, two-hit A=40).
+    pub fn blastp() -> Self {
+        SearchParams {
+            scorer: Scorer::Blosum62,
+            gaps: GapPenalties::blastp(),
+            word_size: 3,
+            neighbor_threshold: 11,
+            two_hit_window: 40,
+            x_drop_ungapped: 7,
+            x_drop_gapped: 15,
+            gap_trigger_bits: 22.0,
+            evalue: 10.0,
+            gapped: true,
+            dust: None,
+            max_hits: 500,
+        }
+    }
+}
+
+struct StatsCtx {
+    ungapped: KarlinParams,
+    gapped: KarlinParams,
+    space: f64,
+    gap_trigger_raw: i32,
+    cutoff_raw: i32,
+}
+
+fn stats_ctx(params: &SearchParams, query_len: usize, db: DbStats) -> StatsCtx {
+    let ungapped = scorer_params(&params.scorer).expect("scoring system has valid statistics");
+    let gapped = gapped_params(&params.scorer, params.gaps).unwrap_or(ungapped);
+    let reporting = if params.gapped { gapped } else { ungapped };
+    let space = reporting.search_space(query_len as u64, db.residues, db.nseq);
+    // Raw score that reaches gap_trigger bits under ungapped stats.
+    let gap_trigger_raw = ((params.gap_trigger_bits * std::f64::consts::LN_2
+        + ungapped.k.ln())
+        / ungapped.lambda)
+        .ceil() as i32;
+    // Raw score whose E-value equals the cutoff (quick pre-filter).
+    let cutoff_raw = ((params.evalue / (reporting.k * space)).ln() / -reporting.lambda)
+        .ceil()
+        .max(1.0) as i32;
+    StatsCtx {
+        ungapped,
+        gapped,
+        space,
+        gap_trigger_raw,
+        cutoff_raw,
+    }
+}
+
+/// One query context: a residue string plus its frame annotation.
+struct QueryCtx {
+    codes: Vec<u8>,
+    frame: i8,
+}
+
+/// Candidate HSP in context coordinates.
+struct Candidate {
+    score: i32,
+    q_range: std::ops::Range<usize>,
+    s_range: std::ops::Range<usize>,
+    q_frame: i8,
+    s_frame: i8,
+    gapped: bool,
+}
+
+/// Search one subject (one frame) with one nucleotide query context.
+#[allow(clippy::too_many_arguments)]
+fn scan_nt_context(
+    lookup: &NtLookup,
+    qctx: &QueryCtx,
+    subject: &[u8],
+    s_frame: i8,
+    params: &SearchParams,
+    st: &StatsCtx,
+    out: &mut Vec<Candidate>,
+) {
+    let mut diag_end: HashMap<i64, usize> = HashMap::new();
+    let query = &qctx.codes;
+    lookup.scan(subject, |qp, sp| {
+        let (qp, sp) = (qp as usize, sp as usize);
+        let diag = sp as i64 - qp as i64;
+        if let Some(&end) = diag_end.get(&diag) {
+            if sp < end {
+                return;
+            }
+        }
+        let hsp = extend_ungapped(
+            query,
+            subject,
+            qp,
+            sp,
+            lookup.word,
+            &params.scorer,
+            params.x_drop_ungapped,
+        );
+        diag_end.insert(diag, hsp.s_end);
+        push_candidate(hsp, query, subject, qctx.frame, s_frame, params, st, out);
+    });
+}
+
+#[allow(clippy::too_many_arguments)]
+fn push_candidate(
+    hsp: crate::extend::UngappedHsp,
+    query: &[u8],
+    subject: &[u8],
+    q_frame: i8,
+    s_frame: i8,
+    params: &SearchParams,
+    st: &StatsCtx,
+    out: &mut Vec<Candidate>,
+) {
+    if params.gapped && hsp.score >= st.gap_trigger_raw {
+        // Anchor the gapped extension at the midpoint of the ungapped HSP.
+        let mid = hsp.len() / 2;
+        let (score, qr, sr) = extend_gapped(
+            query,
+            subject,
+            hsp.q_start + mid,
+            hsp.s_start + mid,
+            &params.scorer,
+            params.gaps,
+            params.x_drop_gapped,
+        );
+        if score >= st.cutoff_raw {
+            out.push(Candidate {
+                score,
+                q_range: qr,
+                s_range: sr,
+                q_frame,
+                s_frame,
+                gapped: true,
+            });
+        }
+    } else if hsp.score >= st.cutoff_raw {
+        out.push(Candidate {
+            score: hsp.score,
+            q_range: hsp.q_start..hsp.q_end,
+            s_range: hsp.s_start..hsp.s_end,
+            q_frame,
+            s_frame,
+            gapped: false,
+        });
+    }
+}
+
+/// Search one subject (one frame) with one protein query context.
+#[allow(clippy::too_many_arguments)]
+fn scan_aa_context(
+    lookup: &AaLookup,
+    qctx: &QueryCtx,
+    subject: &[u8],
+    s_frame: i8,
+    params: &SearchParams,
+    st: &StatsCtx,
+    gapped_allowed: bool,
+    out: &mut Vec<Candidate>,
+) {
+    let mut diag_end: HashMap<i64, usize> = HashMap::new();
+    let mut last_hit: HashMap<i64, usize> = HashMap::new();
+    let query = &qctx.codes;
+    let two_hit = params.two_hit_window;
+    let mut local = params.clone();
+    local.gapped = params.gapped && gapped_allowed;
+    lookup.scan(subject, |qp, sp| {
+        let (qp, sp) = (qp as usize, sp as usize);
+        let diag = sp as i64 - qp as i64;
+        if let Some(&end) = diag_end.get(&diag) {
+            if sp < end {
+                return;
+            }
+        }
+        if two_hit > 0 {
+            let prev = last_hit.insert(diag, sp);
+            let trigger = match prev {
+                Some(p) => sp > p && sp - p <= two_hit,
+                None => false,
+            };
+            if !trigger {
+                return;
+            }
+        }
+        let hsp = extend_ungapped(
+            query,
+            subject,
+            qp,
+            sp,
+            lookup.word,
+            &params.scorer,
+            params.x_drop_ungapped,
+        );
+        diag_end.insert(diag, hsp.s_end);
+        push_candidate(hsp, query, subject, qctx.frame, s_frame, &local, st, out);
+    });
+}
+
+/// Annotate candidates into final HSPs: cull contained duplicates, compute
+/// alignment statistics and E-values.
+fn finalize(
+    candidates: Vec<Candidate>,
+    query_ctxs: &[QueryCtx],
+    subject_ctxs: &HashMap<i8, Vec<u8>>,
+    params: &SearchParams,
+    st: &StatsCtx,
+) -> Vec<Hsp> {
+    let mut cands = candidates;
+    cands.sort_by_key(|c| std::cmp::Reverse(c.score));
+    let mut kept: Vec<Candidate> = Vec::new();
+    'outer: for c in cands {
+        for k in &kept {
+            if k.q_frame == c.q_frame
+                && k.s_frame == c.s_frame
+                && c.q_range.start >= k.q_range.start
+                && c.q_range.end <= k.q_range.end
+                && c.s_range.start >= k.s_range.start
+                && c.s_range.end <= k.s_range.end
+            {
+                continue 'outer; // contained in a better HSP
+            }
+        }
+        kept.push(c);
+    }
+    let mut out = Vec::with_capacity(kept.len());
+    for c in kept {
+        let kp = if c.gapped { st.gapped } else { st.ungapped };
+        let evalue = kp.evalue(c.score, st.space);
+        if evalue > params.evalue {
+            continue;
+        }
+        let qctx = query_ctxs
+            .iter()
+            .find(|q| q.frame == c.q_frame)
+            .expect("query context");
+        let subject = &subject_ctxs[&c.s_frame];
+        let qslice = &qctx.codes[c.q_range.clone()];
+        let sslice = &subject[c.s_range.clone()];
+        let (_, ops) = banded_global(qslice, sslice, &params.scorer, params.gaps, 16);
+        let stats = align_stats(qslice, sslice, &ops);
+        // Map minus-strand nucleotide query coordinates back to the
+        // forward query (see module docs).
+        let (q_start, q_end) = if c.q_frame == -1 && params.word_size > 3 {
+            let m = qctx.codes.len();
+            (m - c.q_range.end, m - c.q_range.start)
+        } else {
+            (c.q_range.start, c.q_range.end)
+        };
+        out.push(Hsp {
+            score: c.score,
+            bit_score: kp.bit_score(c.score),
+            evalue,
+            q_start,
+            q_end,
+            s_start: c.s_range.start,
+            s_end: c.s_range.end,
+            q_frame: c.q_frame,
+            s_frame: c.s_frame,
+            align_len: stats.length,
+            identities: stats.identities,
+            mismatches: stats.mismatches,
+            gap_opens: stats.gap_opens,
+        });
+    }
+    out.sort_by_key(|h| std::cmp::Reverse(h.score));
+    out
+}
+
+/// Run `program` for one query over one database volume.
+pub fn search_volume(
+    program: Program,
+    query: &[u8],
+    volume: &Volume,
+    params: &SearchParams,
+    db: DbStats,
+) -> Vec<Hit> {
+    match program {
+        Program::Blastn => {
+            assert_eq!(volume.seq_type, SeqType::Nucleotide, "blastn needs a nt db");
+            search_blastn(query, volume, params, db)
+        }
+        Program::Blastp => {
+            assert_eq!(volume.seq_type, SeqType::Protein, "blastp needs an aa db");
+            let ctxs = vec![QueryCtx {
+                codes: query.to_vec(),
+                frame: 1,
+            }];
+            search_protein(&ctxs, query.len(), volume, false, params, db, true)
+        }
+        Program::Blastx => {
+            assert_eq!(volume.seq_type, SeqType::Protein, "blastx needs an aa db");
+            let ctxs: Vec<QueryCtx> = six_frames(query)
+                .into_iter()
+                .map(|f| QueryCtx {
+                    codes: f.codes,
+                    frame: f.frame,
+                })
+                .collect();
+            let eff_len = query.len() / 3;
+            search_protein(&ctxs, eff_len, volume, false, params, db, true)
+        }
+        Program::Tblastn => {
+            assert_eq!(
+                volume.seq_type,
+                SeqType::Nucleotide,
+                "tblastn needs a nt db"
+            );
+            let ctxs = vec![QueryCtx {
+                codes: query.to_vec(),
+                frame: 1,
+            }];
+            search_protein(&ctxs, query.len(), volume, true, params, db, true)
+        }
+        Program::Tblastx => {
+            assert_eq!(
+                volume.seq_type,
+                SeqType::Nucleotide,
+                "tblastx needs a nt db"
+            );
+            let ctxs: Vec<QueryCtx> = six_frames(query)
+                .into_iter()
+                .map(|f| QueryCtx {
+                    codes: f.codes,
+                    frame: f.frame,
+                })
+                .collect();
+            let eff_len = query.len() / 3;
+            // NCBI tblastx is ungapped-only.
+            search_protein(&ctxs, eff_len, volume, true, params, db, false)
+        }
+    }
+}
+
+fn search_blastn(query: &[u8], volume: &Volume, params: &SearchParams, db: DbStats) -> Vec<Hit> {
+    let st = stats_ctx(params, query.len(), db);
+    let ctxs = [
+        QueryCtx {
+            codes: query.to_vec(),
+            frame: 1,
+        },
+        QueryCtx {
+            codes: reverse_complement(query),
+            frame: -1,
+        },
+    ];
+    let lookups: Vec<NtLookup> = ctxs
+        .iter()
+        .map(|c| {
+            let mask = params
+                .dust
+                .map(|d| dust_mask(&c.codes, d))
+                .unwrap_or_default();
+            NtLookup::build_masked(&c.codes, params.word_size, &mask)
+        })
+        .collect();
+    let mut hits = Vec::new();
+    for (si, subject) in volume.sequences.iter().enumerate() {
+        let mut cands = Vec::new();
+        for (ctx, lk) in ctxs.iter().zip(&lookups) {
+            // Minus-strand matches carry s_frame −1 (reported with
+            // reversed subject coordinates, NCBI-style).
+            let s_frame = ctx.frame;
+            scan_nt_context(lk, ctx, &subject.codes, s_frame, params, &st, &mut cands);
+        }
+        let mut subject_ctxs = HashMap::new();
+        subject_ctxs.insert(1i8, subject.codes.clone());
+        subject_ctxs.insert(-1i8, subject.codes.clone());
+        let hsps = finalize(cands, &ctxs, &subject_ctxs, params, &st);
+        if !hsps.is_empty() {
+            hits.push(Hit {
+                subject_id: subject.id().to_string(),
+                subject_index: si,
+                hsps,
+            });
+        }
+    }
+    rank(hits, params.max_hits)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn search_protein(
+    query_ctxs: &[QueryCtx],
+    eff_query_len: usize,
+    volume: &Volume,
+    translate_db: bool,
+    params: &SearchParams,
+    db: DbStats,
+    gapped_allowed: bool,
+) -> Vec<Hit> {
+    let db_eff = if translate_db {
+        DbStats {
+            residues: db.residues / 3,
+            nseq: db.nseq,
+        }
+    } else {
+        db
+    };
+    let st = stats_ctx(params, eff_query_len.max(1), db_eff);
+    let lookups: Vec<AaLookup> = query_ctxs
+        .iter()
+        .map(|c| {
+            AaLookup::build(
+                &c.codes,
+                params.word_size,
+                &params.scorer,
+                params.neighbor_threshold,
+            )
+        })
+        .collect();
+    let mut hits = Vec::new();
+    for (si, subject) in volume.sequences.iter().enumerate() {
+        let subject_frames: Vec<(i8, Vec<u8>)> = if translate_db {
+            six_frames(&subject.codes)
+                .into_iter()
+                .map(|f| (f.frame, f.codes))
+                .collect()
+        } else {
+            vec![(1i8, subject.codes.clone())]
+        };
+        let mut cands = Vec::new();
+        for (s_frame, scodes) in &subject_frames {
+            for (ctx, lk) in query_ctxs.iter().zip(&lookups) {
+                scan_aa_context(
+                    lk,
+                    ctx,
+                    scodes,
+                    *s_frame,
+                    params,
+                    &st,
+                    gapped_allowed,
+                    &mut cands,
+                );
+            }
+        }
+        let subject_ctxs: HashMap<i8, Vec<u8>> = subject_frames.into_iter().collect();
+        let hsps = finalize(cands, query_ctxs, &subject_ctxs, params, &st);
+        if !hsps.is_empty() {
+            hits.push(Hit {
+                subject_id: subject.id().to_string(),
+                subject_index: si,
+                hsps,
+            });
+        }
+    }
+    rank(hits, params.max_hits)
+}
+
+fn rank(mut hits: Vec<Hit>, max_hits: usize) -> Vec<Hit> {
+    hits.sort_by(|a, b| {
+        a.best_evalue()
+            .partial_cmp(&b.best_evalue())
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(b.best_score().cmp(&a.best_score()))
+    });
+    hits.truncate(max_hits);
+    hits
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parblast_seqdb::blastdb::DbSequence;
+    use parblast_seqdb::{encode_aa_seq, encode_nt_seq};
+    use rand::rngs::StdRng;
+    use rand::{RngExt, SeedableRng};
+
+    fn nt_volume(seqs: &[(&str, Vec<u8>)]) -> Volume {
+        Volume {
+            seq_type: SeqType::Nucleotide,
+            sequences: seqs
+                .iter()
+                .map(|(d, c)| DbSequence {
+                    defline: d.to_string(),
+                    codes: c.clone(),
+                })
+                .collect(),
+        }
+    }
+
+    fn random_nt(rng: &mut StdRng, len: usize) -> Vec<u8> {
+        (0..len).map(|_| rng.random_range(0..4u8)).collect()
+    }
+
+    fn db_stats(v: &Volume) -> DbStats {
+        DbStats {
+            residues: v.residues(),
+            nseq: v.sequences.len() as u64,
+        }
+    }
+
+    #[test]
+    fn blastn_finds_planted_query() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut subject = random_nt(&mut rng, 5000);
+        let query = random_nt(&mut rng, 568);
+        subject.splice(2000..2000, query.iter().copied());
+        let v = nt_volume(&[
+            ("target seq", subject),
+            ("decoy", random_nt(&mut rng, 5000)),
+        ]);
+        let hits = search_volume(
+            Program::Blastn,
+            &query,
+            &v,
+            &SearchParams::blastn(),
+            db_stats(&v),
+        );
+        assert!(!hits.is_empty());
+        assert_eq!(hits[0].subject_id, "target");
+        let top = &hits[0].hsps[0];
+        assert!(top.evalue < 1e-100);
+        assert_eq!(top.q_start, 0);
+        assert_eq!(top.q_end, 568);
+        assert_eq!(top.s_start, 2000);
+        assert_eq!(top.s_end, 2568);
+        assert_eq!(top.identities, top.align_len);
+    }
+
+    #[test]
+    fn blastn_finds_reverse_strand_match() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let query = random_nt(&mut rng, 300);
+        let rc = reverse_complement(&query);
+        let mut subject = random_nt(&mut rng, 3000);
+        subject.splice(1000..1000, rc.iter().copied());
+        let v = nt_volume(&[("minus_target", subject)]);
+        let hits = search_volume(
+            Program::Blastn,
+            &query,
+            &v,
+            &SearchParams::blastn(),
+            db_stats(&v),
+        );
+        assert!(!hits.is_empty());
+        let top = &hits[0].hsps[0];
+        assert_eq!(top.q_frame, -1);
+        assert_eq!(top.s_start, 1000);
+        assert_eq!(top.s_end, 1300);
+        assert_eq!((top.q_start, top.q_end), (0, 300));
+    }
+
+    #[test]
+    fn blastn_tolerates_mutations() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let query = random_nt(&mut rng, 568);
+        let mut mutated = query.clone();
+        // 5 % substitutions.
+        for _ in 0..28 {
+            let p = rng.random_range(0..mutated.len());
+            mutated[p] = (mutated[p] + 1) & 3;
+        }
+        let mut subject = random_nt(&mut rng, 4000);
+        subject.splice(500..500, mutated.iter().copied());
+        let v = nt_volume(&[("m", subject)]);
+        let hits = search_volume(
+            Program::Blastn,
+            &query,
+            &v,
+            &SearchParams::blastn(),
+            db_stats(&v),
+        );
+        assert!(!hits.is_empty());
+        let top = &hits[0].hsps[0];
+        assert!(top.evalue < 1e-50);
+        // Most of the query aligns.
+        assert!(top.q_end - top.q_start > 500, "aligned {}", top.q_end - top.q_start);
+        assert!(top.percent_identity() > 90.0);
+    }
+
+    #[test]
+    fn blastn_bridges_an_indel() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let query = random_nt(&mut rng, 400);
+        let mut with_gap = query.clone();
+        with_gap.splice(200..200, [0u8, 1, 2].iter().copied()); // 3-nt insertion
+        let mut subject = random_nt(&mut rng, 2000);
+        subject.splice(700..700, with_gap.iter().copied());
+        let v = nt_volume(&[("g", subject)]);
+        let hits = search_volume(
+            Program::Blastn,
+            &query,
+            &v,
+            &SearchParams::blastn(),
+            db_stats(&v),
+        );
+        let top = &hits[0].hsps[0];
+        assert!(top.gap_opens >= 1, "expected a gapped alignment");
+        assert!(top.q_end - top.q_start > 380);
+    }
+
+    #[test]
+    fn no_hits_in_unrelated_random_sequences() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let query = random_nt(&mut rng, 568);
+        let v = nt_volume(&[
+            ("r1", random_nt(&mut rng, 3000)),
+            ("r2", random_nt(&mut rng, 3000)),
+        ]);
+        let mut p = SearchParams::blastn();
+        p.evalue = 1e-6; // strict cutoff: random 3 kb subjects can't pass
+        let hits = search_volume(Program::Blastn, &query, &v, &p, db_stats(&v));
+        assert!(hits.is_empty(), "false positives: {hits:?}");
+    }
+
+    #[test]
+    fn blastp_finds_protein_match() {
+        let q = encode_aa_seq(b"MKWVTFISLLFLFSSAYSRGVFRRDAHKSEVAHRFKDLGEENFKALVLIAFAQYLQQ");
+        let mut subj = encode_aa_seq(b"GGGGGGGGGG");
+        subj.extend_from_slice(&q);
+        subj.extend(encode_aa_seq(b"PPPPPPPPPP"));
+        let v = Volume {
+            seq_type: SeqType::Protein,
+            sequences: vec![
+                DbSequence {
+                    defline: "albumin fragment".into(),
+                    codes: subj,
+                },
+                DbSequence {
+                    defline: "junk".into(),
+                    codes: encode_aa_seq(b"GAGAGAGAGAGAGAGAGAGAGAGAGAGA"),
+                },
+            ],
+        };
+        let hits = search_volume(
+            Program::Blastp,
+            &q,
+            &v,
+            &SearchParams::blastp(),
+            db_stats(&v),
+        );
+        assert!(!hits.is_empty());
+        assert_eq!(hits[0].subject_id, "albumin");
+        let top = &hits[0].hsps[0];
+        assert_eq!(top.s_start, 10);
+        assert!(top.percent_identity() > 99.0);
+    }
+
+    #[test]
+    fn blastx_finds_translated_match() {
+        // Protein db contains the translation of the nt query's frame +2.
+        let nt = encode_nt_seq(b"GATGAAATGGAAGCGTTGGTGCTGATTGCGTTTGCGCAGTATCTGCAACAG");
+        let aa_frame2 = crate::translate::translate_frame(&nt, 1);
+        let v = Volume {
+            seq_type: SeqType::Protein,
+            sequences: vec![DbSequence {
+                defline: "protein target".into(),
+                codes: aa_frame2.clone(),
+            }],
+        };
+        let mut p = SearchParams::blastp();
+        p.evalue = 1e3; // short test sequences
+        let hits = search_volume(Program::Blastx, &nt, &v, &p, db_stats(&v));
+        assert!(!hits.is_empty());
+        assert_eq!(hits[0].hsps[0].q_frame, 2);
+    }
+
+    #[test]
+    fn tblastn_finds_coding_region() {
+        let protein = encode_aa_seq(b"MKWVTFISLLFLFSSAYSRGVFRRDAHKSE");
+        // Reverse-translate via a codon per residue (pick any codon): easier
+        // to build the nt subject from a known translation property — embed
+        // the protein's coding sequence built from the translate table by
+        // brute force.
+        let mut nt = Vec::new();
+        'aa: for &aa in &protein {
+            for c1 in 0..4u8 {
+                for c2 in 0..4u8 {
+                    for c3 in 0..4u8 {
+                        if crate::translate::translate_codon(c1, c2, c3) == aa {
+                            nt.extend_from_slice(&[c1, c2, c3]);
+                            continue 'aa;
+                        }
+                    }
+                }
+            }
+            panic!("no codon for {aa}");
+        }
+        let mut subject = encode_nt_seq(b"CCCCCCCC");
+        subject.extend_from_slice(&nt);
+        subject.extend(encode_nt_seq(b"GGGGGGGG"));
+        let v = nt_volume(&[("coding region", subject)]);
+        let mut p = SearchParams::blastp();
+        p.evalue = 1e3;
+        let hits = search_volume(Program::Tblastn, &protein, &v, &p, db_stats(&v));
+        assert!(!hits.is_empty());
+        // The match is on some forward frame.
+        assert!(hits[0].hsps[0].s_frame > 0);
+    }
+
+    #[test]
+    fn tblastx_is_ungapped_but_finds_match() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let core = random_nt(&mut rng, 240);
+        let mut subject = random_nt(&mut rng, 600);
+        subject.splice(300..300, core.iter().copied());
+        let v = nt_volume(&[("tx", subject)]);
+        let mut p = SearchParams::blastp();
+        p.evalue = 1.0;
+        let hits = search_volume(Program::Tblastx, &core, &v, &p, db_stats(&v));
+        assert!(!hits.is_empty());
+    }
+
+    #[test]
+    fn evalues_scale_with_database_size() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let query = random_nt(&mut rng, 100);
+        let mut subject = random_nt(&mut rng, 1000);
+        subject.splice(100..100, query.iter().copied());
+        let v = nt_volume(&[("t", subject)]);
+        let small = search_volume(
+            Program::Blastn,
+            &query,
+            &v,
+            &SearchParams::blastn(),
+            DbStats {
+                residues: 10_000,
+                nseq: 10,
+            },
+        );
+        let large = search_volume(
+            Program::Blastn,
+            &query,
+            &v,
+            &SearchParams::blastn(),
+            DbStats {
+                residues: 2_700_000_000,
+                nseq: 1_760_000,
+            },
+        );
+        let e_small = small[0].hsps[0].evalue;
+        let e_large = large[0].hsps[0].evalue;
+        assert!(
+            e_large > e_small * 1e3,
+            "e_small={e_small} e_large={e_large}"
+        );
+    }
+
+    #[test]
+    fn dust_suppresses_low_complexity_noise() {
+        // A query that is half real signal, half poly-A, against subjects
+        // full of poly-A runs: with DUST only the real signal seeds.
+        let mut rng = StdRng::seed_from_u64(12);
+        let signal = random_nt(&mut rng, 200);
+        let mut query = signal.clone();
+        query.extend(std::iter::repeat_n(0u8, 200)); // poly-A half
+        let mut subject_noise = vec![0u8; 3000]; // pure poly-A subject
+        subject_noise.extend(random_nt(&mut rng, 500));
+        let mut subject_signal = random_nt(&mut rng, 1000);
+        subject_signal.splice(400..400, signal.iter().copied());
+        let v = nt_volume(&[("noise", subject_noise), ("signal", subject_signal)]);
+
+        let mut with_dust = SearchParams::blastn();
+        assert!(with_dust.dust.is_some(), "blastn defaults enable DUST");
+        with_dust.evalue = 1e-6;
+        let hits = search_volume(Program::Blastn, &query, &v, &with_dust, db_stats(&v));
+        assert_eq!(hits.len(), 1, "only the real signal: {hits:?}");
+        assert_eq!(hits[0].subject_id, "signal");
+
+        let mut no_dust = with_dust.clone();
+        no_dust.dust = None;
+        let hits = search_volume(Program::Blastn, &query, &v, &no_dust, db_stats(&v));
+        assert!(
+            hits.iter().any(|h| h.subject_id == "noise"),
+            "without DUST the poly-A subject matches: {hits:?}"
+        );
+    }
+
+    #[test]
+    fn dust_soft_masking_extends_through_repeats() {
+        // An alignment straddling a masked region still extends through it
+        // (soft masking): plant signal-A + poly-A + signal-B contiguously.
+        let mut rng = StdRng::seed_from_u64(13);
+        let mut region = random_nt(&mut rng, 150);
+        region.extend(std::iter::repeat_n(0u8, 100));
+        region.extend(random_nt(&mut rng, 150));
+        let mut subject = random_nt(&mut rng, 2000);
+        subject.splice(700..700, region.iter().copied());
+        let v = nt_volume(&[("s", subject)]);
+        let hits = search_volume(
+            Program::Blastn,
+            &region,
+            &v,
+            &SearchParams::blastn(),
+            db_stats(&v),
+        );
+        let top = &hits[0].hsps[0];
+        // The full 400-nt region aligns despite the masked middle.
+        assert!(top.q_end - top.q_start >= 380, "aligned {}", top.q_end - top.q_start);
+        assert_eq!(top.identities, top.align_len);
+    }
+
+    #[test]
+    fn hits_are_ranked_by_evalue() {
+        let mut rng = StdRng::seed_from_u64(10);
+        let query = random_nt(&mut rng, 200);
+        // Perfect copy vs half copy.
+        let mut s1 = random_nt(&mut rng, 1000);
+        s1.splice(0..0, query.iter().copied());
+        let mut s2 = random_nt(&mut rng, 1000);
+        s2.splice(0..0, query[..100].iter().copied());
+        let v = nt_volume(&[("half", s2), ("full", s1)]);
+        let hits = search_volume(
+            Program::Blastn,
+            &query,
+            &v,
+            &SearchParams::blastn(),
+            db_stats(&v),
+        );
+        assert_eq!(hits[0].subject_id, "full");
+        assert_eq!(hits[1].subject_id, "half");
+    }
+}

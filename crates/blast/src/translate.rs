@@ -1,0 +1,171 @@
+//! Genetic-code translation for the translated search programs
+//! (blastx, tblastn, tblastx).
+
+use parblast_seqdb::{encode_aa, reverse_complement};
+
+/// Translate one codon of 2-bit nucleotide codes using the standard
+/// genetic code; returns an amino-acid ordinal code (23 = stop `*`).
+pub fn translate_codon(c1: u8, c2: u8, c3: u8) -> u8 {
+    // Standard code indexed by 2-bit codes A=0 C=1 G=2 T=3.
+    // Table laid out as [c1][c2][c3] in that code order.
+    const T: [[[u8; 4]; 4]; 4] = {
+        // Letters per codon, A/C/G/T order on each axis.
+        // Derived from the standard genetic code.
+        let x = *b"KNKNTTTTRSRSIIMIQHQHPPPPRRRRLLLLEDEDAAAAGGGGVVVVsYsYSSSSsCWCLFLF";
+        let mut t = [[[0u8; 4]; 4]; 4];
+        let mut i = 0;
+        while i < 64 {
+            let c1 = i / 16;
+            let c2 = (i / 4) % 4;
+            let c3 = i % 4;
+            t[c1][c2][c3] = x[i];
+            i += 1;
+        }
+        t
+    };
+    let letter = T[c1 as usize & 3][c2 as usize & 3][c3 as usize & 3];
+    if letter == b's' {
+        23 // stop
+    } else {
+        encode_aa(letter).unwrap_or(22)
+    }
+}
+
+/// A translated reading frame.
+#[derive(Debug, Clone)]
+pub struct Frame {
+    /// Frame number in BLAST convention: +1, +2, +3, −1, −2, −3.
+    pub frame: i8,
+    /// Amino-acid codes (stops included as code 23).
+    pub codes: Vec<u8>,
+}
+
+impl Frame {
+    /// Map a position in this frame's protein back to the nucleotide
+    /// coordinate (0-based, on the forward strand) of the codon's first
+    /// base.
+    pub fn to_nucleotide(&self, aa_pos: usize, seq_len: usize) -> usize {
+        let off = (self.frame.unsigned_abs() as usize) - 1;
+        if self.frame > 0 {
+            off + 3 * aa_pos
+        } else {
+            // Position counted from the 3' end on the reverse strand.
+            seq_len - 1 - off - 3 * aa_pos
+        }
+    }
+}
+
+/// Translate a 2-bit nucleotide sequence in one forward frame (0, 1, 2).
+pub fn translate_frame(codes: &[u8], offset: usize) -> Vec<u8> {
+    codes[offset..]
+        .chunks_exact(3)
+        .map(|c| translate_codon(c[0], c[1], c[2]))
+        .collect()
+}
+
+/// All six reading frames of a nucleotide sequence.
+pub fn six_frames(codes: &[u8]) -> Vec<Frame> {
+    let rc = reverse_complement(codes);
+    let mut out = Vec::with_capacity(6);
+    for off in 0..3usize {
+        out.push(Frame {
+            frame: (off as i8) + 1,
+            codes: translate_frame(codes, off),
+        });
+    }
+    for off in 0..3usize {
+        out.push(Frame {
+            frame: -((off as i8) + 1),
+            codes: translate_frame(&rc, off),
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parblast_seqdb::{decode_aa, encode_nt_seq};
+
+    fn translate_ascii(s: &[u8]) -> String {
+        let codes = encode_nt_seq(s);
+        translate_frame(&codes, 0)
+            .iter()
+            .map(|&c| decode_aa(c) as char)
+            .collect()
+    }
+
+    #[test]
+    fn canonical_codons() {
+        assert_eq!(translate_ascii(b"ATG"), "M");
+        assert_eq!(translate_ascii(b"TGG"), "W");
+        assert_eq!(translate_ascii(b"TAA"), "*");
+        assert_eq!(translate_ascii(b"TAG"), "*");
+        assert_eq!(translate_ascii(b"TGA"), "*");
+        assert_eq!(translate_ascii(b"AAA"), "K");
+        assert_eq!(translate_ascii(b"TTT"), "F");
+        assert_eq!(translate_ascii(b"GGC"), "G");
+        assert_eq!(translate_ascii(b"GCT"), "A");
+        assert_eq!(translate_ascii(b"CGA"), "R");
+    }
+
+    #[test]
+    fn orf_translation() {
+        // ATG AAA TGG TAA → M K W *
+        assert_eq!(translate_ascii(b"ATGAAATGGTAA"), "MKW*");
+    }
+
+    #[test]
+    fn six_frames_have_right_lengths() {
+        let codes = encode_nt_seq(b"ATGAAATGGTAACGT"); // 15 nt
+        let frames = six_frames(&codes);
+        assert_eq!(frames.len(), 6);
+        assert_eq!(frames[0].codes.len(), 5); // +1: 15/3
+        assert_eq!(frames[1].codes.len(), 4); // +2: 14/3
+        assert_eq!(frames[2].codes.len(), 4); // +3: 13/3
+        assert_eq!(frames[3].codes.len(), 5); // −1
+        let nums: Vec<i8> = frames.iter().map(|f| f.frame).collect();
+        assert_eq!(nums, vec![1, 2, 3, -1, -2, -3]);
+    }
+
+    #[test]
+    fn reverse_frame_translates_reverse_complement() {
+        // Forward: ATG CAT; reverse complement: ATG CAT → frame −1 = "MH".
+        let codes = encode_nt_seq(b"ATGCAT");
+        let frames = six_frames(&codes);
+        let minus1: String = frames[3]
+            .codes
+            .iter()
+            .map(|&c| decode_aa(c) as char)
+            .collect();
+        assert_eq!(minus1, "MH");
+    }
+
+    #[test]
+    fn frame_coordinate_mapping() {
+        let f = Frame {
+            frame: 2,
+            codes: vec![],
+        };
+        assert_eq!(f.to_nucleotide(0, 30), 1);
+        assert_eq!(f.to_nucleotide(3, 30), 10);
+        let r = Frame {
+            frame: -1,
+            codes: vec![],
+        };
+        assert_eq!(r.to_nucleotide(0, 30), 29);
+        assert_eq!(r.to_nucleotide(1, 30), 26);
+    }
+
+    #[test]
+    fn every_codon_translates_to_valid_code() {
+        for a in 0..4u8 {
+            for b in 0..4u8 {
+                for c in 0..4u8 {
+                    let code = translate_codon(a, b, c);
+                    assert!(code <= 23);
+                }
+            }
+        }
+    }
+}

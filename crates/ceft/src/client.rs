@@ -1,0 +1,451 @@
+//! CEFT-PVFS client.
+//!
+//! Same application-facing interface as the PVFS client
+//! ([`parblast_pvfs::ClientReq`]/[`ClientResp`]) so that the simulated
+//! parallel BLAST can swap file systems without changing its own logic.
+//! Differences from PVFS:
+//!
+//! * **Reads** follow the dual-half schedule: half of each request from the
+//!   primary group, half from the mirror group (doubling parallelism), with
+//!   hot servers replaced by their mirror partners per the skip set pushed
+//!   by the metadata server.
+//! * **Writes** are duplexed to both groups (the client-driven duplex
+//!   protocol of the CEFT papers) and complete when both replicas ack.
+
+use std::collections::HashMap;
+
+use parblast_hwsim::{Envelope, Ev, NetSend};
+use parblast_pvfs::{
+    ClientReq, ClientResp, IodRead, IodReadResp, IodWrite, IodWriteResp, CTRL_BYTES,
+};
+use parblast_simcore::{CompId, Component, Ctx, SimTime, Summary};
+
+use crate::group::MirroredLayout;
+use crate::msg::{CeftOpen, CeftOpenResp, ServerId, SkipUpdate};
+
+/// CEFT duplex write protocols (the four protocols studied in the
+/// companion write-performance paper, ref. [7]; we implement three).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WriteProtocol {
+    /// Client sends the data to both groups and waits for both acks
+    /// (maximum reliability, doubles the client's outbound traffic).
+    ClientDuplex,
+    /// Client writes the primary only; the primary forwards to the mirror
+    /// and acks the client only after the mirror acks (server duplex,
+    /// halves client traffic at the cost of serialized hops).
+    ServerSync,
+    /// Client writes the primary only; the primary acks immediately and
+    /// mirrors in the background (fastest, a crash window before the
+    /// mirror is consistent).
+    ServerAsync,
+}
+
+/// How the client schedules reads over the two groups.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReadMode {
+    /// First half from one group, second half from the other — all 2N
+    /// servers participate (the paper's design, [6]).
+    DualHalf,
+    /// Naive mirroring: read everything from the primary group (the
+    /// ablation baseline the dual-half design was measured against).
+    PrimaryOnly,
+}
+
+#[derive(Debug, Clone)]
+struct FileEntry {
+    layout: MirroredLayout,
+    #[allow(dead_code)]
+    size: u64,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum OpKind {
+    Read,
+    Write,
+}
+
+#[derive(Debug)]
+struct PendingOp {
+    kind: OpKind,
+    remaining: u32,
+    reply_to: CompId,
+    tag: u64,
+    started: SimTime,
+    len: u64,
+}
+
+#[derive(Debug)]
+struct PendingOpen {
+    file: u64,
+    reply_to: CompId,
+    tag: u64,
+    started: SimTime,
+}
+
+/// CEFT client component.
+pub struct CeftClient {
+    node: u32,
+    net: CompId,
+    meta: (u32, CompId),
+    /// `groups[g][i]` = (node, iod component) of server `i` in group `g`.
+    groups: [Vec<(u32, CompId)>; 2],
+    files: HashMap<u64, FileEntry>,
+    skips: Vec<ServerId>,
+    opens: HashMap<u64, PendingOpen>,
+    ops: HashMap<u64, PendingOp>,
+    part_to_op: HashMap<u64, u64>,
+    next_op: u64,
+    /// Read scheduling mode (dual-half vs primary-only ablation).
+    pub read_mode: ReadMode,
+    /// Duplex write protocol.
+    pub write_protocol: WriteProtocol,
+    /// Alternates which group serves the first half of successive reads.
+    flip: bool,
+    read_latency: Summary,
+    bytes_read: u64,
+    bytes_written: u64,
+    skipped_parts: u64,
+    name: String,
+}
+
+impl CeftClient {
+    /// New client on `node` with the two server groups (layout order).
+    pub fn new(
+        name: impl Into<String>,
+        node: u32,
+        net: CompId,
+        meta: (u32, CompId),
+        primary: Vec<(u32, CompId)>,
+        mirror: Vec<(u32, CompId)>,
+    ) -> Self {
+        assert_eq!(primary.len(), mirror.len(), "groups must be equal-sized");
+        CeftClient {
+            node,
+            net,
+            meta,
+            groups: [primary, mirror],
+            files: HashMap::new(),
+            skips: Vec::new(),
+            opens: HashMap::new(),
+            ops: HashMap::new(),
+            part_to_op: HashMap::new(),
+            next_op: 1,
+            read_mode: ReadMode::DualHalf,
+            write_protocol: WriteProtocol::ClientDuplex,
+            flip: false,
+            read_latency: Summary::new(),
+            bytes_read: 0,
+            bytes_written: 0,
+            skipped_parts: 0,
+            name: name.into(),
+        }
+    }
+
+    /// `(bytes read, bytes written)` through this client.
+    pub fn bytes(&self) -> (u64, u64) {
+        (self.bytes_read, self.bytes_written)
+    }
+
+    /// Per-read latency summary.
+    pub fn read_latency(&self) -> &Summary {
+        &self.read_latency
+    }
+
+    /// Parts redirected away from hot servers.
+    pub fn skipped_parts(&self) -> u64 {
+        self.skipped_parts
+    }
+
+    /// Current skip set as seen by this client.
+    pub fn skips(&self) -> &[ServerId] {
+        &self.skips
+    }
+
+    fn addr(&self, s: ServerId) -> (u32, CompId) {
+        self.groups[s.group as usize][s.index as usize]
+    }
+
+    fn send_net(
+        &self,
+        ctx: &mut Ctx<'_, Ev>,
+        dst: (u32, CompId),
+        bytes: u64,
+        payload: Box<dyn std::any::Any>,
+    ) {
+        ctx.send(
+            self.net,
+            Ev::Net(NetSend {
+                src_node: self.node,
+                dst_node: dst.0,
+                bytes,
+                dst: dst.1,
+                payload,
+            }),
+        );
+    }
+
+    fn handle_req(&mut self, ctx: &mut Ctx<'_, Ev>, req: ClientReq) {
+        match req {
+            ClientReq::Open {
+                file,
+                reply_to,
+                tag,
+            } => {
+                let token = ctx.fresh_token();
+                self.opens.insert(
+                    token,
+                    PendingOpen {
+                        file,
+                        reply_to,
+                        tag,
+                        started: ctx.now(),
+                    },
+                );
+                let me = ctx.self_id();
+                let node = self.node;
+                let meta = self.meta;
+                self.send_net(
+                    ctx,
+                    meta,
+                    CTRL_BYTES,
+                    Box::new(CeftOpen {
+                        file,
+                        reply: me,
+                        reply_node: node,
+                        token,
+                    }),
+                );
+            }
+            ClientReq::Read {
+                file,
+                offset,
+                len,
+                reply_to,
+                tag,
+            } => {
+                let entry = self
+                    .files
+                    .get(&file)
+                    .unwrap_or_else(|| panic!("read of unopened file {file}"))
+                    .clone();
+                let first_group = u8::from(self.flip);
+                self.flip = !self.flip;
+                let parts = match self.read_mode {
+                    ReadMode::DualHalf => {
+                        entry.layout.plan_read(offset, len, first_group, &self.skips)
+                    }
+                    ReadMode::PrimaryOnly => {
+                        entry.layout.plan_single_group(offset, len, 0, &self.skips)
+                    }
+                };
+                if parts.is_empty() {
+                    ctx.send(
+                        reply_to,
+                        Ev::User(Envelope::local(ClientResp::ReadDone {
+                            tag,
+                            latency: SimTime::ZERO,
+                            len: 0,
+                        })),
+                    );
+                    return;
+                }
+                let op = self.next_op;
+                self.next_op += 1;
+                self.ops.insert(
+                    op,
+                    PendingOp {
+                        kind: OpKind::Read,
+                        remaining: parts.len() as u32,
+                        reply_to,
+                        tag,
+                        started: ctx.now(),
+                        len,
+                    },
+                );
+                let me = ctx.self_id();
+                let node = self.node;
+                for p in parts {
+                    if p.redirected {
+                        self.skipped_parts += 1;
+                    }
+                    let token = ctx.fresh_token();
+                    self.part_to_op.insert(token, op);
+                    let dst = self.addr(p.server);
+                    self.send_net(
+                        ctx,
+                        dst,
+                        CTRL_BYTES,
+                        Box::new(IodRead {
+                            file,
+                            offset: p.local_offset,
+                            len: p.len,
+                            reply: me,
+                            reply_node: node,
+                            token,
+                        }),
+                    );
+                }
+            }
+            ClientReq::Write {
+                file,
+                offset,
+                len,
+                reply_to,
+                tag,
+            } => {
+                let entry = self
+                    .files
+                    .get(&file)
+                    .unwrap_or_else(|| panic!("write of unopened file {file}"))
+                    .clone();
+                // The extent reaches both groups in full; how depends on
+                // the duplex protocol.
+                let mut parts = entry.layout.plan_single_group(offset, len, 0, &[]);
+                if self.write_protocol == WriteProtocol::ClientDuplex {
+                    parts.extend(entry.layout.plan_single_group(offset, len, 1, &[]));
+                }
+                if parts.is_empty() {
+                    ctx.send(
+                        reply_to,
+                        Ev::User(Envelope::local(ClientResp::WriteDone {
+                            tag,
+                            latency: SimTime::ZERO,
+                            len: 0,
+                        })),
+                    );
+                    return;
+                }
+                let op = self.next_op;
+                self.next_op += 1;
+                self.ops.insert(
+                    op,
+                    PendingOp {
+                        kind: OpKind::Write,
+                        remaining: parts.len() as u32,
+                        reply_to,
+                        tag,
+                        started: ctx.now(),
+                        len,
+                    },
+                );
+                let me = ctx.self_id();
+                let node = self.node;
+                for p in parts {
+                    let token = ctx.fresh_token();
+                    self.part_to_op.insert(token, op);
+                    let dst = self.addr(p.server);
+                    // Server-forwarding protocols hand the mirror hop to
+                    // the primary iod.
+                    let forward_to = match self.write_protocol {
+                        WriteProtocol::ClientDuplex => None,
+                        _ => Some(self.addr(entry.layout.partner(p.server))),
+                    };
+                    let forward_sync =
+                        self.write_protocol == WriteProtocol::ServerSync;
+                    self.send_net(
+                        ctx,
+                        dst,
+                        p.len + CTRL_BYTES,
+                        Box::new(IodWrite {
+                            file,
+                            offset: p.local_offset,
+                            len: p.len,
+                            sync: false,
+                            reply: me,
+                            reply_node: node,
+                            token,
+                            forward_to,
+                            forward_sync,
+                        }),
+                    );
+                }
+            }
+        }
+    }
+
+    fn part_done(&mut self, ctx: &mut Ctx<'_, Ev>, token: u64) {
+        let Some(op_id) = self.part_to_op.remove(&token) else {
+            debug_assert!(false, "unknown part token");
+            return;
+        };
+        let op = self.ops.get_mut(&op_id).expect("op for part");
+        op.remaining -= 1;
+        if op.remaining > 0 {
+            return;
+        }
+        let op = self.ops.remove(&op_id).unwrap();
+        let latency = ctx.now().saturating_sub(op.started);
+        let resp = match op.kind {
+            OpKind::Read => {
+                self.bytes_read += op.len;
+                self.read_latency.record(latency.as_secs_f64());
+                ClientResp::ReadDone {
+                    tag: op.tag,
+                    latency,
+                    len: op.len,
+                }
+            }
+            OpKind::Write => {
+                self.bytes_written += op.len;
+                ClientResp::WriteDone {
+                    tag: op.tag,
+                    latency,
+                    len: op.len,
+                }
+            }
+        };
+        ctx.send(op.reply_to, Ev::User(Envelope::local(resp)));
+    }
+}
+
+impl Component<Ev> for CeftClient {
+    fn on_event(&mut self, ctx: &mut Ctx<'_, Ev>, ev: Ev) {
+        let Ev::User(env) = ev else {
+            return;
+        };
+        match env.payload.downcast::<ClientReq>() {
+            Ok(req) => self.handle_req(ctx, *req),
+            Err(other) => match other.downcast::<CeftOpenResp>() {
+                Ok(resp) => {
+                    let resp = *resp;
+                    let Some(open) = self.opens.remove(&resp.token) else {
+                        debug_assert!(false, "unknown open token");
+                        return;
+                    };
+                    self.files.insert(
+                        open.file,
+                        FileEntry {
+                            layout: resp.layout,
+                            size: resp.size,
+                        },
+                    );
+                    self.skips = resp.skips;
+                    let latency = ctx.now().saturating_sub(open.started);
+                    ctx.send(
+                        open.reply_to,
+                        Ev::User(Envelope::local(ClientResp::OpenDone {
+                            tag: open.tag,
+                            latency,
+                        })),
+                    );
+                }
+                Err(other) => match other.downcast::<SkipUpdate>() {
+                    Ok(u) => {
+                        self.skips = u.skips;
+                    }
+                    Err(other) => match other.downcast::<IodReadResp>() {
+                        Ok(r) => self.part_done(ctx, r.token),
+                        Err(other) => match other.downcast::<IodWriteResp>() {
+                            Ok(w) => self.part_done(ctx, w.token),
+                            Err(_) => debug_assert!(false, "ceft client got unknown message"),
+                        },
+                    },
+                },
+            },
+        }
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+}

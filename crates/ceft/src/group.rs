@@ -1,0 +1,5 @@
+//! Mirrored (RAID-10) layout re-exported from the real `parblast-pio`
+//! library, so the simulator and the on-disk implementation share one
+//! source of truth for the dual-half read schedule and skip substitution.
+
+pub use parblast_pio::layout::{MirroredLayout, ReadPart};

@@ -1,0 +1,308 @@
+//! CEFT-PVFS metadata server.
+//!
+//! Besides serving mirrored stripe layouts, the metadata server
+//! "periodically collects the system resource utilization information from
+//! all data servers and determines the I/O service schemes" (paper §3):
+//! load monitors on the server nodes report disk utilization every
+//! heartbeat; servers whose utilization crosses a threshold — while their
+//! mirror partner stays cool — are put in the *skip set*, which is pushed
+//! to every subscribed client.
+
+use std::collections::HashMap;
+
+use parblast_hwsim::{Ev, NetSend};
+use parblast_pvfs::CTRL_BYTES;
+use parblast_simcore::{CompId, Component, Ctx, FcfsStation, SimTime};
+
+use crate::group::MirroredLayout;
+use crate::msg::{CeftOpen, CeftOpenResp, LoadReport, ServerId, SkipUpdate};
+
+/// Skip-policy knobs.
+#[derive(Debug, Clone)]
+pub struct SkipPolicy {
+    /// A server is *hot* when its heartbeat utilization exceeds this.
+    pub hot_threshold: f64,
+    /// A hot server is only skipped while its partner is below this.
+    pub partner_cool_threshold: f64,
+    /// Consecutive hot heartbeats required before skipping (debounce).
+    pub hot_count: u32,
+    /// Consecutive cool heartbeats required before un-skipping.
+    pub cool_count: u32,
+}
+
+impl Default for SkipPolicy {
+    fn default() -> Self {
+        SkipPolicy {
+            hot_threshold: 0.85,
+            partner_cool_threshold: 0.7,
+            hot_count: 2,
+            cool_count: 3,
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct FileEntry {
+    layout: MirroredLayout,
+    size: u64,
+}
+
+#[derive(Debug, Default, Clone, Copy)]
+struct ServerState {
+    utilization: f64,
+    hot_streak: u32,
+    cool_streak: u32,
+    skipped: bool,
+}
+
+/// CEFT metadata server component.
+pub struct CeftMeta {
+    node: u32,
+    net: CompId,
+    files: HashMap<u64, FileEntry>,
+    station: FcfsStation,
+    service: SimTime,
+    policy: SkipPolicy,
+    servers: HashMap<ServerId, ServerState>,
+    clients: Vec<(u32, CompId)>,
+    opens: u64,
+    skip_changes: u64,
+    name: String,
+}
+
+impl CeftMeta {
+    /// New metadata server on `node`.
+    pub fn new(
+        name: impl Into<String>,
+        node: u32,
+        net: CompId,
+        service: SimTime,
+        policy: SkipPolicy,
+    ) -> Self {
+        CeftMeta {
+            node,
+            net,
+            files: HashMap::new(),
+            station: FcfsStation::new(SimTime::ZERO),
+            service,
+            policy,
+            servers: HashMap::new(),
+            clients: Vec::new(),
+            opens: 0,
+            skip_changes: 0,
+            name: name.into(),
+        }
+    }
+
+    /// Register a file (setup-time).
+    pub fn register(&mut self, file: u64, layout: MirroredLayout, size: u64) {
+        self.files.insert(file, FileEntry { layout, size });
+    }
+
+    /// Current skip set.
+    pub fn skips(&self) -> Vec<ServerId> {
+        self.servers
+            .iter()
+            .filter(|(_, s)| s.skipped)
+            .map(|(&id, _)| id)
+            .collect()
+    }
+
+    /// Opens served.
+    pub fn opens(&self) -> u64 {
+        self.opens
+    }
+
+    /// Times the skip set changed.
+    pub fn skip_changes(&self) -> u64 {
+        self.skip_changes
+    }
+
+    fn push_skips(&mut self, ctx: &mut Ctx<'_, Ev>) {
+        self.skip_changes += 1;
+        let skips = self.skips();
+        for &(node, comp) in &self.clients {
+            ctx.send(
+                self.net,
+                Ev::Net(NetSend {
+                    src_node: self.node,
+                    dst_node: node,
+                    bytes: CTRL_BYTES,
+                    dst: comp,
+                    payload: Box::new(SkipUpdate {
+                        skips: skips.clone(),
+                    }),
+                }),
+            );
+        }
+    }
+
+    fn on_report(&mut self, ctx: &mut Ctx<'_, Ev>, report: LoadReport) {
+        let policy = self.policy.clone();
+        {
+            let st = self.servers.entry(report.server).or_default();
+            st.utilization = report.utilization;
+            if report.utilization >= policy.hot_threshold {
+                st.hot_streak += 1;
+                st.cool_streak = 0;
+            } else {
+                st.cool_streak += 1;
+                st.hot_streak = 0;
+            }
+        }
+        let partner = ServerId {
+            group: 1 - report.server.group,
+            index: report.server.index,
+        };
+        let partner_util = self
+            .servers
+            .get(&partner)
+            .map(|s| s.utilization)
+            .unwrap_or(0.0);
+        let st = self.servers.get_mut(&report.server).expect("just inserted");
+        let mut changed = false;
+        if !st.skipped
+            && st.hot_streak >= policy.hot_count
+            && partner_util < policy.partner_cool_threshold
+        {
+            st.skipped = true;
+            changed = true;
+        } else if st.skipped && st.cool_streak >= policy.cool_count {
+            st.skipped = false;
+            changed = true;
+        }
+        if changed {
+            self.push_skips(ctx);
+        }
+    }
+
+    fn on_open(&mut self, ctx: &mut Ctx<'_, Ev>, req: CeftOpen) {
+        self.opens += 1;
+        if !self
+            .clients
+            .iter()
+            .any(|&(n, c)| n == req.reply_node && c == req.reply)
+        {
+            self.clients.push((req.reply_node, req.reply));
+        }
+        let entry = self
+            .files
+            .get(&req.file)
+            .unwrap_or_else(|| panic!("open of unregistered file {}", req.file))
+            .clone();
+        let done = self.station.submit(ctx.now(), self.service);
+        let resp = CeftOpenResp {
+            token: req.token,
+            layout: entry.layout,
+            size: entry.size,
+            skips: self.skips(),
+        };
+        let (node, net) = (self.node, self.net);
+        ctx.schedule_at(
+            done,
+            net,
+            Ev::Net(NetSend {
+                src_node: node,
+                dst_node: req.reply_node,
+                bytes: CTRL_BYTES,
+                dst: req.reply,
+                payload: Box::new(resp),
+            }),
+        );
+    }
+}
+
+impl Component<Ev> for CeftMeta {
+    fn on_event(&mut self, ctx: &mut Ctx<'_, Ev>, ev: Ev) {
+        let Ev::User(env) = ev else {
+            return;
+        };
+        match env.payload.downcast::<CeftOpen>() {
+            Ok(open) => self.on_open(ctx, *open),
+            Err(other) => match other.downcast::<LoadReport>() {
+                Ok(r) => self.on_report(ctx, *r),
+                Err(_) => debug_assert!(false, "ceft meta got unknown message"),
+            },
+        }
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parblast_hwsim::Envelope;
+
+    fn report(eng: &mut parblast_simcore::Engine<Ev>, id: CompId, s: ServerId, util: f64) {
+        eng.schedule(
+            eng.now(),
+            id,
+            Ev::User(Envelope::local(LoadReport {
+                server: s,
+                utilization: util,
+            })),
+        );
+        eng.run();
+    }
+
+    #[test]
+    fn skip_requires_consecutive_hot_reports() {
+        let mut eng: parblast_simcore::Engine<Ev> = parblast_simcore::Engine::new(0);
+        let meta = eng.add(CeftMeta::new(
+            "meta",
+            0,
+            CompId::NONE,
+            SimTime::from_micros(450),
+            SkipPolicy::default(),
+        ));
+        let hot = ServerId { group: 0, index: 1 };
+        report(&mut eng, meta, hot, 0.95);
+        assert!(eng.component::<CeftMeta>(meta).skips().is_empty());
+        report(&mut eng, meta, hot, 0.95);
+        assert_eq!(eng.component::<CeftMeta>(meta).skips(), vec![hot]);
+    }
+
+    #[test]
+    fn unskip_after_cool_streak() {
+        let mut eng: parblast_simcore::Engine<Ev> = parblast_simcore::Engine::new(0);
+        let meta = eng.add(CeftMeta::new(
+            "meta",
+            0,
+            CompId::NONE,
+            SimTime::from_micros(450),
+            SkipPolicy::default(),
+        ));
+        let hot = ServerId { group: 1, index: 0 };
+        for _ in 0..2 {
+            report(&mut eng, meta, hot, 1.0);
+        }
+        assert_eq!(eng.component::<CeftMeta>(meta).skips(), vec![hot]);
+        for _ in 0..3 {
+            report(&mut eng, meta, hot, 0.1);
+        }
+        assert!(eng.component::<CeftMeta>(meta).skips().is_empty());
+    }
+
+    #[test]
+    fn no_skip_when_partner_also_hot() {
+        let mut eng: parblast_simcore::Engine<Ev> = parblast_simcore::Engine::new(0);
+        let meta = eng.add(CeftMeta::new(
+            "meta",
+            0,
+            CompId::NONE,
+            SimTime::from_micros(450),
+            SkipPolicy::default(),
+        ));
+        let a = ServerId { group: 0, index: 2 };
+        let b = ServerId { group: 1, index: 2 };
+        // Both replicas hot: neither may be skipped.
+        for _ in 0..4 {
+            report(&mut eng, meta, a, 0.95);
+            report(&mut eng, meta, b, 0.95);
+        }
+        assert!(eng.component::<CeftMeta>(meta).skips().is_empty());
+    }
+}

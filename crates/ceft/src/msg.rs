@@ -1,0 +1,55 @@
+//! CEFT-PVFS protocol messages.
+//!
+//! The data path reuses the PVFS iod messages ([`parblast_pvfs::IodRead`]
+//! etc.); CEFT adds mirrored-layout opens, periodic load reports from the
+//! data servers, and skip-set pushes from the metadata server to clients.
+
+use parblast_simcore::CompId;
+
+use crate::group::MirroredLayout;
+
+pub use parblast_pio::layout::ServerId;
+
+/// Open request to the CEFT metadata server. Doubles as a client
+/// subscription for skip-set updates.
+#[derive(Debug, Clone)]
+pub struct CeftOpen {
+    /// Global file id.
+    pub file: u64,
+    /// Requesting component.
+    pub reply: CompId,
+    /// Requesting component's node.
+    pub reply_node: u32,
+    /// Correlation token.
+    pub token: u64,
+}
+
+/// Open response: layout plus the current skip set.
+#[derive(Debug, Clone)]
+pub struct CeftOpenResp {
+    /// Echoed token.
+    pub token: u64,
+    /// Mirrored layout of the file.
+    pub layout: MirroredLayout,
+    /// File size.
+    pub size: u64,
+    /// Servers currently marked hot (to be skipped).
+    pub skips: Vec<ServerId>,
+}
+
+/// Periodic load report from a server node's monitor to the metadata
+/// server.
+#[derive(Debug, Clone)]
+pub struct LoadReport {
+    /// Reporting server.
+    pub server: ServerId,
+    /// Disk utilization over the last heartbeat interval, `0.0..=1.0`.
+    pub utilization: f64,
+}
+
+/// Skip-set push from the metadata server to subscribed clients.
+#[derive(Debug, Clone)]
+pub struct SkipUpdate {
+    /// Servers to skip from now on.
+    pub skips: Vec<ServerId>,
+}

@@ -1,0 +1,236 @@
+//! The unified event payload exchanged between all cluster components.
+//!
+//! Hardware messages (disk, CPU, file system, network) are first-class enum
+//! variants; protocol layers built on top (PVFS, CEFT-PVFS, the simulated
+//! parallel BLAST) ship their own message structs inside [`Envelope`]s and
+//! downcast on receipt. This keeps the hardware crate ignorant of the file
+//! systems while still using one event queue.
+
+use std::any::Any;
+
+use parblast_simcore::CompId;
+
+/// Disk operation kind.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DiskOp {
+    /// Read `len` bytes.
+    Read,
+    /// Write `len` bytes.
+    Write,
+}
+
+/// Request to a [`crate::disk::Disk`] component.
+#[derive(Debug, Clone)]
+pub struct DiskReq {
+    /// Operation kind.
+    pub op: DiskOp,
+    /// Absolute position on the platter address space. Callers must give
+    /// distinct files disjoint ranges (see [`crate::localfs::file_pos`]).
+    pub pos: u64,
+    /// Transfer length in bytes.
+    pub len: u64,
+    /// Completion recipient.
+    pub reply_to: CompId,
+    /// Caller correlation token, echoed in [`DiskDone`].
+    pub tag: u64,
+}
+
+/// Disk completion notice.
+#[derive(Debug, Clone)]
+pub struct DiskDone {
+    /// Echo of the request tag.
+    pub tag: u64,
+    /// End-to-end latency (queueing + service).
+    pub latency: parblast_simcore::SimTime,
+}
+
+/// Request to a [`crate::cpu::Cpu`] component.
+#[derive(Debug)]
+pub enum CpuMsg {
+    /// Run `work` CPU-seconds; notify `reply_to` with [`Ev::CpuDone`].
+    Run {
+        /// CPU-seconds of work (a job uses at most one CPU at a time).
+        work: f64,
+        /// Completion recipient.
+        reply_to: CompId,
+        /// Correlation token.
+        tag: u64,
+    },
+    /// Add fire-and-forget background work (e.g. TCP processing).
+    Inject {
+        /// CPU-seconds of work.
+        work: f64,
+    },
+    /// Internal wake-up (stale ones are ignored via the generation counter).
+    Wake {
+        /// Generation at scheduling time.
+        generation: u64,
+    },
+}
+
+/// CPU completion notice.
+#[derive(Debug, Clone)]
+pub struct CpuDone {
+    /// Echo of the request tag.
+    pub tag: u64,
+}
+
+/// File-system operation against a node's [`crate::localfs::LocalFs`].
+#[derive(Debug)]
+pub enum FsMsg {
+    /// Buffered (page-cache) read; the FS issues read-ahead-sized disk
+    /// requests one at a time, like a faulting `mmap` reader.
+    Read {
+        /// File identifier (node-local namespace).
+        file: u64,
+        /// Byte offset.
+        offset: u64,
+        /// Byte count.
+        len: u64,
+        /// Memory-mapped access: adds the per-unit fault overhead
+        /// (`NodeParams::mmap_fault_s`). `read()`-style callers (PVFS
+        /// iods, the stressor) leave this false.
+        mmap: bool,
+        /// I/O unit override in bytes (0 = the node's read-ahead window).
+        /// PVFS iods read in stripe-sized units.
+        unit: u64,
+        /// Completion recipient.
+        reply_to: CompId,
+        /// Correlation token.
+        tag: u64,
+    },
+    /// Write; `sync` forces every unit to the platter (O_SYNC).
+    Write {
+        /// File identifier.
+        file: u64,
+        /// Byte offset.
+        offset: u64,
+        /// Byte count.
+        len: u64,
+        /// Synchronous (disk-forced) write?
+        sync: bool,
+        /// Completion recipient.
+        reply_to: CompId,
+        /// Correlation token.
+        tag: u64,
+    },
+    /// Drop cached blocks of `file` and reset its length accounting.
+    Truncate {
+        /// File identifier.
+        file: u64,
+    },
+    /// Internal: a disk unit finished.
+    UnitDone {
+        /// In-flight request this unit belongs to.
+        req: u64,
+    },
+}
+
+/// File-system completion notice.
+#[derive(Debug, Clone)]
+pub struct FsDone {
+    /// Echo of the request tag.
+    pub tag: u64,
+    /// End-to-end latency.
+    pub latency: parblast_simcore::SimTime,
+    /// Bytes that were served from the page cache.
+    pub cached_bytes: u64,
+}
+
+/// A message submitted to the [`crate::net::Network`] for delivery.
+pub struct NetSend {
+    /// Sending node index.
+    pub src_node: u32,
+    /// Receiving node index.
+    pub dst_node: u32,
+    /// Payload size on the wire.
+    pub bytes: u64,
+    /// Destination component on the receiving node.
+    pub dst: CompId,
+    /// Application payload, delivered inside an [`Envelope`].
+    pub payload: Box<dyn Any>,
+}
+
+impl std::fmt::Debug for NetSend {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("NetSend")
+            .field("src_node", &self.src_node)
+            .field("dst_node", &self.dst_node)
+            .field("bytes", &self.bytes)
+            .field("dst", &self.dst)
+            .finish_non_exhaustive()
+    }
+}
+
+/// A protocol-level message delivered to a component.
+pub struct Envelope {
+    /// Node the message originated from (`u32::MAX` for local/self sends).
+    pub src_node: u32,
+    /// Opaque payload; the receiver downcasts to its protocol type.
+    pub payload: Box<dyn Any>,
+}
+
+impl Envelope {
+    /// Wrap a payload originating locally.
+    pub fn local<T: Any>(payload: T) -> Self {
+        Envelope {
+            src_node: u32::MAX,
+            payload: Box::new(payload),
+        }
+    }
+
+    /// Downcast the payload, panicking with a useful message on mismatch.
+    pub fn expect<T: Any>(self) -> T {
+        *self
+            .payload
+            .downcast::<T>()
+            .unwrap_or_else(|_| panic!("envelope payload type mismatch"))
+    }
+}
+
+impl std::fmt::Debug for Envelope {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Envelope")
+            .field("src_node", &self.src_node)
+            .finish_non_exhaustive()
+    }
+}
+
+/// Internal disk-scheduler events (addressed to the disk itself).
+#[derive(Debug, Clone, Copy)]
+pub enum DiskCtl {
+    /// The in-service request finished.
+    Complete,
+    /// Consider dispatching the next queued request.
+    Dispatch,
+}
+
+/// The cluster-wide event type.
+#[derive(Debug)]
+pub enum Ev {
+    /// Disk request (addressed to a `Disk`).
+    Disk(DiskReq),
+    /// Disk-internal scheduler step.
+    DiskCtl(DiskCtl),
+    /// Disk completion (addressed to the requester).
+    DiskDone(DiskDone),
+    /// CPU request (addressed to a `Cpu`).
+    Cpu(CpuMsg),
+    /// CPU completion (addressed to the requester).
+    CpuDone(CpuDone),
+    /// File-system request (addressed to a `LocalFs`).
+    Fs(FsMsg),
+    /// File-system completion (addressed to the requester).
+    FsDone(FsDone),
+    /// Network send (addressed to the `Network`).
+    Net(NetSend),
+    /// Internal network pipeline step.
+    NetStage {
+        /// Stage token.
+        token: u64,
+    },
+    /// Generic timer with a caller-defined tag.
+    Timer(u64),
+    /// Protocol-level message.
+    User(Envelope),
+}

@@ -1,0 +1,262 @@
+//! Myrinet/TCP interconnect model.
+//!
+//! One [`Network`] component carries every message. Each node has a
+//! full-duplex NIC modeled as two FCFS serialization stations (transmit and
+//! receive) at the Netperf-calibrated TCP goodput; the switch itself is
+//! non-blocking. A message occupies the sender's TX station, travels one
+//! wire latency, then occupies the receiver's RX station — store-and-forward
+//! at message granularity, which pipelines to full bandwidth for streams of
+//! messages while charging ≈2×serialization to a lone message.
+//!
+//! TCP is not free on 2003 hardware: every byte costs CPU at both endpoints
+//! (47 % of one CPU at full rate, per the paper's Netperf measurement),
+//! injected into the respective node [`crate::cpu::Cpu`]s.
+
+use parblast_simcore::{CompId, Component, Ctx, SimTime, Summary};
+
+use crate::event::{CpuMsg, Envelope, Ev, NetSend};
+use crate::params::NetParams;
+
+struct Nic {
+    tx_free: SimTime,
+    rx_free: SimTime,
+    tx_bytes: u64,
+    rx_bytes: u64,
+}
+
+/// The cluster interconnect.
+pub struct Network {
+    params: NetParams,
+    nics: Vec<Nic>,
+    cpus: Vec<CompId>,
+    msgs: u64,
+    delivery_latency: Summary,
+    name: String,
+}
+
+impl Network {
+    /// New network for `nodes` nodes; `cpus[i]` receives the TCP CPU tax of
+    /// node `i` (pass an empty slice to disable the tax).
+    pub fn new(name: impl Into<String>, nodes: usize, cpus: Vec<CompId>, params: NetParams) -> Self {
+        Network {
+            params,
+            nics: (0..nodes)
+                .map(|_| Nic {
+                    tx_free: SimTime::ZERO,
+                    rx_free: SimTime::ZERO,
+                    tx_bytes: 0,
+                    rx_bytes: 0,
+                })
+                .collect(),
+            cpus,
+            msgs: 0,
+            delivery_latency: Summary::new(),
+            name: name.into(),
+        }
+    }
+
+    /// Messages carried.
+    pub fn messages(&self) -> u64 {
+        self.msgs
+    }
+
+    /// Bytes through node `i`'s NIC `(tx, rx)`.
+    pub fn nic_bytes(&self, i: usize) -> (u64, u64) {
+        (self.nics[i].tx_bytes, self.nics[i].rx_bytes)
+    }
+
+    /// End-to-end delivery latency summary.
+    pub fn latency(&self) -> &Summary {
+        &self.delivery_latency
+    }
+
+    fn tax(&self, ctx: &mut Ctx<'_, Ev>, node: u32, bytes: u64) {
+        if let Some(&cpu) = self.cpus.get(node as usize) {
+            let work = self.params.cpu_per_msg + bytes as f64 * self.params.cpu_per_byte;
+            ctx.send(cpu, Ev::Cpu(CpuMsg::Inject { work }));
+        }
+    }
+}
+
+impl Component<Ev> for Network {
+    fn on_event(&mut self, ctx: &mut Ctx<'_, Ev>, ev: Ev) {
+        let Ev::Net(NetSend {
+            src_node,
+            dst_node,
+            bytes,
+            dst,
+            payload,
+        }) = ev
+        else {
+            debug_assert!(false, "network received unexpected event");
+            return;
+        };
+        self.msgs += 1;
+        // Loopback (src == dst) is NOT free: 2003 localhost TCP still
+        // crossed the stack with per-byte copies and CPU cost. It goes
+        // through the same tx/rx stations, skipping only the wire latency.
+        let ser = SimTime::from_secs_f64(bytes as f64 / self.params.bandwidth);
+        let lat = if src_node == dst_node {
+            SimTime::from_micros(5)
+        } else {
+            SimTime::from_secs_f64(self.params.latency_s)
+        };
+
+        let tx = &mut self.nics[src_node as usize];
+        let tx_start = tx.tx_free.max(ctx.now());
+        let tx_done = tx_start + ser;
+        tx.tx_free = tx_done;
+        tx.tx_bytes += bytes;
+
+        let arrive = tx_done + lat;
+        let rx = &mut self.nics[dst_node as usize];
+        let rx_start = rx.rx_free.max(arrive);
+        let rx_done = rx_start + ser;
+        rx.rx_free = rx_done;
+        rx.rx_bytes += bytes;
+
+        self.delivery_latency
+            .record(rx_done.saturating_sub(ctx.now()).as_secs_f64());
+        self.tax(ctx, src_node, bytes);
+        self.tax(ctx, dst_node, bytes);
+        ctx.schedule_at(rx_done, dst, Ev::User(Envelope { src_node, payload }));
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::MIB;
+    use parblast_simcore::Engine;
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    #[derive(Debug, Clone, Copy, PartialEq)]
+    struct Hello(u32);
+
+    struct Sink {
+        got: Rc<RefCell<Vec<(SimTime, u32, u32)>>>,
+    }
+    impl Component<Ev> for Sink {
+        fn on_event(&mut self, ctx: &mut Ctx<'_, Ev>, ev: Ev) {
+            if let Ev::User(env) = ev {
+                let src = env.src_node;
+                let h: Hello = env.expect();
+                self.got.borrow_mut().push((ctx.now(), src, h.0));
+            }
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn send(eng: &mut Engine<Ev>, net: CompId, at: SimTime, src: u32, dst_node: u32, dst: CompId, bytes: u64, tag: u32) {
+        eng.schedule(
+            at,
+            net,
+            Ev::Net(NetSend {
+                src_node: src,
+                dst_node,
+                bytes,
+                dst,
+                payload: Box::new(Hello(tag)),
+            }),
+        );
+    }
+
+    #[test]
+    fn single_message_latency() {
+        let mut eng: Engine<Ev> = Engine::new(0);
+        let got = Rc::new(RefCell::new(vec![]));
+        let sink = eng.add(Sink { got: got.clone() });
+        let net = eng.add(Network::new("net", 2, vec![], NetParams::default()));
+        send(&mut eng, net, SimTime::ZERO, 0, 1, sink, MIB, 7);
+        eng.run();
+        let v = got.borrow();
+        assert_eq!(v.len(), 1);
+        assert_eq!((v[0].1, v[0].2), (0, 7));
+        let p = NetParams::default();
+        let expected = 2.0 * MIB as f64 / p.bandwidth + p.latency_s;
+        assert!((v[0].0.as_secs_f64() - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn streamed_messages_reach_full_bandwidth() {
+        let mut eng: Engine<Ev> = Engine::new(0);
+        let got = Rc::new(RefCell::new(vec![]));
+        let sink = eng.add(Sink { got: got.clone() });
+        let net = eng.add(Network::new("net", 2, vec![], NetParams::default()));
+        let n = 256u64;
+        for i in 0..n {
+            send(&mut eng, net, SimTime::ZERO, 0, 1, sink, MIB, i as u32);
+        }
+        eng.run();
+        let t = got.borrow().last().unwrap().0.as_secs_f64();
+        let bw = n as f64 * MIB as f64 / t / MIB as f64;
+        // Pipelined: close to 112 MiB/s despite 2× per-message serialization.
+        assert!(bw > 100.0, "bw = {bw} MiB/s");
+    }
+
+    #[test]
+    fn loopback_pays_stack_costs() {
+        // Localhost TCP in 2003 still serialized through the stack: a
+        // loopback transfer costs the same tx+rx serialization, only the
+        // wire latency is dropped.
+        let mut eng: Engine<Ev> = Engine::new(0);
+        let got = Rc::new(RefCell::new(vec![]));
+        let sink = eng.add(Sink { got: got.clone() });
+        let net = eng.add(Network::new("net", 2, vec![], NetParams::default()));
+        send(&mut eng, net, SimTime::ZERO, 1, 1, sink, 112 * MIB, 1);
+        eng.run();
+        let t = got.borrow()[0].0.as_secs_f64();
+        // ≈ 2 × 112 MiB / 112 MiB/s = 2 s.
+        assert!((t - 2.0).abs() < 0.05, "t = {t}");
+        let n = eng.component::<Network>(net);
+        assert_eq!(n.nic_bytes(1), (112 * MIB, 112 * MIB));
+    }
+
+    #[test]
+    fn concurrent_senders_share_receiver_nic() {
+        let mut eng: Engine<Ev> = Engine::new(0);
+        let got = Rc::new(RefCell::new(vec![]));
+        let sink = eng.add(Sink { got: got.clone() });
+        let net = eng.add(Network::new("net", 3, vec![], NetParams::default()));
+        // Nodes 0 and 1 each stream 64 MiB to node 2.
+        for i in 0..64u64 {
+            send(&mut eng, net, SimTime::ZERO, 0, 2, sink, MIB, i as u32);
+            send(&mut eng, net, SimTime::ZERO, 1, 2, sink, MIB, 100 + i as u32);
+        }
+        eng.run();
+        let t = got.borrow().last().unwrap().0.as_secs_f64();
+        let p = NetParams::default();
+        let min_t = 128.0 * MIB as f64 / p.bandwidth;
+        // Receiver NIC is the bottleneck: finish no earlier than 128 MiB at
+        // link rate (small tolerance for the pipelined first message).
+        assert!(t > min_t * 0.98, "t = {t}, min = {min_t}");
+    }
+
+    #[test]
+    fn tcp_tax_lands_on_cpu() {
+        use crate::cpu::Cpu;
+        let mut eng: Engine<Ev> = Engine::new(0);
+        let got = Rc::new(RefCell::new(vec![]));
+        let sink = eng.add(Sink { got: got.clone() });
+        let cpu0 = eng.add(Cpu::new("cpu0", 2.0));
+        let cpu1 = eng.add(Cpu::new("cpu1", 2.0));
+        let net = eng.add(Network::new(
+            "net",
+            2,
+            vec![cpu0, cpu1],
+            NetParams::default(),
+        ));
+        send(&mut eng, net, SimTime::ZERO, 0, 1, sink, 112 * MIB, 1);
+        eng.run();
+        let w0 = eng.component::<Cpu>(cpu0).injected_work();
+        let w1 = eng.component::<Cpu>(cpu1).injected_work();
+        // 112 MiB at 4.0e-9 s/B ≈ 0.47 s per endpoint.
+        assert!((w0 - 0.47).abs() < 0.01, "w0 = {w0}");
+        assert!((w1 - 0.47).abs() < 0.01, "w1 = {w1}");
+    }
+}

@@ -1,0 +1,195 @@
+//! The Figure 8 disk stressor.
+//!
+//! Direct transcription of the paper's pseudo-code:
+//!
+//! ```text
+//! M = allocate(1 MBytes);
+//! Create a file named F;
+//! While(1)
+//!   If (size(F) > 2 GB)  Truncate F to zero byte;
+//!   Else                 Synchronously append the data in M to the end of F;
+//! ```
+//!
+//! The synchronous append guarantees a disk access per iteration; the CPUs
+//! stay ~95 % idle (the paper verified this), so the stressor contends for
+//! the disk only.
+
+use parblast_simcore::{CompId, Component, Ctx, SimTime};
+
+use crate::event::{Ev, FsDone, FsMsg};
+use crate::params::{GIB, MIB};
+
+/// Configuration for a [`DiskStressor`].
+#[derive(Debug, Clone)]
+pub struct StressorConfig {
+    /// Node-local file id the stressor appends to.
+    pub file: u64,
+    /// Append size (paper: 1 MB).
+    pub write_size: u64,
+    /// Truncate threshold (paper: 2 GB).
+    pub file_limit: u64,
+    /// When to start stressing.
+    pub start: SimTime,
+    /// When to stop (run forever if `SimTime::MAX`).
+    pub stop: SimTime,
+}
+
+impl Default for StressorConfig {
+    fn default() -> Self {
+        StressorConfig {
+            file: u64::MAX - 1,
+            write_size: MIB,
+            file_limit: 2 * GIB,
+            start: SimTime::ZERO,
+            stop: SimTime::MAX,
+        }
+    }
+}
+
+/// Figure 8 workload component: one synchronous appender.
+pub struct DiskStressor {
+    fs: CompId,
+    cfg: StressorConfig,
+    offset: u64,
+    appends: u64,
+    truncates: u64,
+    started: bool,
+    name: String,
+}
+
+impl DiskStressor {
+    /// New stressor writing through the given `LocalFs`.
+    pub fn new(name: impl Into<String>, fs: CompId, cfg: StressorConfig) -> Self {
+        DiskStressor {
+            fs,
+            cfg,
+            offset: 0,
+            appends: 0,
+            truncates: 0,
+            started: false,
+            name: name.into(),
+        }
+    }
+
+    /// Appends completed so far.
+    pub fn appends(&self) -> u64 {
+        self.appends
+    }
+
+    /// Truncations performed so far.
+    pub fn truncates(&self) -> u64 {
+        self.truncates
+    }
+
+    fn issue(&mut self, ctx: &mut Ctx<'_, Ev>) {
+        if ctx.now() >= self.cfg.stop {
+            return;
+        }
+        if self.offset + self.cfg.write_size > self.cfg.file_limit {
+            ctx.send(self.fs, Ev::Fs(FsMsg::Truncate { file: self.cfg.file }));
+            self.offset = 0;
+            self.truncates += 1;
+        }
+        ctx.send(
+            self.fs,
+            Ev::Fs(FsMsg::Write {
+                file: self.cfg.file,
+                offset: self.offset,
+                len: self.cfg.write_size,
+                sync: true,
+                reply_to: ctx.self_id(),
+                tag: 0,
+            }),
+        );
+        self.offset += self.cfg.write_size;
+    }
+}
+
+impl Component<Ev> for DiskStressor {
+    fn on_event(&mut self, ctx: &mut Ctx<'_, Ev>, ev: Ev) {
+        match ev {
+            Ev::Timer(_)
+                if !self.started => {
+                    self.started = true;
+                    self.issue(ctx);
+                }
+            Ev::FsDone(FsDone { .. }) => {
+                self.appends += 1;
+                self.issue(ctx);
+            }
+            _ => {}
+        }
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+/// Schedule a stressor's kick-off event.
+pub fn start_stressor(eng: &mut parblast_simcore::Engine<Ev>, stressor: CompId, at: SimTime) {
+    eng.schedule(at, stressor, Ev::Timer(0));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::disk::Disk;
+    use crate::localfs::LocalFs;
+    use crate::params::{DiskParams, HwParams};
+    use parblast_simcore::Engine;
+
+    fn build() -> (Engine<Ev>, CompId, CompId, CompId) {
+        let p = HwParams::default();
+        let mut eng: Engine<Ev> = Engine::new(1);
+        let disk = eng.add(Disk::new("d0", DiskParams::default()));
+        let fs = eng.add(LocalFs::new("fs0", disk, &p.node));
+        let st = eng.add(DiskStressor::new("stress", fs, StressorConfig::default()));
+        (eng, disk, fs, st)
+    }
+
+    #[test]
+    fn saturates_the_disk_with_writes() {
+        let (mut eng, disk, _fs, st) = build();
+        start_stressor(&mut eng, st, SimTime::ZERO);
+        eng.run_until(SimTime::from_secs(30));
+        let d = eng.component::<Disk>(disk);
+        // ~32 MB/s for 30 s ≈ 960 MB written; utilization near 1.
+        let (_, written) = d.bytes();
+        assert!(written > 900 * MIB, "written = {written}");
+        assert!(d.utilization(eng.now()) > 0.95);
+    }
+
+    #[test]
+    fn truncates_at_2gb() {
+        let (mut eng, _disk, _fs, st) = build();
+        start_stressor(&mut eng, st, SimTime::ZERO);
+        // 2 GiB at 32 MB/s ≈ 64 s; run 80 s to see one truncation.
+        eng.run_until(SimTime::from_secs(80));
+        let s = eng.component::<DiskStressor>(st);
+        assert!(s.truncates() >= 1, "truncates = {}", s.truncates());
+        assert!(s.appends() > 2000);
+    }
+
+    #[test]
+    fn respects_stop_time() {
+        let p = HwParams::default();
+        let mut eng: Engine<Ev> = Engine::new(1);
+        let disk = eng.add(Disk::new("d0", DiskParams::default()));
+        let fs = eng.add(LocalFs::new("fs0", disk, &p.node));
+        let st = eng.add(DiskStressor::new(
+            "stress",
+            fs,
+            StressorConfig {
+                stop: SimTime::from_secs(5),
+                ..StressorConfig::default()
+            },
+        ));
+        start_stressor(&mut eng, st, SimTime::ZERO);
+        eng.run_until(SimTime::from_secs(60));
+        let w1 = eng.component::<Disk>(disk).bytes().1;
+        assert!(w1 < 200 * MIB, "w1 = {w1}");
+        // Queue must fully drain: the engine goes idle.
+        assert_eq!(eng.run(), parblast_simcore::RunOutcome::Drained);
+    }
+}

@@ -1,0 +1,25 @@
+//! # parblast-mpiblast
+//!
+//! The parallel BLAST layer of the workspace — mpiBLAST's master/worker
+//! database-segmentation algorithm (§2.2 of the paper), in two forms:
+//!
+//! * [`runner`] — a **real** job over OS threads: workers pull formatted
+//!   fragments through one of the three I/O [`scheme`]s (local copy /
+//!   striped / mirrored), run the real search engine, and the master
+//!   merges results by score. Every store access is recorded by the
+//!   [`trace`] instrumentation (Figure 4).
+//! * [`simblast`] — the **simulated twin** driving the calibrated cluster
+//!   models, used to regenerate the paper's timing figures (5, 6, 7, 9) at
+//!   the full 2.7 GB scale.
+
+#![warn(missing_docs)]
+
+pub mod runner;
+pub mod scheme;
+pub mod simblast;
+pub mod trace;
+
+pub use runner::{BatchOutcome, ParallelBlast, Parallelization, RunOutcome};
+pub use scheme::{Scheme, TracedSource};
+pub use simblast::{run_simblast, SimBlastConfig, SimOutcome, SimScheme, WorkerStats};
+pub use trace::{IoKind, TraceEvent, TraceSummary, Tracer};

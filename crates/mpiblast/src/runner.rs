@@ -1,0 +1,632 @@
+//! The real parallel BLAST runner: a master/worker job over OS threads.
+//!
+//! Mirrors mpiBLAST's database-segmentation algorithm (§2.2): the master
+//! hands unsearched fragments to idle workers; each worker pulls its
+//! fragment's bytes through the configured I/O scheme, runs the search
+//! engine, records small result writes, and returns hits; the master
+//! merges results by alignment score. The MPI transport is replaced by
+//! crossbeam channels — message-passing semantics are preserved.
+
+use std::io;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+use crossbeam::channel;
+use parblast_blast::{search_volume, DbStats, Hit, Program, SearchParams};
+use parblast_seqdb::Volume;
+
+use crate::scheme::{Scheme, TracedSource};
+use crate::trace::{IoKind, Tracer};
+
+/// The two parallelization approaches of §2.2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Parallelization {
+    /// mpiBLAST's approach: the database is segmented; every worker
+    /// searches one fragment with the whole query. Reads the database
+    /// once in total.
+    DatabaseSegmentation,
+    /// The older approach (WU-BLAST style): the query is split into
+    /// pieces and every worker searches the *entire* database with its
+    /// piece — "with the explosion of the database size, the first
+    /// approach becomes less attractive due to large I/O overhead" (§2.2).
+    /// `overlap` bases are repeated across piece boundaries so alignments
+    /// spanning a boundary are not lost (must exceed the expected
+    /// alignment length).
+    QuerySegmentation {
+        /// Number of query pieces (== parallel tasks).
+        pieces: usize,
+        /// Overlap between adjacent pieces, in residues.
+        overlap: usize,
+    },
+}
+
+/// A configured parallel BLAST job.
+pub struct ParallelBlast {
+    /// Which program to run (the paper uses blastn).
+    pub program: Program,
+    /// Engine parameters.
+    pub params: SearchParams,
+    /// Whole-database statistics (mpiBLAST semantics: E-values computed
+    /// against the full database even per fragment).
+    pub db: DbStats,
+    /// Fragment object names, assignment order.
+    pub fragments: Vec<String>,
+    /// Worker count.
+    pub workers: usize,
+    /// I/O scheme.
+    pub scheme: Scheme,
+    /// Trace collector (use [`Tracer::disabled`] for timing runs, as the
+    /// paper did).
+    pub tracer: Tracer,
+    /// Parallelization approach (§2.2).
+    pub parallelization: Parallelization,
+}
+
+/// Result of a run.
+#[derive(Debug)]
+pub struct RunOutcome {
+    /// Merged hits, best first.
+    pub hits: Vec<Hit>,
+    /// Wall-clock seconds (copy time *included*; see `copy_s`).
+    pub wall_s: f64,
+    /// Total fragment-copy seconds across workers (the paper subtracts
+    /// the average copy time from the original scheme's total).
+    pub copy_s: f64,
+    /// Per-fragment `(worker, search seconds)` pairs.
+    pub per_fragment: Vec<(usize, f64)>,
+}
+
+struct FragmentResult {
+    worker: usize,
+    search_s: f64,
+    hits: Vec<Hit>,
+}
+
+/// One unit of work: a fragment to search with a (sub-)query whose first
+/// residue sits at `q_offset` of the original query.
+#[derive(Debug, Clone)]
+struct Task {
+    fragment: String,
+    q_offset: usize,
+    q_len: usize,
+}
+
+/// Per-query result of a batch run.
+#[derive(Debug)]
+pub struct BatchOutcome {
+    /// Merged hits per query, in input order.
+    pub per_query: Vec<Vec<Hit>>,
+    /// Wall-clock seconds for the whole batch.
+    pub wall_s: f64,
+}
+
+impl ParallelBlast {
+    /// Run a batch of queries over the fragment set: each worker task
+    /// searches one fragment with *all* queries (one pass over the data,
+    /// the way production blastall streams query batches), so the database
+    /// is still read only once in total.
+    pub fn run_batch(&self, queries: &[Vec<u8>]) -> io::Result<BatchOutcome> {
+        let t0 = Instant::now();
+        let (task_tx, task_rx) = channel::unbounded::<String>();
+        for f in &self.fragments {
+            task_tx.send(f.clone()).expect("queue");
+        }
+        drop(task_tx);
+        let (res_tx, res_rx) =
+            channel::unbounded::<io::Result<Vec<(usize, Vec<Hit>)>>>();
+        let copy_total = AtomicU64::new(0);
+        std::thread::scope(|scope| {
+            for w in 0..self.workers.max(1) {
+                let task_rx = task_rx.clone();
+                let res_tx = res_tx.clone();
+                let tracer = self.tracer.clone();
+                let copy_total = &copy_total;
+                scope.spawn(move || {
+                    while let Ok(fragment) = task_rx.recv() {
+                        let r = (|| -> io::Result<Vec<(usize, Vec<Hit>)>> {
+                            let (reader, copy_s) =
+                                self.scheme.open_for_worker(w, &fragment)?;
+                            copy_total
+                                .fetch_add((copy_s * 1e6) as u64, Ordering::Relaxed);
+                            let mut src =
+                                TracedSource::new(reader, tracer.clone(), w as u32);
+                            // One read of the fragment serves every query.
+                            let volume = Volume::read_from(&mut src)?;
+                            Ok(queries
+                                .iter()
+                                .enumerate()
+                                .map(|(qi, q)| {
+                                    (
+                                        qi,
+                                        search_volume(
+                                            self.program,
+                                            q,
+                                            &volume,
+                                            &self.params,
+                                            self.db,
+                                        ),
+                                    )
+                                })
+                                .collect())
+                        })();
+                        if res_tx.send(r).is_err() {
+                            break;
+                        }
+                    }
+                });
+            }
+            drop(res_tx);
+            let mut per_query: Vec<Vec<Hit>> = vec![Vec::new(); queries.len()];
+            for r in res_rx {
+                for (qi, hits) in r? {
+                    per_query[qi].extend(hits);
+                }
+            }
+            for hits in &mut per_query {
+                hits.sort_by(|a, b| {
+                    a.best_evalue()
+                        .partial_cmp(&b.best_evalue())
+                        .unwrap_or(std::cmp::Ordering::Equal)
+                        .then(b.best_score().cmp(&a.best_score()))
+                        .then_with(|| a.subject_id.cmp(&b.subject_id))
+                });
+                hits.truncate(self.params.max_hits);
+            }
+            Ok(BatchOutcome {
+                per_query,
+                wall_s: t0.elapsed().as_secs_f64(),
+            })
+        })
+    }
+
+    /// Split the query into `pieces` overlapping windows (§2.2's query
+    /// segmentation). Returns `(offset, len)` windows covering the query.
+    fn query_windows(query_len: usize, pieces: usize, overlap: usize) -> Vec<(usize, usize)> {
+        let pieces = pieces.clamp(1, query_len.max(1));
+        let stride = query_len.div_ceil(pieces);
+        (0..pieces)
+            .map(|i| {
+                let start = (i * stride).saturating_sub(if i > 0 { overlap } else { 0 });
+                let end = ((i + 1) * stride).min(query_len);
+                (start, end - start)
+            })
+            .filter(|&(_, len)| len > 0)
+            .collect()
+    }
+
+    /// Run the job for one query.
+    pub fn run(&self, query: &[u8]) -> io::Result<RunOutcome> {
+        let t0 = Instant::now();
+        let tasks: Vec<Task> = match self.parallelization {
+            Parallelization::DatabaseSegmentation => self
+                .fragments
+                .iter()
+                .map(|f| Task {
+                    fragment: f.clone(),
+                    q_offset: 0,
+                    q_len: query.len(),
+                })
+                .collect(),
+            Parallelization::QuerySegmentation { pieces, overlap } => {
+                // Every piece searches every fragment: the whole database
+                // is read once *per piece* — the §2.2 I/O overhead.
+                Self::query_windows(query.len(), pieces, overlap)
+                    .into_iter()
+                    .flat_map(|(q_offset, q_len)| {
+                        self.fragments.iter().map(move |f| Task {
+                            fragment: f.clone(),
+                            q_offset,
+                            q_len,
+                        })
+                    })
+                    .collect()
+            }
+        };
+        let (task_tx, task_rx) = channel::unbounded::<Task>();
+        for t in tasks {
+            task_tx.send(t).expect("queue");
+        }
+        drop(task_tx); // workers drain until empty
+        let (res_tx, res_rx) = channel::unbounded::<io::Result<FragmentResult>>();
+        let copy_total = AtomicU64::new(0);
+
+        std::thread::scope(|scope| {
+            for w in 0..self.workers.max(1) {
+                let task_rx = task_rx.clone();
+                let res_tx = res_tx.clone();
+                let tracer = self.tracer.clone();
+                let copy_total = &copy_total;
+                scope.spawn(move || {
+                    while let Ok(task) = task_rx.recv() {
+                        let piece = &query[task.q_offset..task.q_offset + task.q_len];
+                        let r = self
+                            .search_fragment(w, &task.fragment, piece, &tracer, copy_total)
+                            .map(|mut fr| {
+                                // Map piece coordinates back onto the query.
+                                for hit in &mut fr.hits {
+                                    for h in &mut hit.hsps {
+                                        h.q_start += task.q_offset;
+                                        h.q_end += task.q_offset;
+                                    }
+                                }
+                                fr
+                            });
+                        if res_tx.send(r).is_err() {
+                            break;
+                        }
+                    }
+                });
+            }
+            drop(res_tx);
+            let mut hits: Vec<Hit> = Vec::new();
+            let mut per_fragment = Vec::new();
+            for r in res_rx {
+                let fr = r?;
+                per_fragment.push((fr.worker, fr.search_s));
+                for hit in fr.hits {
+                    // Under query segmentation the same subject can be
+                    // found by several pieces: merge HSP lists per subject.
+                    if let Some(existing) =
+                        hits.iter_mut().find(|h| h.subject_id == hit.subject_id)
+                    {
+                        for hsp in hit.hsps {
+                            let dup = existing.hsps.iter().any(|e| {
+                                e.s_start == hsp.s_start
+                                    && e.s_end == hsp.s_end
+                                    && e.q_start == hsp.q_start
+                            });
+                            if !dup {
+                                existing.hsps.push(hsp);
+                            }
+                        }
+                        existing
+                            .hsps
+                            .sort_by_key(|h| std::cmp::Reverse(h.score));
+                    } else {
+                        hits.push(hit);
+                    }
+                }
+            }
+            // Master merge: rank across fragments by E-value then score,
+            // like mpiBLAST's score-ordered merge.
+            hits.sort_by(|a, b| {
+                a.best_evalue()
+                    .partial_cmp(&b.best_evalue())
+                    .unwrap_or(std::cmp::Ordering::Equal)
+                    .then(b.best_score().cmp(&a.best_score()))
+                    // Deterministic merge regardless of fragment arrival
+                    // order: tie-break on the subject id.
+                    .then_with(|| a.subject_id.cmp(&b.subject_id))
+            });
+            hits.truncate(self.params.max_hits);
+            Ok(RunOutcome {
+                hits,
+                wall_s: t0.elapsed().as_secs_f64(),
+                copy_s: copy_total.load(Ordering::Relaxed) as f64 / 1e6,
+                per_fragment,
+            })
+        })
+    }
+
+    fn search_fragment(
+        &self,
+        worker: usize,
+        fragment: &str,
+        query: &[u8],
+        tracer: &Tracer,
+        copy_total: &AtomicU64,
+    ) -> io::Result<FragmentResult> {
+        let (reader, copy_s) = self.scheme.open_for_worker(worker, fragment)?;
+        copy_total.fetch_add((copy_s * 1e6) as u64, Ordering::Relaxed);
+        let t0 = Instant::now();
+        let mut src = TracedSource::new(reader, tracer.clone(), worker as u32);
+        let volume = Volume::read_from(&mut src)?;
+        let hits = search_volume(self.program, query, &volume, &self.params, self.db);
+        // Small result write, as instrumented in the paper's Figure 4
+        // (temporary result files of 50–778 bytes).
+        let table = parblast_blast::tabular("query", &hits);
+        let result_bytes = table.len().clamp(50, 778) as u64;
+        tracer.record(worker as u32, IoKind::Write, result_bytes);
+        Ok(FragmentResult {
+            worker,
+            search_s: t0.elapsed().as_secs_f64(),
+            hits,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parblast_seqdb::blastdb::SeqType;
+    use parblast_seqdb::{extract_query, segment_into_fragments, SyntheticConfig, SyntheticNt};
+    use std::path::{Path, PathBuf};
+
+    fn tmp(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("runner_{tag}_{}", std::process::id()));
+        std::fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    /// Build a small synthetic database split into `frags` fragments,
+    /// loaded into `scheme`; returns (fragment names, query, db stats).
+    fn setup(base: &Path, scheme: &Scheme, frags: u32) -> (Vec<String>, Vec<u8>, DbStats) {
+        let mut g = SyntheticNt::new(SyntheticConfig {
+            total_residues: 400_000,
+            seed: 77,
+            ..Default::default()
+        });
+        let mut seqs = vec![];
+        while let Some(x) = g.next() {
+            seqs.push(x);
+        }
+        let query = extract_query(&seqs[3].1, 568, 0.02, 5);
+        let db = DbStats {
+            residues: g.residues(),
+            nseq: g.sequences(),
+        };
+        let dir = base.join("fmt");
+        let infos =
+            segment_into_fragments(&dir, "nt", SeqType::Nucleotide, frags, seqs).unwrap();
+        let mut names = vec![];
+        for info in infos {
+            let bytes = std::fs::read(&info.path).unwrap();
+            let name = info.path.file_name().unwrap().to_string_lossy().into_owned();
+            scheme.load_fragment(&name, &bytes).unwrap();
+            names.push(name);
+        }
+        (names, query, db)
+    }
+
+    fn run_with(scheme: Scheme, base: &Path, workers: usize) -> RunOutcome {
+        let (fragments, query, db) = setup(base, &scheme, 4);
+        let job = ParallelBlast {
+            program: Program::Blastn,
+            params: SearchParams::blastn(),
+            db,
+            fragments,
+            workers,
+            scheme,
+            tracer: Tracer::new(),
+            parallelization: Parallelization::DatabaseSegmentation,
+        };
+        job.run(&query).unwrap()
+    }
+
+    #[test]
+    fn local_scheme_finds_planted_query() {
+        let base = tmp("local");
+        let scheme = Scheme::local_at(&base.join("io"), 2).unwrap();
+        let out = run_with(scheme, &base, 2);
+        assert!(!out.hits.is_empty(), "query must be found");
+        assert!(out.hits[0].best_evalue() < 1e-50);
+        assert!(out.copy_s > 0.0, "original scheme copies fragments");
+        assert_eq!(out.per_fragment.len(), 4);
+        std::fs::remove_dir_all(&base).ok();
+    }
+
+    #[test]
+    fn all_schemes_agree_on_results() {
+        let base = tmp("agree");
+        let l = Scheme::local_at(&base.join("l"), 2).unwrap();
+        let p = Scheme::pvfs_at(&base.join("p"), 4, 64 << 10).unwrap();
+        let c = Scheme::ceft_at(&base.join("c"), 2, 64 << 10).unwrap();
+        let ol = run_with(l, &base, 2);
+        let op = run_with(p, &base, 2);
+        let oc = run_with(c, &base, 2);
+        let key = |o: &RunOutcome| -> Vec<(String, i32)> {
+            o.hits
+                .iter()
+                .map(|h| (h.subject_id.clone(), h.best_score()))
+                .collect()
+        };
+        assert_eq!(key(&ol), key(&op), "PVFS results differ from original");
+        assert_eq!(key(&ol), key(&oc), "CEFT results differ from original");
+        std::fs::remove_dir_all(&base).ok();
+    }
+
+    #[test]
+    fn results_independent_of_worker_count() {
+        let base = tmp("workers");
+        let key = |o: &RunOutcome| -> Vec<String> {
+            o.hits.iter().map(|h| h.subject_id.clone()).collect()
+        };
+        let s1 = Scheme::local_at(&base.join("w1"), 1).unwrap();
+        let s4 = Scheme::local_at(&base.join("w4"), 4).unwrap();
+        let o1 = run_with(s1, &base, 1);
+        let o4 = run_with(s4, &base, 4);
+        assert_eq!(key(&o1), key(&o4));
+        std::fs::remove_dir_all(&base).ok();
+    }
+
+    #[test]
+    fn batch_run_matches_individual_runs() {
+        let base = tmp("batch");
+        let scheme = Scheme::local_at(&base.join("io"), 3).unwrap();
+        let (fragments, q1, db) = setup(&base, &scheme, 4);
+        // A second query from a different region.
+        let q2: Vec<u8> = q1.iter().map(|&c| (c + 1) & 3).collect();
+        let job = ParallelBlast {
+            program: Program::Blastn,
+            params: SearchParams::blastn(),
+            db,
+            fragments,
+            workers: 3,
+            scheme,
+            tracer: Tracer::disabled(),
+            parallelization: Parallelization::DatabaseSegmentation,
+        };
+        let batch = job.run_batch(&[q1.clone(), q2.clone()]).unwrap();
+        assert_eq!(batch.per_query.len(), 2);
+        let single1 = job.run(&q1).unwrap();
+        let key = |hits: &[parblast_blast::Hit]| -> Vec<(String, i32)> {
+            hits.iter()
+                .map(|h| (h.subject_id.clone(), h.best_score()))
+                .collect()
+        };
+        assert_eq!(key(&batch.per_query[0]), key(&single1.hits));
+    }
+
+    #[test]
+    fn batch_reads_database_once() {
+        let base = tmp("batch_io");
+        let scheme = Scheme::local_at(&base.join("io"), 2).unwrap();
+        let (fragments, q1, db) = setup(&base, &scheme, 4);
+        let tracer = Tracer::new();
+        let job = ParallelBlast {
+            program: Program::Blastn,
+            params: SearchParams::blastn(),
+            db,
+            fragments,
+            workers: 2,
+            scheme,
+            tracer: tracer.clone(),
+            parallelization: Parallelization::DatabaseSegmentation,
+        };
+        let queries: Vec<Vec<u8>> = (0..5).map(|_| q1.clone()).collect();
+        job.run_batch(&queries).unwrap();
+        // Read bytes ≈ one database pass, independent of the query count.
+        let read: u64 = tracer
+            .events()
+            .iter()
+            .filter(|e| e.kind == crate::trace::IoKind::Read)
+            .map(|e| e.bytes)
+            .sum();
+        let frag_total: u64 = 4 * 30_000; // loose lower bound sanity only
+        assert!(read > frag_total);
+        // Re-run with 1 query: read bytes must be identical.
+        let tracer2 = Tracer::new();
+        let job2 = ParallelBlast { tracer: tracer2.clone(), ..job };
+        job2.run_batch(&queries[..1]).unwrap();
+        let read1: u64 = tracer2
+            .events()
+            .iter()
+            .filter(|e| e.kind == crate::trace::IoKind::Read)
+            .map(|e| e.bytes)
+            .sum();
+        assert_eq!(read, read1, "batching must not re-read the database");
+        std::fs::remove_dir_all(&base).ok();
+    }
+
+    #[test]
+    fn query_windows_cover_query_with_overlap() {
+        let w = ParallelBlast::query_windows(1000, 4, 50);
+        assert_eq!(w.len(), 4);
+        assert_eq!(w[0], (0, 250));
+        // Later windows start `overlap` early.
+        assert_eq!(w[1], (200, 300));
+        assert_eq!(w.last().unwrap().0 + w.last().unwrap().1, 1000);
+        // Degenerate cases.
+        assert_eq!(ParallelBlast::query_windows(10, 1, 5), vec![(0, 10)]);
+        let tiny = ParallelBlast::query_windows(3, 10, 2);
+        let covered: usize = tiny.iter().map(|&(_, l)| l).sum();
+        assert!(covered >= 3);
+    }
+
+    #[test]
+    fn query_segmentation_finds_the_same_best_hit() {
+        let base = tmp("qseg");
+        let scheme = Scheme::local_at(&base.join("io"), 4).unwrap();
+        let (fragments, query, db) = setup(&base, &scheme, 4);
+        let mk = |parallelization| ParallelBlast {
+            program: Program::Blastn,
+            params: SearchParams::blastn(),
+            db,
+            fragments: fragments.clone(),
+            workers: 4,
+            scheme: scheme.clone(),
+            tracer: Tracer::disabled(),
+            parallelization,
+        };
+        let db_seg = mk(Parallelization::DatabaseSegmentation).run(&query).unwrap();
+        let q_seg = mk(Parallelization::QuerySegmentation {
+            pieces: 4,
+            overlap: 120,
+        })
+        .run(&query)
+        .unwrap();
+        // The planted subject is the top hit either way.
+        assert_eq!(
+            db_seg.hits[0].subject_id, q_seg.hits[0].subject_id,
+            "top hit differs"
+        );
+        // Query segmentation can only fragment alignments, not invent
+        // better ones.
+        assert!(q_seg.hits[0].best_score() <= db_seg.hits[0].best_score());
+        // But most of the alignment is still recovered by some piece.
+        assert!(
+            q_seg.hits[0].best_score() * 4 >= db_seg.hits[0].best_score(),
+            "{} vs {}",
+            q_seg.hits[0].best_score(),
+            db_seg.hits[0].best_score()
+        );
+        std::fs::remove_dir_all(&base).ok();
+    }
+
+    #[test]
+    fn query_segmentation_multiplies_io_as_the_paper_says() {
+        // §2.2: "With the explosion of the database size, the first
+        // approach becomes less attractive due to large I/O overhead."
+        let base = tmp("qseg_io");
+        let scheme = Scheme::local_at(&base.join("io"), 4).unwrap();
+        let (fragments, query, db) = setup(&base, &scheme, 4);
+        let run_with_tracer = |parallelization| {
+            let tracer = Tracer::new();
+            ParallelBlast {
+                program: Program::Blastn,
+                params: SearchParams::blastn(),
+                db,
+                fragments: fragments.clone(),
+                workers: 4,
+                scheme: scheme.clone(),
+                tracer: tracer.clone(),
+                parallelization,
+            }
+            .run(&query)
+            .unwrap();
+            tracer
+                .events()
+                .iter()
+                .filter(|e| e.kind == crate::trace::IoKind::Read)
+                .map(|e| e.bytes)
+                .sum::<u64>()
+        };
+        let db_seg_bytes = run_with_tracer(Parallelization::DatabaseSegmentation);
+        let q_seg_bytes = run_with_tracer(Parallelization::QuerySegmentation {
+            pieces: 4,
+            overlap: 120,
+        });
+        let ratio = q_seg_bytes as f64 / db_seg_bytes as f64;
+        assert!(
+            (ratio - 4.0).abs() < 0.2,
+            "4 pieces must read the database ~4x: ratio = {ratio}"
+        );
+        std::fs::remove_dir_all(&base).ok();
+    }
+
+    #[test]
+    fn trace_shape_matches_figure_4() {
+        // Read-dominated with small writes: mirrors §4.2's observation.
+        let base = tmp("fig4");
+        let scheme = Scheme::local_at(&base.join("io"), 4).unwrap();
+        let (fragments, query, db) = setup(&base, &scheme, 8);
+        let tracer = Tracer::new();
+        let job = ParallelBlast {
+            program: Program::Blastn,
+            params: SearchParams::blastn(),
+            db,
+            fragments,
+            workers: 4,
+            scheme,
+            tracer: tracer.clone(),
+            parallelization: Parallelization::DatabaseSegmentation,
+        };
+        job.run(&query).unwrap();
+        let s = tracer.summary();
+        assert!(s.read_fraction > 0.7, "reads dominate: {s:?}");
+        assert!(s.read_max > 10_000, "bulk data reads present");
+        assert!(s.write_max <= 778, "writes are small: {s:?}");
+        assert!(s.writes >= 8, "one small write per fragment");
+        std::fs::remove_dir_all(&base).ok();
+    }
+}

@@ -1,0 +1,200 @@
+//! The three I/O access schemes of the paper, as real storage backends.
+
+use std::io;
+use std::path::PathBuf;
+
+use parblast_pio::{copy_object, LocalStore, MirroredStore, ObjectReader, ObjectStore, StripedStore};
+use parblast_seqdb::ReadAt;
+
+use crate::trace::{IoKind, Tracer};
+
+/// Which I/O scheme a run uses (§3 of the paper).
+#[derive(Clone)]
+pub enum Scheme {
+    /// Original mpiBLAST: fragments live in a shared source directory and
+    /// each worker copies its assigned fragment to a private local
+    /// directory before searching it with conventional I/O.
+    Local {
+        /// Source of formatted fragments (the shared storage).
+        src: LocalStore,
+        /// Per-worker private directories ("local disks").
+        workdirs: Vec<LocalStore>,
+    },
+    /// mpiBLAST over PVFS: fragments striped across server directories,
+    /// read in place through the parallel client.
+    Pvfs(StripedStore),
+    /// mpiBLAST over CEFT-PVFS: mirrored striping with dual-half reads and
+    /// hot-spot skipping.
+    Ceft(MirroredStore),
+}
+
+impl Scheme {
+    /// Human-readable scheme name (matches the paper's labels).
+    pub fn name(&self) -> &'static str {
+        match self {
+            Scheme::Local { .. } => "original",
+            Scheme::Pvfs(_) => "over-PVFS",
+            Scheme::Ceft(_) => "over-CEFT-PVFS",
+        }
+    }
+
+    /// Prepare a fragment for `worker` and return a reader plus the copy
+    /// time in seconds (the paper measures and subtracts the copy).
+    pub fn open_for_worker(
+        &self,
+        worker: usize,
+        fragment: &str,
+    ) -> io::Result<(Box<dyn ObjectReader>, f64)> {
+        match self {
+            Scheme::Local { src, workdirs } => {
+                let wd = &workdirs[worker % workdirs.len()];
+                let t0 = std::time::Instant::now();
+                copy_object(src, wd, fragment, 1 << 20)?;
+                let copy_s = t0.elapsed().as_secs_f64();
+                Ok((wd.open(fragment)?, copy_s))
+            }
+            Scheme::Pvfs(st) => Ok((st.open(fragment)?, 0.0)),
+            Scheme::Ceft(st) => Ok((st.open(fragment)?, 0.0)),
+        }
+    }
+
+    /// Store fragments into the scheme's backing storage (setup step:
+    /// `mpiformatdb` output distributed to where the scheme expects it).
+    pub fn load_fragment(&self, fragment: &str, data: &[u8]) -> io::Result<()> {
+        match self {
+            Scheme::Local { src, .. } => src.put(fragment, data),
+            Scheme::Pvfs(st) => st.put(fragment, data),
+            Scheme::Ceft(st) => st.put(fragment, data),
+        }
+    }
+
+    /// Build a Local scheme rooted at `base` for `workers` workers.
+    pub fn local_at(base: &std::path::Path, workers: usize) -> io::Result<Scheme> {
+        let src = LocalStore::new(base.join("shared"))?;
+        let workdirs = (0..workers.max(1))
+            .map(|w| LocalStore::new(base.join(format!("worker{w}"))))
+            .collect::<io::Result<Vec<_>>>()?;
+        Ok(Scheme::Local { src, workdirs })
+    }
+
+    /// Build a PVFS scheme with `servers` directories under `base`.
+    pub fn pvfs_at(base: &std::path::Path, servers: usize, stripe: u64) -> io::Result<Scheme> {
+        let dirs: Vec<PathBuf> = (0..servers.max(1))
+            .map(|i| base.join(format!("iod{i}")))
+            .collect();
+        Ok(Scheme::Pvfs(StripedStore::new(dirs, stripe)?))
+    }
+
+    /// Build a CEFT scheme with `servers_per_group`×2 directories.
+    pub fn ceft_at(
+        base: &std::path::Path,
+        servers_per_group: usize,
+        stripe: u64,
+    ) -> io::Result<Scheme> {
+        let p: Vec<PathBuf> = (0..servers_per_group.max(1))
+            .map(|i| base.join(format!("primary{i}")))
+            .collect();
+        let m: Vec<PathBuf> = (0..servers_per_group.max(1))
+            .map(|i| base.join(format!("mirror{i}")))
+            .collect();
+        Ok(Scheme::Ceft(MirroredStore::new(p, m, stripe)?))
+    }
+}
+
+/// Adapter: a traced [`ObjectReader`] usable as a [`parblast_seqdb::ReadAt`]
+/// source for volume decoding, recording every access.
+pub struct TracedSource {
+    reader: Box<dyn ObjectReader>,
+    tracer: Tracer,
+    worker: u32,
+}
+
+impl TracedSource {
+    /// Wrap a reader.
+    pub fn new(reader: Box<dyn ObjectReader>, tracer: Tracer, worker: u32) -> Self {
+        TracedSource {
+            reader,
+            tracer,
+            worker,
+        }
+    }
+}
+
+impl ReadAt for TracedSource {
+    fn read_at(&mut self, offset: u64, buf: &mut [u8]) -> io::Result<()> {
+        self.reader.read_at(offset, buf)?;
+        self.tracer
+            .record(self.worker, IoKind::Read, buf.len() as u64);
+        Ok(())
+    }
+    fn len(&mut self) -> io::Result<u64> {
+        self.reader.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn tmp(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("scheme_{tag}_{}", std::process::id()));
+        std::fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    #[test]
+    fn all_three_schemes_round_trip() {
+        let base = tmp("rt");
+        let data: Vec<u8> = (0..200_000u32).map(|i| (i % 255) as u8).collect();
+        for scheme in [
+            Scheme::local_at(&base.join("l"), 2).unwrap(),
+            Scheme::pvfs_at(&base.join("p"), 4, 64 << 10).unwrap(),
+            Scheme::ceft_at(&base.join("c"), 2, 64 << 10).unwrap(),
+        ] {
+            scheme.load_fragment("nt.000.pdb", &data).unwrap();
+            let (mut r, copy_s) = scheme.open_for_worker(0, "nt.000.pdb").unwrap();
+            let mut buf = vec![0u8; data.len()];
+            r.read_at(0, &mut buf).unwrap();
+            assert_eq!(buf, data, "{}", scheme.name());
+            match scheme {
+                Scheme::Local { .. } => assert!(copy_s > 0.0),
+                _ => assert_eq!(copy_s, 0.0),
+            }
+        }
+        std::fs::remove_dir_all(&base).ok();
+    }
+
+    #[test]
+    fn traced_source_records_reads() {
+        let base = tmp("trace");
+        let scheme = Scheme::local_at(&base, 1).unwrap();
+        scheme.load_fragment("f", &vec![7u8; 10_000]).unwrap();
+        let (r, _) = scheme.open_for_worker(0, "f").unwrap();
+        let tracer = Tracer::new();
+        let mut src = TracedSource::new(r, tracer.clone(), 3);
+        let mut buf = vec![0u8; 4096];
+        src.read_at(100, &mut buf).unwrap();
+        src.read_at(0, &mut buf[..13]).unwrap();
+        let s = tracer.summary();
+        assert_eq!(s.reads, 2);
+        assert_eq!(s.read_min, 13);
+        assert_eq!(s.read_max, 4096);
+        std::fs::remove_dir_all(&base).ok();
+    }
+
+    #[test]
+    fn scheme_names_match_paper() {
+        let base = tmp("names");
+        assert_eq!(Scheme::local_at(&base, 1).unwrap().name(), "original");
+        assert_eq!(
+            Scheme::pvfs_at(&base, 2, 1024).unwrap().name(),
+            "over-PVFS"
+        );
+        assert_eq!(
+            Scheme::ceft_at(&base, 1, 1024).unwrap().name(),
+            "over-CEFT-PVFS"
+        );
+        std::fs::remove_dir_all(&base).ok();
+    }
+}

@@ -1,0 +1,429 @@
+//! Round-robin stripe layout (PVFS "simple striped" distribution).
+//!
+//! A file is cut into `stripe_size` pieces dealt round-robin across `N`
+//! data servers, exactly as in PVFS's default distribution with the paper's
+//! 64 KB stripe size. Each server stores its stripes back-to-back in a local
+//! file, so any logical extent maps to **one contiguous local range per
+//! server** — the property that lets a client fetch a large read with a
+//! single request per server.
+
+/// Stripe layout descriptor.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StripeLayout {
+    /// Stripe unit in bytes (paper: 64 KB).
+    pub stripe_size: u64,
+    /// Number of data servers.
+    pub servers: u32,
+}
+
+/// One server's share of a logical extent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LocalRange {
+    /// Server index within the layout (0-based).
+    pub server: u32,
+    /// Offset in the server's local file.
+    pub local_offset: u64,
+    /// Length of the contiguous local range.
+    pub len: u64,
+}
+
+impl StripeLayout {
+    /// New layout; panics on zero stripe size or zero servers.
+    pub fn new(stripe_size: u64, servers: u32) -> Self {
+        assert!(stripe_size > 0, "stripe size must be positive");
+        assert!(servers > 0, "need at least one data server");
+        StripeLayout {
+            stripe_size,
+            servers,
+        }
+    }
+
+    /// Server holding logical byte `pos`.
+    pub fn server_of(&self, pos: u64) -> u32 {
+        ((pos / self.stripe_size) % self.servers as u64) as u32
+    }
+
+    /// Local offset of logical byte `pos` within its server's file.
+    pub fn local_offset_of(&self, pos: u64) -> u64 {
+        let stripe = pos / self.stripe_size;
+        (stripe / self.servers as u64) * self.stripe_size + pos % self.stripe_size
+    }
+
+    /// The per-server contiguous ranges covering logical `[offset,
+    /// offset+len)`, in server order, omitting servers with no share.
+    pub fn map_extent(&self, offset: u64, len: u64) -> Vec<LocalRange> {
+        if len == 0 {
+            return Vec::new();
+        }
+        let s = self.stripe_size;
+        let n = self.servers as u64;
+        let end = offset + len;
+        let first_stripe = offset / s;
+        let last_stripe = (end - 1) / s;
+        let mut out = Vec::new();
+        for srv in 0..n {
+            // First covered stripe belonging to this server.
+            let k0 = first_covered(first_stripe, srv, n);
+            if k0 > last_stripe {
+                continue;
+            }
+            // Last covered stripe belonging to this server.
+            let k1 = last_stripe - (last_stripe + n - srv) % n;
+            debug_assert!(k1 >= k0 && k1 % n == srv);
+            let start_in = if k0 == first_stripe { offset % s } else { 0 };
+            let end_in = if k1 == last_stripe {
+                end - last_stripe * s
+            } else {
+                s
+            };
+            let local_start = (k0 / n) * s + start_in;
+            let local_end = (k1 / n) * s + end_in;
+            out.push(LocalRange {
+                server: srv as u32,
+                local_offset: local_start,
+                len: local_end - local_start,
+            });
+        }
+        debug_assert_eq!(out.iter().map(|r| r.len).sum::<u64>(), len);
+        out
+    }
+
+    /// Bytes of a `size`-byte file stored on `server`.
+    pub fn server_share(&self, size: u64, server: u32) -> u64 {
+        self.map_extent(0, size)
+            .into_iter()
+            .find(|r| r.server == server)
+            .map_or(0, |r| r.len)
+    }
+}
+
+/// Smallest stripe index ≥ `from` that is ≡ `srv` (mod `n`).
+fn first_covered(from: u64, srv: u64, n: u64) -> u64 {
+    from + (srv + n - from % n) % n
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_server_is_identity() {
+        let l = StripeLayout::new(64 << 10, 1);
+        let m = l.map_extent(1000, 5000);
+        assert_eq!(m.len(), 1);
+        assert_eq!(m[0].server, 0);
+        assert_eq!(m[0].local_offset, 1000);
+        assert_eq!(m[0].len, 5000);
+    }
+
+    #[test]
+    fn whole_stripes_deal_round_robin() {
+        let s = 64u64 << 10;
+        let l = StripeLayout::new(s, 4);
+        // Exactly 8 stripes: each server gets 2, locally contiguous.
+        let m = l.map_extent(0, 8 * s);
+        assert_eq!(m.len(), 4);
+        for (i, r) in m.iter().enumerate() {
+            assert_eq!(r.server, i as u32);
+            assert_eq!(r.local_offset, 0);
+            assert_eq!(r.len, 2 * s);
+        }
+    }
+
+    #[test]
+    fn sub_stripe_read_touches_one_server() {
+        let s = 64u64 << 10;
+        let l = StripeLayout::new(s, 8);
+        // 13-byte read (paper's minimum observed read) inside stripe 10.
+        let m = l.map_extent(10 * s + 100, 13);
+        assert_eq!(m.len(), 1);
+        assert_eq!(m[0].server, (10 % 8) as u32);
+        assert_eq!(m[0].local_offset, s + 100);
+        assert_eq!(m[0].len, 13);
+    }
+
+    #[test]
+    fn unaligned_extent_splits_correctly() {
+        let s = 10u64; // tiny stripes for exhaustive checking
+        let l = StripeLayout::new(s, 3);
+        // Extent [7, 42): stripes 0..=4.
+        let m = l.map_extent(7, 35);
+        let total: u64 = m.iter().map(|r| r.len).sum();
+        assert_eq!(total, 35);
+        // Cross-check byte-by-byte against server_of/local_offset_of.
+        let mut per_server = [0u64; 3];
+        for pos in 7..42u64 {
+            per_server[l.server_of(pos) as usize] += 1;
+        }
+        for r in &m {
+            assert_eq!(per_server[r.server as usize], r.len);
+        }
+    }
+
+    #[test]
+    fn byte_level_agreement_exhaustive() {
+        // For every byte, the extent map must contain it in the right
+        // server's range at the right local offset.
+        let l = StripeLayout::new(8, 5);
+        for offset in 0..64u64 {
+            for len in 1..64u64 {
+                let m = l.map_extent(offset, len);
+                assert_eq!(m.iter().map(|r| r.len).sum::<u64>(), len);
+                for pos in offset..offset + len {
+                    let srv = l.server_of(pos);
+                    let lo = l.local_offset_of(pos);
+                    let r = m.iter().find(|r| r.server == srv).unwrap();
+                    assert!(
+                        lo >= r.local_offset && lo < r.local_offset + r.len,
+                        "byte {pos} (srv {srv}, local {lo}) outside {r:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn server_share_sums_to_size() {
+        let l = StripeLayout::new(64 << 10, 7);
+        let size = 2_700_000_000u64 / 1000; // scaled nt
+        let total: u64 = (0..7).map(|srv| l.server_share(size, srv)).sum();
+        assert_eq!(total, size);
+    }
+
+    #[test]
+    fn zero_length_maps_to_nothing() {
+        let l = StripeLayout::new(64 << 10, 4);
+        assert!(l.map_extent(123, 0).is_empty());
+    }
+}
+
+
+/// Identifies one data server within a mirrored (RAID-10) deployment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ServerId {
+    /// 0 = primary group, 1 = mirror group.
+    pub group: u8,
+    /// Index within the group (== stripe layout index).
+    pub index: u32,
+}
+
+/// Mirrored stripe layout.
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MirroredLayout {
+    /// The per-group stripe layout (identical in both groups).
+    pub stripe: StripeLayout,
+}
+
+/// One server's share of a read, after mirroring and skip substitution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReadPart {
+    /// The server that will serve this part.
+    pub server: ServerId,
+    /// Local file offset on that server.
+    pub local_offset: u64,
+    /// Length.
+    pub len: u64,
+    /// True when the part was redirected away from a hot server.
+    pub redirected: bool,
+}
+
+impl MirroredLayout {
+    /// New mirrored layout over `servers` per group with `stripe_size`.
+    pub fn new(stripe_size: u64, servers: u32) -> Self {
+        MirroredLayout {
+            stripe: StripeLayout::new(stripe_size, servers),
+        }
+    }
+
+    /// Servers per group.
+    pub fn group_size(&self) -> u32 {
+        self.stripe.servers
+    }
+
+    /// The mirror partner of a server.
+    pub fn partner(&self, s: ServerId) -> ServerId {
+        ServerId {
+            group: 1 - s.group,
+            index: s.index,
+        }
+    }
+
+    /// Dual-half read schedule for logical `[offset, offset+len)`:
+    /// the first half targets `first_group`, the second half the other
+    /// group, and every server in `skips` is replaced by its partner
+    /// (unless the partner is also hot, in which case the original server
+    /// is kept — no pair may lose both replicas).
+    pub fn plan_read(
+        &self,
+        offset: u64,
+        len: u64,
+        first_group: u8,
+        skips: &[ServerId],
+    ) -> Vec<ReadPart> {
+        let half = len / 2;
+        let halves = [
+            (offset, half, first_group),
+            (offset + half, len - half, 1 - first_group),
+        ];
+        let mut out = Vec::new();
+        for &(o, l, group) in &halves {
+            if l == 0 {
+                continue;
+            }
+            for r in self.stripe.map_extent(o, l) {
+                out.push(self.place(r, group, skips));
+            }
+        }
+        out
+    }
+
+    /// Single-group plan (used for the "naive primary-only" ablation and
+    /// for writes' per-group mapping).
+    pub fn plan_single_group(
+        &self,
+        offset: u64,
+        len: u64,
+        group: u8,
+        skips: &[ServerId],
+    ) -> Vec<ReadPart> {
+        self.stripe
+            .map_extent(offset, len)
+            .into_iter()
+            .map(|r| self.place(r, group, skips))
+            .collect()
+    }
+
+    fn place(&self, r: LocalRange, group: u8, skips: &[ServerId]) -> ReadPart {
+        let mut server = ServerId {
+            group,
+            index: r.server,
+        };
+        let mut redirected = false;
+        if skips.contains(&server) {
+            let partner = self.partner(server);
+            if !skips.contains(&partner) {
+                server = partner;
+                redirected = true;
+            }
+        }
+        ReadPart {
+            server,
+            local_offset: r.local_offset,
+            len: r.len,
+            redirected,
+        }
+    }
+}
+
+#[cfg(test)]
+mod mirror_tests {
+    use super::*;
+
+    const S: u64 = 64 << 10;
+
+    fn id(group: u8, index: u32) -> ServerId {
+        ServerId { group, index }
+    }
+
+    #[test]
+    fn dual_half_uses_both_groups() {
+        let l = MirroredLayout::new(S, 4);
+        let parts = l.plan_read(0, 8 * S, 0, &[]);
+        let g0: u64 = parts
+            .iter()
+            .filter(|p| p.server.group == 0)
+            .map(|p| p.len)
+            .sum();
+        let g1: u64 = parts
+            .iter()
+            .filter(|p| p.server.group == 1)
+            .map(|p| p.len)
+            .sum();
+        assert_eq!(g0, 4 * S);
+        assert_eq!(g1, 4 * S);
+        // All 8 physical servers participate: doubled parallelism.
+        let distinct: std::collections::HashSet<_> = parts.iter().map(|p| p.server).collect();
+        assert_eq!(distinct.len(), 8);
+    }
+
+    #[test]
+    fn coverage_is_exact() {
+        let l = MirroredLayout::new(10, 3);
+        for offset in 0..40u64 {
+            for len in 1..80u64 {
+                let parts = l.plan_read(offset, len, 0, &[]);
+                let total: u64 = parts.iter().map(|p| p.len).sum();
+                assert_eq!(total, len, "offset={offset} len={len}");
+            }
+        }
+    }
+
+    #[test]
+    fn skip_redirects_to_partner() {
+        let l = MirroredLayout::new(S, 4);
+        let hot = id(0, 2);
+        let parts = l.plan_read(0, 8 * S, 0, &[hot]);
+        assert!(parts.iter().all(|p| p.server != hot));
+        // The partner picks up the redirected share on the same offsets.
+        let redirected: Vec<_> = parts
+            .iter()
+            .filter(|p| p.server == id(1, 2))
+            .collect();
+        assert!(!redirected.is_empty());
+    }
+
+    #[test]
+    fn both_partners_hot_keeps_original() {
+        let l = MirroredLayout::new(S, 2);
+        let skips = [id(0, 1), id(1, 1)];
+        let parts = l.plan_read(0, 4 * S, 0, &skips);
+        // Index-1 shares must still be served (by either replica).
+        let idx1: u64 = parts
+            .iter()
+            .filter(|p| p.server.index == 1)
+            .map(|p| p.len)
+            .sum();
+        assert_eq!(idx1, 2 * S);
+    }
+
+    #[test]
+    fn odd_length_split() {
+        let l = MirroredLayout::new(10, 2);
+        let parts = l.plan_read(0, 7, 0, &[]);
+        let total: u64 = parts.iter().map(|p| p.len).sum();
+        assert_eq!(total, 7);
+        // First half (3 B) from group 0, second half (4 B) from group 1.
+        assert_eq!(
+            parts
+                .iter()
+                .filter(|p| p.server.group == 0)
+                .map(|p| p.len)
+                .sum::<u64>(),
+            3
+        );
+    }
+
+    #[test]
+    fn partner_is_involution() {
+        let l = MirroredLayout::new(S, 4);
+        for g in 0..2u8 {
+            for i in 0..4u32 {
+                let s = id(g, i);
+                assert_eq!(l.partner(l.partner(s)), s);
+            }
+        }
+    }
+
+    #[test]
+    fn alternating_first_group_balances_halves() {
+        // Clients alternate which group serves the first half so the lower
+        // offsets don't always land on the primary group.
+        let l = MirroredLayout::new(S, 2);
+        let a = l.plan_read(0, 4 * S, 0, &[]);
+        let b = l.plan_read(0, 4 * S, 1, &[]);
+        let first_a = a.iter().find(|p| p.local_offset == 0).unwrap();
+        let first_b = b.iter().find(|p| p.local_offset == 0).unwrap();
+        assert_ne!(first_a.server.group, first_b.server.group);
+    }
+}

@@ -1,0 +1,456 @@
+//! RAID-10 mirrored store with CEFT-PVFS read semantics on real files:
+//!
+//! * writes are duplexed to a primary and a mirror group of server
+//!   directories (identical striped layout in each);
+//! * reads follow the dual-half schedule — first half of each request from
+//!   one group, second half from the other — doubling the number of
+//!   directories (disks) serving a single read;
+//! * a per-server latency monitor (EWMA over observed read times) marks
+//!   slow servers hot, and subsequent reads *skip* them, fetching the
+//!   affected ranges from the mirror partner instead — the §4.5 mechanism.
+
+use std::fs::{self, File};
+use std::io::{self, Read, Seek, SeekFrom, Write};
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Instant;
+
+use parking_lot::Mutex;
+
+use crate::layout::{MirroredLayout, ReadPart, ServerId};
+use crate::store::{ObjectReader, ObjectStore};
+
+/// Latency-based hot-spot detector shared by all readers of a store.
+#[derive(Debug)]
+pub struct HealthMonitor {
+    /// EWMA of per-byte read latency per server (seconds/byte).
+    ewma: Mutex<Vec<[f64; 2]>>,
+    /// Smoothing factor.
+    alpha: f64,
+    /// A server is hot when its EWMA exceeds `factor ×` the group median.
+    factor: f64,
+    /// Artificial per-read delays for fault injection (seconds).
+    faults: Mutex<Vec<[f64; 2]>>,
+}
+
+impl HealthMonitor {
+    /// New monitor for `n` servers per group.
+    pub fn new(n: usize) -> Self {
+        HealthMonitor {
+            ewma: Mutex::new(vec![[0.0; 2]; n]),
+            alpha: 0.3,
+            factor: 4.0,
+            faults: Mutex::new(vec![[0.0; 2]; n]),
+        }
+    }
+
+    /// Record an observed read of `bytes` taking `seconds`.
+    pub fn record(&self, s: ServerId, bytes: u64, seconds: f64) {
+        if bytes == 0 {
+            return;
+        }
+        let per_byte = seconds / bytes as f64;
+        let mut e = self.ewma.lock();
+        let slot = &mut e[s.index as usize][s.group as usize];
+        *slot = if *slot == 0.0 {
+            per_byte
+        } else {
+            (1.0 - self.alpha) * *slot + self.alpha * per_byte
+        };
+    }
+
+    /// Servers currently considered hot (skippable).
+    pub fn skips(&self) -> Vec<ServerId> {
+        let e = self.ewma.lock();
+        let mut all: Vec<f64> = e
+            .iter()
+            .flat_map(|pair| pair.iter().copied())
+            .filter(|&x| x > 0.0)
+            .collect();
+        if all.len() < 2 {
+            return Vec::new();
+        }
+        all.sort_by(f64::total_cmp);
+        let median = all[all.len() / 2];
+        if median <= 0.0 {
+            return Vec::new();
+        }
+        let mut out = Vec::new();
+        for (i, pair) in e.iter().enumerate() {
+            for (g, &v) in pair.iter().enumerate() {
+                if v > self.factor * median {
+                    out.push(ServerId {
+                        group: g as u8,
+                        index: i as u32,
+                    });
+                }
+            }
+        }
+        out
+    }
+
+    /// Inject an artificial delay on every read from `s` (fault-injection
+    /// hook standing in for a disk loaded by other applications).
+    pub fn inject_fault(&self, s: ServerId, delay_s: f64) {
+        self.faults.lock()[s.index as usize][s.group as usize] = delay_s;
+    }
+
+    fn fault_of(&self, s: ServerId) -> f64 {
+        self.faults.lock()[s.index as usize][s.group as usize]
+    }
+}
+
+/// RAID-10 mirrored store.
+#[derive(Clone)]
+pub struct MirroredStore {
+    primary: Arc<Vec<PathBuf>>,
+    mirror: Arc<Vec<PathBuf>>,
+    layout: MirroredLayout,
+    monitor: Arc<HealthMonitor>,
+}
+
+impl MirroredStore {
+    /// New mirrored store (equal-length groups; directories created).
+    pub fn new(
+        primary: Vec<PathBuf>,
+        mirror: Vec<PathBuf>,
+        stripe_size: u64,
+    ) -> io::Result<Self> {
+        assert_eq!(
+            primary.len(),
+            mirror.len(),
+            "mirror group must match primary group"
+        );
+        assert!(!primary.is_empty());
+        for d in primary.iter().chain(&mirror) {
+            fs::create_dir_all(d)?;
+        }
+        let layout = MirroredLayout::new(stripe_size, primary.len() as u32);
+        let monitor = Arc::new(HealthMonitor::new(primary.len()));
+        Ok(MirroredStore {
+            primary: Arc::new(primary),
+            mirror: Arc::new(mirror),
+            layout,
+            monitor,
+        })
+    }
+
+    /// The shared health monitor (for fault injection and inspection).
+    pub fn monitor(&self) -> Arc<HealthMonitor> {
+        Arc::clone(&self.monitor)
+    }
+
+    /// The mirrored layout.
+    pub fn layout(&self) -> &MirroredLayout {
+        &self.layout
+    }
+
+    fn dir_of(&self, s: ServerId) -> &PathBuf {
+        match s.group {
+            0 => &self.primary[s.index as usize],
+            _ => &self.mirror[s.index as usize],
+        }
+    }
+
+    fn path_of(&self, s: ServerId, name: &str) -> PathBuf {
+        self.dir_of(s).join(name)
+    }
+}
+
+impl ObjectStore for MirroredStore {
+    fn put(&self, name: &str, data: &[u8]) -> io::Result<()> {
+        // Duplex write: identical striped layout in both groups.
+        let n = self.layout.group_size() as u64;
+        let s = self.layout.stripe.stripe_size;
+        for group in 0..2u8 {
+            let mut files: Vec<File> = (0..n)
+                .map(|i| {
+                    File::create(self.path_of(
+                        ServerId {
+                            group,
+                            index: i as u32,
+                        },
+                        name,
+                    ))
+                })
+                .collect::<io::Result<_>>()?;
+            for (k, chunk) in data.chunks(s as usize).enumerate() {
+                files[(k as u64 % n) as usize].write_all(chunk)?;
+            }
+            for mut f in files {
+                f.flush()?;
+            }
+        }
+        let meta = self.path_of(ServerId { group: 0, index: 0 }, &format!("{name}.meta"));
+        fs::write(meta, data.len().to_string())
+    }
+
+    fn open(&self, name: &str) -> io::Result<Box<dyn ObjectReader>> {
+        let size = self.size(name)?;
+        Ok(Box::new(MirroredReader {
+            store: self.clone(),
+            name: name.to_string(),
+            size,
+            flip: false,
+        }))
+    }
+
+    fn size(&self, name: &str) -> io::Result<u64> {
+        let meta = self.path_of(ServerId { group: 0, index: 0 }, &format!("{name}.meta"));
+        let s = fs::read_to_string(meta)?;
+        s.trim()
+            .parse()
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, format!("bad meta: {e}")))
+    }
+
+    fn delete(&self, name: &str) -> io::Result<()> {
+        for group in 0..2u8 {
+            for i in 0..self.layout.group_size() {
+                let _ = fs::remove_file(self.path_of(ServerId { group, index: i }, name));
+            }
+        }
+        let _ = fs::remove_file(
+            self.path_of(ServerId { group: 0, index: 0 }, &format!("{name}.meta")),
+        );
+        Ok(())
+    }
+}
+
+/// Parallel mirrored reader with dual-half scheduling and skipping.
+pub struct MirroredReader {
+    store: MirroredStore,
+    name: String,
+    size: u64,
+    flip: bool,
+}
+
+impl ObjectReader for MirroredReader {
+    fn read_at(&mut self, offset: u64, buf: &mut [u8]) -> io::Result<()> {
+        let len = buf.len() as u64;
+        if offset + len > self.size {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "mirrored read past end of object",
+            ));
+        }
+        if len == 0 {
+            return Ok(());
+        }
+        let first_group = u8::from(self.flip);
+        self.flip = !self.flip;
+        let skips = self.store.monitor.skips();
+        let parts = self.store.layout.plan_read(offset, len, first_group, &skips);
+        let monitor = self.store.monitor();
+        let results: Vec<io::Result<(ReadPart, Vec<u8>)>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = parts
+                .iter()
+                .map(|p| {
+                    let path = self.store.path_of(p.server, &self.name);
+                    let part = *p;
+                    let mon = Arc::clone(&monitor);
+                    scope.spawn(move || -> io::Result<(ReadPart, Vec<u8>)> {
+                        let fault = mon.fault_of(part.server);
+                        let t0 = Instant::now();
+                        if fault > 0.0 {
+                            std::thread::sleep(std::time::Duration::from_secs_f64(fault));
+                        }
+                        let mut f = File::open(path)?;
+                        f.seek(SeekFrom::Start(part.local_offset))?;
+                        let mut out = vec![0u8; part.len as usize];
+                        f.read_exact(&mut out)?;
+                        mon.record(part.server, part.len, t0.elapsed().as_secs_f64());
+                        Ok((part, out))
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("reader thread panicked"))
+                .collect()
+        });
+        // Scatter: each part covers the stripes of one server within one
+        // half; reconstruct per part.
+        let s = self.store.layout.stripe.stripe_size;
+        let n = self.store.layout.group_size() as u64;
+        let half = len / 2;
+        let halves = [
+            (offset, half, first_group),
+            (offset + half, len - half, 1 - first_group),
+        ];
+        for res in results {
+            let (part, data) = res?;
+            // Find which half this part belongs to: by planned group
+            // (before skip substitution the part's half is determined by
+            // its local offsets intersecting the half's stripe set). The
+            // planner emits first-half parts before second-half parts and
+            // the (server.index, local range) pair is unique per half, so
+            // match on coverage.
+            let mut placed = false;
+            for &(ho, hl, _hg) in &halves {
+                if hl == 0 {
+                    continue;
+                }
+                // Does this part's local range match this half for its
+                // server index?
+                let ranges = self.store.layout.stripe.map_extent(ho, hl);
+                if let Some(r) = ranges.iter().find(|r| {
+                    r.server == part.server.index
+                        && r.local_offset == part.local_offset
+                        && r.len == part.len
+                }) {
+                    // Scatter this half's stripes of server r.server.
+                    let first_stripe = ho / s;
+                    let last_stripe = (ho + hl - 1) / s;
+                    let mut cursor = 0usize;
+                    for k in first_stripe..=last_stripe {
+                        if (k % n) as u32 != r.server {
+                            continue;
+                        }
+                        let stripe_start = k * s;
+                        let lo = ho.max(stripe_start);
+                        let hi = (ho + hl).min(stripe_start + s);
+                        let nn = (hi - lo) as usize;
+                        buf[(lo - offset) as usize..(hi - offset) as usize]
+                            .copy_from_slice(&data[cursor..cursor + nn]);
+                        cursor += nn;
+                    }
+                    debug_assert_eq!(cursor, data.len());
+                    placed = true;
+                    break;
+                }
+            }
+            if !placed {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    "read part does not match any half",
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    fn len(&mut self) -> io::Result<u64> {
+        Ok(self.size)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::read_all;
+
+    fn dirs(tag: &str, n: usize) -> (Vec<PathBuf>, Vec<PathBuf>) {
+        let mk = |g: &str| {
+            (0..n)
+                .map(|i| {
+                    std::env::temp_dir().join(format!(
+                        "pio_mirror_{tag}_{}_{g}{i}",
+                        std::process::id()
+                    ))
+                })
+                .collect::<Vec<_>>()
+        };
+        (mk("p"), mk("m"))
+    }
+
+    fn cleanup(a: &[PathBuf], b: &[PathBuf]) {
+        for d in a.iter().chain(b) {
+            fs::remove_dir_all(d).ok();
+        }
+    }
+
+    fn pattern(n: usize) -> Vec<u8> {
+        (0..n).map(|i| (i * 37 % 253) as u8).collect()
+    }
+
+    #[test]
+    fn round_trip_and_dual_half() {
+        let (p, m) = dirs("rt", 4);
+        let st = MirroredStore::new(p.clone(), m.clone(), 512).unwrap();
+        for size in [0usize, 1, 511, 512, 513, 8192, 50_000] {
+            let data = pattern(size);
+            st.put("obj", &data).unwrap();
+            assert_eq!(read_all(&st, "obj").unwrap(), data, "size {size}");
+        }
+        cleanup(&p, &m);
+    }
+
+    #[test]
+    fn both_groups_hold_full_copies() {
+        let (p, m) = dirs("dup", 2);
+        let st = MirroredStore::new(p.clone(), m.clone(), 256).unwrap();
+        let data = pattern(4096);
+        st.put("obj", &data).unwrap();
+        for (pd, md) in p.iter().zip(&m) {
+            let a = fs::read(pd.join("obj")).unwrap();
+            let b = fs::read(md.join("obj")).unwrap();
+            assert_eq!(a, b, "mirror differs from primary");
+            assert!(!a.is_empty());
+        }
+        cleanup(&p, &m);
+    }
+
+    #[test]
+    fn survives_loss_of_one_group_member_via_skip() {
+        let (p, m) = dirs("skip", 2);
+        let st = MirroredStore::new(p.clone(), m.clone(), 128).unwrap();
+        let data = pattern(10_000);
+        st.put("obj", &data).unwrap();
+        // "Stress" primary server 1: huge injected delay plus EWMA training
+        // so the monitor marks it hot.
+        let hot = ServerId { group: 0, index: 1 };
+        let mon = st.monitor();
+        mon.record(hot, 1000, 10.0); // 10 ms/B: absurdly slow
+        for i in 0..2u32 {
+            for g in 0..2u8 {
+                let s = ServerId { group: g, index: i };
+                if s != hot {
+                    mon.record(s, 1_000_000, 0.001);
+                }
+            }
+        }
+        assert_eq!(mon.skips(), vec![hot]);
+        // Now delete the hot server's file entirely: reads must still work
+        // because the plan avoids it.
+        fs::remove_file(p[1].join("obj")).unwrap();
+        assert_eq!(read_all(&st, "obj").unwrap(), data);
+        cleanup(&p, &m);
+    }
+
+    #[test]
+    fn fault_injection_triggers_skip_detection() {
+        let (p, m) = dirs("detect", 2);
+        let st = MirroredStore::new(p.clone(), m.clone(), 256).unwrap();
+        let data = pattern(64 * 1024);
+        st.put("obj", &data).unwrap();
+        let hot = ServerId { group: 0, index: 0 };
+        st.monitor().inject_fault(hot, 0.05);
+        let mut r = st.open("obj").unwrap();
+        // A few reads train the EWMA; the hot server then gets skipped.
+        let mut buf = vec![0u8; 16 * 1024];
+        for i in 0..6 {
+            r.read_at((i % 4) * 16 * 1024, &mut buf).unwrap();
+        }
+        assert!(
+            st.monitor().skips().contains(&hot),
+            "hot server not detected: {:?}",
+            st.monitor().skips()
+        );
+        // Reads still return correct data while skipping.
+        r.read_at(0, &mut buf).unwrap();
+        assert_eq!(&buf[..], &data[..16 * 1024]);
+        cleanup(&p, &m);
+    }
+
+    #[test]
+    fn delete_cleans_both_groups() {
+        let (p, m) = dirs("del", 2);
+        let st = MirroredStore::new(p.clone(), m.clone(), 256).unwrap();
+        st.put("obj", &pattern(1000)).unwrap();
+        st.delete("obj").unwrap();
+        for d in p.iter().chain(&m) {
+            assert!(!d.join("obj").exists());
+        }
+        cleanup(&p, &m);
+    }
+}

@@ -1,0 +1,300 @@
+//! RAID-0 striped store: real files dealt round-robin across N server
+//! directories, read back with one parallel reader thread per server —
+//! a working user-space analogue of PVFS's data path on a single machine
+//! (where "servers" are directories, typically on different disks or
+//! mount points in a real deployment).
+
+use std::fs::{self, File};
+use std::io::{self, Read, Seek, SeekFrom, Write};
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use crate::layout::StripeLayout;
+use crate::store::{ObjectReader, ObjectStore};
+
+/// RAID-0 store over N server directories.
+#[derive(Debug, Clone)]
+pub struct StripedStore {
+    dirs: Arc<Vec<PathBuf>>,
+    layout: StripeLayout,
+}
+
+impl StripedStore {
+    /// New store striping over `dirs` with `stripe_size` (paper: 64 KB).
+    /// Directories are created if missing.
+    pub fn new(dirs: Vec<PathBuf>, stripe_size: u64) -> io::Result<Self> {
+        assert!(!dirs.is_empty(), "need at least one server directory");
+        for d in &dirs {
+            fs::create_dir_all(d)?;
+        }
+        let layout = StripeLayout::new(stripe_size, dirs.len() as u32);
+        Ok(StripedStore {
+            dirs: Arc::new(dirs),
+            layout,
+        })
+    }
+
+    /// The stripe layout in use.
+    pub fn layout(&self) -> &StripeLayout {
+        &self.layout
+    }
+
+    /// Number of server directories.
+    pub fn servers(&self) -> usize {
+        self.dirs.len()
+    }
+
+    fn server_path(&self, server: u32, name: &str) -> PathBuf {
+        self.dirs[server as usize].join(name)
+    }
+}
+
+impl ObjectStore for StripedStore {
+    fn put(&self, name: &str, data: &[u8]) -> io::Result<()> {
+        // Each server's local file is its stripes concatenated in order.
+        let n = self.servers() as u64;
+        let s = self.layout.stripe_size;
+        let mut files: Vec<File> = (0..self.servers())
+            .map(|i| File::create(self.server_path(i as u32, name)))
+            .collect::<io::Result<_>>()?;
+        for (k, chunk) in data.chunks(s as usize).enumerate() {
+            files[(k as u64 % n) as usize].write_all(chunk)?;
+        }
+        for mut f in files {
+            f.flush()?;
+        }
+        // Record the logical size (stripe math alone cannot recover it
+        // when the last stripe is partial and groups are uneven).
+        let meta = self.server_path(0, &format!("{name}.meta"));
+        fs::write(meta, data.len().to_string())
+    }
+
+    fn open(&self, name: &str) -> io::Result<Box<dyn ObjectReader>> {
+        let size = self.size(name)?;
+        Ok(Box::new(StripedReader {
+            store: self.clone(),
+            name: name.to_string(),
+            size,
+            fault_delays: Vec::new(),
+        }))
+    }
+
+    fn size(&self, name: &str) -> io::Result<u64> {
+        let meta = self.server_path(0, &format!("{name}.meta"));
+        let s = fs::read_to_string(meta)?;
+        s.trim()
+            .parse()
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, format!("bad meta: {e}")))
+    }
+
+    fn delete(&self, name: &str) -> io::Result<()> {
+        for i in 0..self.servers() {
+            let p = self.server_path(i as u32, name);
+            match fs::remove_file(p) {
+                Ok(()) | Err(_) => {}
+            }
+        }
+        let _ = fs::remove_file(self.server_path(0, &format!("{name}.meta")));
+        Ok(())
+    }
+}
+
+/// Parallel striped reader.
+pub struct StripedReader {
+    store: StripedStore,
+    name: String,
+    size: u64,
+    /// Test/demo fault injection: artificial delay per server (seconds).
+    fault_delays: Vec<f64>,
+}
+
+impl StripedReader {
+    /// Inject an artificial per-read delay on `server` (testing hook used
+    /// by the hot-spot examples; a real deployment would see this as a
+    /// loaded disk).
+    pub fn set_fault(&mut self, server: usize, delay_s: f64) {
+        if self.fault_delays.len() < self.store.servers() {
+            self.fault_delays.resize(self.store.servers(), 0.0);
+        }
+        self.fault_delays[server] = delay_s;
+    }
+}
+
+impl ObjectReader for StripedReader {
+    fn read_at(&mut self, offset: u64, buf: &mut [u8]) -> io::Result<()> {
+        let len = buf.len() as u64;
+        if offset + len > self.size {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "striped read past end of object",
+            ));
+        }
+        if len == 0 {
+            return Ok(());
+        }
+        let ranges = self.store.layout.map_extent(offset, len);
+        // One thread per involved server, each fetching its contiguous
+        // local range; the parent scatters stripes into the output buffer.
+        let results: Vec<io::Result<(u32, Vec<u8>)>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = ranges
+                .iter()
+                .map(|r| {
+                    let path = self.store.server_path(r.server, &self.name);
+                    let (lo, ln, srv) = (r.local_offset, r.len, r.server);
+                    let delay = self
+                        .fault_delays
+                        .get(srv as usize)
+                        .copied()
+                        .unwrap_or(0.0);
+                    scope.spawn(move || -> io::Result<(u32, Vec<u8>)> {
+                        if delay > 0.0 {
+                            std::thread::sleep(std::time::Duration::from_secs_f64(delay));
+                        }
+                        let mut f = File::open(path)?;
+                        f.seek(SeekFrom::Start(lo))?;
+                        let mut out = vec![0u8; ln as usize];
+                        f.read_exact(&mut out)?;
+                        Ok((srv, out))
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("reader thread panicked"))
+                .collect()
+        });
+        // Scatter each server's contiguous local bytes back into the
+        // logical buffer stripe by stripe.
+        let s = self.store.layout.stripe_size;
+        let nsrv = self.store.servers() as u64;
+        for res in results {
+            let (srv, data) = res?;
+            let mut cursor = 0usize;
+            // Walk the stripes of [offset, offset+len) owned by srv.
+            let first_stripe = offset / s;
+            let last_stripe = (offset + len - 1) / s;
+            for k in first_stripe..=last_stripe {
+                if (k % nsrv) as u32 != srv {
+                    continue;
+                }
+                let stripe_start = k * s;
+                let lo = offset.max(stripe_start);
+                let hi = (offset + len).min(stripe_start + s);
+                let n = (hi - lo) as usize;
+                buf[(lo - offset) as usize..(hi - offset) as usize]
+                    .copy_from_slice(&data[cursor..cursor + n]);
+                cursor += n;
+            }
+            debug_assert_eq!(cursor, data.len());
+        }
+        Ok(())
+    }
+
+    fn len(&mut self) -> io::Result<u64> {
+        Ok(self.size)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::read_all;
+
+    fn dirs(tag: &str, n: usize) -> Vec<PathBuf> {
+        (0..n)
+            .map(|i| {
+                std::env::temp_dir().join(format!(
+                    "pio_striped_{tag}_{}_{i}",
+                    std::process::id()
+                ))
+            })
+            .collect()
+    }
+
+    fn cleanup(ds: &[PathBuf]) {
+        for d in ds {
+            fs::remove_dir_all(d).ok();
+        }
+    }
+
+    fn pattern(n: usize) -> Vec<u8> {
+        (0..n).map(|i| (i * 131 % 251) as u8).collect()
+    }
+
+    #[test]
+    fn round_trip_various_sizes() {
+        let ds = dirs("rt", 4);
+        let st = StripedStore::new(ds.clone(), 1024).unwrap();
+        for size in [0usize, 1, 1023, 1024, 1025, 4096, 100_000] {
+            let data = pattern(size);
+            st.put("obj", &data).unwrap();
+            assert_eq!(st.size("obj").unwrap(), size as u64);
+            assert_eq!(read_all(&st, "obj").unwrap(), data, "size {size}");
+        }
+        cleanup(&ds);
+    }
+
+    #[test]
+    fn partial_reads_at_odd_offsets() {
+        let ds = dirs("partial", 3);
+        let st = StripedStore::new(ds.clone(), 64).unwrap();
+        let data = pattern(10_000);
+        st.put("obj", &data).unwrap();
+        let mut r = st.open("obj").unwrap();
+        for (off, len) in [(0u64, 1usize), (63, 2), (64, 64), (1000, 3333), (9999, 1)] {
+            let mut buf = vec![0u8; len];
+            r.read_at(off, &mut buf).unwrap();
+            assert_eq!(&buf[..], &data[off as usize..off as usize + len]);
+        }
+        cleanup(&ds);
+    }
+
+    #[test]
+    fn stripes_land_on_all_servers() {
+        let ds = dirs("spread", 4);
+        let st = StripedStore::new(ds.clone(), 100).unwrap();
+        st.put("obj", &pattern(1000)).unwrap();
+        for (i, d) in ds.iter().enumerate() {
+            let sz = fs::metadata(d.join("obj")).unwrap().len();
+            assert!(sz > 0, "server {i} holds no data");
+        }
+        // Per-server share: 10 stripes over 4 servers → 300/300/200/200.
+        let s0 = fs::metadata(ds[0].join("obj")).unwrap().len();
+        assert_eq!(s0, 300);
+        cleanup(&ds);
+    }
+
+    #[test]
+    fn read_past_end_is_error() {
+        let ds = dirs("eof", 2);
+        let st = StripedStore::new(ds.clone(), 64).unwrap();
+        st.put("obj", &pattern(100)).unwrap();
+        let mut r = st.open("obj").unwrap();
+        let mut buf = vec![0u8; 200];
+        assert!(r.read_at(0, &mut buf).is_err());
+        cleanup(&ds);
+    }
+
+    #[test]
+    fn delete_removes_all_pieces() {
+        let ds = dirs("del", 3);
+        let st = StripedStore::new(ds.clone(), 64).unwrap();
+        st.put("obj", &pattern(1000)).unwrap();
+        st.delete("obj").unwrap();
+        assert!(st.open("obj").is_err());
+        for d in &ds {
+            assert!(!d.join("obj").exists());
+        }
+        cleanup(&ds);
+    }
+
+    #[test]
+    fn single_server_degenerates_to_local() {
+        let ds = dirs("one", 1);
+        let st = StripedStore::new(ds.clone(), 64 << 10).unwrap();
+        let data = pattern(200_000);
+        st.put("obj", &data).unwrap();
+        assert_eq!(read_all(&st, "obj").unwrap(), data);
+        cleanup(&ds);
+    }
+}

@@ -1,0 +1,348 @@
+//! PVFS client library, modeled as one component per client node.
+//!
+//! The application (a BLAST worker) sends [`ClientReq`]s; the client
+//! resolves the stripe layout (an `open` round trip to the metadata server,
+//! cached thereafter), fans one request out to every involved data server in
+//! parallel, and reports completion when the slowest server answers —
+//! exactly the read path the paper's §3 describes.
+
+use std::collections::HashMap;
+
+use parblast_hwsim::{Ev, NetSend};
+use parblast_simcore::{CompId, Component, Ctx, SimTime, Summary};
+
+use crate::meta::FileMeta;
+use crate::msg::{
+    ClientReq, ClientResp, IodRead, IodReadResp, IodWrite, IodWriteResp, MetaOpen, MetaOpenResp,
+    CTRL_BYTES,
+};
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum OpKind {
+    Read,
+    Write,
+}
+
+#[derive(Debug)]
+struct PendingOp {
+    kind: OpKind,
+    remaining: u32,
+    reply_to: CompId,
+    tag: u64,
+    started: SimTime,
+    len: u64,
+}
+
+#[derive(Debug)]
+struct PendingOpen {
+    file: u64,
+    reply_to: CompId,
+    tag: u64,
+    started: SimTime,
+}
+
+/// Address of a protocol server: `(node index, component)`.
+pub type ServerAddr = (u32, CompId);
+
+/// PVFS client component.
+pub struct PvfsClient {
+    node: u32,
+    net: CompId,
+    meta: ServerAddr,
+    iods: Vec<ServerAddr>,
+    files: HashMap<u64, FileMeta>,
+    opens: HashMap<u64, PendingOpen>,
+    ops: HashMap<u64, PendingOp>,
+    part_to_op: HashMap<u64, u64>,
+    next_op: u64,
+    read_latency: Summary,
+    bytes_read: u64,
+    bytes_written: u64,
+    name: String,
+}
+
+impl PvfsClient {
+    /// New client on `node`. `iods[i]` must be the server at layout index
+    /// `i`.
+    pub fn new(
+        name: impl Into<String>,
+        node: u32,
+        net: CompId,
+        meta: ServerAddr,
+        iods: Vec<ServerAddr>,
+    ) -> Self {
+        PvfsClient {
+            node,
+            net,
+            meta,
+            iods,
+            files: HashMap::new(),
+            opens: HashMap::new(),
+            ops: HashMap::new(),
+            part_to_op: HashMap::new(),
+            next_op: 1,
+            read_latency: Summary::new(),
+            bytes_read: 0,
+            bytes_written: 0,
+            name: name.into(),
+        }
+    }
+
+    /// `(bytes read, bytes written)` through this client.
+    pub fn bytes(&self) -> (u64, u64) {
+        (self.bytes_read, self.bytes_written)
+    }
+
+    /// Per-read latency summary.
+    pub fn read_latency(&self) -> &Summary {
+        &self.read_latency
+    }
+
+    fn send_net(&self, ctx: &mut Ctx<'_, Ev>, dst: ServerAddr, bytes: u64, payload: Box<dyn std::any::Any>) {
+        ctx.send(
+            self.net,
+            Ev::Net(NetSend {
+                src_node: self.node,
+                dst_node: dst.0,
+                bytes,
+                dst: dst.1,
+                payload,
+            }),
+        );
+    }
+
+    fn handle_req(&mut self, ctx: &mut Ctx<'_, Ev>, req: ClientReq) {
+        match req {
+            ClientReq::Open {
+                file,
+                reply_to,
+                tag,
+            } => {
+                let token = ctx.fresh_token();
+                self.opens.insert(
+                    token,
+                    PendingOpen {
+                        file,
+                        reply_to,
+                        tag,
+                        started: ctx.now(),
+                    },
+                );
+                let me = ctx.self_id();
+                let node = self.node;
+                let meta = self.meta;
+                self.send_net(
+                    ctx,
+                    meta,
+                    CTRL_BYTES,
+                    Box::new(MetaOpen {
+                        file,
+                        reply: me,
+                        reply_node: node,
+                        token,
+                    }),
+                );
+            }
+            ClientReq::Read {
+                file,
+                offset,
+                len,
+                reply_to,
+                tag,
+            } => {
+                let meta = self
+                    .files
+                    .get(&file)
+                    .unwrap_or_else(|| panic!("read of unopened file {file}"))
+                    .clone();
+                let ranges = meta.layout.map_extent(offset, len);
+                if ranges.is_empty() {
+                    ctx.send(
+                        reply_to,
+                        Ev::User(parblast_hwsim::Envelope::local(ClientResp::ReadDone {
+                            tag,
+                            latency: SimTime::ZERO,
+                            len: 0,
+                        })),
+                    );
+                    return;
+                }
+                let op = self.next_op;
+                self.next_op += 1;
+                self.ops.insert(
+                    op,
+                    PendingOp {
+                        kind: OpKind::Read,
+                        remaining: ranges.len() as u32,
+                        reply_to,
+                        tag,
+                        started: ctx.now(),
+                        len,
+                    },
+                );
+                let me = ctx.self_id();
+                let node = self.node;
+                for r in ranges {
+                    let token = ctx.fresh_token();
+                    self.part_to_op.insert(token, op);
+                    let dst = self.iods[r.server as usize];
+                    self.send_net(
+                        ctx,
+                        dst,
+                        CTRL_BYTES,
+                        Box::new(IodRead {
+                            file,
+                            offset: r.local_offset,
+                            len: r.len,
+                            reply: me,
+                            reply_node: node,
+                            token,
+                        }),
+                    );
+                }
+            }
+            ClientReq::Write {
+                file,
+                offset,
+                len,
+                reply_to,
+                tag,
+            } => {
+                let meta = self
+                    .files
+                    .get(&file)
+                    .unwrap_or_else(|| panic!("write of unopened file {file}"))
+                    .clone();
+                let ranges = meta.layout.map_extent(offset, len);
+                if ranges.is_empty() {
+                    ctx.send(
+                        reply_to,
+                        Ev::User(parblast_hwsim::Envelope::local(ClientResp::WriteDone {
+                            tag,
+                            latency: SimTime::ZERO,
+                            len: 0,
+                        })),
+                    );
+                    return;
+                }
+                let op = self.next_op;
+                self.next_op += 1;
+                self.ops.insert(
+                    op,
+                    PendingOp {
+                        kind: OpKind::Write,
+                        remaining: ranges.len() as u32,
+                        reply_to,
+                        tag,
+                        started: ctx.now(),
+                        len,
+                    },
+                );
+                let me = ctx.self_id();
+                let node = self.node;
+                for r in ranges {
+                    let token = ctx.fresh_token();
+                    self.part_to_op.insert(token, op);
+                    let dst = self.iods[r.server as usize];
+                    self.send_net(
+                        ctx,
+                        dst,
+                        r.len + CTRL_BYTES,
+                        Box::new(IodWrite {
+                            file,
+                            offset: r.local_offset,
+                            len: r.len,
+                            sync: false,
+                            reply: me,
+                            reply_node: node,
+                            token,
+                            forward_to: None,
+                            forward_sync: false,
+                        }),
+                    );
+                }
+            }
+        }
+    }
+
+    fn part_done(&mut self, ctx: &mut Ctx<'_, Ev>, token: u64) {
+        let Some(op_id) = self.part_to_op.remove(&token) else {
+            debug_assert!(false, "unknown part token");
+            return;
+        };
+        let op = self.ops.get_mut(&op_id).expect("op for part");
+        op.remaining -= 1;
+        if op.remaining > 0 {
+            return;
+        }
+        let op = self.ops.remove(&op_id).unwrap();
+        let latency = ctx.now().saturating_sub(op.started);
+        let resp = match op.kind {
+            OpKind::Read => {
+                self.bytes_read += op.len;
+                self.read_latency.record(latency.as_secs_f64());
+                ClientResp::ReadDone {
+                    tag: op.tag,
+                    latency,
+                    len: op.len,
+                }
+            }
+            OpKind::Write => {
+                self.bytes_written += op.len;
+                ClientResp::WriteDone {
+                    tag: op.tag,
+                    latency,
+                    len: op.len,
+                }
+            }
+        };
+        ctx.send(op.reply_to, Ev::User(parblast_hwsim::Envelope::local(resp)));
+    }
+}
+
+impl Component<Ev> for PvfsClient {
+    fn on_event(&mut self, ctx: &mut Ctx<'_, Ev>, ev: Ev) {
+        let Ev::User(env) = ev else {
+            return;
+        };
+        let payload = env.payload;
+        match payload.downcast::<ClientReq>() {
+            Ok(req) => self.handle_req(ctx, *req),
+            Err(other) => match other.downcast::<MetaOpenResp>() {
+                Ok(resp) => {
+                    let resp = *resp;
+                    let Some(open) = self.opens.remove(&resp.token) else {
+                        debug_assert!(false, "unknown open token");
+                        return;
+                    };
+                    self.files.insert(
+                        open.file,
+                        FileMeta {
+                            layout: resp.layout,
+                            size: resp.size,
+                        },
+                    );
+                    let latency = ctx.now().saturating_sub(open.started);
+                    ctx.send(
+                        open.reply_to,
+                        Ev::User(parblast_hwsim::Envelope::local(ClientResp::OpenDone {
+                            tag: open.tag,
+                            latency,
+                        })),
+                    );
+                }
+                Err(other) => match other.downcast::<IodReadResp>() {
+                    Ok(r) => self.part_done(ctx, r.token),
+                    Err(other) => match other.downcast::<IodWriteResp>() {
+                        Ok(w) => self.part_done(ctx, w.token),
+                        Err(_) => debug_assert!(false, "client got unknown message"),
+                    },
+                },
+            },
+        }
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+}

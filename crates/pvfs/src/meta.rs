@@ -1,0 +1,224 @@
+//! PVFS metadata server.
+//!
+//! Stores file → (layout, size) and answers `open` requests. Each request
+//! costs a fixed service time through an FCFS station — the serialization
+//! point that makes the metadata server a mild bottleneck at high client
+//! counts (one of the reasons PVFS loses to local disks at one node in
+//! Figure 5).
+
+use std::collections::HashMap;
+
+use parblast_hwsim::{Ev, NetSend};
+use parblast_simcore::{Component, Ctx, FcfsStation, SimTime};
+
+use crate::layout::StripeLayout;
+use crate::msg::{MetaOpen, MetaOpenResp, CTRL_BYTES};
+
+/// Registered file metadata.
+#[derive(Debug, Clone)]
+pub struct FileMeta {
+    /// Stripe layout.
+    pub layout: StripeLayout,
+    /// Size in bytes.
+    pub size: u64,
+}
+
+/// Metadata server component.
+pub struct MetaServer {
+    node: u32,
+    net: parblast_simcore::CompId,
+    files: HashMap<u64, FileMeta>,
+    station: FcfsStation,
+    service: SimTime,
+    opens: u64,
+    name: String,
+}
+
+impl MetaServer {
+    /// New metadata server on `node`, reachable through `net`.
+    pub fn new(
+        name: impl Into<String>,
+        node: u32,
+        net: parblast_simcore::CompId,
+        service: SimTime,
+    ) -> Self {
+        MetaServer {
+            node,
+            net,
+            files: HashMap::new(),
+            station: FcfsStation::new(SimTime::ZERO),
+            service,
+            opens: 0,
+            name: name.into(),
+        }
+    }
+
+    /// Register a file (done at experiment setup, not timed).
+    pub fn register(&mut self, file: u64, layout: StripeLayout, size: u64) {
+        self.files.insert(file, FileMeta { layout, size });
+    }
+
+    /// Look up a file's metadata.
+    pub fn lookup(&self, file: u64) -> Option<&FileMeta> {
+        self.files.get(&file)
+    }
+
+    /// Open requests served.
+    pub fn opens(&self) -> u64 {
+        self.opens
+    }
+}
+
+impl Component<Ev> for MetaServer {
+    fn on_event(&mut self, ctx: &mut Ctx<'_, Ev>, ev: Ev) {
+        let Ev::User(env) = ev else {
+            return;
+        };
+        let Ok(req) = env.payload.downcast::<MetaOpen>() else {
+            debug_assert!(false, "meta server got unknown message");
+            return;
+        };
+        let req = *req;
+        self.opens += 1;
+        let meta = self
+            .files
+            .get(&req.file)
+            .unwrap_or_else(|| panic!("open of unregistered file {}", req.file))
+            .clone();
+        let done = self.station.submit(ctx.now(), self.service);
+        let node = self.node;
+        let net = self.net;
+        ctx.schedule_at(
+            done,
+            net,
+            Ev::Net(NetSend {
+                src_node: node,
+                dst_node: req.reply_node,
+                bytes: CTRL_BYTES,
+                dst: req.reply,
+                payload: Box::new(MetaOpenResp {
+                    token: req.token,
+                    layout: meta.layout,
+                    size: meta.size,
+                }),
+            }),
+        );
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parblast_hwsim::{Cluster, HwParams};
+    use parblast_simcore::{CompId, Engine};
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    struct Opener {
+        net: CompId,
+        meta: CompId,
+        meta_node: u32,
+        got: Rc<RefCell<Vec<(SimTime, MetaOpenResp)>>>,
+    }
+    impl Component<Ev> for Opener {
+        fn on_event(&mut self, ctx: &mut Ctx<'_, Ev>, ev: Ev) {
+            match ev {
+                Ev::Timer(t) => {
+                    let me = ctx.self_id();
+                    ctx.send(
+                        self.net,
+                        Ev::Net(NetSend {
+                            src_node: 1,
+                            dst_node: self.meta_node,
+                            bytes: CTRL_BYTES,
+                            dst: self.meta,
+                            payload: Box::new(MetaOpen {
+                                file: 7,
+                                reply: me,
+                                reply_node: 1,
+                                token: t,
+                            }),
+                        }),
+                    );
+                }
+                Ev::User(env) => {
+                    let resp: MetaOpenResp = env.expect();
+                    self.got.borrow_mut().push((ctx.now(), resp));
+                }
+                _ => {}
+            }
+        }
+    }
+
+    #[test]
+    fn open_round_trip() {
+        let mut eng: Engine<Ev> = Engine::new(0);
+        let c = Cluster::build(&mut eng, 2, HwParams::default());
+        let mut meta = MetaServer::new("meta", 0, c.net, SimTime::from_micros(300));
+        meta.register(7, StripeLayout::new(64 << 10, 4), 1 << 30);
+        let meta = eng.add(meta);
+        let got = Rc::new(RefCell::new(vec![]));
+        let opener = eng.add(Opener {
+            net: c.net,
+            meta,
+            meta_node: 0,
+            got: got.clone(),
+        });
+        eng.schedule(SimTime::ZERO, opener, Ev::Timer(42));
+        eng.run();
+        let v = got.borrow();
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].1.token, 42);
+        assert_eq!(v[0].1.size, 1 << 30);
+        assert_eq!(v[0].1.layout.servers, 4);
+        // Round trip ≈ 2 × (latency + 2×ser) + service: sub-millisecond.
+        assert!(v[0].0 > SimTime::from_micros(300));
+        assert!(v[0].0 < SimTime::from_millis(5));
+    }
+
+    #[test]
+    fn concurrent_opens_serialize() {
+        let mut eng: Engine<Ev> = Engine::new(0);
+        let c = Cluster::build(&mut eng, 2, HwParams::default());
+        let mut meta = MetaServer::new("meta", 0, c.net, SimTime::from_millis(1));
+        meta.register(7, StripeLayout::new(64 << 10, 4), 1 << 30);
+        let meta = eng.add(meta);
+        let got = Rc::new(RefCell::new(vec![]));
+        let opener = eng.add(Opener {
+            net: c.net,
+            meta,
+            meta_node: 0,
+            got: got.clone(),
+        });
+        for t in 0..10 {
+            eng.schedule(SimTime::ZERO, opener, Ev::Timer(t));
+        }
+        eng.run();
+        let v = got.borrow();
+        assert_eq!(v.len(), 10);
+        // 10 × 1 ms of service must serialize: last completion ≥ 10 ms.
+        assert!(v.last().unwrap().0 >= SimTime::from_millis(10));
+        assert_eq!(eng.component::<MetaServer>(meta).opens(), 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "unregistered")]
+    fn open_unknown_file_panics() {
+        let mut eng: Engine<Ev> = Engine::new(0);
+        let c = Cluster::build(&mut eng, 2, HwParams::default());
+        let meta = eng.add(MetaServer::new("meta", 0, c.net, SimTime::from_micros(300)));
+        let got = Rc::new(RefCell::new(vec![]));
+        let opener = eng.add(Opener {
+            net: c.net,
+            meta,
+            meta_node: 0,
+            got,
+        });
+        eng.schedule(SimTime::ZERO, opener, Ev::Timer(0));
+        eng.run();
+    }
+}

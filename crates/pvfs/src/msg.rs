@@ -1,0 +1,168 @@
+//! PVFS protocol messages.
+//!
+//! These travel inside [`parblast_hwsim::Envelope`]s — over the simulated
+//! network between nodes, or as local sends between an application and its
+//! node's client component.
+
+use parblast_simcore::{CompId, SimTime};
+
+use crate::layout::StripeLayout;
+
+/// Approximate wire size of a control message (request headers, acks).
+pub const CTRL_BYTES: u64 = 128;
+
+/// Application-facing request to a PVFS client component.
+#[derive(Debug, Clone)]
+pub enum ClientReq {
+    /// Open `file`: fetches the stripe layout from the metadata server.
+    Open {
+        /// Global file id.
+        file: u64,
+        /// Completion recipient.
+        reply_to: CompId,
+        /// Correlation tag echoed in [`ClientResp`].
+        tag: u64,
+    },
+    /// Read a logical extent in parallel from all involved data servers.
+    Read {
+        /// Global file id (must be open).
+        file: u64,
+        /// Logical offset.
+        offset: u64,
+        /// Length in bytes.
+        len: u64,
+        /// Completion recipient.
+        reply_to: CompId,
+        /// Correlation tag.
+        tag: u64,
+    },
+    /// Write a logical extent (striped across the data servers).
+    Write {
+        /// Global file id (must be open).
+        file: u64,
+        /// Logical offset.
+        offset: u64,
+        /// Length in bytes.
+        len: u64,
+        /// Completion recipient.
+        reply_to: CompId,
+        /// Correlation tag.
+        tag: u64,
+    },
+}
+
+/// Application-facing completion from a PVFS client component.
+#[derive(Debug, Clone)]
+pub enum ClientResp {
+    /// Open finished.
+    OpenDone {
+        /// Echoed tag.
+        tag: u64,
+        /// End-to-end latency.
+        latency: SimTime,
+    },
+    /// Read finished (all servers delivered).
+    ReadDone {
+        /// Echoed tag.
+        tag: u64,
+        /// End-to-end latency.
+        latency: SimTime,
+        /// Bytes transferred.
+        len: u64,
+    },
+    /// Write finished (all servers acknowledged).
+    WriteDone {
+        /// Echoed tag.
+        tag: u64,
+        /// End-to-end latency.
+        latency: SimTime,
+        /// Bytes transferred.
+        len: u64,
+    },
+}
+
+/// Open request to the metadata server.
+#[derive(Debug, Clone)]
+pub struct MetaOpen {
+    /// Global file id.
+    pub file: u64,
+    /// Requesting component.
+    pub reply: CompId,
+    /// Requesting component's node (for the reply route).
+    pub reply_node: u32,
+    /// Correlation token.
+    pub token: u64,
+}
+
+/// Open response from the metadata server.
+#[derive(Debug, Clone)]
+pub struct MetaOpenResp {
+    /// Echoed token.
+    pub token: u64,
+    /// Stripe layout of the file.
+    pub layout: StripeLayout,
+    /// File size in bytes.
+    pub size: u64,
+}
+
+/// Read request to a data server (iod), in server-local coordinates.
+#[derive(Debug, Clone)]
+pub struct IodRead {
+    /// Global file id.
+    pub file: u64,
+    /// Offset within the server's local portion.
+    pub offset: u64,
+    /// Length of the contiguous local range.
+    pub len: u64,
+    /// Requesting component.
+    pub reply: CompId,
+    /// Requesting component's node.
+    pub reply_node: u32,
+    /// Correlation token.
+    pub token: u64,
+}
+
+/// Read response from a data server (carries `len` data bytes on the wire).
+#[derive(Debug, Clone)]
+pub struct IodReadResp {
+    /// Echoed token.
+    pub token: u64,
+    /// Bytes delivered.
+    pub len: u64,
+}
+
+/// Write request to a data server (carries `len` data bytes on the wire).
+#[derive(Debug, Clone)]
+pub struct IodWrite {
+    /// Global file id.
+    pub file: u64,
+    /// Offset within the server's local portion.
+    pub offset: u64,
+    /// Length of the contiguous local range.
+    pub len: u64,
+    /// Force each unit to the platter before acknowledging.
+    pub sync: bool,
+    /// Requesting component.
+    pub reply: CompId,
+    /// Requesting component's node.
+    pub reply_node: u32,
+    /// Correlation token.
+    pub token: u64,
+    /// Server-side mirroring (CEFT duplex write protocols): forward this
+    /// write to the mirror partner at `(node, component)` after the local
+    /// write.
+    pub forward_to: Option<(u32, CompId)>,
+    /// With `forward_to` set: acknowledge the client only after the mirror
+    /// acknowledges (`true`, the safe server-duplex protocol) or right
+    /// after the local write (`false`, the asynchronous protocol of [7]).
+    pub forward_sync: bool,
+}
+
+/// Write acknowledgement from a data server.
+#[derive(Debug, Clone)]
+pub struct IodWriteResp {
+    /// Echoed token.
+    pub token: u64,
+    /// Bytes written.
+    pub len: u64,
+}

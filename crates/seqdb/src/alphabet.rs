@@ -1,0 +1,191 @@
+//! Sequence alphabets and encodings.
+//!
+//! Nucleotides use the compact 2-bit code `A=0 C=1 G=2 T=3` (ambiguity
+//! codes are canonicalized before packing, as `formatdb` does for its
+//! `.nsq` files); amino acids use the NCBIstdaa-like ordinal code below.
+
+/// Nucleotide codes.
+pub const NT_A: u8 = 0;
+/// Cytosine.
+pub const NT_C: u8 = 1;
+/// Guanine.
+pub const NT_G: u8 = 2;
+/// Thymine.
+pub const NT_T: u8 = 3;
+
+/// The 24-letter protein alphabet (20 standard + B, Z, X, *), indexed by
+/// ordinal code.
+pub const AA_LETTERS: &[u8; 24] = b"ARNDCQEGHILKMFPSTWYVBZX*";
+
+/// Encode one nucleotide ASCII letter to its 2-bit code. Ambiguity codes
+/// (N, R, Y, ...) map to a deterministic canonical base so packing stays
+/// 2-bit; lowercase accepted. Returns `None` for non-nucleotide bytes.
+pub fn encode_nt(c: u8) -> Option<u8> {
+    Some(match c.to_ascii_uppercase() {
+        b'A' => NT_A,
+        b'C' => NT_C,
+        b'G' => NT_G,
+        b'T' | b'U' => NT_T,
+        // IUPAC ambiguity codes: canonicalize to their first possibility.
+        b'R' | b'D' | b'V' | b'W' | b'M' | b'H' | b'N' => NT_A,
+        b'Y' | b'B' | b'S' => NT_C,
+        b'K' => NT_G,
+        _ => return None,
+    })
+}
+
+/// Decode a 2-bit nucleotide code to its ASCII letter.
+pub fn decode_nt(code: u8) -> u8 {
+    match code & 3 {
+        NT_A => b'A',
+        NT_C => b'C',
+        NT_G => b'G',
+        _ => b'T',
+    }
+}
+
+/// Complement of a 2-bit nucleotide code.
+pub fn complement_nt(code: u8) -> u8 {
+    3 - (code & 3)
+}
+
+/// Encode one amino-acid ASCII letter to its ordinal code. Unknowns map to
+/// `X`. Returns `None` only for bytes that are clearly not residue letters.
+pub fn encode_aa(c: u8) -> Option<u8> {
+    let u = c.to_ascii_uppercase();
+    if !u.is_ascii_uppercase() && u != b'*' {
+        return None;
+    }
+    Some(match u {
+        b'A' => 0,
+        b'R' => 1,
+        b'N' => 2,
+        b'D' => 3,
+        b'C' => 4,
+        b'Q' => 5,
+        b'E' => 6,
+        b'G' => 7,
+        b'H' => 8,
+        b'I' => 9,
+        b'L' => 10,
+        b'K' => 11,
+        b'M' => 12,
+        b'F' => 13,
+        b'P' => 14,
+        b'S' => 15,
+        b'T' => 16,
+        b'W' => 17,
+        b'Y' => 18,
+        b'V' => 19,
+        b'B' => 20,
+        b'Z' => 21,
+        b'*' => 23,
+        // J, O, U, X and anything else unknown → X.
+        _ => 22,
+    })
+}
+
+/// Decode an amino-acid ordinal code to its ASCII letter.
+pub fn decode_aa(code: u8) -> u8 {
+    AA_LETTERS[(code as usize).min(23)]
+}
+
+/// Number of amino-acid codes.
+pub const AA_ALPHABET: usize = 24;
+
+/// Encode an ASCII nucleotide sequence; non-sequence bytes are skipped.
+pub fn encode_nt_seq(ascii: &[u8]) -> Vec<u8> {
+    ascii.iter().filter_map(|&c| encode_nt(c)).collect()
+}
+
+/// Encode an ASCII protein sequence; non-sequence bytes are skipped.
+pub fn encode_aa_seq(ascii: &[u8]) -> Vec<u8> {
+    ascii.iter().filter_map(|&c| encode_aa(c)).collect()
+}
+
+/// Reverse complement of a 2-bit-coded nucleotide sequence.
+pub fn reverse_complement(codes: &[u8]) -> Vec<u8> {
+    codes.iter().rev().map(|&c| complement_nt(c)).collect()
+}
+
+/// Pack 2-bit nucleotide codes, 4 per byte (big-endian within the byte,
+/// like NCBI's ncbi2na).
+pub fn pack_2bit(codes: &[u8]) -> Vec<u8> {
+    let mut out = vec![0u8; codes.len().div_ceil(4)];
+    for (i, &c) in codes.iter().enumerate() {
+        out[i / 4] |= (c & 3) << (6 - 2 * (i % 4));
+    }
+    out
+}
+
+/// Unpack `len` 2-bit nucleotide codes from packed bytes.
+pub fn unpack_2bit(packed: &[u8], len: usize) -> Vec<u8> {
+    (0..len)
+        .map(|i| (packed[i / 4] >> (6 - 2 * (i % 4))) & 3)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nt_round_trip() {
+        for (c, code) in [(b'A', 0), (b'C', 1), (b'G', 2), (b'T', 3)] {
+            assert_eq!(encode_nt(c), Some(code));
+            assert_eq!(decode_nt(code), c);
+        }
+        assert_eq!(encode_nt(b'a'), Some(0));
+        assert_eq!(encode_nt(b'u'), Some(3));
+        assert_eq!(encode_nt(b'N'), Some(0));
+        assert_eq!(encode_nt(b'-'), None);
+        assert_eq!(encode_nt(b'\n'), None);
+    }
+
+    #[test]
+    fn complement_pairs() {
+        assert_eq!(complement_nt(NT_A), NT_T);
+        assert_eq!(complement_nt(NT_T), NT_A);
+        assert_eq!(complement_nt(NT_C), NT_G);
+        assert_eq!(complement_nt(NT_G), NT_C);
+    }
+
+    #[test]
+    fn reverse_complement_involution() {
+        let seq = encode_nt_seq(b"ACGTTGCAAT");
+        assert_eq!(reverse_complement(&reverse_complement(&seq)), seq);
+        let rc = reverse_complement(&encode_nt_seq(b"ACGT"));
+        let ascii: Vec<u8> = rc.iter().map(|&c| decode_nt(c)).collect();
+        assert_eq!(ascii, b"ACGT");
+    }
+
+    #[test]
+    fn aa_round_trip() {
+        for (i, &letter) in AA_LETTERS.iter().enumerate() {
+            if letter == b'X' {
+                continue;
+            }
+            assert_eq!(encode_aa(letter), Some(i as u8), "letter {}", letter as char);
+        }
+        assert_eq!(encode_aa(b'J'), Some(22)); // unknown → X
+        assert_eq!(decode_aa(22), b'X');
+        assert_eq!(encode_aa(b'1'), None);
+    }
+
+    #[test]
+    fn pack_unpack_round_trip() {
+        for len in 0..40usize {
+            let codes: Vec<u8> = (0..len).map(|i| (i * 7 % 4) as u8).collect();
+            let packed = pack_2bit(&codes);
+            assert_eq!(packed.len(), len.div_ceil(4));
+            assert_eq!(unpack_2bit(&packed, len), codes);
+        }
+    }
+
+    #[test]
+    fn pack_layout_is_big_endian_in_byte() {
+        // A C G T → 00 01 10 11 → 0b00011011 = 0x1B.
+        let packed = pack_2bit(&[0, 1, 2, 3]);
+        assert_eq!(packed, vec![0x1B]);
+    }
+}

@@ -1,0 +1,222 @@
+//! FASTA reading and writing.
+//!
+//! Byte-oriented streaming parser (no per-line `String` allocation) that
+//! tolerates CRLF, blank lines, and wrapped sequences, as real `nt` dumps
+//! require.
+
+use std::fs::File;
+use std::io::{self, BufRead, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+/// One FASTA record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FastaRecord {
+    /// Identifier (first word of the defline).
+    pub id: String,
+    /// Rest of the defline.
+    pub desc: String,
+    /// Raw sequence letters (whitespace stripped, case preserved).
+    pub seq: Vec<u8>,
+}
+
+impl FastaRecord {
+    /// Full defline (`id desc`).
+    pub fn defline(&self) -> String {
+        if self.desc.is_empty() {
+            self.id.clone()
+        } else {
+            format!("{} {}", self.id, self.desc)
+        }
+    }
+}
+
+/// Streaming FASTA reader over any `Read`.
+pub struct FastaReader<R: Read> {
+    inner: BufReader<R>,
+    pending_defline: Option<String>,
+    line: Vec<u8>,
+}
+
+impl FastaReader<File> {
+    /// Open a FASTA file.
+    pub fn open(path: impl AsRef<Path>) -> io::Result<Self> {
+        Ok(FastaReader::new(File::open(path)?))
+    }
+}
+
+impl<R: Read> FastaReader<R> {
+    /// Wrap a reader.
+    pub fn new(r: R) -> Self {
+        FastaReader {
+            inner: BufReader::with_capacity(1 << 20, r),
+            pending_defline: None,
+            line: Vec::with_capacity(256),
+        }
+    }
+
+    fn read_line(&mut self) -> io::Result<bool> {
+        self.line.clear();
+        let n = self.inner.read_until(b'\n', &mut self.line)?;
+        while matches!(self.line.last(), Some(b'\n') | Some(b'\r')) {
+            self.line.pop();
+        }
+        Ok(n > 0)
+    }
+
+    /// Read the next record, or `None` at end of input.
+    pub fn next_record(&mut self) -> io::Result<Option<FastaRecord>> {
+        let defline = match self.pending_defline.take() {
+            Some(d) => d,
+            None => loop {
+                if !self.read_line()? {
+                    return Ok(None);
+                }
+                if self.line.first() == Some(&b'>') {
+                    break String::from_utf8_lossy(&self.line[1..]).into_owned();
+                }
+                // Skip junk before the first record (blank lines, comments).
+            },
+        };
+        let mut seq = Vec::new();
+        loop {
+            if !self.read_line()? {
+                break;
+            }
+            if self.line.first() == Some(&b'>') {
+                self.pending_defline =
+                    Some(String::from_utf8_lossy(&self.line[1..]).into_owned());
+                break;
+            }
+            seq.extend(self.line.iter().copied().filter(|c| !c.is_ascii_whitespace()));
+        }
+        let mut parts = defline.splitn(2, char::is_whitespace);
+        let id = parts.next().unwrap_or("").to_string();
+        let desc = parts.next().unwrap_or("").trim().to_string();
+        Ok(Some(FastaRecord { id, desc, seq }))
+    }
+
+    /// Collect all records (convenience for small files).
+    pub fn read_all(&mut self) -> io::Result<Vec<FastaRecord>> {
+        let mut out = Vec::new();
+        while let Some(r) = self.next_record()? {
+            out.push(r);
+        }
+        Ok(out)
+    }
+}
+
+/// Write records in FASTA format, wrapping sequences at `width` columns.
+pub struct FastaWriter<W: Write> {
+    inner: BufWriter<W>,
+    width: usize,
+}
+
+impl FastaWriter<File> {
+    /// Create a FASTA file.
+    pub fn create(path: impl AsRef<Path>) -> io::Result<Self> {
+        Ok(FastaWriter::new(File::create(path)?))
+    }
+}
+
+impl<W: Write> FastaWriter<W> {
+    /// Wrap a writer (default 70-column wrapping).
+    pub fn new(w: W) -> Self {
+        FastaWriter {
+            inner: BufWriter::with_capacity(1 << 20, w),
+            width: 70,
+        }
+    }
+
+    /// Write one record.
+    pub fn write_record(&mut self, id: &str, desc: &str, seq: &[u8]) -> io::Result<()> {
+        if desc.is_empty() {
+            writeln!(self.inner, ">{id}")?;
+        } else {
+            writeln!(self.inner, ">{id} {desc}")?;
+        }
+        for chunk in seq.chunks(self.width) {
+            self.inner.write_all(chunk)?;
+            self.inner.write_all(b"\n")?;
+        }
+        Ok(())
+    }
+
+    /// Flush buffered output.
+    pub fn finish(mut self) -> io::Result<()> {
+        self.inner.flush()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(s: &str) -> Vec<FastaRecord> {
+        FastaReader::new(s.as_bytes()).read_all().unwrap()
+    }
+
+    #[test]
+    fn parses_simple_records() {
+        let v = parse(">seq1 first record\nACGT\nACGT\n>seq2\nTTTT\n");
+        assert_eq!(v.len(), 2);
+        assert_eq!(v[0].id, "seq1");
+        assert_eq!(v[0].desc, "first record");
+        assert_eq!(v[0].seq, b"ACGTACGT");
+        assert_eq!(v[1].id, "seq2");
+        assert_eq!(v[1].desc, "");
+        assert_eq!(v[1].seq, b"TTTT");
+    }
+
+    #[test]
+    fn tolerates_crlf_and_blank_lines() {
+        let v = parse(">a x\r\nAC GT\r\n\r\nTT\r\n>b\nGG\n\n");
+        assert_eq!(v[0].seq, b"ACGTTT");
+        assert_eq!(v[1].seq, b"GG");
+    }
+
+    #[test]
+    fn empty_input_and_empty_sequence() {
+        assert!(parse("").is_empty());
+        let v = parse(">only_header\n>next\nAC\n");
+        assert_eq!(v.len(), 2);
+        assert!(v[0].seq.is_empty());
+        assert_eq!(v[1].seq, b"AC");
+    }
+
+    #[test]
+    fn skips_leading_junk() {
+        let v = parse("; comment\n\n>x\nACGT\n");
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].id, "x");
+    }
+
+    #[test]
+    fn round_trip_through_writer() {
+        let mut buf = Vec::new();
+        {
+            let mut w = FastaWriter::new(&mut buf);
+            w.write_record("id1", "some desc", b"ACGTACGTACGT").unwrap();
+            w.write_record("id2", "", b"TT").unwrap();
+            w.finish().unwrap();
+        }
+        let v = FastaReader::new(&buf[..]).read_all().unwrap();
+        assert_eq!(v.len(), 2);
+        assert_eq!(v[0].id, "id1");
+        assert_eq!(v[0].desc, "some desc");
+        assert_eq!(v[0].seq, b"ACGTACGTACGT");
+        assert_eq!(v[1].defline(), "id2");
+    }
+
+    #[test]
+    fn wrapping_respects_width() {
+        let mut buf = Vec::new();
+        {
+            let mut w = FastaWriter::new(&mut buf);
+            w.width = 4;
+            w.write_record("x", "", b"ACGTACGTAC").unwrap();
+            w.finish().unwrap();
+        }
+        let text = String::from_utf8(buf).unwrap();
+        assert_eq!(text, ">x\nACGT\nACGT\nAC\n");
+    }
+}

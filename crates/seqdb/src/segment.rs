@@ -1,0 +1,164 @@
+//! Database segmentation (the `mpiformatdb` substrate).
+//!
+//! mpiBLAST's database-segmentation approach splits the formatted database
+//! into F fragments of near-equal residue counts so each worker searches a
+//! similar amount of data. We do the same at format time: sequences are
+//! dealt to the currently-lightest fragment (greedy balancing), each
+//! fragment becoming one volume file `<name>.NNN.pdb`.
+
+use std::io;
+use std::path::{Path, PathBuf};
+
+use crate::blastdb::{SeqType, VolumeWriter};
+
+/// Description of one written fragment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FragmentInfo {
+    /// Fragment index.
+    pub index: u32,
+    /// Volume file path.
+    pub path: PathBuf,
+    /// Sequences in this fragment.
+    pub nseq: u64,
+    /// Residues in this fragment.
+    pub residues: u64,
+    /// File size in bytes.
+    pub bytes: u64,
+}
+
+/// Fragment file name for `(name, index)`.
+pub fn fragment_path(dir: &Path, name: &str, index: u32) -> PathBuf {
+    dir.join(format!("{name}.{index:03}.pdb"))
+}
+
+/// Split a stream of `(defline, codes)` sequences into `fragments`
+/// balanced volumes under `dir`.
+pub fn segment_into_fragments<I>(
+    dir: &Path,
+    name: &str,
+    seq_type: SeqType,
+    fragments: u32,
+    seqs: I,
+) -> io::Result<Vec<FragmentInfo>>
+where
+    I: IntoIterator<Item = (String, Vec<u8>)>,
+{
+    assert!(fragments > 0, "need at least one fragment");
+    std::fs::create_dir_all(dir)?;
+    let mut writers: Vec<VolumeWriter<std::fs::File>> = (0..fragments)
+        .map(|i| VolumeWriter::create(fragment_path(dir, name, i), seq_type))
+        .collect::<io::Result<_>>()?;
+    let mut loads = vec![0u64; fragments as usize];
+    for (defline, codes) in seqs {
+        // Greedy: lightest fragment takes the next sequence.
+        let (idx, _) = loads
+            .iter()
+            .enumerate()
+            .min_by_key(|&(_, &l)| l)
+            .expect("at least one fragment");
+        writers[idx].add_codes(&defline, &codes)?;
+        loads[idx] += codes.len() as u64;
+    }
+    let mut out = Vec::with_capacity(fragments as usize);
+    for (i, w) in writers.into_iter().enumerate() {
+        let (nseq, residues, bytes) = w.finish()?;
+        out.push(FragmentInfo {
+            index: i as u32,
+            path: fragment_path(dir, name, i as u32),
+            nseq,
+            residues,
+            bytes,
+        });
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::blastdb::Volume;
+    use crate::synthetic::{SyntheticConfig, SyntheticNt};
+    use std::fs::File;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("seg_{tag}_{}", std::process::id()));
+        std::fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    fn gen_seqs(total: u64) -> Vec<(String, Vec<u8>)> {
+        let mut g = SyntheticNt::new(SyntheticConfig {
+            total_residues: total,
+            ..Default::default()
+        });
+        let mut v = vec![];
+        while let Some(x) = g.next() {
+            v.push(x);
+        }
+        v
+    }
+
+    #[test]
+    fn fragments_are_balanced() {
+        let dir = tmpdir("balance");
+        let seqs = gen_seqs(400_000);
+        let longest = seqs.iter().map(|(_, c)| c.len() as u64).max().unwrap();
+        let frags = segment_into_fragments(&dir, "nt", SeqType::Nucleotide, 8, seqs).unwrap();
+        assert_eq!(frags.len(), 8);
+        let min = frags.iter().map(|f| f.residues).min().unwrap();
+        let max = frags.iter().map(|f| f.residues).max().unwrap();
+        // Greedy min-load guarantee: spread bounded by the longest sequence.
+        assert!(
+            max - min <= longest,
+            "imbalance {min}..{max} exceeds longest sequence {longest}"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn no_sequence_lost_or_duplicated() {
+        let dir = tmpdir("conserve");
+        let seqs = gen_seqs(120_000);
+        let total_in: u64 = seqs.iter().map(|(_, c)| c.len() as u64).sum();
+        let n_in = seqs.len() as u64;
+        let frags = segment_into_fragments(&dir, "nt", SeqType::Nucleotide, 5, seqs).unwrap();
+        let n_out: u64 = frags.iter().map(|f| f.nseq).sum();
+        let total_out: u64 = frags.iter().map(|f| f.residues).sum();
+        assert_eq!(n_in, n_out);
+        assert_eq!(total_in, total_out);
+        // Deflines must be unique across fragments.
+        let mut ids = std::collections::HashSet::new();
+        for f in &frags {
+            let mut file = File::open(&f.path).unwrap();
+            let v = Volume::read_from(&mut file).unwrap();
+            for s in &v.sequences {
+                assert!(ids.insert(s.defline.clone()), "dup {}", s.defline);
+            }
+        }
+        assert_eq!(ids.len() as u64, n_in);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn single_fragment_keeps_order() {
+        let dir = tmpdir("single");
+        let seqs = vec![
+            ("a".to_string(), vec![0u8, 1, 2, 3]),
+            ("b".to_string(), vec![3u8, 2]),
+        ];
+        let frags =
+            segment_into_fragments(&dir, "db", SeqType::Nucleotide, 1, seqs).unwrap();
+        assert_eq!(frags.len(), 1);
+        let mut f = File::open(&frags[0].path).unwrap();
+        let v = Volume::read_from(&mut f).unwrap();
+        assert_eq!(v.sequences[0].defline, "a");
+        assert_eq!(v.sequences[1].defline, "b");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn fragment_paths_are_stable() {
+        let p = fragment_path(Path::new("/x"), "nt", 7);
+        assert_eq!(p, PathBuf::from("/x/nt.007.pdb"));
+    }
+}

@@ -1,0 +1,280 @@
+//! Synthetic `nt`-like database generation.
+//!
+//! The paper uses NCBI's `nt` (1.76 M sequences, 2.7 GB ≈ mean 1.5 kb per
+//! entry) — unavailable here, so we synthesize databases with the same
+//! statistics at a configurable scale: lognormal sequence lengths with a
+//! heavy right tail, first-order Markov base composition (so local repeats
+//! and word hits occur at realistic rates), and NCBI-style deflines.
+//!
+//! Queries are drawn the way the paper drew its 568-nt query from
+//! `ecoli.nt`: a window cut from a database sequence, optionally mutated,
+//! so that searches actually find alignments.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use crate::alphabet::decode_nt;
+
+/// Statistics of the generated database.
+#[derive(Debug, Clone)]
+pub struct SyntheticConfig {
+    /// Target total residues (the "2.7 GB" knob, scaled).
+    pub total_residues: u64,
+    /// Mean sequence length (nt's ≈ 1534).
+    pub mean_len: f64,
+    /// Coefficient of variation of the length distribution.
+    pub len_cv: f64,
+    /// Minimum sequence length.
+    pub min_len: usize,
+    /// GC content, `0.0..=1.0`.
+    pub gc: f64,
+    /// First-order Markov "stickiness": probability that the next base
+    /// repeats the previous one (0.25 = i.i.d. uniform-ish).
+    pub repeat_bias: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for SyntheticConfig {
+    fn default() -> Self {
+        SyntheticConfig {
+            total_residues: 16 << 20,
+            mean_len: 1534.0,
+            len_cv: 1.8,
+            min_len: 60,
+            gc: 0.5,
+            repeat_bias: 0.3,
+            seed: 42,
+        }
+    }
+}
+
+/// Generator state.
+pub struct SyntheticNt {
+    cfg: SyntheticConfig,
+    rng: StdRng,
+    emitted: u64,
+    count: u64,
+}
+
+impl SyntheticNt {
+    /// New generator.
+    pub fn new(cfg: SyntheticConfig) -> Self {
+        let rng = StdRng::seed_from_u64(cfg.seed);
+        SyntheticNt {
+            cfg,
+            rng,
+            emitted: 0,
+            count: 0,
+        }
+    }
+
+    fn sample_len(&mut self) -> usize {
+        let mean = self.cfg.mean_len;
+        let cv = self.cfg.len_cv;
+        let sigma2 = (1.0 + cv * cv).ln();
+        let mu = mean.ln() - sigma2 / 2.0;
+        let z: f64 = {
+            let u1: f64 = 1.0 - self.rng.random::<f64>();
+            let u2: f64 = self.rng.random();
+            (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+        };
+        let len = (mu + sigma2.sqrt() * z).exp();
+        (len as usize).max(self.cfg.min_len)
+    }
+
+    fn sample_seq(&mut self, len: usize) -> Vec<u8> {
+        let gc = self.cfg.gc;
+        let bias = self.cfg.repeat_bias;
+        // Base probabilities honoring GC content: A,T share (1-gc), C,G share gc.
+        let probs = [(1.0 - gc) / 2.0, gc / 2.0, gc / 2.0, (1.0 - gc) / 2.0];
+        let mut out = Vec::with_capacity(len);
+        let mut prev = 0u8;
+        for i in 0..len {
+            let c = if i > 0 && self.rng.random::<f64>() < bias {
+                prev
+            } else {
+                let x: f64 = self.rng.random();
+                let mut acc = 0.0;
+                let mut pick = 3u8;
+                for (b, &p) in probs.iter().enumerate() {
+                    acc += p;
+                    if x < acc {
+                        pick = b as u8;
+                        break;
+                    }
+                }
+                pick
+            };
+            out.push(c);
+            prev = c;
+        }
+        out
+    }
+
+    /// Next sequence as `(defline, 2-bit codes)`, or `None` once the total
+    /// residue budget is spent.
+    #[allow(clippy::should_implement_trait)]
+    pub fn next(&mut self) -> Option<(String, Vec<u8>)> {
+        if self.emitted >= self.cfg.total_residues {
+            return None;
+        }
+        let len = self
+            .sample_len()
+            .min((self.cfg.total_residues - self.emitted) as usize)
+            .max(self.cfg.min_len);
+        let codes = self.sample_seq(len);
+        self.count += 1;
+        self.emitted += len as u64;
+        let gi = 10_000_000 + self.count;
+        let defline = format!(
+            "gi|{gi}|snt|SNT{:08}.1 synthetic nucleotide sequence {}",
+            self.count, self.count
+        );
+        Some((defline, codes))
+    }
+
+    /// Residues emitted so far.
+    pub fn residues(&self) -> u64 {
+        self.emitted
+    }
+
+    /// Sequences emitted so far.
+    pub fn sequences(&self) -> u64 {
+        self.count
+    }
+}
+
+/// Cut a query of `len` residues out of a database sequence (2-bit codes),
+/// mutating each position with probability `mutation_rate` — the paper's
+/// "568-character query extracted from ecoli.nt" shape.
+pub fn extract_query(
+    seq: &[u8],
+    len: usize,
+    mutation_rate: f64,
+    seed: u64,
+) -> Vec<u8> {
+    assert!(!seq.is_empty(), "cannot extract a query from an empty sequence");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let len = len.min(seq.len());
+    let start = if seq.len() == len {
+        0
+    } else {
+        rng.random_range(0..seq.len() - len)
+    };
+    seq[start..start + len]
+        .iter()
+        .map(|&c| {
+            if rng.random::<f64>() < mutation_rate {
+                (c + 1 + rng.random_range(0..3u8)) & 3
+            } else {
+                c
+            }
+        })
+        .collect()
+}
+
+/// Render 2-bit codes as ASCII (for FASTA output or debugging).
+pub fn to_ascii(codes: &[u8]) -> Vec<u8> {
+    codes.iter().map(|&c| decode_nt(c)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn respects_total_residue_budget() {
+        let cfg = SyntheticConfig {
+            total_residues: 100_000,
+            ..Default::default()
+        };
+        let mut g = SyntheticNt::new(cfg);
+        let mut total = 0u64;
+        while let Some((_, codes)) = g.next() {
+            total += codes.len() as u64;
+        }
+        assert!(total >= 100_000);
+        assert!(total < 100_000 + 200_000, "overshoot bounded by one sequence");
+        assert_eq!(total, g.residues());
+    }
+
+    #[test]
+    fn mean_length_approximately_nt() {
+        let cfg = SyntheticConfig {
+            total_residues: 3_000_000,
+            ..Default::default()
+        };
+        let mut g = SyntheticNt::new(cfg);
+        while g.next().is_some() {}
+        let mean = g.residues() as f64 / g.sequences() as f64;
+        assert!(
+            (mean - 1534.0).abs() / 1534.0 < 0.25,
+            "mean length = {mean}"
+        );
+    }
+
+    #[test]
+    fn deterministic_for_seed() {
+        let mk = || {
+            let mut g = SyntheticNt::new(SyntheticConfig {
+                total_residues: 10_000,
+                ..Default::default()
+            });
+            let mut v = vec![];
+            while let Some(x) = g.next() {
+                v.push(x);
+            }
+            v
+        };
+        assert_eq!(mk(), mk());
+    }
+
+    #[test]
+    fn gc_content_matches() {
+        let cfg = SyntheticConfig {
+            total_residues: 500_000,
+            gc: 0.6,
+            repeat_bias: 0.0,
+            ..Default::default()
+        };
+        let mut g = SyntheticNt::new(cfg);
+        let mut gc = 0u64;
+        let mut total = 0u64;
+        while let Some((_, codes)) = g.next() {
+            gc += codes.iter().filter(|&&c| c == 1 || c == 2).count() as u64;
+            total += codes.len() as u64;
+        }
+        let frac = gc as f64 / total as f64;
+        assert!((frac - 0.6).abs() < 0.02, "gc = {frac}");
+    }
+
+    #[test]
+    fn query_extraction_is_exact_without_mutation() {
+        let seq: Vec<u8> = (0..2000).map(|i| (i % 4) as u8).collect();
+        let q = extract_query(&seq, 568, 0.0, 9);
+        assert_eq!(q.len(), 568);
+        // The query must be a substring of the source.
+        let found = seq.windows(568).any(|w| w == &q[..]);
+        assert!(found);
+    }
+
+    #[test]
+    fn query_mutation_changes_some_positions() {
+        let seq: Vec<u8> = vec![0; 1000];
+        let q = extract_query(&seq, 500, 0.1, 9);
+        let muts = q.iter().filter(|&&c| c != 0).count();
+        assert!(muts > 20 && muts < 100, "muts = {muts}");
+    }
+
+    #[test]
+    fn deflines_are_ncbi_shaped() {
+        let mut g = SyntheticNt::new(SyntheticConfig {
+            total_residues: 1000,
+            ..Default::default()
+        });
+        let (d, _) = g.next().unwrap();
+        assert!(d.starts_with("gi|"), "{d}");
+        assert!(d.contains("synthetic nucleotide"));
+    }
+}

@@ -1,0 +1,466 @@
+//! The discrete-event engine.
+//!
+//! A simulation is a set of [`Component`]s exchanging events of a
+//! user-chosen payload type `E` through a central time-ordered queue.
+//! Components are addressed by [`CompId`]; delivery order is deterministic:
+//! events fire in `(time, insertion sequence)` order, so two runs with the
+//! same seed and the same construction order produce identical traces.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use crate::rng::SimRng;
+use crate::time::SimTime;
+
+/// Handle to a registered component.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct CompId(pub u32);
+
+impl CompId {
+    /// A reserved id that no component ever receives; useful as a sentinel
+    /// "reply-to" for fire-and-forget requests.
+    pub const NONE: CompId = CompId(u32::MAX);
+}
+
+/// A simulation actor. Each component owns its private state and reacts to
+/// events delivered by the engine, scheduling follow-up events through the
+/// [`Ctx`].
+pub trait Component<E> {
+    /// Handle one event addressed to this component.
+    fn on_event(&mut self, ctx: &mut Ctx<'_, E>, ev: E);
+
+    /// Human-readable name for diagnostics.
+    fn name(&self) -> &str {
+        "component"
+    }
+}
+
+/// Object-safe super-trait adding `Any` downcasting so harnesses can read
+/// results back out of components after a run. Blanket-implemented for every
+/// `'static` component; user code never implements it directly.
+pub trait AnyComponent<E>: Component<E> {
+    /// View as `Any` for downcasting.
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any;
+    /// View as `Any` for downcasting (shared).
+    fn as_any(&self) -> &dyn std::any::Any;
+}
+
+impl<E, T: Component<E> + 'static> AnyComponent<E> for T {
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+}
+
+struct Scheduled<E> {
+    time: SimTime,
+    seq: u64,
+    dst: CompId,
+    ev: E,
+}
+
+impl<E> PartialEq for Scheduled<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<E> Eq for Scheduled<E> {}
+impl<E> PartialOrd for Scheduled<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Scheduled<E> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.time, self.seq).cmp(&(other.time, other.seq))
+    }
+}
+
+/// Scheduling context handed to a component while it processes an event.
+pub struct Ctx<'a, E> {
+    now: SimTime,
+    self_id: CompId,
+    seq: &'a mut u64,
+    heap: &'a mut BinaryHeap<Reverse<Scheduled<E>>>,
+    rng: &'a mut SimRng,
+    next_token: &'a mut u64,
+}
+
+impl<'a, E> Ctx<'a, E> {
+    /// Current simulated time.
+    #[inline]
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Id of the component currently being dispatched.
+    #[inline]
+    pub fn self_id(&self) -> CompId {
+        self.self_id
+    }
+
+    /// Deterministic engine-wide RNG.
+    #[inline]
+    pub fn rng(&mut self) -> &mut SimRng {
+        self.rng
+    }
+
+    /// Fresh engine-unique correlation token (request ids, tags, ...).
+    #[inline]
+    pub fn fresh_token(&mut self) -> u64 {
+        let t = *self.next_token;
+        *self.next_token += 1;
+        t
+    }
+
+    /// Schedule `ev` for `dst` at absolute time `at` (clamped to now).
+    pub fn schedule_at(&mut self, at: SimTime, dst: CompId, ev: E) {
+        let time = at.max(self.now);
+        let seq = *self.seq;
+        *self.seq += 1;
+        self.heap.push(Reverse(Scheduled {
+            time,
+            seq,
+            dst,
+            ev,
+        }));
+    }
+
+    /// Schedule `ev` for `dst` after `delay`.
+    #[inline]
+    pub fn schedule_in(&mut self, delay: SimTime, dst: CompId, ev: E) {
+        self.schedule_at(self.now.saturating_add(delay), dst, ev);
+    }
+
+    /// Deliver `ev` to `dst` "immediately" (same timestamp, after all events
+    /// already queued for this instant).
+    #[inline]
+    pub fn send(&mut self, dst: CompId, ev: E) {
+        self.schedule_at(self.now, dst, ev);
+    }
+
+    /// Schedule an event to self.
+    #[inline]
+    pub fn wake_in(&mut self, delay: SimTime, ev: E) {
+        self.schedule_in(delay, self.self_id, ev);
+    }
+}
+
+/// Outcome of a call to [`Engine::run`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunOutcome {
+    /// The event queue drained completely.
+    Drained,
+    /// The time horizon was reached with events still pending.
+    Horizon,
+    /// The event budget was exhausted (runaway-simulation guard).
+    Budget,
+}
+
+/// The discrete-event simulation engine.
+pub struct Engine<E> {
+    now: SimTime,
+    seq: u64,
+    next_token: u64,
+    heap: BinaryHeap<Reverse<Scheduled<E>>>,
+    comps: Vec<Option<Box<dyn AnyComponent<E>>>>,
+    names: Vec<String>,
+    rng: SimRng,
+    events_processed: u64,
+    /// Hard cap on total events processed; guards against accidental
+    /// infinite self-scheduling loops. Default: `u64::MAX` (off).
+    pub event_budget: u64,
+}
+
+impl<E> Engine<E> {
+    /// New engine with a deterministic seed.
+    pub fn new(seed: u64) -> Self {
+        Engine {
+            now: SimTime::ZERO,
+            seq: 0,
+            next_token: 1,
+            heap: BinaryHeap::new(),
+            comps: Vec::new(),
+            names: Vec::new(),
+            rng: SimRng::new(seed),
+            events_processed: 0,
+            event_budget: u64::MAX,
+        }
+    }
+
+    /// Register a component; returns its address.
+    pub fn add<C: Component<E> + 'static>(&mut self, comp: C) -> CompId {
+        let id = CompId(self.comps.len() as u32);
+        self.names.push(comp.name().to_string());
+        self.comps.push(Some(Box::new(comp)));
+        id
+    }
+
+    /// Current simulated time.
+    #[inline]
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of events dispatched so far.
+    #[inline]
+    pub fn events_processed(&self) -> u64 {
+        self.events_processed
+    }
+
+    /// Number of registered components.
+    #[inline]
+    pub fn component_count(&self) -> usize {
+        self.comps.len()
+    }
+
+    /// Seed an initial event before (or between) runs.
+    pub fn schedule(&mut self, at: SimTime, dst: CompId, ev: E) {
+        let time = at.max(self.now);
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(Reverse(Scheduled {
+            time,
+            seq,
+            dst,
+            ev,
+        }));
+    }
+
+    /// Mutable access to a component, downcast to its concrete type.
+    ///
+    /// Panics if `id` is stale or the type does not match — both indicate
+    /// harness bugs, not recoverable conditions.
+    pub fn component_mut<C: Component<E> + 'static>(&mut self, id: CompId) -> &mut C {
+        self.comps[id.0 as usize]
+            .as_mut()
+            .expect("component currently dispatched or removed")
+            .as_any_mut()
+            .downcast_mut::<C>()
+            .expect("component type mismatch")
+    }
+
+    /// Shared access to a component, downcast to its concrete type.
+    pub fn component<C: Component<E> + 'static>(&self, id: CompId) -> &C {
+        self.comps[id.0 as usize]
+            .as_ref()
+            .expect("component currently dispatched or removed")
+            .as_any()
+            .downcast_ref::<C>()
+            .expect("component type mismatch")
+    }
+
+    /// Run until the queue drains, `horizon` passes, or the event budget is
+    /// exhausted.
+    pub fn run_until(&mut self, horizon: SimTime) -> RunOutcome {
+        loop {
+            let Some(Reverse(head)) = self.heap.peek() else {
+                return RunOutcome::Drained;
+            };
+            if head.time > horizon {
+                return RunOutcome::Horizon;
+            }
+            if self.events_processed >= self.event_budget {
+                return RunOutcome::Budget;
+            }
+            let Reverse(sch) = self.heap.pop().expect("peeked");
+            self.now = sch.time;
+            self.events_processed += 1;
+            let idx = sch.dst.0 as usize;
+            if idx >= self.comps.len() {
+                // Addressed to CompId::NONE or an unknown id: drop silently.
+                continue;
+            }
+            let mut comp = match self.comps[idx].take() {
+                Some(c) => c,
+                None => continue,
+            };
+            let mut ctx = Ctx {
+                now: self.now,
+                self_id: sch.dst,
+                seq: &mut self.seq,
+                heap: &mut self.heap,
+                rng: &mut self.rng,
+                next_token: &mut self.next_token,
+            };
+            comp.on_event(&mut ctx, sch.ev);
+            self.comps[idx] = Some(comp);
+        }
+    }
+
+    /// Run until the queue drains (or the budget trips).
+    pub fn run(&mut self) -> RunOutcome {
+        self.run_until(SimTime::MAX)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    enum Msg {
+        Ping(u32),
+        Pong(u32),
+    }
+
+    struct Pinger {
+        peer: CompId,
+        remaining: u32,
+        log: Vec<(SimTime, u32)>,
+    }
+
+    impl Component<Msg> for Pinger {
+        fn on_event(&mut self, ctx: &mut Ctx<'_, Msg>, ev: Msg) {
+            match ev {
+                Msg::Ping(n) => {
+                    ctx.schedule_in(SimTime::from_millis(1), self.peer, Msg::Pong(n));
+                }
+                Msg::Pong(n) => {
+                    self.log.push((ctx.now(), n));
+                    if self.remaining > 0 {
+                        self.remaining -= 1;
+                        ctx.schedule_in(
+                            SimTime::from_millis(2),
+                            ctx.self_id(),
+                            Msg::Ping(n + 1),
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    struct Echo;
+    impl Component<Msg> for Echo {
+        fn on_event(&mut self, _ctx: &mut Ctx<'_, Msg>, _ev: Msg) {}
+    }
+
+    #[test]
+    fn events_fire_in_time_order() {
+        let mut eng: Engine<Msg> = Engine::new(42);
+        struct Rec {
+            seen: Vec<(SimTime, u32)>,
+        }
+        impl Component<Msg> for Rec {
+            fn on_event(&mut self, ctx: &mut Ctx<'_, Msg>, ev: Msg) {
+                if let Msg::Ping(n) = ev {
+                    self.seen.push((ctx.now(), n));
+                }
+            }
+        }
+        let r = eng.add(Rec { seen: vec![] });
+        eng.schedule(SimTime::from_secs(3), r, Msg::Ping(3));
+        eng.schedule(SimTime::from_secs(1), r, Msg::Ping(1));
+        eng.schedule(SimTime::from_secs(2), r, Msg::Ping(2));
+        assert_eq!(eng.run(), RunOutcome::Drained);
+        assert_eq!(eng.events_processed(), 3);
+        assert_eq!(eng.now(), SimTime::from_secs(3));
+        let rec = eng.component::<Rec>(r);
+        assert_eq!(
+            rec.seen,
+            vec![
+                (SimTime::from_secs(1), 1),
+                (SimTime::from_secs(2), 2),
+                (SimTime::from_secs(3), 3),
+            ]
+        );
+    }
+
+    #[test]
+    fn same_time_events_fire_in_insertion_order() {
+        struct Order {
+            seen: std::rc::Rc<std::cell::RefCell<Vec<u32>>>,
+        }
+        impl Component<Msg> for Order {
+            fn on_event(&mut self, _ctx: &mut Ctx<'_, Msg>, ev: Msg) {
+                if let Msg::Ping(n) = ev {
+                    self.seen.borrow_mut().push(n);
+                }
+            }
+        }
+        let seen = std::rc::Rc::new(std::cell::RefCell::new(vec![]));
+        let mut eng: Engine<Msg> = Engine::new(0);
+        let o = eng.add(Order { seen: seen.clone() });
+        for n in 0..10 {
+            eng.schedule(SimTime::from_secs(5), o, Msg::Ping(n));
+        }
+        eng.run();
+        assert_eq!(*seen.borrow(), (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn self_scheduling_round_trip() {
+        let mut eng: Engine<Msg> = Engine::new(7);
+        let echo = eng.add(Echo);
+        let pinger = eng.add(Pinger {
+            peer: echo,
+            remaining: 0,
+            log: vec![],
+        });
+        // Echo drops Pings; have the pinger ping itself through the pong path.
+        eng.schedule(SimTime::ZERO, pinger, Msg::Pong(0));
+        assert_eq!(eng.run(), RunOutcome::Drained);
+        let _ = pinger;
+    }
+
+    #[test]
+    fn horizon_stops_early() {
+        let mut eng: Engine<Msg> = Engine::new(1);
+        let echo = eng.add(Echo);
+        eng.schedule(SimTime::from_secs(10), echo, Msg::Ping(0));
+        assert_eq!(eng.run_until(SimTime::from_secs(5)), RunOutcome::Horizon);
+        assert_eq!(eng.events_processed(), 0);
+        assert_eq!(eng.run_until(SimTime::from_secs(20)), RunOutcome::Drained);
+        assert_eq!(eng.events_processed(), 1);
+    }
+
+    #[test]
+    fn budget_guard_trips() {
+        struct Looper;
+        impl Component<Msg> for Looper {
+            fn on_event(&mut self, ctx: &mut Ctx<'_, Msg>, _ev: Msg) {
+                let me = ctx.self_id();
+                ctx.schedule_in(SimTime::from_nanos(1), me, Msg::Ping(0));
+            }
+        }
+        let mut eng: Engine<Msg> = Engine::new(1);
+        eng.event_budget = 1000;
+        let l = eng.add(Looper);
+        eng.schedule(SimTime::ZERO, l, Msg::Ping(0));
+        assert_eq!(eng.run(), RunOutcome::Budget);
+        assert_eq!(eng.events_processed(), 1000);
+    }
+
+    #[test]
+    fn events_to_none_are_dropped() {
+        let mut eng: Engine<Msg> = Engine::new(1);
+        eng.schedule(SimTime::ZERO, CompId::NONE, Msg::Ping(0));
+        assert_eq!(eng.run(), RunOutcome::Drained);
+    }
+
+    #[test]
+    fn fresh_tokens_are_unique() {
+        struct Tok {
+            out: std::rc::Rc<std::cell::RefCell<Vec<u64>>>,
+        }
+        impl Component<Msg> for Tok {
+            fn on_event(&mut self, ctx: &mut Ctx<'_, Msg>, _ev: Msg) {
+                self.out.borrow_mut().push(ctx.fresh_token());
+            }
+        }
+        let out = std::rc::Rc::new(std::cell::RefCell::new(vec![]));
+        let mut eng: Engine<Msg> = Engine::new(1);
+        let t = eng.add(Tok { out: out.clone() });
+        for _ in 0..5 {
+            eng.schedule(SimTime::ZERO, t, Msg::Ping(0));
+        }
+        eng.run();
+        let v = out.borrow();
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 5);
+    }
+}

@@ -1,0 +1,57 @@
+//! # parblast-simcore
+//!
+//! A small, deterministic discrete-event simulation (DES) engine used by the
+//! `parblast` workspace to model the PrairieFire Linux cluster from
+//! *"A Case Study of Parallel I/O for Biological Sequence Search on Linux
+//! Clusters"* (CLUSTER 2003).
+//!
+//! The engine is domain-agnostic: users pick an event payload type `E`,
+//! register [`Component`]s, and exchange events through a time-ordered queue.
+//! Determinism guarantees: identical seeds, component registration order and
+//! scheduling calls yield bit-identical runs.
+//!
+//! ```
+//! use parblast_simcore::prelude::*;
+//!
+//! enum Ev { Tick }
+//!
+//! struct Clock { ticks: u32 }
+//! impl Component<Ev> for Clock {
+//!     fn on_event(&mut self, ctx: &mut Ctx<'_, Ev>, _ev: Ev) {
+//!         self.ticks += 1;
+//!         if self.ticks < 3 {
+//!             ctx.wake_in(SimTime::from_secs(1), Ev::Tick);
+//!         }
+//!     }
+//! }
+//!
+//! let mut eng: Engine<Ev> = Engine::new(0);
+//! let clock = eng.add(Clock { ticks: 0 });
+//! eng.schedule(SimTime::ZERO, clock, Ev::Tick);
+//! eng.run();
+//! assert_eq!(eng.component::<Clock>(clock).ticks, 3);
+//! assert_eq!(eng.now(), SimTime::from_secs(2));
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod engine;
+pub mod resource;
+pub mod rng;
+pub mod stats;
+pub mod time;
+
+pub use engine::{AnyComponent, CompId, Component, Ctx, Engine, RunOutcome};
+pub use resource::{FcfsStation, PsJobId, PsResource};
+pub use rng::SimRng;
+pub use stats::{LogHistogram, Summary, TimeWeighted};
+pub use time::SimTime;
+
+/// Convenience re-exports.
+pub mod prelude {
+    pub use crate::engine::{CompId, Component, Ctx, Engine, RunOutcome};
+    pub use crate::resource::{FcfsStation, PsResource};
+    pub use crate::rng::SimRng;
+    pub use crate::stats::{LogHistogram, Summary, TimeWeighted};
+    pub use crate::time::SimTime;
+}

@@ -1,0 +1,204 @@
+//! Deterministic random number generation for simulations.
+//!
+//! Wraps a seeded [`rand::rngs::StdRng`] and adds the distributions the
+//! hardware and workload models need (exponential, lognormal, discrete
+//! empirical). Distributions are hand-rolled on top of `rand` so the
+//! workspace stays within its approved dependency set.
+
+use rand::rngs::StdRng;
+use rand::{Rng, RngExt, SeedableRng};
+
+/// Deterministic simulation RNG.
+pub struct SimRng {
+    inner: StdRng,
+}
+
+impl SimRng {
+    /// Create from a 64-bit seed.
+    pub fn new(seed: u64) -> Self {
+        SimRng {
+            inner: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Derive an independent child stream. Streams derived with distinct
+    /// tags from the same parent are statistically independent and stable
+    /// across runs.
+    pub fn stream(&self, parent_seed: u64, tag: u64) -> SimRng {
+        // SplitMix64-style mixing of (seed, tag).
+        let mut z = parent_seed ^ tag.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        SimRng::new(z)
+    }
+
+    /// Uniform in `[0, 1)`.
+    #[inline]
+    pub fn unit(&mut self) -> f64 {
+        self.inner.random::<f64>()
+    }
+
+    /// Uniform in `[lo, hi)`.
+    #[inline]
+    pub fn uniform(&mut self, lo: f64, hi: f64) -> f64 {
+        lo + (hi - lo) * self.unit()
+    }
+
+    /// Uniform integer in `[0, n)`. Panics if `n == 0`.
+    #[inline]
+    pub fn below(&mut self, n: u64) -> u64 {
+        self.inner.random_range(0..n)
+    }
+
+    /// Bernoulli trial with success probability `p` (clamped to `[0,1]`).
+    #[inline]
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.unit() < p
+    }
+
+    /// Exponentially distributed value with the given mean.
+    pub fn exponential(&mut self, mean: f64) -> f64 {
+        debug_assert!(mean > 0.0);
+        let u = 1.0 - self.unit(); // avoid ln(0)
+        -mean * u.ln()
+    }
+
+    /// Standard normal via Box–Muller.
+    pub fn std_normal(&mut self) -> f64 {
+        let u1 = 1.0 - self.unit();
+        let u2 = self.unit();
+        (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+    }
+
+    /// Normal with mean `mu` and standard deviation `sigma`.
+    #[inline]
+    pub fn normal(&mut self, mu: f64, sigma: f64) -> f64 {
+        mu + sigma * self.std_normal()
+    }
+
+    /// Lognormal parameterized by the *underlying* normal's `mu`/`sigma`.
+    #[inline]
+    pub fn lognormal(&mut self, mu: f64, sigma: f64) -> f64 {
+        self.normal(mu, sigma).exp()
+    }
+
+    /// Lognormal parameterized by its own mean and coefficient of variation
+    /// (`cv = stddev / mean`). Handy for "mean 1.5 kb, long right tail"
+    /// sequence-length models.
+    pub fn lognormal_mean_cv(&mut self, mean: f64, cv: f64) -> f64 {
+        debug_assert!(mean > 0.0 && cv >= 0.0);
+        if cv == 0.0 {
+            return mean;
+        }
+        let sigma2 = (1.0 + cv * cv).ln();
+        let mu = mean.ln() - sigma2 / 2.0;
+        self.lognormal(mu, sigma2.sqrt())
+    }
+
+    /// Sample an index from unnormalized non-negative weights.
+    /// Panics if all weights are zero or the slice is empty.
+    pub fn weighted(&mut self, weights: &[f64]) -> usize {
+        let total: f64 = weights.iter().sum();
+        assert!(total > 0.0, "weighted(): total weight must be positive");
+        let mut x = self.unit() * total;
+        for (i, w) in weights.iter().enumerate() {
+            x -= w;
+            if x < 0.0 {
+                return i;
+            }
+        }
+        weights.len() - 1
+    }
+
+    /// Fill a byte buffer.
+    pub fn fill_bytes(&mut self, buf: &mut [u8]) {
+        self.inner.fill_bytes(buf);
+    }
+
+    /// Raw `u64`.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        self.inner.random()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let mut a = SimRng::new(99);
+        let mut b = SimRng::new(99);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn streams_differ_by_tag() {
+        let root = SimRng::new(5);
+        let mut s1 = root.stream(5, 1);
+        let mut s2 = root.stream(5, 2);
+        let v1: Vec<u64> = (0..8).map(|_| s1.next_u64()).collect();
+        let v2: Vec<u64> = (0..8).map(|_| s2.next_u64()).collect();
+        assert_ne!(v1, v2);
+        // Same tag reproduces the same stream.
+        let mut s1b = root.stream(5, 1);
+        let v1b: Vec<u64> = (0..8).map(|_| s1b.next_u64()).collect();
+        assert_eq!(v1, v1b);
+    }
+
+    #[test]
+    fn exponential_mean_close() {
+        let mut r = SimRng::new(3);
+        let n = 20_000;
+        let mean = 4.0;
+        let sum: f64 = (0..n).map(|_| r.exponential(mean)).sum();
+        let m = sum / n as f64;
+        assert!((m - mean).abs() < 0.15, "sample mean {m}");
+    }
+
+    #[test]
+    fn lognormal_mean_cv_close() {
+        let mut r = SimRng::new(11);
+        let n = 40_000;
+        let (mean, cv) = (1500.0, 2.0);
+        let sum: f64 = (0..n).map(|_| r.lognormal_mean_cv(mean, cv)).sum();
+        let m = sum / n as f64;
+        assert!(
+            (m - mean).abs() / mean < 0.1,
+            "sample mean {m} vs expected {mean}"
+        );
+    }
+
+    #[test]
+    fn weighted_prefers_heavy_bucket() {
+        let mut r = SimRng::new(17);
+        let w = [1.0, 0.0, 9.0];
+        let mut counts = [0usize; 3];
+        for _ in 0..10_000 {
+            counts[r.weighted(&w)] += 1;
+        }
+        assert_eq!(counts[1], 0);
+        assert!(counts[2] > counts[0] * 5);
+    }
+
+    #[test]
+    fn unit_in_range() {
+        let mut r = SimRng::new(23);
+        for _ in 0..1000 {
+            let u = r.unit();
+            assert!((0.0..1.0).contains(&u));
+        }
+    }
+
+    #[test]
+    fn below_in_range() {
+        let mut r = SimRng::new(29);
+        for _ in 0..1000 {
+            assert!(r.below(7) < 7);
+        }
+    }
+}

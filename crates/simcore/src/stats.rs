@@ -1,0 +1,301 @@
+//! Measurement primitives: counters, running summaries, time-weighted
+//! values, and logarithmic histograms.
+
+use crate::time::SimTime;
+
+/// Running scalar summary (count / mean / min / max / stddev) using
+/// Welford's online algorithm.
+#[derive(Debug, Clone, Default)]
+pub struct Summary {
+    n: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Summary {
+    /// Empty summary.
+    pub fn new() -> Self {
+        Summary {
+            n: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Record one observation.
+    pub fn record(&mut self, x: f64) {
+        self.n += 1;
+        let d = x - self.mean;
+        self.mean += d / self.n as f64;
+        self.m2 += d * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Sample mean (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Sum of observations.
+    pub fn sum(&self) -> f64 {
+        self.mean() * self.n as f64
+    }
+
+    /// Minimum observation (`None` when empty).
+    pub fn min(&self) -> Option<f64> {
+        (self.n > 0).then_some(self.min)
+    }
+
+    /// Maximum observation (`None` when empty).
+    pub fn max(&self) -> Option<f64> {
+        (self.n > 0).then_some(self.max)
+    }
+
+    /// Sample standard deviation (0 for fewer than two observations).
+    pub fn stddev(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            (self.m2 / (self.n - 1) as f64).sqrt()
+        }
+    }
+
+    /// Merge another summary into this one.
+    pub fn merge(&mut self, other: &Summary) {
+        if other.n == 0 {
+            return;
+        }
+        if self.n == 0 {
+            *self = other.clone();
+            return;
+        }
+        let n = self.n + other.n;
+        let delta = other.mean - self.mean;
+        let mean = self.mean + delta * other.n as f64 / n as f64;
+        let m2 = self.m2
+            + other.m2
+            + delta * delta * (self.n as f64 * other.n as f64) / n as f64;
+        self.n = n;
+        self.mean = mean;
+        self.m2 = m2;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+/// Tracks the time integral of a piecewise-constant value, e.g. queue depth
+/// or busy/idle state, yielding its time average and utilization.
+#[derive(Debug, Clone)]
+pub struct TimeWeighted {
+    value: f64,
+    last_change: SimTime,
+    integral: f64,
+    start: SimTime,
+}
+
+impl TimeWeighted {
+    /// Start tracking with an initial value at `t0`.
+    pub fn new(t0: SimTime, initial: f64) -> Self {
+        TimeWeighted {
+            value: initial,
+            last_change: t0,
+            integral: 0.0,
+            start: t0,
+        }
+    }
+
+    /// Set a new value at time `now`.
+    pub fn set(&mut self, now: SimTime, value: f64) {
+        let dt = now.saturating_sub(self.last_change).as_secs_f64();
+        self.integral += self.value * dt;
+        self.value = value;
+        self.last_change = now;
+    }
+
+    /// Add `delta` to the current value at time `now`.
+    pub fn add(&mut self, now: SimTime, delta: f64) {
+        let v = self.value + delta;
+        self.set(now, v);
+    }
+
+    /// Current value.
+    pub fn current(&self) -> f64 {
+        self.value
+    }
+
+    /// Time-averaged value over `[t0, now]`.
+    pub fn average(&self, now: SimTime) -> f64 {
+        let span = now.saturating_sub(self.start).as_secs_f64();
+        if span <= 0.0 {
+            return self.value;
+        }
+        let pending = self.value * now.saturating_sub(self.last_change).as_secs_f64();
+        (self.integral + pending) / span
+    }
+}
+
+/// Power-of-two bucketed histogram for sizes and latencies spanning many
+/// orders of magnitude (13 B .. 220 MB in the paper's Figure 4 trace).
+#[derive(Debug, Clone)]
+pub struct LogHistogram {
+    buckets: Vec<u64>,
+    summary: Summary,
+}
+
+impl Default for LogHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LogHistogram {
+    /// Empty histogram with 64 power-of-two buckets.
+    pub fn new() -> Self {
+        LogHistogram {
+            buckets: vec![0; 64],
+            summary: Summary::new(),
+        }
+    }
+
+    /// Record a non-negative value; bucket `i` holds values in
+    /// `[2^i, 2^(i+1))` with 0 landing in bucket 0.
+    pub fn record(&mut self, x: u64) {
+        let idx = if x <= 1 { 0 } else { 63 - x.leading_zeros() as usize };
+        self.buckets[idx.min(63)] += 1;
+        self.summary.record(x as f64);
+    }
+
+    /// Underlying scalar summary.
+    pub fn summary(&self) -> &Summary {
+        &self.summary
+    }
+
+    /// Count in bucket `i`.
+    pub fn bucket(&self, i: usize) -> u64 {
+        self.buckets.get(i).copied().unwrap_or(0)
+    }
+
+    /// Iterator over `(bucket_floor, count)` for non-empty buckets.
+    pub fn nonzero(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| (1u64 << i, c))
+    }
+
+    /// Approximate quantile using bucket interpolation.
+    pub fn quantile(&self, q: f64) -> u64 {
+        let total: u64 = self.buckets.iter().sum();
+        if total == 0 {
+            return 0;
+        }
+        let target = (q.clamp(0.0, 1.0) * total as f64).ceil() as u64;
+        let mut acc = 0;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            acc += c;
+            if acc >= target.max(1) {
+                return 1u64 << i;
+            }
+        }
+        1u64 << 63
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_basics() {
+        let mut s = Summary::new();
+        for x in [1.0, 2.0, 3.0, 4.0] {
+            s.record(x);
+        }
+        assert_eq!(s.count(), 4);
+        assert!((s.mean() - 2.5).abs() < 1e-12);
+        assert_eq!(s.min(), Some(1.0));
+        assert_eq!(s.max(), Some(4.0));
+        let expected_sd = (5.0f64 / 3.0).sqrt();
+        assert!((s.stddev() - expected_sd).abs() < 1e-12);
+    }
+
+    #[test]
+    fn summary_merge_matches_combined() {
+        let data: Vec<f64> = (0..50).map(|i| (i as f64).sin() * 10.0).collect();
+        let mut all = Summary::new();
+        let mut a = Summary::new();
+        let mut b = Summary::new();
+        for (i, &x) in data.iter().enumerate() {
+            all.record(x);
+            if i % 2 == 0 {
+                a.record(x);
+            } else {
+                b.record(x);
+            }
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), all.count());
+        assert!((a.mean() - all.mean()).abs() < 1e-9);
+        assert!((a.stddev() - all.stddev()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn time_weighted_average() {
+        let mut tw = TimeWeighted::new(SimTime::ZERO, 0.0);
+        tw.set(SimTime::from_secs(2), 10.0); // 0 for 2 s
+        tw.set(SimTime::from_secs(6), 0.0); // 10 for 4 s
+        let avg = tw.average(SimTime::from_secs(10)); // 0 for 4 more s
+        assert!((avg - 4.0).abs() < 1e-12, "avg={avg}");
+    }
+
+    #[test]
+    fn time_weighted_utilization_pattern() {
+        // Busy 1 s out of every 4 s → 25 % utilization.
+        let mut tw = TimeWeighted::new(SimTime::ZERO, 0.0);
+        for k in 0..10u64 {
+            tw.set(SimTime::from_secs(4 * k), 1.0);
+            tw.set(SimTime::from_secs(4 * k + 1), 0.0);
+        }
+        let u = tw.average(SimTime::from_secs(40));
+        assert!((u - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn log_histogram_buckets() {
+        let mut h = LogHistogram::new();
+        h.record(0);
+        h.record(1);
+        h.record(2);
+        h.record(3);
+        h.record(1024);
+        assert_eq!(h.bucket(0), 2); // 0 and 1
+        assert_eq!(h.bucket(1), 2); // 2 and 3
+        assert_eq!(h.bucket(10), 1); // 1024
+        assert_eq!(h.summary().count(), 5);
+    }
+
+    #[test]
+    fn log_histogram_quantile_monotone() {
+        let mut h = LogHistogram::new();
+        for i in 0..1000u64 {
+            h.record(i);
+        }
+        assert!(h.quantile(0.1) <= h.quantile(0.5));
+        assert!(h.quantile(0.5) <= h.quantile(0.99));
+    }
+}

@@ -1,0 +1,55 @@
+//! Capacity planning with the calibrated cluster simulator: how many PVFS
+//! data servers does a BLAST workload actually need? (The §4.3 diminishing
+//! returns, as a what-if tool.)
+//!
+//! Sweeps server counts for an 8-worker job at two database scales and
+//! prints where the knee of the curve sits — the diminishing-returns
+//! insight the paper derives from Figure 6 and Amdahl's law.
+//!
+//! ```sh
+//! cargo run --release --example cluster_capacity
+//! ```
+
+use parblast::prelude::*;
+
+fn run(servers: u32, db_bytes: u64) -> SimOutcome {
+    let nodes = 8usize.max(servers as usize) + 1;
+    run_simblast(&SimBlastConfig {
+        nodes,
+        workers: 8,
+        fragments: 8,
+        db_bytes,
+        scheme: SimScheme::Pvfs {
+            servers: (0..servers).collect(),
+        },
+        master_node: (nodes - 1) as u32,
+        ..Default::default()
+    })
+}
+
+fn main() {
+    println!("PVFS server-count sweep, 8 workers (calibrated 2003 cluster)\n");
+    for (label, db) in [
+        ("nt today (2.7 GB)", 2_700_000_000u64),
+        ("nt x4 (10.8 GB — the paper's 'rapidly growing database' case)", 10_800_000_000u64),
+    ] {
+        println!("database: {label}");
+        println!("{:>8}  {:>10}  {:>12}  {:>8}", "servers", "time (s)", "io fraction", "speedup");
+        let mut base = None;
+        for s in [1u32, 2, 4, 8, 12, 16] {
+            let out = run(s, db);
+            let b = *base.get_or_insert(out.makespan_s);
+            println!(
+                "{:>8}  {:>10.1}  {:>11.1}%  {:>7.2}x",
+                s,
+                out.makespan_s,
+                out.io_fraction * 100.0,
+                b / out.makespan_s
+            );
+        }
+        println!();
+    }
+    println!("the curve flattens once computation dominates (Amdahl, §4.3):");
+    println!("a handful of data servers already captures nearly all the I/O");
+    println!("benefit for this compute-bound workload, at either scale.");
+}

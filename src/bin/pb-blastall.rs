@@ -1,0 +1,135 @@
+//! `pb-blastall` — search formatted database fragments, the workspace's
+//! analogue of NCBI's `blastall` single interface (§2.1 of the paper) with
+//! mpiBLAST-style parallel fragment dispatch built in.
+//!
+//! ```sh
+//! pb-blastall -p blastn -d ./db/nt -i query.fa [--workers 8] [--evalue 10]
+//! ```
+//!
+//! `-d` takes the fragment prefix (`<dir>/<name>`); all `<name>.NNN.pdb`
+//! volumes beside it are searched. Output is BLAST tabular (`-m 8`).
+
+use parblast::blast::DbStats;
+use parblast::prelude::*;
+use parblast::seqdb::encode_aa_seq;
+
+fn arg(key: &str) -> Option<String> {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == key)
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
+fn main() -> std::io::Result<()> {
+    let Some(db_prefix) = arg("-d") else {
+        eprintln!(
+            "usage: pb-blastall -p blastn|blastp|blastx|tblastn|tblastx \
+             -d <dir>/<name> -i <query.fa> [--workers N] [--evalue E]"
+        );
+        return Ok(());
+    };
+    let program = match arg("-p").as_deref() {
+        Some("blastn") | None => Program::Blastn,
+        Some("blastp") => Program::Blastp,
+        Some("blastx") => Program::Blastx,
+        Some("tblastn") => Program::Tblastn,
+        Some("tblastx") => Program::Tblastx,
+        Some(p) => panic!("unknown program {p}"),
+    };
+    let query_path = arg("-i").expect("-i <query.fa>");
+    let workers: usize = arg("--workers").and_then(|v| v.parse().ok()).unwrap_or(8);
+
+    // Discover fragments: <prefix>.NNN.pdb.
+    let prefix = std::path::PathBuf::from(&db_prefix);
+    let dir = prefix.parent().unwrap_or(std::path::Path::new("."));
+    let name = prefix.file_name().unwrap().to_string_lossy().into_owned();
+    let mut fragment_paths: Vec<std::path::PathBuf> = std::fs::read_dir(dir)?
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .filter(|p| {
+            p.file_name()
+                .and_then(|f| f.to_str())
+                .map(|f| f.starts_with(&format!("{name}.")) && f.ends_with(".pdb"))
+                .unwrap_or(false)
+        })
+        .collect();
+    fragment_paths.sort();
+    assert!(
+        !fragment_paths.is_empty(),
+        "no fragments matching {db_prefix}.NNN.pdb"
+    );
+
+    // Whole-database statistics from the volume headers (mpiBLAST
+    // semantics: E-values against the full database).
+    let mut residues = 0u64;
+    let mut nseq = 0u64;
+    for p in &fragment_paths {
+        let mut f = std::fs::File::open(p)?;
+        let h = Volume::read_header(&mut f)?;
+        residues += h.residues;
+        nseq += h.nseq;
+    }
+    let db = DbStats { residues, nseq };
+
+    // Queries: translated/protein programs read protein or nucleotide
+    // letters as appropriate.
+    let records = FastaReader::open(&query_path)?.read_all()?;
+    assert!(!records.is_empty(), "no query records in {query_path}");
+    let protein_query = matches!(program, Program::Blastp | Program::Tblastn);
+    let queries: Vec<(String, Vec<u8>)> = records
+        .into_iter()
+        .map(|r| {
+            let codes = if protein_query {
+                encode_aa_seq(&r.seq)
+            } else {
+                parblast::seqdb::encode_nt_seq(&r.seq)
+            };
+            (r.id, codes)
+        })
+        .collect();
+
+    // Stage fragments into a local scheme rooted next to the database.
+    let scheme = Scheme::local_at(&dir.join(".pb_work"), workers)?;
+    let mut fragments = Vec::new();
+    for p in &fragment_paths {
+        let bytes = std::fs::read(p)?;
+        let frag_name = p.file_name().unwrap().to_string_lossy().into_owned();
+        scheme.load_fragment(&frag_name, &bytes)?;
+        fragments.push(frag_name);
+    }
+
+    let mut params = match program {
+        Program::Blastn => SearchParams::blastn(),
+        _ => SearchParams::blastp(),
+    };
+    if let Some(e) = arg("--evalue").and_then(|v| v.parse().ok()) {
+        params.evalue = e;
+    }
+
+    let job = ParallelBlast {
+        program,
+        params,
+        db,
+        fragments,
+        workers,
+        scheme,
+        tracer: Tracer::disabled(),
+        parallelization: Parallelization::DatabaseSegmentation,
+    };
+    let batch = job.run_batch(
+        &queries.iter().map(|(_, c)| c.clone()).collect::<Vec<_>>(),
+    )?;
+    for ((qid, _), hits) in queries.iter().zip(&batch.per_query) {
+        print!("{}", tabular(qid, hits));
+    }
+    eprintln!(
+        "# {} quer{} vs {} residues in {} sequences, {:.2}s wall",
+        queries.len(),
+        if queries.len() == 1 { "y" } else { "ies" },
+        residues,
+        nseq,
+        batch.wall_s
+    );
+    std::fs::remove_dir_all(dir.join(".pb_work")).ok();
+    Ok(())
+}

@@ -1,0 +1,18 @@
+//! # parblast
+//!
+//! Facade crate for the `parblast` workspace: a reproduction of
+//! *"A Case Study of Parallel I/O for Biological Sequence Search on Linux
+//! Clusters"* (Zhu, Jiang, Qin, Swanson — CLUSTER 2003).
+//!
+//! Everything public lives in [`parblast_core`], re-exported here so that
+//! examples and downstream users only need one dependency:
+//!
+//! ```
+//! use parblast::prelude::*;
+//! ```
+//!
+//! See the workspace `README.md` for the architecture overview, `DESIGN.md`
+//! for the system inventory, and `EXPERIMENTS.md` for the paper-vs-measured
+//! record of every figure.
+
+pub use parblast_core::*;

@@ -1,0 +1,256 @@
+//! Property-based tests (proptest) on the core data structures and
+//! invariants: stripe layout coverage, mirrored read plans, 2-bit packing,
+//! alignment scores, Karlin statistics, the page cache, and the real
+//! striped/mirrored stores.
+
+use proptest::prelude::*;
+
+use parblast::blast::{
+    align_stats, banded_global, extend_ungapped, ungapped_params, AlignOp, GapPenalties, Scorer,
+};
+use parblast::pio::{
+    read_all, MirroredLayout, MirroredStore, ObjectStore, ServerId, StripeLayout, StripedStore,
+};
+use parblast::seqdb::{pack_2bit, reverse_complement, unpack_2bit};
+
+proptest! {
+    /// Every byte of any extent is covered exactly once by the stripe map.
+    #[test]
+    fn stripe_map_partitions_extent(
+        stripe in 1u64..64,
+        servers in 1u32..9,
+        offset in 0u64..512,
+        len in 0u64..512,
+    ) {
+        let l = StripeLayout::new(stripe, servers);
+        let ranges = l.map_extent(offset, len);
+        let total: u64 = ranges.iter().map(|r| r.len).sum();
+        prop_assert_eq!(total, len);
+        // Each byte maps into its server's range at the right local offset.
+        for pos in offset..offset + len {
+            let srv = l.server_of(pos);
+            let lo = l.local_offset_of(pos);
+            let r = ranges.iter().find(|r| r.server == srv).unwrap();
+            prop_assert!(lo >= r.local_offset && lo < r.local_offset + r.len);
+        }
+        // At most one range per server, ranges are disjoint per server.
+        let mut seen = std::collections::HashSet::new();
+        for r in &ranges {
+            prop_assert!(seen.insert(r.server));
+        }
+    }
+
+    /// The dual-half mirrored plan covers the extent exactly, regardless of
+    /// the skip set (as long as no mirror pair is fully skipped).
+    #[test]
+    fn mirrored_plan_covers_extent(
+        stripe in 1u64..32,
+        servers in 1u32..5,
+        offset in 0u64..256,
+        len in 0u64..256,
+        first_group in 0u8..2,
+        skip_index in 0u32..5,
+        skip_group in 0u8..2,
+    ) {
+        let l = MirroredLayout::new(stripe, servers);
+        let skips = if skip_index < servers {
+            vec![ServerId { group: skip_group, index: skip_index }]
+        } else {
+            vec![]
+        };
+        let parts = l.plan_read(offset, len, first_group, &skips);
+        let total: u64 = parts.iter().map(|p| p.len).sum();
+        prop_assert_eq!(total, len);
+        for p in &parts {
+            prop_assert!(!skips.contains(&p.server), "skipped server used");
+        }
+    }
+
+    /// 2-bit packing round-trips for arbitrary code sequences.
+    #[test]
+    fn pack_round_trip(codes in proptest::collection::vec(0u8..4, 0..200)) {
+        let packed = pack_2bit(&codes);
+        prop_assert_eq!(packed.len(), codes.len().div_ceil(4));
+        prop_assert_eq!(unpack_2bit(&packed, codes.len()), codes);
+    }
+
+    /// Reverse complement is an involution and preserves length.
+    #[test]
+    fn revcomp_involution(codes in proptest::collection::vec(0u8..4, 0..300)) {
+        let rc = reverse_complement(&codes);
+        prop_assert_eq!(rc.len(), codes.len());
+        prop_assert_eq!(reverse_complement(&rc), codes);
+    }
+
+    /// Ungapped extension never returns a segment scoring below the seed
+    /// and stays within sequence bounds.
+    #[test]
+    fn ungapped_extension_invariants(
+        q in proptest::collection::vec(0u8..4, 12..120),
+        s in proptest::collection::vec(0u8..4, 12..120),
+        qpos in 0usize..100,
+        spos in 0usize..100,
+    ) {
+        let seed = 4usize;
+        let scorer = Scorer::Nucleotide { reward: 1, penalty: -3 };
+        let qpos = qpos % (q.len() - seed);
+        let spos = spos % (s.len() - seed);
+        let seed_score: i32 = (0..seed)
+            .map(|i| scorer.score(q[qpos + i], s[spos + i]))
+            .sum();
+        let h = extend_ungapped(&q, &s, qpos, spos, seed, &scorer, 10);
+        prop_assert!(h.score >= seed_score);
+        prop_assert!(h.q_end <= q.len() && h.s_end <= s.len());
+        prop_assert!(h.q_start <= qpos && h.s_start <= spos);
+        prop_assert_eq!(h.q_end - h.q_start, h.s_end - h.s_start);
+        // Recomputing the segment score matches.
+        let recomputed: i32 = (0..h.len())
+            .map(|i| scorer.score(q[h.q_start + i], s[h.s_start + i]))
+            .sum();
+        prop_assert_eq!(recomputed, h.score);
+    }
+
+    /// Banded global alignment: ops consume exactly the two sequences and
+    /// the traceback score matches a recomputation from the ops.
+    #[test]
+    fn banded_global_consistency(
+        q in proptest::collection::vec(0u8..4, 1..60),
+        s in proptest::collection::vec(0u8..4, 1..60),
+    ) {
+        let scorer = Scorer::Nucleotide { reward: 1, penalty: -3 };
+        let gaps = GapPenalties::blastn();
+        let (score, ops) = banded_global(&q, &s, &scorer, gaps, 8);
+        let (mut qi, mut si) = (0usize, 0usize);
+        let mut recomputed = 0i32;
+        // Gap run state: (direction marker, length). A run closes whenever
+        // the op kind changes (Sub, or the opposite gap direction).
+        let mut run: Option<(AlignOp, i32)> = None;
+        let close = |run: &mut Option<(AlignOp, i32)>, rec: &mut i32| {
+            if let Some((_, len)) = run.take() {
+                *rec -= gaps.cost(len);
+            }
+        };
+        for &op in &ops {
+            match op {
+                AlignOp::Sub => {
+                    close(&mut run, &mut recomputed);
+                    recomputed += scorer.score(q[qi], s[si]);
+                    qi += 1;
+                    si += 1;
+                }
+                gap_op => {
+                    match &mut run {
+                        Some((kind, len)) if *kind == gap_op => *len += 1,
+                        _ => {
+                            close(&mut run, &mut recomputed);
+                            run = Some((gap_op, 1));
+                        }
+                    }
+                    if gap_op == AlignOp::InsSubject {
+                        si += 1;
+                    } else {
+                        qi += 1;
+                    }
+                }
+            }
+        }
+        close(&mut run, &mut recomputed);
+        prop_assert_eq!(qi, q.len());
+        prop_assert_eq!(si, s.len());
+        prop_assert_eq!(recomputed, score);
+        let st = align_stats(&q, &s, &ops);
+        prop_assert_eq!(st.length, ops.len());
+        prop_assert_eq!(st.identities + st.mismatches + st.gap_letters, ops.len());
+    }
+
+    /// Karlin λ satisfies its defining equation for random negative-mean
+    /// score distributions.
+    #[test]
+    fn karlin_lambda_is_a_root(
+        p_match in 0.05f64..0.45,
+        penalty in 2i32..6,
+    ) {
+        // Score +1 w.p. p, −penalty w.p. 1−p; mean negative by construction.
+        let mean = p_match - penalty as f64 * (1.0 - p_match);
+        prop_assume!(mean < -0.01);
+        let mut probs = vec![0.0; (penalty + 2) as usize];
+        probs[0] = 1.0 - p_match;
+        probs[(penalty + 1) as usize] = p_match;
+        let params = ungapped_params(-penalty, &probs).unwrap();
+        let check: f64 = probs
+            .iter()
+            .enumerate()
+            .map(|(i, &p)| p * (params.lambda * (i as i32 - penalty) as f64).exp())
+            .sum();
+        prop_assert!((check - 1.0).abs() < 1e-6, "Σp·e^(λs) = {check}");
+        prop_assert!(params.h > 0.0 && params.k > 0.0 && params.k < 1.0);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Real striped store: arbitrary payloads and stripe sizes round-trip,
+    /// including partial reads.
+    #[test]
+    fn striped_store_round_trip(
+        stripe in 1u64..2000,
+        servers in 1usize..6,
+        payload in proptest::collection::vec(any::<u8>(), 0..20_000),
+        window in 0usize..20_000,
+    ) {
+        let base = std::env::temp_dir().join(format!(
+            "prop_striped_{}_{}",
+            std::process::id(),
+            stripe * 31 + servers as u64
+        ));
+        let dirs: Vec<_> = (0..servers).map(|i| base.join(format!("s{i}"))).collect();
+        let st = StripedStore::new(dirs, stripe).unwrap();
+        st.put("x", &payload).unwrap();
+        prop_assert_eq!(read_all(&st, "x").unwrap(), payload.clone());
+        if !payload.is_empty() {
+            let off = window % payload.len();
+            let len = (window / 7) % (payload.len() - off).max(1);
+            let mut r = st.open("x").unwrap();
+            let mut buf = vec![0u8; len];
+            r.read_at(off as u64, &mut buf).unwrap();
+            prop_assert_eq!(&buf[..], &payload[off..off + len]);
+        }
+        std::fs::remove_dir_all(&base).ok();
+    }
+
+    /// Real mirrored store: round-trips with any single server skipped.
+    #[test]
+    fn mirrored_store_round_trip_with_skip(
+        stripe in 1u64..1000,
+        servers in 1u32..4,
+        payload in proptest::collection::vec(any::<u8>(), 1..10_000),
+        hot_index in 0u32..4,
+        hot_group in 0u8..2,
+    ) {
+        let base = std::env::temp_dir().join(format!(
+            "prop_mirror_{}_{}",
+            std::process::id(),
+            stripe * 17 + servers as u64
+        ));
+        let p: Vec<_> = (0..servers).map(|i| base.join(format!("p{i}"))).collect();
+        let m: Vec<_> = (0..servers).map(|i| base.join(format!("m{i}"))).collect();
+        let st = MirroredStore::new(p, m, stripe).unwrap();
+        st.put("x", &payload).unwrap();
+        if hot_index < servers {
+            // Mark one server hot via direct EWMA training.
+            let hot = ServerId { group: hot_group, index: hot_index };
+            st.monitor().record(hot, 1000, 5.0);
+            for g in 0..2u8 {
+                for i in 0..servers {
+                    let s = ServerId { group: g, index: i };
+                    if s != hot {
+                        st.monitor().record(s, 1_000_000, 1e-4);
+                    }
+                }
+            }
+        }
+        prop_assert_eq!(read_all(&st, "x").unwrap(), payload);
+        std::fs::remove_dir_all(&base).ok();
+    }
+}
