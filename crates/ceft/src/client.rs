@@ -15,8 +15,9 @@
 use std::collections::HashMap;
 
 use parblast_hwsim::{Envelope, Ev, NetSend};
+use parblast_pvfs::retry::{backoff_delay, RetryPolicy};
 use parblast_pvfs::{
-    ClientReq, ClientResp, IodRead, IodReadResp, IodWrite, IodWriteResp, CTRL_BYTES,
+    ClientReq, ClientResp, IoError, IodRead, IodReadResp, IodWrite, IodWriteResp, CTRL_BYTES,
 };
 use parblast_simcore::{CompId, Component, Ctx, SimTime, Summary};
 
@@ -80,6 +81,31 @@ struct PendingOpen {
     reply_to: CompId,
     tag: u64,
     started: SimTime,
+    attempts: u32,
+}
+
+/// One in-flight per-server request. A timed-out *read* is re-sent to the
+/// server's mirror partner (the replica holds identical data), which is
+/// what lets CEFT survive a crashed server; writes retry the same server.
+/// The token is reused across attempts: first answer wins.
+#[derive(Debug, Clone)]
+struct PartState {
+    op: u64,
+    server: ServerId,
+    file: u64,
+    offset: u64,
+    len: u64,
+    kind: OpKind,
+    forward_to: Option<(u32, CompId)>,
+    forward_sync: bool,
+    attempts: u32,
+}
+
+fn partner_of(s: ServerId) -> ServerId {
+    ServerId {
+        group: 1 - s.group,
+        index: s.index,
+    }
 }
 
 /// CEFT client component.
@@ -91,10 +117,15 @@ pub struct CeftClient {
     groups: [Vec<(u32, CompId)>; 2],
     files: HashMap<u64, FileEntry>,
     skips: Vec<ServerId>,
+    dead: Vec<ServerId>,
     opens: HashMap<u64, PendingOpen>,
     ops: HashMap<u64, PendingOp>,
-    part_to_op: HashMap<u64, u64>,
+    parts: HashMap<u64, PartState>,
     next_op: u64,
+    retry: RetryPolicy,
+    retries: u64,
+    failovers: u64,
+    failures: u64,
     /// Read scheduling mode (dual-half vs primary-only ablation).
     pub read_mode: ReadMode,
     /// Duplex write protocol.
@@ -126,10 +157,15 @@ impl CeftClient {
             groups: [primary, mirror],
             files: HashMap::new(),
             skips: Vec::new(),
+            dead: Vec::new(),
             opens: HashMap::new(),
             ops: HashMap::new(),
-            part_to_op: HashMap::new(),
+            parts: HashMap::new(),
             next_op: 1,
+            retry: RetryPolicy::disabled(),
+            retries: 0,
+            failovers: 0,
+            failures: 0,
             read_mode: ReadMode::DualHalf,
             write_protocol: WriteProtocol::ClientDuplex,
             flip: false,
@@ -161,6 +197,43 @@ impl CeftClient {
         &self.skips
     }
 
+    /// Servers this client currently believes dead.
+    pub fn dead(&self) -> &[ServerId] {
+        &self.dead
+    }
+
+    /// Enable (or change) the request timeout/retry policy.
+    pub fn set_retry(&mut self, policy: RetryPolicy) {
+        self.retry = policy;
+    }
+
+    /// Requests re-sent after a timeout.
+    pub fn retries(&self) -> u64 {
+        self.retries
+    }
+
+    /// Timed-out reads re-routed to the mirror partner.
+    pub fn failovers(&self) -> u64 {
+        self.failovers
+    }
+
+    /// Operations that failed with [`ClientResp::Error`].
+    pub fn failures(&self) -> u64 {
+        self.failures
+    }
+
+    /// Servers to avoid when planning reads: pushed skips plus servers
+    /// presumed dead.
+    fn avoid(&self) -> Vec<ServerId> {
+        let mut v = self.skips.clone();
+        for &d in &self.dead {
+            if !v.contains(&d) {
+                v.push(d);
+            }
+        }
+        v
+    }
+
     fn addr(&self, s: ServerId) -> (u32, CompId) {
         self.groups[s.group as usize][s.index as usize]
     }
@@ -184,6 +257,141 @@ impl CeftClient {
         );
     }
 
+    /// (Re-)send one per-server request after `delay`, arming its timeout.
+    fn send_part(&mut self, ctx: &mut Ctx<'_, Ev>, token: u64, state: &PartState, delay: SimTime) {
+        let me = ctx.self_id();
+        let node = self.node;
+        let dst = self.addr(state.server);
+        let (bytes, payload): (u64, Box<dyn std::any::Any>) = match state.kind {
+            OpKind::Read => (
+                CTRL_BYTES,
+                Box::new(IodRead {
+                    file: state.file,
+                    offset: state.offset,
+                    len: state.len,
+                    reply: me,
+                    reply_node: node,
+                    token,
+                }),
+            ),
+            OpKind::Write => (
+                state.len + CTRL_BYTES,
+                Box::new(IodWrite {
+                    file: state.file,
+                    offset: state.offset,
+                    len: state.len,
+                    sync: false,
+                    reply: me,
+                    reply_node: node,
+                    token,
+                    forward_to: state.forward_to,
+                    forward_sync: state.forward_sync,
+                }),
+            ),
+        };
+        ctx.schedule_in(
+            delay,
+            self.net,
+            Ev::Net(NetSend {
+                src_node: node,
+                dst_node: dst.0,
+                bytes,
+                dst: dst.1,
+                payload,
+            }),
+        );
+        if self.retry.enabled() {
+            ctx.wake_in(delay + self.retry.timeout, Ev::Timer(token));
+        }
+    }
+
+    /// Abandon a whole operation: a server (and, for reads, its partner
+    /// too) exhausted the retry budget.
+    fn fail_op(&mut self, ctx: &mut Ctx<'_, Ev>, op_id: u64, error: IoError) {
+        let Some(op) = self.ops.remove(&op_id) else {
+            return;
+        };
+        self.parts.retain(|_, s| s.op != op_id);
+        self.failures += 1;
+        ctx.send(
+            op.reply_to,
+            Ev::User(Envelope::local(ClientResp::Error {
+                tag: op.tag,
+                error,
+            })),
+        );
+    }
+
+    fn on_timeout(&mut self, ctx: &mut Ctx<'_, Ev>, token: u64) {
+        if let Some(mut state) = self.parts.remove(&token) {
+            if state.attempts >= self.retry.max_retries {
+                self.fail_op(ctx, state.op, IoError::DataServerTimeout);
+                return;
+            }
+            if state.kind == OpKind::Read {
+                // Fail over: the mirror partner holds an identical replica
+                // of this range, so re-issue the read there. Alternates on
+                // successive attempts (partner is an involution), covering
+                // a transiently-slow partner as well.
+                state.server = partner_of(state.server);
+                self.failovers += 1;
+            }
+            let delay = backoff_delay(
+                state.attempts,
+                self.retry.base_backoff,
+                self.retry.max_backoff,
+            );
+            state.attempts += 1;
+            self.retries += 1;
+            self.send_part(ctx, token, &state, delay);
+            self.parts.insert(token, state);
+            return;
+        }
+        if let Some(open) = self.opens.get_mut(&token) {
+            if open.attempts >= self.retry.max_retries {
+                let open = self.opens.remove(&token).unwrap();
+                self.failures += 1;
+                ctx.send(
+                    open.reply_to,
+                    Ev::User(Envelope::local(ClientResp::Error {
+                        tag: open.tag,
+                        error: IoError::MetaTimeout,
+                    })),
+                );
+                return;
+            }
+            let delay = backoff_delay(
+                open.attempts,
+                self.retry.base_backoff,
+                self.retry.max_backoff,
+            );
+            open.attempts += 1;
+            self.retries += 1;
+            let file = open.file;
+            let me = ctx.self_id();
+            let node = self.node;
+            let meta = self.meta;
+            ctx.schedule_in(
+                delay,
+                self.net,
+                Ev::Net(NetSend {
+                    src_node: node,
+                    dst_node: meta.0,
+                    bytes: CTRL_BYTES,
+                    dst: meta.1,
+                    payload: Box::new(CeftOpen {
+                        file,
+                        reply: me,
+                        reply_node: node,
+                        token,
+                    }),
+                }),
+            );
+            ctx.wake_in(delay + self.retry.timeout, Ev::Timer(token));
+        }
+        // Anything else: a stale timer for a part that already completed.
+    }
+
     fn handle_req(&mut self, ctx: &mut Ctx<'_, Ev>, req: ClientReq) {
         match req {
             ClientReq::Open {
@@ -199,6 +407,7 @@ impl CeftClient {
                         reply_to,
                         tag,
                         started: ctx.now(),
+                        attempts: 0,
                     },
                 );
                 let me = ctx.self_id();
@@ -215,6 +424,9 @@ impl CeftClient {
                         token,
                     }),
                 );
+                if self.retry.enabled() {
+                    ctx.wake_in(self.retry.timeout, Ev::Timer(token));
+                }
             }
             ClientReq::Read {
                 file,
@@ -230,12 +442,13 @@ impl CeftClient {
                     .clone();
                 let first_group = u8::from(self.flip);
                 self.flip = !self.flip;
+                let avoid = self.avoid();
                 let parts = match self.read_mode {
                     ReadMode::DualHalf => {
-                        entry.layout.plan_read(offset, len, first_group, &self.skips)
+                        entry.layout.plan_read(offset, len, first_group, &avoid)
                     }
                     ReadMode::PrimaryOnly => {
-                        entry.layout.plan_single_group(offset, len, 0, &self.skips)
+                        entry.layout.plan_single_group(offset, len, 0, &avoid)
                     }
                 };
                 if parts.is_empty() {
@@ -262,28 +475,24 @@ impl CeftClient {
                         len,
                     },
                 );
-                let me = ctx.self_id();
-                let node = self.node;
                 for p in parts {
                     if p.redirected {
                         self.skipped_parts += 1;
                     }
                     let token = ctx.fresh_token();
-                    self.part_to_op.insert(token, op);
-                    let dst = self.addr(p.server);
-                    self.send_net(
-                        ctx,
-                        dst,
-                        CTRL_BYTES,
-                        Box::new(IodRead {
-                            file,
-                            offset: p.local_offset,
-                            len: p.len,
-                            reply: me,
-                            reply_node: node,
-                            token,
-                        }),
-                    );
+                    let state = PartState {
+                        op,
+                        server: p.server,
+                        file,
+                        offset: p.local_offset,
+                        len: p.len,
+                        kind: OpKind::Read,
+                        forward_to: None,
+                        forward_sync: false,
+                        attempts: 0,
+                    };
+                    self.send_part(ctx, token, &state, SimTime::ZERO);
+                    self.parts.insert(token, state);
                 }
             }
             ClientReq::Write {
@@ -328,47 +537,44 @@ impl CeftClient {
                         len,
                     },
                 );
-                let me = ctx.self_id();
-                let node = self.node;
                 for p in parts {
                     let token = ctx.fresh_token();
-                    self.part_to_op.insert(token, op);
-                    let dst = self.addr(p.server);
                     // Server-forwarding protocols hand the mirror hop to
                     // the primary iod.
                     let forward_to = match self.write_protocol {
                         WriteProtocol::ClientDuplex => None,
                         _ => Some(self.addr(entry.layout.partner(p.server))),
                     };
-                    let forward_sync =
-                        self.write_protocol == WriteProtocol::ServerSync;
-                    self.send_net(
-                        ctx,
-                        dst,
-                        p.len + CTRL_BYTES,
-                        Box::new(IodWrite {
-                            file,
-                            offset: p.local_offset,
-                            len: p.len,
-                            sync: false,
-                            reply: me,
-                            reply_node: node,
-                            token,
-                            forward_to,
-                            forward_sync,
-                        }),
-                    );
+                    let forward_sync = self.write_protocol == WriteProtocol::ServerSync;
+                    let state = PartState {
+                        op,
+                        server: p.server,
+                        file,
+                        offset: p.local_offset,
+                        len: p.len,
+                        kind: OpKind::Write,
+                        forward_to,
+                        forward_sync,
+                        attempts: 0,
+                    };
+                    self.send_part(ctx, token, &state, SimTime::ZERO);
+                    self.parts.insert(token, state);
                 }
             }
         }
     }
 
     fn part_done(&mut self, ctx: &mut Ctx<'_, Ev>, token: u64) {
-        let Some(op_id) = self.part_to_op.remove(&token) else {
-            debug_assert!(false, "unknown part token");
+        // Unknown tokens are expected under retries: a duplicate answer to
+        // a re-sent request, or a straggler of an operation that already
+        // failed. Both are dropped.
+        let Some(state) = self.parts.remove(&token) else {
             return;
         };
-        let op = self.ops.get_mut(&op_id).expect("op for part");
+        let op_id = state.op;
+        let Some(op) = self.ops.get_mut(&op_id) else {
+            return;
+        };
         op.remaining -= 1;
         if op.remaining > 0 {
             return;
@@ -400,16 +606,21 @@ impl CeftClient {
 
 impl Component<Ev> for CeftClient {
     fn on_event(&mut self, ctx: &mut Ctx<'_, Ev>, ev: Ev) {
-        let Ev::User(env) = ev else {
-            return;
+        let env = match ev {
+            Ev::User(env) => env,
+            Ev::Timer(token) => {
+                self.on_timeout(ctx, token);
+                return;
+            }
+            _ => return,
         };
         match env.payload.downcast::<ClientReq>() {
             Ok(req) => self.handle_req(ctx, *req),
             Err(other) => match other.downcast::<CeftOpenResp>() {
                 Ok(resp) => {
                     let resp = *resp;
+                    // Unknown token: duplicate reply to a retried open.
                     let Some(open) = self.opens.remove(&resp.token) else {
-                        debug_assert!(false, "unknown open token");
                         return;
                     };
                     self.files.insert(
@@ -420,6 +631,7 @@ impl Component<Ev> for CeftClient {
                         },
                     );
                     self.skips = resp.skips;
+                    self.dead = resp.dead;
                     let latency = ctx.now().saturating_sub(open.started);
                     ctx.send(
                         open.reply_to,
@@ -432,6 +644,7 @@ impl Component<Ev> for CeftClient {
                 Err(other) => match other.downcast::<SkipUpdate>() {
                     Ok(u) => {
                         self.skips = u.skips;
+                        self.dead = u.dead;
                     }
                     Err(other) => match other.downcast::<IodReadResp>() {
                         Ok(r) => self.part_done(ctx, r.token),

@@ -109,13 +109,18 @@ impl Ceft {
             "mirror group must match primary group"
         );
         assert!(!primary_nodes.is_empty(), "CEFT needs data servers");
-        let meta = eng.add(CeftMeta::new(
+        let mut meta_comp = CeftMeta::new(
             "ceft.meta",
             meta_node,
             cluster.net,
             cfg.meta_service,
             cfg.policy.clone(),
-        ));
+        );
+        meta_comp.set_heartbeat(cfg.heartbeat);
+        let meta = eng.add(meta_comp);
+        // Dead-server sweep rides the same heartbeat cadence as the load
+        // reports it watches for.
+        eng.schedule(cfg.heartbeat, meta, Ev::Timer(0));
         let meta_addr = (meta_node, meta);
         let mut monitors = Vec::new();
         let mut deploy_group = |eng: &mut Engine<Ev>, nodes: &[u32], group: u8| {

@@ -53,6 +53,10 @@ struct ServerState {
     hot_streak: u32,
     cool_streak: u32,
     skipped: bool,
+    /// Missed enough heartbeats to be presumed crashed.
+    dead: bool,
+    /// When the last heartbeat arrived.
+    last_report: SimTime,
 }
 
 /// CEFT metadata server component.
@@ -67,6 +71,8 @@ pub struct CeftMeta {
     clients: Vec<(u32, CompId)>,
     opens: u64,
     skip_changes: u64,
+    /// Heartbeat interval; [`SimTime::ZERO`] disables dead-server sweeps.
+    heartbeat: SimTime,
     name: String,
 }
 
@@ -90,8 +96,17 @@ impl CeftMeta {
             clients: Vec::new(),
             opens: 0,
             skip_changes: 0,
+            heartbeat: SimTime::ZERO,
             name: name.into(),
         }
+    }
+
+    /// Enable dead-server detection: a server that has been silent for
+    /// 2.5 heartbeat intervals is presumed crashed. The deployer must also
+    /// schedule an initial `Ev::Timer` at this component to start the
+    /// sweep.
+    pub fn set_heartbeat(&mut self, interval: SimTime) {
+        self.heartbeat = interval;
     }
 
     /// Register a file (setup-time).
@@ -104,6 +119,15 @@ impl CeftMeta {
         self.servers
             .iter()
             .filter(|(_, s)| s.skipped)
+            .map(|(&id, _)| id)
+            .collect()
+    }
+
+    /// Servers currently presumed dead.
+    pub fn dead(&self) -> Vec<ServerId> {
+        self.servers
+            .iter()
+            .filter(|(_, s)| s.dead)
             .map(|(&id, _)| id)
             .collect()
     }
@@ -121,6 +145,7 @@ impl CeftMeta {
     fn push_skips(&mut self, ctx: &mut Ctx<'_, Ev>) {
         self.skip_changes += 1;
         let skips = self.skips();
+        let dead = self.dead();
         for &(node, comp) in &self.clients {
             ctx.send(
                 self.net,
@@ -131,17 +156,43 @@ impl CeftMeta {
                     dst: comp,
                     payload: Box::new(SkipUpdate {
                         skips: skips.clone(),
+                        dead: dead.clone(),
                     }),
                 }),
             );
         }
     }
 
+    /// Dead-server sweep: any server silent for more than 2.5 heartbeat
+    /// intervals is presumed crashed, and the change is pushed to every
+    /// subscribed client so read plans fail over to mirror partners.
+    fn sweep_dead(&mut self, ctx: &mut Ctx<'_, Ev>) {
+        let grace = SimTime::from_nanos(self.heartbeat.as_nanos().saturating_mul(5) / 2);
+        let now = ctx.now();
+        let mut changed = false;
+        for st in self.servers.values_mut() {
+            if !st.dead && now.saturating_sub(st.last_report) > grace {
+                st.dead = true;
+                changed = true;
+            }
+        }
+        if changed {
+            self.push_skips(ctx);
+        }
+    }
+
     fn on_report(&mut self, ctx: &mut Ctx<'_, Ev>, report: LoadReport) {
         let policy = self.policy.clone();
+        let mut revived = false;
         {
             let st = self.servers.entry(report.server).or_default();
             st.utilization = report.utilization;
+            st.last_report = ctx.now();
+            if st.dead {
+                // A heartbeat from a presumed-dead server: it is back.
+                st.dead = false;
+                revived = true;
+            }
             if report.utilization >= policy.hot_threshold {
                 st.hot_streak += 1;
                 st.cool_streak = 0;
@@ -171,7 +222,7 @@ impl CeftMeta {
             st.skipped = false;
             changed = true;
         }
-        if changed {
+        if changed || revived {
             self.push_skips(ctx);
         }
     }
@@ -196,6 +247,7 @@ impl CeftMeta {
             layout: entry.layout,
             size: entry.size,
             skips: self.skips(),
+            dead: self.dead(),
         };
         let (node, net) = (self.node, self.net);
         ctx.schedule_at(
@@ -214,8 +266,16 @@ impl CeftMeta {
 
 impl Component<Ev> for CeftMeta {
     fn on_event(&mut self, ctx: &mut Ctx<'_, Ev>, ev: Ev) {
-        let Ev::User(env) = ev else {
-            return;
+        let env = match ev {
+            Ev::User(env) => env,
+            Ev::Timer(_) => {
+                if self.heartbeat > SimTime::ZERO {
+                    self.sweep_dead(ctx);
+                    ctx.wake_in(self.heartbeat, Ev::Timer(0));
+                }
+                return;
+            }
+            _ => return,
         };
         match env.payload.downcast::<CeftOpen>() {
             Ok(open) => self.on_open(ctx, *open),

@@ -7,7 +7,7 @@
 use std::cell::Cell;
 use std::rc::Rc;
 
-use parblast_hwsim::{DiskGauge, Ev, NetSend};
+use parblast_hwsim::{DiskGauge, Ev, FaultCmd, NetSend};
 use parblast_pvfs::CTRL_BYTES;
 use parblast_simcore::{CompId, Component, Ctx, SimTime};
 
@@ -68,6 +68,17 @@ impl LoadMonitor {
 
 impl Component<Ev> for LoadMonitor {
     fn on_event(&mut self, ctx: &mut Ctx<'_, Ev>, ev: Ev) {
+        if let Ev::Fault(FaultCmd::Reset) = ev {
+            // Revived after a crash: the heartbeat timer pending at crash
+            // time was dropped while the component was disabled, so
+            // resample the gauge baseline and re-arm it. The metadata
+            // server marks this server alive again on the next report.
+            let g = self.gauge.get();
+            self.last_busy_ns = g.busy_ns;
+            self.last_sample = ctx.now();
+            ctx.wake_in(self.interval, Ev::Timer(0));
+            return;
+        }
         let Ev::Timer(_) = ev else {
             return;
         };

@@ -35,6 +35,9 @@ pub struct CeftOpenResp {
     pub size: u64,
     /// Servers currently marked hot (to be skipped).
     pub skips: Vec<ServerId>,
+    /// Servers currently presumed dead (missed heartbeats); reads must
+    /// fail over to their mirror partners.
+    pub dead: Vec<ServerId>,
 }
 
 /// Periodic load report from a server node's monitor to the metadata
@@ -52,4 +55,7 @@ pub struct LoadReport {
 pub struct SkipUpdate {
     /// Servers to skip from now on.
     pub skips: Vec<ServerId>,
+    /// Servers presumed dead (missed heartbeats) — avoid them like skips,
+    /// until a fresh heartbeat revives them.
+    pub dead: Vec<ServerId>,
 }

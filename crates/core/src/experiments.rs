@@ -340,6 +340,79 @@ pub fn fig9(db_bytes: u64) -> Vec<Fig9Row> {
         .collect()
 }
 
+/// One `faults` experiment row: one scheme at one failure time.
+#[derive(Debug, Clone)]
+pub struct FaultRow {
+    /// Scheme label.
+    pub scheme: &'static str,
+    /// When the data server crashed, seconds after job start.
+    pub fail_at_s: f64,
+    /// Fault-free execution time, seconds.
+    pub t_clean: f64,
+    /// Execution time with the crash (to completion, abort, or horizon).
+    pub t_faulted: f64,
+    /// Did the job finish every fragment?
+    pub completed: bool,
+    /// The reported I/O error when it did not.
+    pub error: Option<String>,
+    /// Client requests re-sent after timeouts.
+    pub retries: u64,
+    /// CEFT reads re-routed to mirror partners.
+    pub failovers: u64,
+}
+
+/// Fault-tolerance experiment: crash data server 1 at each failure time
+/// and compare the three schemes (8 workers; PVFS on 8 servers, CEFT on
+/// 4+4). CEFT fails reads over to the crashed server's mirror partner and
+/// completes at roughly halved read parallelism; PVFS exhausts its
+/// retries and terminates with a reported I/O error; the original scheme
+/// has no data servers and is unaffected.
+pub fn faults(db_bytes: u64, fail_times_s: &[f64]) -> Vec<FaultRow> {
+    use parblast_hwsim::FaultSchedule;
+    use parblast_simcore::SimTime;
+
+    let schemes: Vec<(&'static str, SimScheme)> = vec![
+        ("original", SimScheme::Original),
+        (
+            "over-PVFS",
+            SimScheme::Pvfs {
+                servers: (0..8).collect(),
+            },
+        ),
+        (
+            "over-CEFT-PVFS",
+            SimScheme::Ceft {
+                primary: (0..4).collect(),
+                mirror: (4..8).collect(),
+            },
+        ),
+    ];
+    let mut out = Vec::new();
+    for (label, scheme) in schemes {
+        let mut cfg = sim_base(8, 9, scheme);
+        cfg.db_bytes = db_bytes;
+        let t_clean = run_simblast(&cfg).makespan_s;
+        for &fail_at_s in fail_times_s {
+            let mut faulted = cfg.clone();
+            // Server index 1 is a primary-group member under CEFT.
+            faulted.faults = FaultSchedule::new()
+                .crash_server(SimTime::from_secs_f64(cfg.warmup_s + fail_at_s), 1);
+            let r = run_simblast(&faulted);
+            out.push(FaultRow {
+                scheme: label,
+                fail_at_s,
+                t_clean,
+                t_faulted: r.makespan_s,
+                completed: r.completed,
+                error: r.error,
+                retries: r.retries,
+                failovers: r.failovers,
+            });
+        }
+    }
+    out
+}
+
 /// Figure 4 output: the real run's trace.
 #[derive(Debug)]
 pub struct Fig4Result {

@@ -24,7 +24,7 @@ use std::rc::Rc;
 
 use parblast_simcore::{Component, Ctx, SimTime, Summary};
 
-use crate::event::{DiskCtl, DiskOp, DiskReq, Ev};
+use crate::event::{DiskCtl, DiskOp, DiskReq, Ev, FaultCmd};
 use crate::params::DiskParams;
 
 /// Simulated disk component.
@@ -36,6 +36,15 @@ pub struct Disk {
     streak_bytes: u64,
     streak_op: DiskOp,
     in_service: Option<(SimTime, DiskReq)>,
+    /// Bumped on every fault that voids in-flight service; completions
+    /// stamped with an older generation are stale and ignored.
+    generation: u64,
+    /// Nothing enters service before this time (fault-injected hiccup).
+    stalled_until: SimTime,
+    /// Hard-failed: requests are swallowed without completion notices.
+    failed: bool,
+    /// Requests discarded by fail/reset faults.
+    dropped: u64,
     // statistics
     reads: u64,
     writes: u64,
@@ -71,6 +80,10 @@ impl Disk {
             streak_bytes: 0,
             streak_op: DiskOp::Read,
             in_service: None,
+            generation: 0,
+            stalled_until: SimTime::ZERO,
+            failed: false,
+            dropped: 0,
             reads: 0,
             writes: 0,
             bytes_read: 0,
@@ -152,15 +165,61 @@ impl Disk {
         self.head_pos = req.pos + req.len;
         self.in_service = Some((arrival, req));
         self.publish_gauge();
-        ctx.wake_in(service, Ev::DiskCtl(DiskCtl::Complete));
+        ctx.wake_in(
+            service,
+            Ev::DiskCtl(DiskCtl::Complete {
+                generation: self.generation,
+            }),
+        );
     }
 
     fn dispatch(&mut self, ctx: &mut Ctx<'_, Ev>) {
-        if self.busy {
+        if self.busy || self.failed {
+            return;
+        }
+        if ctx.now() < self.stalled_until {
+            // Re-arm dispatch for when the stall lifts.
+            let wait = self.stalled_until.saturating_sub(ctx.now());
+            ctx.wake_in(wait, Ev::DiskCtl(DiskCtl::Dispatch));
             return;
         }
         if let Some((arrival, req)) = self.pick() {
             self.start_service(ctx, arrival, req);
+        }
+    }
+
+    /// Drop the in-service request and everything queued, without
+    /// completion notices, and invalidate pending completion events.
+    fn void_in_flight(&mut self) {
+        self.generation += 1;
+        self.dropped += self.queue.len() as u64 + u64::from(self.in_service.is_some());
+        self.queue.clear();
+        self.in_service = None;
+        self.busy = false;
+        self.publish_gauge();
+    }
+
+    fn apply_fault(&mut self, ctx: &mut Ctx<'_, Ev>, cmd: FaultCmd) {
+        match cmd {
+            FaultCmd::DiskStall { for_ } => {
+                self.stalled_until = self.stalled_until.max(ctx.now() + for_);
+            }
+            FaultCmd::DiskFail => {
+                self.failed = true;
+                self.void_in_flight();
+            }
+            FaultCmd::DiskRepair => {
+                self.failed = false;
+                ctx.wake_in(SimTime::ZERO, Ev::DiskCtl(DiskCtl::Dispatch));
+            }
+            FaultCmd::Reset => {
+                self.failed = false;
+                self.stalled_until = SimTime::ZERO;
+                self.void_in_flight();
+            }
+            FaultCmd::NetRule(_) | FaultCmd::NetClear => {
+                debug_assert!(false, "network fault sent to a disk");
+            }
         }
     }
 
@@ -203,12 +262,28 @@ impl Disk {
     pub fn queued(&self) -> usize {
         self.queue.len()
     }
+
+    /// Is the disk hard-failed (swallowing requests)?
+    pub fn is_failed(&self) -> bool {
+        self.failed
+    }
+
+    /// Requests discarded by injected faults (never completed).
+    pub fn dropped_requests(&self) -> u64 {
+        self.dropped
+    }
 }
 
 impl Component<Ev> for Disk {
     fn on_event(&mut self, ctx: &mut Ctx<'_, Ev>, ev: Ev) {
         match ev {
             Ev::Disk(req) => {
+                if self.failed {
+                    // A failed disk swallows requests: the caller only ever
+                    // sees a timeout, like a dead IDE drive.
+                    self.dropped += 1;
+                    return;
+                }
                 self.queue.push_back((ctx.now(), req));
                 self.publish_gauge();
                 if !self.busy {
@@ -217,7 +292,11 @@ impl Component<Ev> for Disk {
                     ctx.wake_in(SimTime::ZERO, Ev::DiskCtl(DiskCtl::Dispatch));
                 }
             }
-            Ev::DiskCtl(DiskCtl::Complete) => {
+            Ev::DiskCtl(DiskCtl::Complete { generation }) => {
+                if generation != self.generation {
+                    // Scheduled before a fail/reset voided the service.
+                    return;
+                }
                 let (arrival, req) = self.in_service.take().expect("completion without service");
                 self.busy = false;
                 let latency = ctx.now().saturating_sub(arrival);
@@ -246,6 +325,7 @@ impl Component<Ev> for Disk {
                 ctx.wake_in(wait, Ev::DiskCtl(DiskCtl::Dispatch));
             }
             Ev::DiskCtl(DiskCtl::Dispatch) => self.dispatch(ctx),
+            Ev::Fault(cmd) => self.apply_fault(ctx, cmd),
             _ => debug_assert!(false, "disk received unexpected event"),
         }
     }

@@ -8,7 +8,7 @@
 
 use std::any::Any;
 
-use parblast_simcore::CompId;
+use parblast_simcore::{CompId, SimTime};
 
 /// Disk operation kind.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -200,9 +200,76 @@ impl std::fmt::Debug for Envelope {
 #[derive(Debug, Clone, Copy)]
 pub enum DiskCtl {
     /// The in-service request finished.
-    Complete,
+    Complete {
+        /// Disk service generation at scheduling time; a completion whose
+        /// generation no longer matches (the disk failed or was reset in
+        /// between) is stale and ignored.
+        generation: u64,
+    },
     /// Consider dispatching the next queued request.
     Dispatch,
+}
+
+/// Fault-injection command, addressed to a [`crate::disk::Disk`], the
+/// [`crate::net::Network`], or any protocol component that keeps transient
+/// per-request state (see [`FaultCmd::Reset`]). Faults flow through the
+/// ordinary event queue so that injection is deterministic and visible in
+/// the engine trace.
+#[derive(Debug, Clone)]
+pub enum FaultCmd {
+    /// Disk: freeze the head — nothing new enters service until `for_` has
+    /// elapsed. In-flight service finishes normally (a hiccup, not a loss).
+    DiskStall {
+        /// Stall duration from the moment the command is delivered.
+        for_: SimTime,
+    },
+    /// Disk: hard failure — the in-service request and everything queued is
+    /// discarded without completion notices, and later requests are
+    /// swallowed too. Callers observe this only as a timeout.
+    DiskFail,
+    /// Disk: undo [`FaultCmd::DiskFail`]; subsequent requests serve
+    /// normally (requests lost while failed stay lost).
+    DiskRepair,
+    /// Discard all transient per-request state. Sent to every component of
+    /// a server when it is revived after a crash, so a restarted daemon
+    /// does not resume half-finished work from before the crash.
+    Reset,
+    /// Network: install a drop/delay rule.
+    NetRule(NetFaultRule),
+    /// Network: remove every installed rule.
+    NetClear,
+}
+
+/// What a matching [`NetFaultRule`] does to a message.
+#[derive(Debug, Clone, Copy)]
+pub enum NetFaultMode {
+    /// Silently discard the message (no NIC occupancy, no delivery).
+    Drop,
+    /// Deliver, but add this much extra wire latency.
+    Delay(SimTime),
+}
+
+/// A network fault rule: matches messages by source/destination node until
+/// a deadline and applies [`NetFaultMode`] to them.
+#[derive(Debug, Clone, Copy)]
+pub struct NetFaultRule {
+    /// Match messages from this node (`None` = any source).
+    pub src: Option<u32>,
+    /// Match messages to this node (`None` = any destination).
+    pub dst: Option<u32>,
+    /// The rule stops matching at this simulation time.
+    pub until: SimTime,
+    /// Action applied to matched messages.
+    pub mode: NetFaultMode,
+}
+
+impl NetFaultRule {
+    /// Does this rule apply to a `src → dst` message at time `now`?
+    pub fn matches(&self, now: SimTime, src: u32, dst: u32) -> bool {
+        now < self.until
+            && self.src.is_none_or(|s| s == src)
+            && self.dst.is_none_or(|d| d == dst)
+    }
 }
 
 /// The cluster-wide event type.
@@ -231,6 +298,8 @@ pub enum Ev {
     },
     /// Generic timer with a caller-defined tag.
     Timer(u64),
+    /// Fault-injection command (see [`FaultCmd`]).
+    Fault(FaultCmd),
     /// Protocol-level message.
     User(Envelope),
 }

@@ -1,0 +1,555 @@
+//! Deterministic fault injection.
+//!
+//! A [`FaultSchedule`] is a declarative list of `(time, fault)` pairs built
+//! up-front; a [`FaultInjector`] component replays it inside the engine's
+//! event queue. Because every fault is applied by an ordinary event at a
+//! precise simulation time, two runs with the same schedule and engine seed
+//! produce bit-identical traces — there is no out-of-band mutation.
+//!
+//! Fault classes:
+//!
+//! * **Server crash/revive** — every component registered for the server is
+//!   atomically disabled in the engine (its pending and future events are
+//!   dropped, exactly like a powered-off node); revival re-enables them and
+//!   sends [`FaultCmd::Reset`] so daemons discard pre-crash state.
+//! * **Disk stall/fail/repair** — delivered to the node's [`crate::Disk`]
+//!   as [`FaultCmd`]s: a stall freezes the head for a duration, a failure
+//!   swallows requests without completions until repaired.
+//! * **Network drop/delay** — installs a [`NetFaultRule`] on the
+//!   [`crate::Network`], matching messages by `(src, dst)` until a
+//!   deadline.
+
+use std::collections::HashMap;
+
+use parblast_simcore::{CompId, Component, Ctx, Engine, SimTime};
+
+use crate::event::{Ev, FaultCmd, NetFaultMode, NetFaultRule};
+
+/// One injectable fault.
+#[derive(Debug, Clone)]
+pub enum Fault {
+    /// Disable every component registered for `server` (see
+    /// [`FaultInjector::register_server`]).
+    ServerCrash {
+        /// Server identifier used at registration.
+        server: usize,
+    },
+    /// Re-enable `server`'s components and send each a [`FaultCmd::Reset`].
+    ServerRevive {
+        /// Server identifier used at registration.
+        server: usize,
+    },
+    /// Freeze `node`'s disk head for `for_`.
+    DiskStall {
+        /// Node whose disk stalls.
+        node: u32,
+        /// Stall duration.
+        for_: SimTime,
+    },
+    /// Hard-fail `node`'s disk: requests vanish until repaired.
+    DiskFail {
+        /// Node whose disk fails.
+        node: u32,
+    },
+    /// Repair `node`'s disk.
+    DiskRepair {
+        /// Node whose disk recovers.
+        node: u32,
+    },
+    /// Drop every matching `src → dst` message until `until`.
+    NetDrop {
+        /// Source filter (`None` = any).
+        src: Option<u32>,
+        /// Destination filter (`None` = any).
+        dst: Option<u32>,
+        /// Rule expiry time.
+        until: SimTime,
+    },
+    /// Delay every matching `src → dst` message by `delay` until `until`.
+    NetDelay {
+        /// Source filter (`None` = any).
+        src: Option<u32>,
+        /// Destination filter (`None` = any).
+        dst: Option<u32>,
+        /// Extra latency added to matched messages.
+        delay: SimTime,
+        /// Rule expiry time.
+        until: SimTime,
+    },
+}
+
+/// A fault bound to its injection time.
+#[derive(Debug, Clone)]
+pub struct FaultEvent {
+    /// Simulation time at which the fault fires.
+    pub at: SimTime,
+    /// What happens.
+    pub fault: Fault,
+}
+
+/// Declarative, time-ordered fault plan (builder style).
+///
+/// ```
+/// use parblast_hwsim::FaultSchedule;
+/// use parblast_simcore::SimTime;
+///
+/// let plan = FaultSchedule::new()
+///     .crash_server(SimTime::from_secs(30), 2)
+///     .revive_server(SimTime::from_secs(90), 2)
+///     .fail_disk(SimTime::from_secs(10), 5);
+/// assert_eq!(plan.events().len(), 3);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct FaultSchedule {
+    events: Vec<FaultEvent>,
+}
+
+impl FaultSchedule {
+    /// Empty schedule.
+    pub fn new() -> Self {
+        FaultSchedule::default()
+    }
+
+    /// Append an arbitrary fault event.
+    pub fn push(mut self, at: SimTime, fault: Fault) -> Self {
+        self.events.push(FaultEvent { at, fault });
+        self
+    }
+
+    /// Crash `server` at `at`.
+    pub fn crash_server(self, at: SimTime, server: usize) -> Self {
+        self.push(at, Fault::ServerCrash { server })
+    }
+
+    /// Revive `server` at `at`.
+    pub fn revive_server(self, at: SimTime, server: usize) -> Self {
+        self.push(at, Fault::ServerRevive { server })
+    }
+
+    /// Stall `node`'s disk for `for_` starting at `at`.
+    pub fn stall_disk(self, at: SimTime, node: u32, for_: SimTime) -> Self {
+        self.push(at, Fault::DiskStall { node, for_ })
+    }
+
+    /// Hard-fail `node`'s disk at `at`.
+    pub fn fail_disk(self, at: SimTime, node: u32) -> Self {
+        self.push(at, Fault::DiskFail { node })
+    }
+
+    /// Repair `node`'s disk at `at`.
+    pub fn repair_disk(self, at: SimTime, node: u32) -> Self {
+        self.push(at, Fault::DiskRepair { node })
+    }
+
+    /// Drop `src → dst` messages from `at` until `until`.
+    pub fn drop_messages(
+        self,
+        at: SimTime,
+        src: Option<u32>,
+        dst: Option<u32>,
+        until: SimTime,
+    ) -> Self {
+        self.push(at, Fault::NetDrop { src, dst, until })
+    }
+
+    /// Delay `src → dst` messages by `delay` from `at` until `until`.
+    pub fn delay_messages(
+        self,
+        at: SimTime,
+        src: Option<u32>,
+        dst: Option<u32>,
+        delay: SimTime,
+        until: SimTime,
+    ) -> Self {
+        self.push(at, Fault::NetDelay {
+            src,
+            dst,
+            delay,
+            until,
+        })
+    }
+
+    /// The scheduled events, in insertion order.
+    pub fn events(&self) -> &[FaultEvent] {
+        &self.events
+    }
+
+    /// No faults scheduled?
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+}
+
+/// Component that replays a [`FaultSchedule`].
+///
+/// Build it, register the targets (servers, disks, the network), then
+/// [`install`](FaultInjector::install) it into the engine. Targets are
+/// registered by the simulation builder, which knows the component ids;
+/// the schedule itself stays purely declarative.
+pub struct FaultInjector {
+    /// Events sorted by time (stable, so same-time faults keep insertion
+    /// order).
+    schedule: Vec<FaultEvent>,
+    next: usize,
+    servers: HashMap<usize, Vec<CompId>>,
+    disks: HashMap<u32, CompId>,
+    net: Option<CompId>,
+    injected: u64,
+    name: String,
+}
+
+impl FaultInjector {
+    /// New injector for `schedule`.
+    pub fn new(schedule: FaultSchedule) -> Self {
+        let mut events = schedule.events;
+        events.sort_by_key(|e| e.at);
+        FaultInjector {
+            schedule: events,
+            next: 0,
+            servers: HashMap::new(),
+            disks: HashMap::new(),
+            net: None,
+            injected: 0,
+            name: "fault-injector".into(),
+        }
+    }
+
+    /// Register the components that make up data server `server` (its iod
+    /// or CEFT daemon, load monitor, …). Crashing the server disables all
+    /// of them; reviving re-enables and resets them.
+    pub fn register_server(&mut self, server: usize, comps: Vec<CompId>) {
+        self.servers.entry(server).or_default().extend(comps);
+    }
+
+    /// Register `node`'s disk component.
+    pub fn register_disk(&mut self, node: u32, disk: CompId) {
+        self.disks.insert(node, disk);
+    }
+
+    /// Register the network component.
+    pub fn register_net(&mut self, net: CompId) {
+        self.net = Some(net);
+    }
+
+    /// Faults applied so far.
+    pub fn injected(&self) -> u64 {
+        self.injected
+    }
+
+    /// Add the injector to `eng` and arm its first timer. Returns the
+    /// injector's component id (useful for inspection after the run).
+    pub fn install(self, eng: &mut Engine<Ev>) -> CompId {
+        let first = self.schedule.first().map(|e| e.at);
+        let id = eng.add(self);
+        if let Some(at) = first {
+            eng.schedule(at, id, Ev::Timer(0));
+        }
+        id
+    }
+
+    fn apply(&mut self, ctx: &mut Ctx<'_, Ev>, fault: Fault) {
+        self.injected += 1;
+        match fault {
+            Fault::ServerCrash { server } => {
+                for &comp in self.servers.get(&server).into_iter().flatten() {
+                    ctx.set_component_enabled(comp, false);
+                }
+            }
+            Fault::ServerRevive { server } => {
+                let comps = self.servers.get(&server).cloned().unwrap_or_default();
+                for comp in comps {
+                    ctx.set_component_enabled(comp, true);
+                    ctx.send(comp, Ev::Fault(FaultCmd::Reset));
+                }
+            }
+            Fault::DiskStall { node, for_ } => {
+                if let Some(&disk) = self.disks.get(&node) {
+                    ctx.send(disk, Ev::Fault(FaultCmd::DiskStall { for_ }));
+                }
+            }
+            Fault::DiskFail { node } => {
+                if let Some(&disk) = self.disks.get(&node) {
+                    ctx.send(disk, Ev::Fault(FaultCmd::DiskFail));
+                }
+            }
+            Fault::DiskRepair { node } => {
+                if let Some(&disk) = self.disks.get(&node) {
+                    ctx.send(disk, Ev::Fault(FaultCmd::DiskRepair));
+                }
+            }
+            Fault::NetDrop { src, dst, until } => {
+                if let Some(net) = self.net {
+                    ctx.send(
+                        net,
+                        Ev::Fault(FaultCmd::NetRule(NetFaultRule {
+                            src,
+                            dst,
+                            until,
+                            mode: NetFaultMode::Drop,
+                        })),
+                    );
+                }
+            }
+            Fault::NetDelay {
+                src,
+                dst,
+                delay,
+                until,
+            } => {
+                if let Some(net) = self.net {
+                    ctx.send(
+                        net,
+                        Ev::Fault(FaultCmd::NetRule(NetFaultRule {
+                            src,
+                            dst,
+                            until,
+                            mode: NetFaultMode::Delay(delay),
+                        })),
+                    );
+                }
+            }
+        }
+    }
+}
+
+impl Component<Ev> for FaultInjector {
+    fn on_event(&mut self, ctx: &mut Ctx<'_, Ev>, _ev: Ev) {
+        // Apply every fault due now, then re-arm for the next one.
+        while self.next < self.schedule.len() && self.schedule[self.next].at <= ctx.now() {
+            let fault = self.schedule[self.next].fault.clone();
+            self.next += 1;
+            self.apply(ctx, fault);
+        }
+        if let Some(e) = self.schedule.get(self.next) {
+            let wait = e.at.saturating_sub(ctx.now());
+            ctx.wake_in(wait, Ev::Timer(0));
+        }
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{DiskDone, DiskOp, DiskReq, NetSend};
+    use crate::params::{DiskParams, NetParams, MIB};
+    use crate::{Disk, Network};
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    struct Sink {
+        done: Rc<RefCell<Vec<(SimTime, u64)>>>,
+    }
+    impl Component<Ev> for Sink {
+        fn on_event(&mut self, ctx: &mut Ctx<'_, Ev>, ev: Ev) {
+            match ev {
+                Ev::DiskDone(DiskDone { tag, .. }) => {
+                    self.done.borrow_mut().push((ctx.now(), tag));
+                }
+                Ev::User(_) => {
+                    self.done.borrow_mut().push((ctx.now(), 0));
+                }
+                _ => {}
+            }
+        }
+    }
+
+    fn disk_req(pos: u64, reply_to: CompId, tag: u64) -> DiskReq {
+        DiskReq {
+            op: DiskOp::Read,
+            pos,
+            len: MIB,
+            reply_to,
+            tag,
+        }
+    }
+
+    #[test]
+    fn failed_disk_swallows_requests_until_repair() {
+        let mut eng: Engine<Ev> = Engine::new(0);
+        let done = Rc::new(RefCell::new(vec![]));
+        let sink = eng.add(Sink { done: done.clone() });
+        let disk = eng.add(Disk::new("d0", DiskParams::default()));
+        let plan = FaultSchedule::new()
+            .fail_disk(SimTime::from_secs(1), 0)
+            .repair_disk(SimTime::from_secs(5), 0);
+        let mut inj = FaultInjector::new(plan);
+        inj.register_disk(0, disk);
+        inj.install(&mut eng);
+        // One request before the failure (completes), one during (lost),
+        // one after repair (completes).
+        eng.schedule(SimTime::ZERO, disk, Ev::Disk(disk_req(0, sink, 1)));
+        eng.schedule(SimTime::from_secs(2), disk, Ev::Disk(disk_req(1 << 30, sink, 2)));
+        eng.schedule(SimTime::from_secs(6), disk, Ev::Disk(disk_req(2 << 30, sink, 3)));
+        eng.run();
+        let tags: Vec<u64> = done.borrow().iter().map(|&(_, t)| t).collect();
+        assert_eq!(tags, vec![1, 3]);
+        let d = eng.component::<Disk>(disk);
+        assert!(!d.is_failed());
+        assert_eq!(d.dropped_requests(), 1);
+    }
+
+    #[test]
+    fn disk_failure_voids_in_flight_request() {
+        let mut eng: Engine<Ev> = Engine::new(0);
+        let done = Rc::new(RefCell::new(vec![]));
+        let sink = eng.add(Sink { done: done.clone() });
+        let disk = eng.add(Disk::new("d0", DiskParams::default()));
+        // 64 MiB at 26 MB/s ≈ 2.5 s service; fail at 1 s, mid-service.
+        let plan = FaultSchedule::new().fail_disk(SimTime::from_secs(1), 0);
+        let mut inj = FaultInjector::new(plan);
+        inj.register_disk(0, disk);
+        inj.install(&mut eng);
+        eng.schedule(
+            SimTime::ZERO,
+            disk,
+            Ev::Disk(DiskReq {
+                op: DiskOp::Read,
+                pos: 0,
+                len: 64 * MIB,
+                reply_to: sink,
+                tag: 9,
+            }),
+        );
+        eng.run();
+        assert!(done.borrow().is_empty(), "voided request must not complete");
+        assert_eq!(eng.component::<Disk>(disk).dropped_requests(), 1);
+    }
+
+    #[test]
+    fn stalled_disk_delays_service() {
+        let service = |eng: &mut Engine<Ev>, stall: Option<SimTime>| {
+            let done = Rc::new(RefCell::new(vec![]));
+            let sink = eng.add(Sink { done: done.clone() });
+            let disk = eng.add(Disk::new("d0", DiskParams::default()));
+            if let Some(for_) = stall {
+                let plan = FaultSchedule::new().stall_disk(SimTime::ZERO, 0, for_);
+                let mut inj = FaultInjector::new(plan);
+                inj.register_disk(0, disk);
+                inj.install(eng);
+            }
+            eng.schedule(SimTime::ZERO, disk, Ev::Disk(disk_req(0, sink, 1)));
+            eng.run();
+            let t = done.borrow()[0].0;
+            t
+        };
+        let clean = service(&mut Engine::new(0), None);
+        let stalled = service(&mut Engine::new(0), Some(SimTime::from_secs(3)));
+        let extra = stalled.saturating_sub(clean).as_secs_f64();
+        assert!((extra - 3.0).abs() < 0.01, "stall added {extra} s");
+    }
+
+    #[test]
+    fn net_rules_drop_and_expire() {
+        let mut eng: Engine<Ev> = Engine::new(0);
+        let done = Rc::new(RefCell::new(vec![]));
+        let sink = eng.add(Sink { done: done.clone() });
+        let net = eng.add(Network::new("net", 2, vec![], NetParams::default()));
+        let plan = FaultSchedule::new().drop_messages(
+            SimTime::ZERO,
+            Some(0),
+            None,
+            SimTime::from_secs(2),
+        );
+        let mut inj = FaultInjector::new(plan);
+        inj.register_net(net);
+        inj.install(&mut eng);
+        let send = |eng: &mut Engine<Ev>, at: SimTime, src: u32| {
+            eng.schedule(
+                at,
+                net,
+                Ev::Net(NetSend {
+                    src_node: src,
+                    dst_node: 1,
+                    bytes: 1024,
+                    dst: sink,
+                    payload: Box::new(42u32),
+                }),
+            );
+        };
+        send(&mut eng, SimTime::from_secs(1), 0); // dropped (rule active)
+        send(&mut eng, SimTime::from_secs(1), 1); // delivered (src filter)
+        send(&mut eng, SimTime::from_secs(3), 0); // delivered (rule expired)
+        eng.run();
+        assert_eq!(done.borrow().len(), 2);
+        assert_eq!(eng.component::<Network>(net).dropped(), 1);
+    }
+
+    #[test]
+    fn net_delay_slows_matched_messages() {
+        let mut eng: Engine<Ev> = Engine::new(0);
+        let done = Rc::new(RefCell::new(vec![]));
+        let sink = eng.add(Sink { done: done.clone() });
+        let net = eng.add(Network::new("net", 2, vec![], NetParams::default()));
+        let plan = FaultSchedule::new().delay_messages(
+            SimTime::ZERO,
+            None,
+            Some(1),
+            SimTime::from_secs(2),
+            SimTime::from_secs(100),
+        );
+        let mut inj = FaultInjector::new(plan);
+        inj.register_net(net);
+        inj.install(&mut eng);
+        eng.schedule(
+            SimTime::from_secs(1),
+            net,
+            Ev::Net(NetSend {
+                src_node: 0,
+                dst_node: 1,
+                bytes: 1024,
+                dst: sink,
+                payload: Box::new(42u32),
+            }),
+        );
+        eng.run();
+        let t = done.borrow()[0].0.as_secs_f64();
+        assert!(t > 3.0 && t < 3.1, "delayed delivery at {t}");
+        assert_eq!(eng.component::<Network>(net).delayed(), 1);
+    }
+
+    #[test]
+    fn crash_disables_and_revive_resets() {
+        struct Echo {
+            got: Rc<RefCell<Vec<SimTime>>>,
+            resets: Rc<RefCell<u32>>,
+        }
+        impl Component<Ev> for Echo {
+            fn on_event(&mut self, ctx: &mut Ctx<'_, Ev>, ev: Ev) {
+                match ev {
+                    Ev::Fault(FaultCmd::Reset) => *self.resets.borrow_mut() += 1,
+                    _ => self.got.borrow_mut().push(ctx.now()),
+                }
+            }
+        }
+        let mut eng: Engine<Ev> = Engine::new(0);
+        let got = Rc::new(RefCell::new(vec![]));
+        let resets = Rc::new(RefCell::new(0));
+        let echo = eng.add(Echo {
+            got: got.clone(),
+            resets: resets.clone(),
+        });
+        let plan = FaultSchedule::new()
+            .crash_server(SimTime::from_secs(1), 7)
+            .revive_server(SimTime::from_secs(3), 7);
+        let mut inj = FaultInjector::new(plan);
+        inj.register_server(7, vec![echo]);
+        inj.install(&mut eng);
+        for s in [0u64, 2, 4] {
+            eng.schedule(SimTime::from_secs(s), echo, Ev::Timer(s));
+        }
+        eng.run();
+        // t=2 lands in the crash window and is dropped by the engine.
+        let times: Vec<u64> = got
+            .borrow()
+            .iter()
+            .map(|t| t.as_nanos() / 1_000_000_000)
+            .collect();
+        assert_eq!(times, vec![0, 4]);
+        assert_eq!(*resets.borrow(), 1);
+        assert_eq!(eng.events_dropped(), 1);
+    }
+}

@@ -22,6 +22,7 @@ pub mod cluster;
 pub mod cpu;
 pub mod disk;
 pub mod event;
+pub mod fault;
 pub mod localfs;
 pub mod net;
 pub mod params;
@@ -32,8 +33,10 @@ pub use cluster::{Cluster, NodeIds};
 pub use cpu::Cpu;
 pub use disk::{Disk, DiskGauge};
 pub use event::{
-    CpuDone, CpuMsg, DiskCtl, DiskDone, DiskOp, DiskReq, Envelope, Ev, FsDone, FsMsg, NetSend,
+    CpuDone, CpuMsg, DiskCtl, DiskDone, DiskOp, DiskReq, Envelope, Ev, FaultCmd, FsDone, FsMsg,
+    NetFaultMode, NetFaultRule, NetSend,
 };
+pub use fault::{Fault, FaultEvent, FaultInjector, FaultSchedule};
 pub use localfs::{file_pos, LocalFs};
 pub use net::Network;
 pub use params::{DiskParams, HwParams, NetParams, NodeParams, GIB, KIB, MIB};

@@ -14,7 +14,7 @@
 
 use parblast_simcore::{CompId, Component, Ctx, SimTime, Summary};
 
-use crate::event::{CpuMsg, Envelope, Ev, NetSend};
+use crate::event::{CpuMsg, Envelope, Ev, FaultCmd, NetFaultMode, NetFaultRule, NetSend};
 use crate::params::NetParams;
 
 struct Nic {
@@ -30,6 +30,10 @@ pub struct Network {
     nics: Vec<Nic>,
     cpus: Vec<CompId>,
     msgs: u64,
+    /// Fault-injected drop/delay rules, first match wins.
+    rules: Vec<NetFaultRule>,
+    dropped: u64,
+    delayed: u64,
     delivery_latency: Summary,
     name: String,
 }
@@ -50,6 +54,9 @@ impl Network {
                 .collect(),
             cpus,
             msgs: 0,
+            rules: Vec::new(),
+            dropped: 0,
+            delayed: 0,
             delivery_latency: Summary::new(),
             name: name.into(),
         }
@@ -58,6 +65,16 @@ impl Network {
     /// Messages carried.
     pub fn messages(&self) -> u64 {
         self.msgs
+    }
+
+    /// Messages discarded by fault-injected drop rules.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Messages slowed by fault-injected delay rules.
+    pub fn delayed(&self) -> u64 {
+        self.delayed
     }
 
     /// Bytes through node `i`'s NIC `(tx, rx)`.
@@ -80,16 +97,44 @@ impl Network {
 
 impl Component<Ev> for Network {
     fn on_event(&mut self, ctx: &mut Ctx<'_, Ev>, ev: Ev) {
-        let Ev::Net(NetSend {
+        let NetSend {
             src_node,
             dst_node,
             bytes,
             dst,
             payload,
-        }) = ev
-        else {
-            debug_assert!(false, "network received unexpected event");
-            return;
+        } = match ev {
+            Ev::Net(send) => send,
+            Ev::Fault(FaultCmd::NetRule(rule)) => {
+                self.rules.push(rule);
+                return;
+            }
+            Ev::Fault(FaultCmd::NetClear | FaultCmd::Reset) => {
+                self.rules.clear();
+                return;
+            }
+            _ => {
+                debug_assert!(false, "network received unexpected event");
+                return;
+            }
+        };
+        // Fault rules are consulted before any NIC accounting: a dropped
+        // message vanishes as if the switch ate the frame.
+        let fault_delay = match self
+            .rules
+            .iter()
+            .find(|r| r.matches(ctx.now(), src_node, dst_node))
+            .map(|r| r.mode)
+        {
+            Some(NetFaultMode::Drop) => {
+                self.dropped += 1;
+                return;
+            }
+            Some(NetFaultMode::Delay(d)) => {
+                self.delayed += 1;
+                d
+            }
+            None => SimTime::ZERO,
         };
         self.msgs += 1;
         // Loopback (src == dst) is NOT free: 2003 localhost TCP still
@@ -100,7 +145,7 @@ impl Component<Ev> for Network {
             SimTime::from_micros(5)
         } else {
             SimTime::from_secs_f64(self.params.latency_s)
-        };
+        } + fault_delay;
 
         let tx = &mut self.nics[src_node as usize];
         let tx_start = tx.tx_free.max(ctx.now());

@@ -82,6 +82,12 @@ struct FragmentResult {
     hits: Vec<Hit>,
 }
 
+/// How many times the master hands out the same task before giving up and
+/// failing the whole job (mpiBLAST-style abort-and-reassign: a transient
+/// worker/I/O failure re-queues the fragment for another worker; a
+/// persistent one surfaces as the job's error).
+const MAX_TASK_ATTEMPTS: u32 = 3;
+
 /// One unit of work: a fragment to search with a (sub-)query whose first
 /// residue sits at `q_offset` of the original query.
 #[derive(Debug, Clone)]
@@ -222,12 +228,15 @@ impl ParallelBlast {
                     .collect()
             }
         };
-        let (task_tx, task_rx) = channel::unbounded::<Task>();
+        // The master keeps the task sender so failed tasks can be handed
+        // back out (abort-and-reassign); workers exit when it is dropped.
+        let (task_tx, task_rx) = channel::unbounded::<(Task, u32)>();
+        let mut outstanding = tasks.len();
         for t in tasks {
-            task_tx.send(t).expect("queue");
+            task_tx.send((t, 1)).expect("queue");
         }
-        drop(task_tx); // workers drain until empty
-        let (res_tx, res_rx) = channel::unbounded::<io::Result<FragmentResult>>();
+        let (res_tx, res_rx) =
+            channel::unbounded::<(Task, u32, io::Result<FragmentResult>)>();
         let copy_total = AtomicU64::new(0);
 
         std::thread::scope(|scope| {
@@ -237,7 +246,7 @@ impl ParallelBlast {
                 let tracer = self.tracer.clone();
                 let copy_total = &copy_total;
                 scope.spawn(move || {
-                    while let Ok(task) = task_rx.recv() {
+                    while let Ok((task, attempt)) = task_rx.recv() {
                         let piece = &query[task.q_offset..task.q_offset + task.q_len];
                         let r = self
                             .search_fragment(w, &task.fragment, piece, &tracer, copy_total)
@@ -251,7 +260,7 @@ impl ParallelBlast {
                                 }
                                 fr
                             });
-                        if res_tx.send(r).is_err() {
+                        if res_tx.send((task, attempt, r)).is_err() {
                             break;
                         }
                     }
@@ -260,8 +269,27 @@ impl ParallelBlast {
             drop(res_tx);
             let mut hits: Vec<Hit> = Vec::new();
             let mut per_fragment = Vec::new();
-            for r in res_rx {
-                let fr = r?;
+            let mut failure: Option<io::Error> = None;
+            while outstanding > 0 {
+                let (task, attempt, r) = res_rx.recv().expect("workers alive");
+                outstanding -= 1;
+                let fr = match r {
+                    Ok(fr) => fr,
+                    Err(_) if attempt < MAX_TASK_ATTEMPTS && failure.is_none() => {
+                        // Reassign: another worker (or the same one later)
+                        // retries the fragment — a CEFT-backed scheme will
+                        // have failed over to the mirror by then.
+                        task_tx.send((task, attempt + 1)).expect("queue");
+                        outstanding += 1;
+                        continue;
+                    }
+                    Err(e) => {
+                        // Attempts exhausted: stop reassigning, drain the
+                        // in-flight tasks, and report the first error.
+                        failure.get_or_insert(e);
+                        continue;
+                    }
+                };
                 per_fragment.push((fr.worker, fr.search_s));
                 for hit in fr.hits {
                     // Under query segmentation the same subject can be
@@ -286,6 +314,10 @@ impl ParallelBlast {
                         hits.push(hit);
                     }
                 }
+            }
+            drop(task_tx); // all tasks done (or job failed): workers exit
+            if let Some(e) = failure {
+                return Err(e);
             }
             // Master merge: rank across fragments by E-value then score,
             // like mpiBLAST's score-ordered merge.

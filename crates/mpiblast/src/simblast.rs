@@ -14,13 +14,13 @@
 //! * the master hands fragments to idle workers and the run ends when the
 //!   last fragment completes (makespan).
 
-use parblast_ceft::{Ceft, CeftConfig};
+use parblast_ceft::{Ceft, CeftClient, CeftConfig};
 use parblast_hwsim::{
-    start_stressor, Cluster, DiskStressor, Envelope, Ev, FsDone, FsMsg, HwParams, NetSend,
-    StressorConfig, CpuMsg,
+    start_stressor, Cluster, DiskStressor, Envelope, Ev, FaultInjector, FaultSchedule, FsDone,
+    FsMsg, HwParams, NetSend, StressorConfig, CpuMsg,
 };
-use parblast_pvfs::{ClientReq, ClientResp, Pvfs, CTRL_BYTES};
-use parblast_simcore::{CompId, Component, Ctx, Engine, SimTime};
+use parblast_pvfs::{ClientReq, ClientResp, Pvfs, PvfsClient, RetryPolicy, CTRL_BYTES};
+use parblast_simcore::{CompId, Component, Ctx, Engine, SimTime, TraceEntry};
 
 /// Which simulated I/O scheme to use.
 #[derive(Debug, Clone)]
@@ -85,6 +85,14 @@ pub struct SimBlastConfig {
     pub ceft: CeftConfig,
     /// Nodes whose disk is stressed by the Figure 8 program from t=0.
     pub stress_nodes: Vec<u32>,
+    /// Deterministic fault schedule (server crashes, disk and network
+    /// faults). Server indices are layout order: for CEFT, `0..N` is the
+    /// primary group and `N..2N` the mirror group.
+    pub faults: FaultSchedule,
+    /// Client timeout/retry policy. `None` picks automatically: disabled
+    /// (the faithful retry-free protocols) for a fault-free run, the
+    /// default policy when `faults` is non-empty.
+    pub retry: Option<RetryPolicy>,
     /// Delay before the job starts (lets CEFT's heartbeat monitors observe
     /// a pre-existing hot spot, matching the experimental procedure).
     pub warmup_s: f64,
@@ -94,6 +102,10 @@ pub struct SimBlastConfig {
     pub seed: u64,
     /// Simulation horizon (guards against runaway configurations).
     pub horizon_s: f64,
+    /// Record every event delivery; the trace lands in
+    /// [`SimOutcome::trace`] (determinism audits — off by default, it is
+    /// one entry per event).
+    pub capture_trace: bool,
 }
 
 impl Default for SimBlastConfig {
@@ -116,10 +128,13 @@ impl Default for SimBlastConfig {
             result_write_bytes: 690,
             ceft: CeftConfig::default(),
             stress_nodes: Vec::new(),
+            faults: FaultSchedule::default(),
+            retry: None,
             warmup_s: 2.0,
             hw: HwParams::default(),
             seed: 42,
             horizon_s: 40_000.0,
+            capture_trace: false,
         }
     }
 }
@@ -140,7 +155,7 @@ pub struct WorkerStats {
 /// Outcome of one simulated run.
 #[derive(Debug, Clone)]
 pub struct SimOutcome {
-    /// Job start → last fragment completion, seconds.
+    /// Job start → last fragment completion (or abort/horizon), seconds.
     pub makespan_s: f64,
     /// Per-worker statistics.
     pub per_worker: Vec<WorkerStats>,
@@ -148,6 +163,19 @@ pub struct SimOutcome {
     pub io_fraction: f64,
     /// Parts redirected away from hot servers (CEFT only).
     pub skipped_parts: u64,
+    /// Did every fragment complete? `false` with an `error` means the job
+    /// aborted on an I/O error; `false` without one means it hung until
+    /// the horizon (original PVFS's behavior on a dead server).
+    pub completed: bool,
+    /// The I/O error that aborted the job, if any.
+    pub error: Option<String>,
+    /// Client requests re-sent after a timeout, summed over workers.
+    pub retries: u64,
+    /// Timed-out reads re-routed to a mirror partner (CEFT only).
+    pub failovers: u64,
+    /// Event-delivery trace (empty unless
+    /// [`SimBlastConfig::capture_trace`] was set).
+    pub trace: Vec<TraceEntry>,
 }
 
 const FRAG_FILE_BASE: u64 = 500;
@@ -155,8 +183,21 @@ const FRAG_FILE_BASE: u64 = 500;
 /// Messages between master and workers.
 #[derive(Debug, Clone)]
 enum JobMsg {
-    Assign { fragment: u32, size: u64 },
-    Done { worker: u32 },
+    Assign {
+        fragment: u32,
+        size: u64,
+    },
+    Done {
+        worker: u32,
+    },
+    /// A fragment's I/O failed past the client's retry budget; the worker
+    /// aborted it and is idle again.
+    Failed {
+        worker: u32,
+        fragment: u32,
+        size: u64,
+        error: String,
+    },
 }
 
 /// Adapter giving the Original scheme the same `ClientReq`/`ClientResp`
@@ -396,6 +437,30 @@ impl Component<Ev> for SimWorker {
                             ClientResp::ReadDone { .. } | ClientResp::WriteDone { .. } => {
                                 self.issue_write_or_finish(ctx);
                             }
+                            ClientResp::Error { error, .. } => {
+                                // The client gave up on a server. Abort the
+                                // fragment and hand it back to the master
+                                // for reassignment.
+                                let (fragment, size) =
+                                    self.fragment.take().expect("assigned");
+                                self.cpu_pending = 0;
+                                let worker = self.index;
+                                ctx.send(
+                                    self.net,
+                                    Ev::Net(NetSend {
+                                        src_node: self.node,
+                                        dst_node: self.master.0,
+                                        bytes: CTRL_BYTES,
+                                        dst: self.master.1,
+                                        payload: Box::new(JobMsg::Failed {
+                                            worker,
+                                            fragment,
+                                            size,
+                                            error: error.to_string(),
+                                        }),
+                                    }),
+                                );
+                            }
                         }
                     }
                 }
@@ -429,6 +494,11 @@ struct SimMaster {
     node: u32,
     started: Option<SimTime>,
     finished: Option<SimTime>,
+    /// Failed deliveries per fragment (abort-and-reassign bookkeeping).
+    fail_counts: std::collections::HashMap<u32, u32>,
+    /// Reassignments of a failed fragment before the job aborts.
+    max_fragment_attempts: u32,
+    error: Option<String>,
     name: String,
 }
 
@@ -464,15 +534,41 @@ impl Component<Ev> for SimMaster {
             }
             Ev::User(env) => {
                 let msg: JobMsg = env.expect();
-                if let JobMsg::Done { worker } = msg {
-                    self.outstanding -= 1;
-                    self.assign(ctx, worker);
-                    if self.fragments.is_empty()
-                        && self.outstanding == 0
-                        && self.finished.is_none()
-                    {
-                        self.finished = Some(ctx.now());
+                match msg {
+                    JobMsg::Done { worker } => {
+                        self.outstanding -= 1;
+                        self.assign(ctx, worker);
+                        if self.fragments.is_empty()
+                            && self.outstanding == 0
+                            && self.finished.is_none()
+                        {
+                            self.finished = Some(ctx.now());
+                        }
                     }
+                    JobMsg::Failed {
+                        worker,
+                        fragment,
+                        size,
+                        error,
+                    } => {
+                        self.outstanding -= 1;
+                        let n = self.fail_counts.entry(fragment).or_insert(0);
+                        *n += 1;
+                        if *n >= self.max_fragment_attempts {
+                            // Every reassignment died the same way: the
+                            // file system has lost data. Abort the job
+                            // with a reported error (what the paper's
+                            // PVFS cannot avoid after a server crash).
+                            if self.finished.is_none() {
+                                self.error = Some(error);
+                                self.finished = Some(ctx.now());
+                            }
+                        } else {
+                            self.fragments.push((fragment, size));
+                            self.assign(ctx, worker);
+                        }
+                    }
+                    JobMsg::Assign { .. } => {}
                 }
             }
             _ => {}
@@ -487,14 +583,34 @@ impl Component<Ev> for SimMaster {
 /// Run one simulated parallel BLAST job.
 pub fn run_simblast(cfg: &SimBlastConfig) -> SimOutcome {
     let mut eng: Engine<Ev> = Engine::new(cfg.seed);
+    if cfg.capture_trace {
+        eng.enable_trace();
+    }
     let cluster = Cluster::build(&mut eng, cfg.nodes, cfg.hw.clone());
 
     // Fragment sizes: equal split of the database.
     let frag_size = cfg.db_bytes / cfg.fragments as u64;
     let fragments: Vec<(u32, u64)> = (0..cfg.fragments).map(|f| (f, frag_size)).collect();
 
+    // Client retry policy: disabled for fault-free runs (the faithful
+    // retry-free protocols), the default policy once faults are scheduled,
+    // unless overridden explicitly.
+    let retry = cfg.retry.unwrap_or_else(|| {
+        if cfg.faults.is_empty() {
+            RetryPolicy::disabled()
+        } else {
+            RetryPolicy::default()
+        }
+    });
+
+    // Fault injector (installed only when there is something to inject, so
+    // fault-free runs are event-for-event identical to before).
+    let mut injector =
+        (!cfg.faults.is_empty()).then(|| FaultInjector::new(cfg.faults.clone()));
+
     // Deploy the I/O scheme and create one client per worker node.
     let mut ceft_clients: Vec<CompId> = Vec::new();
+    let mut pvfs_clients: Vec<CompId> = Vec::new();
     let clients: Vec<CompId> = match &cfg.scheme {
         SimScheme::Original => (0..cfg.workers)
             .map(|w| {
@@ -507,9 +623,20 @@ pub fn run_simblast(cfg: &SimBlastConfig) -> SimOutcome {
             for &(f, size) in &fragments {
                 pvfs.register_file(&mut eng, FRAG_FILE_BASE + f as u64, size);
             }
-            (0..cfg.workers)
-                .map(|w| pvfs.add_client(&mut eng, w))
-                .collect()
+            if let Some(inj) = injector.as_mut() {
+                for (i, &(_, iod)) in pvfs.iods.iter().enumerate() {
+                    inj.register_server(i, vec![iod]);
+                }
+            }
+            let v: Vec<CompId> = (0..cfg.workers)
+                .map(|w| {
+                    let c = pvfs.add_client(&mut eng, w);
+                    eng.component_mut::<PvfsClient>(c).set_retry(retry);
+                    c
+                })
+                .collect();
+            pvfs_clients = v.clone();
+            v
         }
         SimScheme::Ceft { primary, mirror } => {
             let ceft = Ceft::deploy(
@@ -523,13 +650,37 @@ pub fn run_simblast(cfg: &SimBlastConfig) -> SimOutcome {
             for &(f, size) in &fragments {
                 ceft.register_file(&mut eng, FRAG_FILE_BASE + f as u64, size);
             }
+            if let Some(inj) = injector.as_mut() {
+                // Server indices: 0..N primary, N..2N mirror. A crash
+                // takes out the iod and its load monitor together (both
+                // live in the failed daemon's process).
+                let n = ceft.primary.len();
+                for (i, &(_, iod)) in ceft.primary.iter().enumerate() {
+                    inj.register_server(i, vec![iod, ceft.monitors[i]]);
+                }
+                for (i, &(_, iod)) in ceft.mirror.iter().enumerate() {
+                    inj.register_server(n + i, vec![iod, ceft.monitors[n + i]]);
+                }
+            }
             let v: Vec<CompId> = (0..cfg.workers)
-                .map(|w| ceft.add_client(&mut eng, w))
+                .map(|w| {
+                    let c = ceft.add_client(&mut eng, w);
+                    eng.component_mut::<CeftClient>(c).set_retry(retry);
+                    c
+                })
                 .collect();
             ceft_clients = v.clone();
             v
         }
     };
+
+    if let Some(mut inj) = injector.take() {
+        for (n, node) in cluster.nodes.iter().enumerate() {
+            inj.register_disk(n as u32, node.disk);
+        }
+        inj.register_net(cluster.net);
+        inj.install(&mut eng);
+    }
 
     // Workers.
     let worker_ids: Vec<(u32, CompId)> = (0..cfg.workers)
@@ -567,6 +718,9 @@ pub fn run_simblast(cfg: &SimBlastConfig) -> SimOutcome {
         node: cfg.master_node,
         started: None,
         finished: None,
+        fail_counts: std::collections::HashMap::new(),
+        max_fragment_attempts: 3,
+        error: None,
         name: "master".into(),
     });
     for &(_, wcomp) in &worker_ids {
@@ -601,10 +755,15 @@ pub fn run_simblast(cfg: &SimBlastConfig) -> SimOutcome {
     // Harvest.
     let m = eng.component::<SimMaster>(master);
     let started = m.started.expect("job started");
-    let finished = m
-        .finished
-        .unwrap_or_else(|| panic!("job did not finish within the horizon"));
-    let makespan_s = finished.saturating_sub(started).as_secs_f64();
+    let error = m.error.clone();
+    // No finish within the horizon = the job hung (a retry-free client
+    // blocked on a dead server); report it instead of panicking.
+    let finished = m.finished;
+    let completed = finished.is_some() && error.is_none();
+    let makespan_s = finished
+        .unwrap_or_else(|| eng.now())
+        .saturating_sub(started)
+        .as_secs_f64();
     // Compute time: derive from per-worker bytes (the sampled factors are
     // already reflected in the makespan; for reporting we use the actual
     // busy accounting below).
@@ -632,11 +791,27 @@ pub fn run_simblast(cfg: &SimBlastConfig) -> SimOutcome {
                 .skipped_parts()
         })
         .sum();
+    let mut retries = 0u64;
+    let mut failovers = 0u64;
+    for &c in &pvfs_clients {
+        retries += eng.component::<PvfsClient>(c).retries();
+    }
+    for &c in &ceft_clients {
+        let cl = eng.component::<CeftClient>(c);
+        retries += cl.retries();
+        failovers += cl.failovers();
+    }
+    let trace = eng.take_trace();
     SimOutcome {
         makespan_s,
         per_worker,
         io_fraction,
         skipped_parts,
+        completed,
+        error,
+        retries,
+        failovers,
+        trace,
     }
 }
 

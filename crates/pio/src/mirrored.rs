@@ -31,6 +31,10 @@ pub struct HealthMonitor {
     factor: f64,
     /// Artificial per-read delays for fault injection (seconds).
     faults: Mutex<Vec<[f64; 2]>>,
+    /// Servers that returned a hard I/O error: excluded from every
+    /// subsequent plan until [`HealthMonitor::revive`] (CEFT failover on
+    /// the real path — the mirror partner serves their ranges).
+    dead: Mutex<Vec<[bool; 2]>>,
 }
 
 impl HealthMonitor {
@@ -41,7 +45,36 @@ impl HealthMonitor {
             alpha: 0.3,
             factor: 4.0,
             faults: Mutex::new(vec![[0.0; 2]; n]),
+            dead: Mutex::new(vec![[false; 2]; n]),
         }
+    }
+
+    /// Mark a server dead after a hard I/O error; all later plans route
+    /// its ranges to the mirror partner.
+    pub fn mark_dead(&self, s: ServerId) {
+        self.dead.lock()[s.index as usize][s.group as usize] = true;
+    }
+
+    /// Bring a repaired server back into rotation.
+    pub fn revive(&self, s: ServerId) {
+        self.dead.lock()[s.index as usize][s.group as usize] = false;
+    }
+
+    /// Servers currently marked dead.
+    pub fn dead(&self) -> Vec<ServerId> {
+        let d = self.dead.lock();
+        let mut out = Vec::new();
+        for (i, pair) in d.iter().enumerate() {
+            for (g, &is_dead) in pair.iter().enumerate() {
+                if is_dead {
+                    out.push(ServerId {
+                        group: g as u8,
+                        index: i as u32,
+                    });
+                }
+            }
+        }
+        out
     }
 
     /// Record an observed read of `bytes` taking `seconds`.
@@ -59,8 +92,11 @@ impl HealthMonitor {
         };
     }
 
-    /// Servers currently considered hot (skippable).
+    /// Servers currently considered hot or dead (skippable). Dead servers
+    /// are always skipped; hot ones only once enough latency samples exist
+    /// to compute a group median.
     pub fn skips(&self) -> Vec<ServerId> {
+        let mut out = self.dead();
         let e = self.ewma.lock();
         let mut all: Vec<f64> = e
             .iter()
@@ -68,21 +104,21 @@ impl HealthMonitor {
             .filter(|&x| x > 0.0)
             .collect();
         if all.len() < 2 {
-            return Vec::new();
+            return out;
         }
         all.sort_by(f64::total_cmp);
         let median = all[all.len() / 2];
         if median <= 0.0 {
-            return Vec::new();
+            return out;
         }
-        let mut out = Vec::new();
         for (i, pair) in e.iter().enumerate() {
             for (g, &v) in pair.iter().enumerate() {
-                if v > self.factor * median {
-                    out.push(ServerId {
-                        group: g as u8,
-                        index: i as u32,
-                    });
+                let s = ServerId {
+                    group: g as u8,
+                    index: i as u32,
+                };
+                if v > self.factor * median && !out.contains(&s) {
+                    out.push(s);
                 }
             }
         }
@@ -245,21 +281,40 @@ impl ObjectReader for MirroredReader {
             let handles: Vec<_> = parts
                 .iter()
                 .map(|p| {
-                    let path = self.store.path_of(p.server, &self.name);
                     let part = *p;
+                    let partner = self.store.layout.partner(part.server);
+                    let path = self.store.path_of(part.server, &self.name);
+                    let partner_path = self.store.path_of(partner, &self.name);
                     let mon = Arc::clone(&monitor);
                     scope.spawn(move || -> io::Result<(ReadPart, Vec<u8>)> {
-                        let fault = mon.fault_of(part.server);
-                        let t0 = Instant::now();
-                        if fault > 0.0 {
-                            std::thread::sleep(std::time::Duration::from_secs_f64(fault));
+                        let fetch = |server: ServerId,
+                                     path: &PathBuf|
+                         -> io::Result<Vec<u8>> {
+                            let fault = mon.fault_of(server);
+                            let t0 = Instant::now();
+                            if fault > 0.0 {
+                                std::thread::sleep(std::time::Duration::from_secs_f64(
+                                    fault,
+                                ));
+                            }
+                            let mut f = File::open(path)?;
+                            f.seek(SeekFrom::Start(part.local_offset))?;
+                            let mut out = vec![0u8; part.len as usize];
+                            f.read_exact(&mut out)?;
+                            mon.record(server, part.len, t0.elapsed().as_secs_f64());
+                            Ok(out)
+                        };
+                        match fetch(part.server, &path) {
+                            Ok(out) => Ok((part, out)),
+                            // Hard error: the server lost its replica. Mark
+                            // it dead (later plans avoid it) and serve this
+                            // part from the mirror partner — both groups
+                            // hold identical striped layouts.
+                            Err(_) => {
+                                mon.mark_dead(part.server);
+                                fetch(partner, &partner_path).map(|out| (part, out))
+                            }
                         }
-                        let mut f = File::open(path)?;
-                        f.seek(SeekFrom::Start(part.local_offset))?;
-                        let mut out = vec![0u8; part.len as usize];
-                        f.read_exact(&mut out)?;
-                        mon.record(part.server, part.len, t0.elapsed().as_secs_f64());
-                        Ok((part, out))
                     })
                 })
                 .collect();
@@ -439,6 +494,54 @@ mod tests {
         // Reads still return correct data while skipping.
         r.read_at(0, &mut buf).unwrap();
         assert_eq!(&buf[..], &data[..16 * 1024]);
+        cleanup(&p, &m);
+    }
+
+    #[test]
+    fn hard_error_fails_over_to_partner_and_marks_dead() {
+        let (p, m) = dirs("failover", 2);
+        let st = MirroredStore::new(p.clone(), m.clone(), 128).unwrap();
+        let data = pattern(20_000);
+        st.put("obj", &data).unwrap();
+        // Kill primary server 1 with NO prior EWMA training: the monitor
+        // has no latency signal, so the plan still targets it; the read
+        // must succeed anyway via per-part partner failover.
+        fs::remove_file(p[1].join("obj")).unwrap();
+        assert_eq!(read_all(&st, "obj").unwrap(), data);
+        let dead = ServerId { group: 0, index: 1 };
+        assert_eq!(st.monitor().dead(), vec![dead]);
+        assert!(st.monitor().skips().contains(&dead));
+        // Subsequent reads plan around the dead server (no redirected
+        // fetch needed — every planned part avoids it).
+        let mut r = st.open("obj").unwrap();
+        let mut buf = vec![0u8; 4096];
+        r.read_at(512, &mut buf).unwrap();
+        assert_eq!(&buf[..], &data[512..512 + 4096]);
+        cleanup(&p, &m);
+    }
+
+    #[test]
+    fn losing_both_replicas_reports_an_error() {
+        let (p, m) = dirs("bothdead", 2);
+        let st = MirroredStore::new(p.clone(), m.clone(), 128).unwrap();
+        st.put("obj", &pattern(8_000)).unwrap();
+        fs::remove_file(p[0].join("obj")).unwrap();
+        fs::remove_file(m[0].join("obj")).unwrap();
+        let err = read_all(&st, "obj").unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::NotFound);
+        cleanup(&p, &m);
+    }
+
+    #[test]
+    fn revive_restores_a_dead_server() {
+        let (p, m) = dirs("revive", 2);
+        let st = MirroredStore::new(p.clone(), m.clone(), 128).unwrap();
+        let dead = ServerId { group: 1, index: 0 };
+        st.monitor().mark_dead(dead);
+        assert_eq!(st.monitor().dead(), vec![dead]);
+        st.monitor().revive(dead);
+        assert!(st.monitor().dead().is_empty());
+        assert!(st.monitor().skips().is_empty());
         cleanup(&p, &m);
     }
 

@@ -13,9 +13,10 @@ use parblast_simcore::{CompId, Component, Ctx, SimTime, Summary};
 
 use crate::meta::FileMeta;
 use crate::msg::{
-    ClientReq, ClientResp, IodRead, IodReadResp, IodWrite, IodWriteResp, MetaOpen, MetaOpenResp,
-    CTRL_BYTES,
+    ClientReq, ClientResp, IoError, IodRead, IodReadResp, IodWrite, IodWriteResp, MetaOpen,
+    MetaOpenResp, CTRL_BYTES,
 };
+use crate::retry::{backoff_delay, RetryPolicy};
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum OpKind {
@@ -39,6 +40,21 @@ struct PendingOpen {
     reply_to: CompId,
     tag: u64,
     started: SimTime,
+    attempts: u32,
+}
+
+/// One in-flight per-server request, kept so a timed-out attempt can be
+/// re-sent verbatim (the token is reused: whichever attempt answers first
+/// completes the part, later duplicates are ignored).
+#[derive(Debug, Clone)]
+struct PartState {
+    op: u64,
+    server: usize,
+    file: u64,
+    offset: u64,
+    len: u64,
+    kind: OpKind,
+    attempts: u32,
 }
 
 /// Address of a protocol server: `(node index, component)`.
@@ -53,8 +69,11 @@ pub struct PvfsClient {
     files: HashMap<u64, FileMeta>,
     opens: HashMap<u64, PendingOpen>,
     ops: HashMap<u64, PendingOp>,
-    part_to_op: HashMap<u64, u64>,
+    parts: HashMap<u64, PartState>,
     next_op: u64,
+    retry: RetryPolicy,
+    retries: u64,
+    failures: u64,
     read_latency: Summary,
     bytes_read: u64,
     bytes_written: u64,
@@ -79,8 +98,11 @@ impl PvfsClient {
             files: HashMap::new(),
             opens: HashMap::new(),
             ops: HashMap::new(),
-            part_to_op: HashMap::new(),
+            parts: HashMap::new(),
             next_op: 1,
+            retry: RetryPolicy::disabled(),
+            retries: 0,
+            failures: 0,
             read_latency: Summary::new(),
             bytes_read: 0,
             bytes_written: 0,
@@ -88,9 +110,24 @@ impl PvfsClient {
         }
     }
 
+    /// Enable (or change) the request timeout/retry policy.
+    pub fn set_retry(&mut self, policy: RetryPolicy) {
+        self.retry = policy;
+    }
+
     /// `(bytes read, bytes written)` through this client.
     pub fn bytes(&self) -> (u64, u64) {
         (self.bytes_read, self.bytes_written)
+    }
+
+    /// Requests re-sent after a timeout.
+    pub fn retries(&self) -> u64 {
+        self.retries
+    }
+
+    /// Operations that failed with [`ClientResp::Error`].
+    pub fn failures(&self) -> u64 {
+        self.failures
     }
 
     /// Per-read latency summary.
@@ -111,6 +148,132 @@ impl PvfsClient {
         );
     }
 
+    /// (Re-)send one per-server request after `delay`, arming its timeout.
+    fn send_part(&mut self, ctx: &mut Ctx<'_, Ev>, token: u64, state: &PartState, delay: SimTime) {
+        let me = ctx.self_id();
+        let node = self.node;
+        let dst = self.iods[state.server];
+        let (bytes, payload): (u64, Box<dyn std::any::Any>) = match state.kind {
+            OpKind::Read => (
+                CTRL_BYTES,
+                Box::new(IodRead {
+                    file: state.file,
+                    offset: state.offset,
+                    len: state.len,
+                    reply: me,
+                    reply_node: node,
+                    token,
+                }),
+            ),
+            OpKind::Write => (
+                state.len + CTRL_BYTES,
+                Box::new(IodWrite {
+                    file: state.file,
+                    offset: state.offset,
+                    len: state.len,
+                    sync: false,
+                    reply: me,
+                    reply_node: node,
+                    token,
+                    forward_to: None,
+                    forward_sync: false,
+                }),
+            ),
+        };
+        ctx.schedule_in(
+            delay,
+            self.net,
+            Ev::Net(NetSend {
+                src_node: node,
+                dst_node: dst.0,
+                bytes,
+                dst: dst.1,
+                payload,
+            }),
+        );
+        if self.retry.enabled() {
+            ctx.wake_in(delay + self.retry.timeout, Ev::Timer(token));
+        }
+    }
+
+    /// Abandon a whole operation: a server exhausted its retry budget.
+    fn fail_op(&mut self, ctx: &mut Ctx<'_, Ev>, op_id: u64, error: IoError) {
+        let Some(op) = self.ops.remove(&op_id) else {
+            return;
+        };
+        self.parts.retain(|_, s| s.op != op_id);
+        self.failures += 1;
+        ctx.send(
+            op.reply_to,
+            Ev::User(parblast_hwsim::Envelope::local(ClientResp::Error {
+                tag: op.tag,
+                error,
+            })),
+        );
+    }
+
+    fn on_timeout(&mut self, ctx: &mut Ctx<'_, Ev>, token: u64) {
+        if let Some(mut state) = self.parts.remove(&token) {
+            if state.attempts >= self.retry.max_retries {
+                self.fail_op(ctx, state.op, IoError::DataServerTimeout);
+                return;
+            }
+            let delay = backoff_delay(
+                state.attempts,
+                self.retry.base_backoff,
+                self.retry.max_backoff,
+            );
+            state.attempts += 1;
+            self.retries += 1;
+            self.send_part(ctx, token, &state, delay);
+            self.parts.insert(token, state);
+            return;
+        }
+        if let Some(open) = self.opens.get_mut(&token) {
+            if open.attempts >= self.retry.max_retries {
+                let open = self.opens.remove(&token).unwrap();
+                self.failures += 1;
+                ctx.send(
+                    open.reply_to,
+                    Ev::User(parblast_hwsim::Envelope::local(ClientResp::Error {
+                        tag: open.tag,
+                        error: IoError::MetaTimeout,
+                    })),
+                );
+                return;
+            }
+            let delay = backoff_delay(
+                open.attempts,
+                self.retry.base_backoff,
+                self.retry.max_backoff,
+            );
+            open.attempts += 1;
+            self.retries += 1;
+            let file = open.file;
+            let me = ctx.self_id();
+            let node = self.node;
+            let meta = self.meta;
+            ctx.schedule_in(
+                delay,
+                self.net,
+                Ev::Net(NetSend {
+                    src_node: node,
+                    dst_node: meta.0,
+                    bytes: CTRL_BYTES,
+                    dst: meta.1,
+                    payload: Box::new(MetaOpen {
+                        file,
+                        reply: me,
+                        reply_node: node,
+                        token,
+                    }),
+                }),
+            );
+            ctx.wake_in(delay + self.retry.timeout, Ev::Timer(token));
+        }
+        // Anything else: a stale timer for a part that already completed.
+    }
+
     fn handle_req(&mut self, ctx: &mut Ctx<'_, Ev>, req: ClientReq) {
         match req {
             ClientReq::Open {
@@ -126,6 +289,7 @@ impl PvfsClient {
                         reply_to,
                         tag,
                         started: ctx.now(),
+                        attempts: 0,
                     },
                 );
                 let me = ctx.self_id();
@@ -142,6 +306,9 @@ impl PvfsClient {
                         token,
                     }),
                 );
+                if self.retry.enabled() {
+                    ctx.wake_in(self.retry.timeout, Ev::Timer(token));
+                }
             }
             ClientReq::Read {
                 file,
@@ -180,25 +347,19 @@ impl PvfsClient {
                         len,
                     },
                 );
-                let me = ctx.self_id();
-                let node = self.node;
                 for r in ranges {
                     let token = ctx.fresh_token();
-                    self.part_to_op.insert(token, op);
-                    let dst = self.iods[r.server as usize];
-                    self.send_net(
-                        ctx,
-                        dst,
-                        CTRL_BYTES,
-                        Box::new(IodRead {
-                            file,
-                            offset: r.local_offset,
-                            len: r.len,
-                            reply: me,
-                            reply_node: node,
-                            token,
-                        }),
-                    );
+                    let state = PartState {
+                        op,
+                        server: r.server as usize,
+                        file,
+                        offset: r.local_offset,
+                        len: r.len,
+                        kind: OpKind::Read,
+                        attempts: 0,
+                    };
+                    self.send_part(ctx, token, &state, SimTime::ZERO);
+                    self.parts.insert(token, state);
                 }
             }
             ClientReq::Write {
@@ -238,39 +399,35 @@ impl PvfsClient {
                         len,
                     },
                 );
-                let me = ctx.self_id();
-                let node = self.node;
                 for r in ranges {
                     let token = ctx.fresh_token();
-                    self.part_to_op.insert(token, op);
-                    let dst = self.iods[r.server as usize];
-                    self.send_net(
-                        ctx,
-                        dst,
-                        r.len + CTRL_BYTES,
-                        Box::new(IodWrite {
-                            file,
-                            offset: r.local_offset,
-                            len: r.len,
-                            sync: false,
-                            reply: me,
-                            reply_node: node,
-                            token,
-                            forward_to: None,
-                            forward_sync: false,
-                        }),
-                    );
+                    let state = PartState {
+                        op,
+                        server: r.server as usize,
+                        file,
+                        offset: r.local_offset,
+                        len: r.len,
+                        kind: OpKind::Write,
+                        attempts: 0,
+                    };
+                    self.send_part(ctx, token, &state, SimTime::ZERO);
+                    self.parts.insert(token, state);
                 }
             }
         }
     }
 
     fn part_done(&mut self, ctx: &mut Ctx<'_, Ev>, token: u64) {
-        let Some(op_id) = self.part_to_op.remove(&token) else {
-            debug_assert!(false, "unknown part token");
+        // Unknown tokens are expected under retries: a duplicate answer to a
+        // re-sent request, or a straggler of an operation that already
+        // failed. Both are dropped.
+        let Some(state) = self.parts.remove(&token) else {
             return;
         };
-        let op = self.ops.get_mut(&op_id).expect("op for part");
+        let op_id = state.op;
+        let Some(op) = self.ops.get_mut(&op_id) else {
+            return;
+        };
         op.remaining -= 1;
         if op.remaining > 0 {
             return;
@@ -302,8 +459,13 @@ impl PvfsClient {
 
 impl Component<Ev> for PvfsClient {
     fn on_event(&mut self, ctx: &mut Ctx<'_, Ev>, ev: Ev) {
-        let Ev::User(env) = ev else {
-            return;
+        let env = match ev {
+            Ev::User(env) => env,
+            Ev::Timer(token) => {
+                self.on_timeout(ctx, token);
+                return;
+            }
+            _ => return,
         };
         let payload = env.payload;
         match payload.downcast::<ClientReq>() {
@@ -311,8 +473,8 @@ impl Component<Ev> for PvfsClient {
             Err(other) => match other.downcast::<MetaOpenResp>() {
                 Ok(resp) => {
                     let resp = *resp;
+                    // Unknown token: duplicate reply to a retried open.
                     let Some(open) = self.opens.remove(&resp.token) else {
-                        debug_assert!(false, "unknown open token");
                         return;
                     };
                     self.files.insert(

@@ -9,7 +9,7 @@
 
 use std::collections::VecDeque;
 
-use parblast_hwsim::{Ev, FsMsg, NetSend};
+use parblast_hwsim::{Ev, FaultCmd, FsMsg, NetSend};
 use parblast_simcore::{CompId, Component, Ctx, SimTime, Summary};
 
 use crate::msg::{IodRead, IodReadResp, IodWrite, IodWriteResp, CTRL_BYTES};
@@ -36,6 +36,10 @@ pub struct Iod {
     queue: VecDeque<(SimTime, Job)>,
     busy: bool,
     current: Option<(SimTime, Job)>,
+    /// Bumped on [`FaultCmd::Reset`] (crash recovery) and used as the local
+    /// file-system request tag, so completions issued before the crash are
+    /// recognized as stale and dropped.
+    generation: u64,
     /// Maps global file ids into this node's local-file namespace so that
     /// different striped files don't collide with node-local files.
     file_base: u64,
@@ -57,6 +61,7 @@ impl Iod {
             queue: VecDeque::new(),
             busy: false,
             current: None,
+            generation: 0,
             overhead: SimTime::ZERO,
             io_unit: 64 << 10,
             awaiting_mirror: std::collections::HashMap::new(),
@@ -113,7 +118,7 @@ impl Iod {
                         mmap: false,
                         unit: self.io_unit,
                         reply_to: ctx.self_id(),
-                        tag: 0,
+                        tag: self.generation,
                     }),
                 );
             }
@@ -127,7 +132,7 @@ impl Iod {
                         len: w.len,
                         sync: w.sync,
                         reply_to: ctx.self_id(),
-                        tag: 0,
+                        tag: self.generation,
                     }),
                 );
             }
@@ -138,7 +143,11 @@ impl Iod {
     /// Forwarded writes whose mirror ack the client is waiting on:
     /// mirror-token → (client node, client comp, client token, len).
     fn finish_current(&mut self, ctx: &mut Ctx<'_, Ev>) {
-        let (_, job) = self.current.take().expect("completion without job");
+        let Some((_, job)) = self.current.take() else {
+            // A crash reset discarded the in-flight job.
+            self.busy = false;
+            return;
+        };
         self.busy = false;
         match job {
             Job::Read(r) => {
@@ -256,7 +265,23 @@ impl Component<Ev> for Iod {
                 self.queue.push_back((ctx.now(), job));
                 self.start_next(ctx);
             }
-            Ev::FsDone(_) => self.finish_current(ctx),
+            Ev::FsDone(done) => {
+                if done.tag != self.generation {
+                    // Stale completion issued before a crash reset.
+                    return;
+                }
+                self.finish_current(ctx);
+            }
+            Ev::Fault(FaultCmd::Reset) => {
+                // Crash recovery: the daemon restarts with empty queues.
+                // In-flight and queued requests are lost; clients re-send
+                // them (or fail over) via their retry policy.
+                self.generation += 1;
+                self.queue.clear();
+                self.current = None;
+                self.busy = false;
+                self.awaiting_mirror.clear();
+            }
             _ => {}
         }
     }

@@ -21,6 +21,7 @@ pub mod client;
 pub mod iod;
 pub mod meta;
 pub mod msg;
+pub mod retry;
 
 /// Stripe layout mathematics (shared with the real `parblast-pio` library).
 pub mod layout {
@@ -32,9 +33,10 @@ pub use iod::Iod;
 pub use layout::{LocalRange, StripeLayout};
 pub use meta::{FileMeta, MetaServer};
 pub use msg::{
-    ClientReq, ClientResp, IodRead, IodReadResp, IodWrite, IodWriteResp, MetaOpen, MetaOpenResp,
-    CTRL_BYTES,
+    ClientReq, ClientResp, IoError, IodRead, IodReadResp, IodWrite, IodWriteResp, MetaOpen,
+    MetaOpenResp, CTRL_BYTES,
 };
+pub use retry::{backoff_delay, RetryPolicy};
 
 use parblast_hwsim::{Cluster, Ev};
 use parblast_simcore::{CompId, Engine, SimTime};

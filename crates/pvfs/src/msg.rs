@@ -51,6 +51,25 @@ pub enum ClientReq {
     },
 }
 
+/// Why a client operation failed (surfaced instead of hanging when a
+/// server stops answering and retries are exhausted).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IoError {
+    /// A data server never acknowledged a request, through all retries.
+    DataServerTimeout,
+    /// The metadata server never answered the open, through all retries.
+    MetaTimeout,
+}
+
+impl std::fmt::Display for IoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IoError::DataServerTimeout => write!(f, "data server timed out"),
+            IoError::MetaTimeout => write!(f, "metadata server timed out"),
+        }
+    }
+}
+
 /// Application-facing completion from a PVFS client component.
 #[derive(Debug, Clone)]
 pub enum ClientResp {
@@ -78,6 +97,15 @@ pub enum ClientResp {
         latency: SimTime,
         /// Bytes transferred.
         len: u64,
+    },
+    /// The operation failed: a server stopped answering and every retry
+    /// timed out. The request is abandoned; the application decides
+    /// whether to abort or reassign the work.
+    Error {
+        /// Echoed tag.
+        tag: u64,
+        /// What went wrong.
+        error: IoError,
     },
 }
 

@@ -78,6 +78,22 @@ impl<E> Ord for Scheduled<E> {
     }
 }
 
+/// One dispatched (or dropped) event in an engine trace — the replayable
+/// record used by determinism checks. Two runs with identical seeds,
+/// component construction order and schedules produce identical traces.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceEntry {
+    /// Dispatch time.
+    pub time: SimTime,
+    /// Engine-wide insertion sequence number of the event.
+    pub seq: u64,
+    /// Destination component.
+    pub dst: CompId,
+    /// `false` when the event was dropped (destination unknown, removed, or
+    /// disabled by fault injection).
+    pub delivered: bool,
+}
+
 /// Scheduling context handed to a component while it processes an event.
 pub struct Ctx<'a, E> {
     now: SimTime,
@@ -86,6 +102,7 @@ pub struct Ctx<'a, E> {
     heap: &'a mut BinaryHeap<Reverse<Scheduled<E>>>,
     rng: &'a mut SimRng,
     next_token: &'a mut u64,
+    enabled: &'a mut Vec<bool>,
 }
 
 impl<'a, E> Ctx<'a, E> {
@@ -146,6 +163,24 @@ impl<'a, E> Ctx<'a, E> {
     pub fn wake_in(&mut self, delay: SimTime, ev: E) {
         self.schedule_in(delay, self.self_id, ev);
     }
+
+    /// Enable or disable event delivery to `target` (fault injection: a
+    /// disabled component models a crashed node — every event addressed to
+    /// it, including its own pending completions, is silently dropped).
+    /// Unknown ids are ignored.
+    pub fn set_component_enabled(&mut self, target: CompId, enabled: bool) {
+        if let Some(slot) = self.enabled.get_mut(target.0 as usize) {
+            *slot = enabled;
+        }
+    }
+
+    /// Whether `target` currently receives events (unknown ids are `false`).
+    pub fn component_enabled(&self, target: CompId) -> bool {
+        self.enabled
+            .get(target.0 as usize)
+            .copied()
+            .unwrap_or(false)
+    }
 }
 
 /// Outcome of a call to [`Engine::run`].
@@ -167,8 +202,11 @@ pub struct Engine<E> {
     heap: BinaryHeap<Reverse<Scheduled<E>>>,
     comps: Vec<Option<Box<dyn AnyComponent<E>>>>,
     names: Vec<String>,
+    enabled: Vec<bool>,
     rng: SimRng,
     events_processed: u64,
+    events_dropped: u64,
+    trace: Option<Vec<TraceEntry>>,
     /// Hard cap on total events processed; guards against accidental
     /// infinite self-scheduling loops. Default: `u64::MAX` (off).
     pub event_budget: u64,
@@ -184,8 +222,11 @@ impl<E> Engine<E> {
             heap: BinaryHeap::new(),
             comps: Vec::new(),
             names: Vec::new(),
+            enabled: Vec::new(),
             rng: SimRng::new(seed),
             events_processed: 0,
+            events_dropped: 0,
+            trace: None,
             event_budget: u64::MAX,
         }
     }
@@ -195,7 +236,49 @@ impl<E> Engine<E> {
         let id = CompId(self.comps.len() as u32);
         self.names.push(comp.name().to_string());
         self.comps.push(Some(Box::new(comp)));
+        self.enabled.push(true);
         id
+    }
+
+    /// Enable or disable event delivery to `target` (see
+    /// [`Ctx::set_component_enabled`]). Unknown ids are ignored.
+    pub fn set_enabled(&mut self, target: CompId, enabled: bool) {
+        if let Some(slot) = self.enabled.get_mut(target.0 as usize) {
+            *slot = enabled;
+        }
+    }
+
+    /// Whether `target` currently receives events.
+    pub fn is_enabled(&self, target: CompId) -> bool {
+        self.enabled
+            .get(target.0 as usize)
+            .copied()
+            .unwrap_or(false)
+    }
+
+    /// Events dropped because the destination was unknown or disabled.
+    #[inline]
+    pub fn events_dropped(&self) -> u64 {
+        self.events_dropped
+    }
+
+    /// Start recording every dispatched event into the trace buffer
+    /// (cleared on each call). Used by the determinism tests.
+    pub fn enable_trace(&mut self) {
+        self.trace = Some(Vec::new());
+    }
+
+    /// The recorded trace so far (empty when tracing is off).
+    pub fn trace(&self) -> &[TraceEntry] {
+        self.trace.as_deref().unwrap_or(&[])
+    }
+
+    /// Take the recorded trace, leaving tracing enabled with a fresh buffer.
+    pub fn take_trace(&mut self) -> Vec<TraceEntry> {
+        match self.trace.as_mut() {
+            Some(t) => std::mem::take(t),
+            None => Vec::new(),
+        }
     }
 
     /// Current simulated time.
@@ -269,8 +352,19 @@ impl<E> Engine<E> {
             self.now = sch.time;
             self.events_processed += 1;
             let idx = sch.dst.0 as usize;
-            if idx >= self.comps.len() {
-                // Addressed to CompId::NONE or an unknown id: drop silently.
+            let deliverable = idx < self.comps.len() && self.enabled[idx];
+            if let Some(trace) = self.trace.as_mut() {
+                trace.push(TraceEntry {
+                    time: sch.time,
+                    seq: sch.seq,
+                    dst: sch.dst,
+                    delivered: deliverable,
+                });
+            }
+            if !deliverable {
+                // Addressed to CompId::NONE, an unknown id, or a component
+                // disabled by fault injection: drop silently.
+                self.events_dropped += 1;
                 continue;
             }
             let mut comp = match self.comps[idx].take() {
@@ -284,6 +378,7 @@ impl<E> Engine<E> {
                 heap: &mut self.heap,
                 rng: &mut self.rng,
                 next_token: &mut self.next_token,
+                enabled: &mut self.enabled,
             };
             comp.on_event(&mut ctx, sch.ev);
             self.comps[idx] = Some(comp);
@@ -438,6 +533,73 @@ mod tests {
         let mut eng: Engine<Msg> = Engine::new(1);
         eng.schedule(SimTime::ZERO, CompId::NONE, Msg::Ping(0));
         assert_eq!(eng.run(), RunOutcome::Drained);
+    }
+
+    #[test]
+    fn disabled_components_drop_events() {
+        struct Counter {
+            n: u32,
+        }
+        impl Component<Msg> for Counter {
+            fn on_event(&mut self, _ctx: &mut Ctx<'_, Msg>, _ev: Msg) {
+                self.n += 1;
+            }
+        }
+        let mut eng: Engine<Msg> = Engine::new(1);
+        let c = eng.add(Counter { n: 0 });
+        eng.schedule(SimTime::from_secs(1), c, Msg::Ping(0));
+        eng.schedule(SimTime::from_secs(2), c, Msg::Ping(1));
+        eng.schedule(SimTime::from_secs(3), c, Msg::Ping(2));
+        assert!(eng.is_enabled(c));
+        eng.run_until(SimTime::from_secs(1));
+        eng.set_enabled(c, false);
+        eng.run_until(SimTime::from_secs(2));
+        eng.set_enabled(c, true);
+        eng.run();
+        assert_eq!(eng.component::<Counter>(c).n, 2, "crashed window dropped");
+        assert_eq!(eng.events_dropped(), 1);
+    }
+
+    #[test]
+    fn components_can_disable_each_other() {
+        struct Killer {
+            victim: CompId,
+        }
+        impl Component<Msg> for Killer {
+            fn on_event(&mut self, ctx: &mut Ctx<'_, Msg>, _ev: Msg) {
+                assert!(ctx.component_enabled(self.victim));
+                ctx.set_component_enabled(self.victim, false);
+            }
+        }
+        let mut eng: Engine<Msg> = Engine::new(1);
+        let victim = eng.add(Echo);
+        let killer = eng.add(Killer { victim });
+        eng.schedule(SimTime::from_secs(1), killer, Msg::Ping(0));
+        eng.schedule(SimTime::from_secs(2), victim, Msg::Ping(0));
+        eng.run();
+        assert!(!eng.is_enabled(victim));
+        assert_eq!(eng.events_dropped(), 1);
+    }
+
+    #[test]
+    fn traces_are_identical_across_runs() {
+        let run = || {
+            let mut eng: Engine<Msg> = Engine::new(9);
+            eng.enable_trace();
+            let echo = eng.add(Echo);
+            let pinger = eng.add(Pinger {
+                peer: echo,
+                remaining: 5,
+                log: vec![],
+            });
+            eng.schedule(SimTime::ZERO, pinger, Msg::Pong(0));
+            eng.run();
+            eng.take_trace()
+        };
+        let (a, b) = (run(), run());
+        assert!(!a.is_empty());
+        assert_eq!(a, b);
+        assert_eq!(format!("{a:?}"), format!("{b:?}"));
     }
 
     #[test]

@@ -41,7 +41,7 @@ pub mod rng;
 pub mod stats;
 pub mod time;
 
-pub use engine::{AnyComponent, CompId, Component, Ctx, Engine, RunOutcome};
+pub use engine::{AnyComponent, CompId, Component, Ctx, Engine, RunOutcome, TraceEntry};
 pub use resource::{FcfsStation, PsJobId, PsResource};
 pub use rng::SimRng;
 pub use stats::{LogHistogram, Summary, TimeWeighted};

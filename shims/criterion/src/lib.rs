@@ -1,0 +1,269 @@
+//! Workspace-local stand-in for `criterion`.
+//!
+//! Implements the API surface the workspace's benches use —
+//! [`criterion_group!`] / [`criterion_main!`], [`Criterion::bench_function`],
+//! benchmark groups with throughput/sample-size settings, and
+//! `iter`/`iter_batched` — over a simple wall-clock harness: a short warm-up
+//! followed by timed samples, reporting median time per iteration (and
+//! derived throughput). No statistical regression machinery, no
+//! `target/criterion` reports; results go to stdout.
+
+#![warn(missing_docs)]
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Throughput annotation for a benchmark group.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// How much setup output `iter_batched` keeps alive per batch (accepted for
+/// API compatibility; this harness always uses one setup per iteration).
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Small routine output.
+    SmallInput,
+    /// Large routine output.
+    LargeInput,
+    /// Routine output of unknown size.
+    PerIteration,
+}
+
+/// Identifier for a parameterized benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Identify a case by its parameter value alone.
+    pub fn from_parameter<P: fmt::Display>(parameter: P) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+
+    /// Identify a case by a function name and a parameter value.
+    pub fn new<S: Into<String>, P: fmt::Display>(function_name: S, parameter: P) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+}
+
+/// Timing loop handed to benchmark closures.
+pub struct Bencher {
+    samples: usize,
+    /// Median nanoseconds per iteration of the last run.
+    last_ns: f64,
+}
+
+impl Bencher {
+    fn run_samples<F: FnMut() -> Duration>(&mut self, mut one_sample: F) {
+        // Warm-up: one untimed sample.
+        let _ = one_sample();
+        let mut times: Vec<f64> = (0..self.samples)
+            .map(|_| one_sample().as_secs_f64() * 1e9)
+            .collect();
+        times.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        self.last_ns = times[times.len() / 2];
+    }
+
+    /// Time `routine`, called once per sample.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        self.run_samples(|| {
+            let t0 = Instant::now();
+            let out = routine();
+            let dt = t0.elapsed();
+            drop(out);
+            dt
+        });
+    }
+
+    /// Time `routine` on fresh input from `setup`; setup time is excluded.
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        self.run_samples(|| {
+            let input = setup();
+            let t0 = Instant::now();
+            let out = routine(input);
+            let dt = t0.elapsed();
+            drop(out);
+            dt
+        });
+    }
+}
+
+fn report(group: Option<&str>, id: &str, ns: f64, throughput: Option<Throughput>) {
+    let name = match group {
+        Some(g) => format!("{g}/{id}"),
+        None => id.to_string(),
+    };
+    let rate = throughput
+        .map(|t| match t {
+            Throughput::Bytes(b) => {
+                format!("  {:.1} MiB/s", b as f64 / (ns * 1e-9) / (1u64 << 20) as f64)
+            }
+            Throughput::Elements(e) => format!("  {:.0} elem/s", e as f64 / (ns * 1e-9)),
+        })
+        .unwrap_or_default();
+    if ns >= 1e6 {
+        println!("bench {name}: {:.3} ms/iter{rate}", ns / 1e6);
+    } else {
+        println!("bench {name}: {:.0} ns/iter{rate}", ns);
+    }
+}
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    samples: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { samples: 10 }
+    }
+}
+
+impl Criterion {
+    /// Run a standalone benchmark.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            samples: self.samples,
+            last_ns: 0.0,
+        };
+        f(&mut b);
+        report(None, id, b.last_ns, None);
+        self
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+            throughput: None,
+            samples: None,
+        }
+    }
+}
+
+/// A group of related benchmarks sharing throughput/sample settings.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+    samples: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Annotate per-iteration throughput for rate reporting.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Override the sample count for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.samples = Some(n.max(2));
+        self
+    }
+
+    fn run<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) {
+        let mut b = Bencher {
+            samples: self.samples.unwrap_or(self.criterion.samples),
+            last_ns: 0.0,
+        };
+        f(&mut b);
+        report(Some(&self.name), id, b.last_ns, self.throughput);
+    }
+
+    /// Run a benchmark in this group.
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.run(id, f);
+        self
+    }
+
+    /// Run a parameterized benchmark in this group.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        I: ?Sized,
+        F: FnMut(&mut Bencher, &I),
+    {
+        let name = id.id.clone();
+        self.run(&name, |b| f(b, input));
+        self
+    }
+
+    /// Finish the group (report separator).
+    pub fn finish(&mut self) {}
+}
+
+/// Bundle benchmark functions into a runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Generate `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_reports_positive_time() {
+        let mut c = Criterion { samples: 3 };
+        c.bench_function("spin", |b| {
+            b.iter(|| {
+                let mut x = 0u64;
+                for i in 0..1000 {
+                    x = x.wrapping_add(i);
+                }
+                x
+            })
+        });
+    }
+
+    #[test]
+    fn group_with_input_and_throughput() {
+        let mut c = Criterion { samples: 3 };
+        let mut g = c.benchmark_group("g");
+        g.throughput(Throughput::Bytes(1 << 20));
+        g.sample_size(4);
+        g.bench_with_input(BenchmarkId::from_parameter(7u32), &7u32, |b, &x| {
+            b.iter(|| x * 2)
+        });
+        g.bench_function("batched", |b| {
+            b.iter_batched(|| vec![1u8; 64], |v| v.len(), BatchSize::SmallInput)
+        });
+        g.finish();
+    }
+}

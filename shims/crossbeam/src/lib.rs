@@ -1,0 +1,246 @@
+//! Workspace-local stand-in for `crossbeam`.
+//!
+//! Provides the subset the workspace uses: [`channel::unbounded`] MPMC
+//! channels with crossbeam's semantics — cloneable senders and receivers,
+//! `send` failing once every receiver is gone, `recv` failing once every
+//! sender is gone and the queue has drained, and receiver iteration.
+
+#![warn(missing_docs)]
+
+/// Multi-producer multi-consumer FIFO channels.
+pub mod channel {
+    use std::collections::VecDeque;
+    use std::fmt;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::{Arc, Condvar, Mutex};
+
+    struct Inner<T> {
+        queue: Mutex<VecDeque<T>>,
+        ready: Condvar,
+        senders: AtomicUsize,
+        receivers: AtomicUsize,
+    }
+
+    /// Error returned by [`Sender::send`] when all receivers are gone;
+    /// carries the unsent message.
+    #[derive(Debug, PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    impl<T> fmt::Display for SendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            write!(f, "sending on a disconnected channel")
+        }
+    }
+
+    /// Error returned by [`Receiver::recv`] when the channel is empty and
+    /// all senders are gone.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct RecvError;
+
+    impl fmt::Display for RecvError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            write!(f, "receiving on an empty and disconnected channel")
+        }
+    }
+
+    /// Sending half of an unbounded channel.
+    pub struct Sender<T> {
+        inner: Arc<Inner<T>>,
+    }
+
+    /// Receiving half of an unbounded channel.
+    pub struct Receiver<T> {
+        inner: Arc<Inner<T>>,
+    }
+
+    /// Create an unbounded FIFO channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let inner = Arc::new(Inner {
+            queue: Mutex::new(VecDeque::new()),
+            ready: Condvar::new(),
+            senders: AtomicUsize::new(1),
+            receivers: AtomicUsize::new(1),
+        });
+        (
+            Sender {
+                inner: Arc::clone(&inner),
+            },
+            Receiver { inner },
+        )
+    }
+
+    impl<T> Sender<T> {
+        /// Enqueue `value`; fails only when every receiver has been dropped.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            if self.inner.receivers.load(Ordering::Acquire) == 0 {
+                return Err(SendError(value));
+            }
+            self.inner
+                .queue
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .push_back(value);
+            self.inner.ready.notify_one();
+            Ok(())
+        }
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            self.inner.senders.fetch_add(1, Ordering::AcqRel);
+            Sender {
+                inner: Arc::clone(&self.inner),
+            }
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            if self.inner.senders.fetch_sub(1, Ordering::AcqRel) == 1 {
+                // Last sender: wake blocked receivers so they observe the
+                // disconnect.
+                self.inner.ready.notify_all();
+            }
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Dequeue the next value, blocking while the channel is empty;
+        /// fails once it is empty and every sender has been dropped.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            let mut q = self.inner.queue.lock().unwrap_or_else(|e| e.into_inner());
+            loop {
+                if let Some(v) = q.pop_front() {
+                    return Ok(v);
+                }
+                if self.inner.senders.load(Ordering::Acquire) == 0 {
+                    return Err(RecvError);
+                }
+                q = self.inner.ready.wait(q).unwrap_or_else(|e| e.into_inner());
+            }
+        }
+
+        /// Non-blocking iterator-style drain helper.
+        pub fn try_recv(&self) -> Option<T> {
+            self.inner
+                .queue
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .pop_front()
+        }
+
+        /// Blocking iterator over received values, ending at disconnect.
+        pub fn iter(&self) -> Iter<'_, T> {
+            Iter { receiver: self }
+        }
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            self.inner.receivers.fetch_add(1, Ordering::AcqRel);
+            Receiver {
+                inner: Arc::clone(&self.inner),
+            }
+        }
+    }
+
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            self.inner.receivers.fetch_sub(1, Ordering::AcqRel);
+        }
+    }
+
+    /// Borrowing blocking iterator (see [`Receiver::iter`]).
+    pub struct Iter<'a, T> {
+        receiver: &'a Receiver<T>,
+    }
+
+    impl<T> Iterator for Iter<'_, T> {
+        type Item = T;
+        fn next(&mut self) -> Option<T> {
+            self.receiver.recv().ok()
+        }
+    }
+
+    /// Owning blocking iterator.
+    pub struct IntoIter<T> {
+        receiver: Receiver<T>,
+    }
+
+    impl<T> Iterator for IntoIter<T> {
+        type Item = T;
+        fn next(&mut self) -> Option<T> {
+            self.receiver.recv().ok()
+        }
+    }
+
+    impl<T> IntoIterator for Receiver<T> {
+        type Item = T;
+        type IntoIter = IntoIter<T>;
+        fn into_iter(self) -> IntoIter<T> {
+            IntoIter { receiver: self }
+        }
+    }
+
+    impl<'a, T> IntoIterator for &'a Receiver<T> {
+        type Item = T;
+        type IntoIter = Iter<'a, T>;
+        fn into_iter(self) -> Iter<'a, T> {
+            self.iter()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::channel;
+
+    #[test]
+    fn fifo_and_disconnect() {
+        let (tx, rx) = channel::unbounded::<u32>();
+        tx.send(1).unwrap();
+        tx.send(2).unwrap();
+        drop(tx);
+        let got: Vec<u32> = rx.into_iter().collect();
+        assert_eq!(got, vec![1, 2]);
+    }
+
+    #[test]
+    fn send_fails_without_receivers() {
+        let (tx, rx) = channel::unbounded::<u32>();
+        drop(rx);
+        assert!(tx.send(1).is_err());
+    }
+
+    #[test]
+    fn multi_consumer_drains_everything() {
+        let (tx, rx) = channel::unbounded::<u64>();
+        for i in 0..100 {
+            tx.send(i).unwrap();
+        }
+        drop(tx);
+        let mut handles = vec![];
+        for _ in 0..4 {
+            let rx = rx.clone();
+            handles.push(std::thread::spawn(move || {
+                let mut got = 0u64;
+                while rx.recv().is_ok() {
+                    got += 1;
+                }
+                got
+            }));
+        }
+        drop(rx);
+        let total: u64 = handles.into_iter().map(|h| h.join().unwrap()).sum();
+        assert_eq!(total, 100);
+    }
+
+    #[test]
+    fn blocking_recv_wakes_on_send() {
+        let (tx, rx) = channel::unbounded::<&'static str>();
+        let h = std::thread::spawn(move || rx.recv().unwrap());
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        tx.send("hello").unwrap();
+        assert_eq!(h.join().unwrap(), "hello");
+    }
+}

@@ -1,0 +1,290 @@
+//! Workspace-local stand-in for the `rand` crate.
+//!
+//! The build environment has no network access to crates.io, so the
+//! workspace vendors the *subset* of the rand 0.10 API it actually uses:
+//! [`rngs::StdRng`] (a xoshiro256++ generator seeded via SplitMix64), the
+//! [`Rng`] / [`RngExt`] / [`SeedableRng`] traits, uniform `random()` /
+//! `random_range()` sampling, and `fill_bytes`. Determinism is the only
+//! hard requirement — every simulation stream in the workspace is seeded —
+//! and xoshiro256++ passes the statistical checks the test-suite applies
+//! (Box–Muller normals, exponential/lognormal sample means).
+
+#![warn(missing_docs)]
+
+/// Concrete generators.
+pub mod rngs {
+    pub use crate::xoshiro::StdRng;
+}
+
+mod xoshiro {
+    /// The workspace's standard RNG: xoshiro256++.
+    ///
+    /// Not the cryptographic ChaCha generator the real `rand` uses — this
+    /// workspace only needs fast deterministic streams for simulation and
+    /// synthetic-data generation.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    impl StdRng {
+        pub(crate) fn from_u64(seed: u64) -> Self {
+            let mut sm = seed;
+            let mut s = [0u64; 4];
+            for slot in &mut s {
+                *slot = splitmix64(&mut sm);
+            }
+            // All-zero state would be a fixed point; splitmix64 cannot
+            // produce four zeros from any seed, but guard anyway.
+            if s == [0, 0, 0, 0] {
+                s[0] = 1;
+            }
+            StdRng { s }
+        }
+
+        #[inline]
+        pub(crate) fn step(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[0]
+                .wrapping_add(s[3])
+                .rotate_left(23)
+                .wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+/// Core generator interface: raw words and byte filling.
+pub trait Rng {
+    /// Next raw 64-bit word.
+    fn next_u64(&mut self) -> u64;
+
+    /// Next raw 32-bit word.
+    #[inline]
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// Fill `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        let mut chunks = dest.chunks_exact_mut(8);
+        for chunk in &mut chunks {
+            chunk.copy_from_slice(&self.next_u64().to_le_bytes());
+        }
+        let rest = chunks.into_remainder();
+        if !rest.is_empty() {
+            let w = self.next_u64().to_le_bytes();
+            rest.copy_from_slice(&w[..rest.len()]);
+        }
+    }
+}
+
+impl Rng for rngs::StdRng {
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        self.step()
+    }
+}
+
+/// Seeding interface.
+pub trait SeedableRng: Sized {
+    /// Construct deterministically from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+impl SeedableRng for rngs::StdRng {
+    fn seed_from_u64(seed: u64) -> Self {
+        rngs::StdRng::from_u64(seed)
+    }
+}
+
+/// Types samplable uniformly over their full domain (`random()`).
+pub trait StandardSample: Sized {
+    /// Draw one value from `rng`.
+    fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl StandardSample for u64 {
+    #[inline]
+    fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+impl StandardSample for u32 {
+    #[inline]
+    fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32()
+    }
+}
+impl StandardSample for u8 {
+    #[inline]
+    fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 56) as u8
+    }
+}
+impl StandardSample for usize {
+    #[inline]
+    fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() as usize
+    }
+}
+impl StandardSample for bool {
+    #[inline]
+    fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() >> 63 == 1
+    }
+}
+impl StandardSample for f64 {
+    /// Uniform in `[0, 1)` with 53 bits of precision.
+    #[inline]
+    fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// Integer (and float) types usable with `random_range(lo..hi)`.
+pub trait UniformSample: Sized {
+    /// Draw uniformly from `[lo, hi)`. Panics when the range is empty.
+    fn sample_range<R: Rng + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self;
+}
+
+macro_rules! impl_uniform_uint {
+    ($($t:ty),+) => {$(
+        impl UniformSample for $t {
+            #[inline]
+            fn sample_range<R: Rng + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+                assert!(lo < hi, "random_range: empty range");
+                let span = (hi - lo) as u64;
+                // Multiply-shift bounded sampling (Lemire); the tiny bias
+                // for astronomically large spans is irrelevant here.
+                let x = rng.next_u64();
+                lo + ((x as u128 * span as u128) >> 64) as $t
+            }
+        }
+    )+};
+}
+impl_uniform_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_uniform_int {
+    ($($t:ty),+) => {$(
+        impl UniformSample for $t {
+            #[inline]
+            fn sample_range<R: Rng + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+                assert!(lo < hi, "random_range: empty range");
+                let span = (hi as i64).wrapping_sub(lo as i64) as u64;
+                let x = rng.next_u64();
+                let off = ((x as u128 * span as u128) >> 64) as i64;
+                ((lo as i64) + off) as $t
+            }
+        }
+    )+};
+}
+impl_uniform_int!(i8, i16, i32, i64, isize);
+
+impl UniformSample for f64 {
+    #[inline]
+    fn sample_range<R: Rng + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+        assert!(lo < hi, "random_range: empty range");
+        lo + (hi - lo) * <f64 as StandardSample>::sample(rng)
+    }
+}
+
+/// High-level sampling methods, blanket-implemented for every [`Rng`].
+pub trait RngExt: Rng {
+    /// Uniform value over the type's standard domain (`[0,1)` for `f64`,
+    /// full range for integers).
+    #[inline]
+    fn random<T: StandardSample>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::sample(self)
+    }
+
+    /// Uniform value in `[range.start, range.end)`.
+    #[inline]
+    fn random_range<T: UniformSample>(&mut self, range: core::ops::Range<T>) -> T
+    where
+        Self: Sized,
+    {
+        T::sample_range(self, range.start, range.end)
+    }
+
+    /// Bernoulli trial with success probability `p`.
+    #[inline]
+    fn random_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        self.random::<f64>() < p
+    }
+}
+
+impl<R: Rng> RngExt for R {}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, RngExt, SeedableRng};
+
+    #[test]
+    fn deterministic() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..64 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn unit_floats_in_range_and_mean_half() {
+        let mut r = StdRng::seed_from_u64(1);
+        let n = 100_000;
+        let mut sum = 0.0;
+        for _ in 0..n {
+            let x: f64 = r.random();
+            assert!((0.0..1.0).contains(&x));
+            sum += x;
+        }
+        let mean = sum / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean = {mean}");
+    }
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut r = StdRng::seed_from_u64(2);
+        let mut seen = [false; 4];
+        for _ in 0..1000 {
+            let v = r.random_range(0..4u8);
+            seen[v as usize] = true;
+            let u = r.random_range(3..10usize);
+            assert!((3..10).contains(&u));
+            let i = r.random_range(-5..5i32);
+            assert!((-5..5).contains(&i));
+        }
+        assert!(seen.iter().all(|&s| s), "all residues hit: {seen:?}");
+    }
+
+    #[test]
+    fn fill_bytes_covers_tail() {
+        let mut r = StdRng::seed_from_u64(3);
+        let mut buf = [0u8; 13];
+        r.fill_bytes(&mut buf);
+        assert!(buf.iter().any(|&b| b != 0));
+    }
+}

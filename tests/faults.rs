@@ -1,0 +1,242 @@
+//! Failure-scenario integration tests: a data server dies mid-search.
+//!
+//! Simulated path: the deterministic fault schedule crashes a server while
+//! the parallel BLAST job is running. CEFT-PVFS must complete (reads fail
+//! over to the mirror group), PVFS must *report* an I/O error rather than
+//! hang, and the retry-free protocol's hang must itself be reported as a
+//! non-completion instead of a panic.
+//!
+//! Real path: the same scenario expressed with actual files — a primary
+//! directory loses its replicas and the mirrored store serves reads from
+//! the partners, producing byte-identical BLAST hits.
+
+use parblast::hwsim::FaultSchedule;
+use parblast::mpiblast::{
+    run_simblast, ParallelBlast, Parallelization, RunOutcome, Scheme, SimBlastConfig,
+    SimScheme, Tracer,
+};
+use parblast::pvfs::RetryPolicy;
+use parblast::simcore::SimTime;
+use parblast_blast::{DbStats, Program, SearchParams};
+use parblast_seqdb::blastdb::SeqType;
+use parblast_seqdb::{extract_query, segment_into_fragments, SyntheticConfig, SyntheticNt};
+use std::path::{Path, PathBuf};
+
+// ---------------------------------------------------------------- simulated
+
+/// Small, fast job configuration (same shape as the paper's, scaled down).
+fn sim(scheme: SimScheme) -> SimBlastConfig {
+    SimBlastConfig {
+        nodes: 5,
+        workers: 4,
+        fragments: 4,
+        db_bytes: 64 << 20,
+        scheme,
+        master_node: 4,
+        warmup_s: 1.0,
+        horizon_s: 400.0,
+        ..Default::default()
+    }
+}
+
+fn crash_at_2s() -> FaultSchedule {
+    // 1 s warmup + 2 s of searching: mid-job for this database size.
+    FaultSchedule::new().crash_server(SimTime::from_secs_f64(3.0), 1)
+}
+
+#[test]
+fn ceft_completes_after_primary_crash_mid_search() {
+    let scheme = SimScheme::Ceft {
+        primary: vec![0, 1],
+        mirror: vec![2, 3],
+    };
+    let clean = run_simblast(&sim(scheme.clone()));
+    assert!(clean.completed, "clean CEFT run must complete");
+
+    let mut cfg = sim(scheme);
+    cfg.faults = crash_at_2s();
+    let out = run_simblast(&cfg);
+    assert!(
+        out.completed,
+        "CEFT must survive a primary crash: error = {:?}",
+        out.error
+    );
+    assert!(out.failovers > 0, "reads must have failed over to the mirror");
+    // Every byte of the database was still searched exactly once.
+    let bytes: u64 = out.per_worker.iter().map(|w| w.bytes_read).sum();
+    let clean_bytes: u64 = clean.per_worker.iter().map(|w| w.bytes_read).sum();
+    assert_eq!(bytes, clean_bytes, "degraded run read a different byte count");
+    // Degraded, not free: slower than clean but far from the horizon.
+    assert!(
+        out.makespan_s > clean.makespan_s,
+        "failover should cost time ({} vs {})",
+        out.makespan_s,
+        clean.makespan_s
+    );
+    assert!(out.makespan_s < 4.0 * clean.makespan_s + 60.0);
+}
+
+#[test]
+fn pvfs_reports_io_error_after_server_crash() {
+    let mut cfg = sim(SimScheme::Pvfs {
+        servers: vec![0, 1, 2, 3],
+    });
+    cfg.faults = crash_at_2s();
+    let out = run_simblast(&cfg);
+    assert!(!out.completed, "unmirrored PVFS cannot survive a dead server");
+    let err = out.error.expect("the abort must carry the I/O error");
+    assert!(
+        err.contains("timed out"),
+        "error should name the timeout: {err}"
+    );
+    assert!(out.retries > 0, "the client must have retried before giving up");
+}
+
+#[test]
+fn retry_free_pvfs_hangs_and_the_hang_is_reported() {
+    // The faithful 2003 protocol has no timeouts: a dead server blocks the
+    // client forever. The harness must report that as a non-completion
+    // with no error, not panic or spin.
+    let mut cfg = sim(SimScheme::Pvfs {
+        servers: vec![0, 1, 2, 3],
+    });
+    cfg.faults = crash_at_2s();
+    cfg.retry = Some(RetryPolicy::disabled());
+    cfg.horizon_s = 120.0;
+    let out = run_simblast(&cfg);
+    assert!(!out.completed);
+    assert!(out.error.is_none(), "a hang has no error to report");
+    assert_eq!(out.retries, 0, "retry-free clients never retry");
+    // Every worker blocks on the dead server's stripe: no fragment ever
+    // completes.
+    let frags: u32 = out.per_worker.iter().map(|w| w.fragments).sum();
+    assert_eq!(frags, 0, "workers must be stuck mid-fragment");
+}
+
+#[test]
+fn crash_before_revival_only_degrades_the_window() {
+    // Crash at 3 s, revive at 8 s: the job must complete either way, and
+    // the early revival must not cost more than the permanent crash.
+    let scheme = SimScheme::Ceft {
+        primary: vec![0, 1],
+        mirror: vec![2, 3],
+    };
+    let mut dead_forever = sim(scheme.clone());
+    dead_forever.faults = crash_at_2s();
+    let t_dead = run_simblast(&dead_forever);
+
+    let mut revived = sim(scheme);
+    revived.faults = FaultSchedule::new()
+        .crash_server(SimTime::from_secs_f64(3.0), 1)
+        .revive_server(SimTime::from_secs_f64(8.0), 1);
+    let t_rev = run_simblast(&revived);
+
+    assert!(t_dead.completed && t_rev.completed);
+    // Revival can only shrink the degraded window, never widen it beyond
+    // event-scheduling noise.
+    assert!(
+        t_rev.makespan_s <= t_dead.makespan_s * 1.05,
+        "revival must not be materially slower than staying dead ({} vs {})",
+        t_rev.makespan_s,
+        t_dead.makespan_s
+    );
+}
+
+// -------------------------------------------------------------- real files
+
+fn tmp(tag: &str) -> PathBuf {
+    let d = std::env::temp_dir().join(format!("faults_{tag}_{}", std::process::id()));
+    std::fs::create_dir_all(&d).unwrap();
+    d
+}
+
+/// Synthetic database split into fragments and loaded into `scheme`.
+fn setup(base: &Path, scheme: &Scheme) -> (Vec<String>, Vec<u8>, DbStats) {
+    let mut g = SyntheticNt::new(SyntheticConfig {
+        total_residues: 300_000,
+        seed: 7,
+        ..Default::default()
+    });
+    let mut seqs = vec![];
+    while let Some(x) = g.next() {
+        seqs.push(x);
+    }
+    let query = extract_query(&seqs[2].1, 500, 0.02, 5);
+    let db = DbStats {
+        residues: g.residues(),
+        nseq: g.sequences(),
+    };
+    let infos =
+        segment_into_fragments(&base.join("fmt"), "nt", SeqType::Nucleotide, 4, seqs).unwrap();
+    let mut names = vec![];
+    for info in infos {
+        let bytes = std::fs::read(&info.path).unwrap();
+        let name = info.path.file_name().unwrap().to_string_lossy().into_owned();
+        scheme.load_fragment(&name, &bytes).unwrap();
+        names.push(name);
+    }
+    (names, query, db)
+}
+
+fn job(scheme: Scheme, fragments: Vec<String>, db: DbStats) -> ParallelBlast {
+    ParallelBlast {
+        program: Program::Blastn,
+        params: SearchParams::blastn(),
+        db,
+        fragments,
+        workers: 2,
+        scheme,
+        tracer: Tracer::disabled(),
+        parallelization: Parallelization::DatabaseSegmentation,
+    }
+}
+
+fn hit_key(o: &RunOutcome) -> Vec<(String, i32)> {
+    o.hits
+        .iter()
+        .map(|h| (h.subject_id.clone(), h.best_score()))
+        .collect()
+}
+
+/// Remove every object file in one server directory ("the node died"),
+/// leaving the directory itself so opens fail with NotFound.
+fn kill_server_dir(dir: &Path) {
+    for e in std::fs::read_dir(dir).unwrap() {
+        std::fs::remove_file(e.unwrap().path()).unwrap();
+    }
+}
+
+#[test]
+fn real_ceft_yields_identical_hits_after_primary_loss() {
+    let base = tmp("ceft");
+    let ceft = Scheme::ceft_at(&base.join("c"), 2, 16 << 10).unwrap();
+    let (fragments, query, db) = setup(&base, &ceft);
+    let baseline = job(ceft.clone(), fragments.clone(), db).run(&query).unwrap();
+    assert!(!baseline.hits.is_empty(), "planted query must be found");
+
+    // Primary server 1 dies: its striped replicas vanish.
+    kill_server_dir(&base.join("c").join("primary1"));
+    let degraded = job(ceft, fragments, db).run(&query).unwrap();
+    assert_eq!(
+        hit_key(&baseline),
+        hit_key(&degraded),
+        "failover must not change BLAST results"
+    );
+    std::fs::remove_dir_all(&base).ok();
+}
+
+#[test]
+fn real_pvfs_reports_error_after_server_loss() {
+    let base = tmp("pvfs");
+    let pvfs = Scheme::pvfs_at(&base.join("p"), 4, 16 << 10).unwrap();
+    let (fragments, query, db) = setup(&base, &pvfs);
+    assert!(job(pvfs.clone(), fragments.clone(), db).run(&query).is_ok());
+
+    // An unmirrored server dies: the job must fail cleanly — the master
+    // reassigns each fragment MAX_TASK_ATTEMPTS times, every attempt hits
+    // the same missing stripes, and the error surfaces.
+    kill_server_dir(&base.join("p").join("iod0"));
+    let err = job(pvfs, fragments, db).run(&query).unwrap_err();
+    assert_eq!(err.kind(), std::io::ErrorKind::NotFound);
+    std::fs::remove_dir_all(&base).ok();
+}

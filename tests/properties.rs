@@ -11,7 +11,9 @@ use parblast::blast::{
 use parblast::pio::{
     read_all, MirroredLayout, MirroredStore, ObjectStore, ServerId, StripeLayout, StripedStore,
 };
+use parblast::pvfs::backoff_delay;
 use parblast::seqdb::{pack_2bit, reverse_complement, unpack_2bit};
+use parblast::simcore::SimTime;
 
 proptest! {
     /// Every byte of any extent is covered exactly once by the stripe map.
@@ -64,6 +66,89 @@ proptest! {
         for p in &parts {
             prop_assert!(!skips.contains(&p.server), "skipped server used");
         }
+    }
+
+    /// A degraded mirrored plan — *any* subset of the primary group dead —
+    /// still covers every byte of the extent exactly once, and never
+    /// touches a dead server.
+    #[test]
+    fn degraded_mirrored_plan_covers_every_byte_once(
+        stripe in 1u64..32,
+        servers in 1u32..5,
+        offset in 0u64..256,
+        len in 0u64..256,
+        first_group in 0u8..2,
+        dead_mask in 0u16..16,
+    ) {
+        let l = MirroredLayout::new(stripe, servers);
+        let dead: Vec<ServerId> = (0..servers)
+            .filter(|i| dead_mask & (1 << i) != 0)
+            .map(|index| ServerId { group: 0, index })
+            .collect();
+        let parts = l.plan_read(offset, len, first_group, &dead);
+        for p in &parts {
+            prop_assert!(!dead.contains(&p.server), "dead server {:?} used", p.server);
+        }
+        // Exactly-once coverage: replay each part back onto the logical
+        // extent. A part serves the stripes of its server index within one
+        // half; mark every logical byte it covers and require each byte to
+        // be marked exactly once.
+        let mut cover = vec![0u32; len as usize];
+        let half = len / 2;
+        let halves = [
+            (offset, half, first_group),
+            (offset + half, len - half, 1 - first_group),
+        ];
+        for p in &parts {
+            // Find which half this part belongs to (unique per (server
+            // index, local range) pair).
+            let mut matched = false;
+            for &(ho, hl, _g) in &halves {
+                if hl == 0 {
+                    continue;
+                }
+                let ranges = l.stripe.map_extent(ho, hl);
+                if ranges.iter().any(|r| {
+                    r.server == p.server.index
+                        && r.local_offset == p.local_offset
+                        && r.len == p.len
+                }) {
+                    for pos in ho..ho + hl {
+                        if l.stripe.server_of(pos) == p.server.index {
+                            cover[(pos - offset) as usize] += 1;
+                        }
+                    }
+                    matched = true;
+                    break;
+                }
+            }
+            prop_assert!(matched, "part {p:?} matches no half");
+        }
+        for (i, &c) in cover.iter().enumerate() {
+            prop_assert!(c == 1, "byte {} covered {} times", i, c);
+        }
+    }
+
+    /// Retry backoff delays are monotone nondecreasing in the attempt
+    /// number and bounded by the cap.
+    #[test]
+    fn backoff_monotone_and_bounded(
+        base_us in 1u64..1_000_000,
+        cap_factor in 1u64..64,
+        attempts in 1u32..80,
+    ) {
+        let base = SimTime::from_micros(base_us);
+        let cap = SimTime::from_micros(base_us * cap_factor);
+        let mut prev = SimTime::ZERO;
+        for a in 0..attempts {
+            let d = backoff_delay(a, base, cap);
+            prop_assert!(d >= prev, "attempt {} shrank: {:?} < {:?}", a, d, prev);
+            prop_assert!(d <= cap, "attempt {} above cap: {:?}", a, d);
+            prop_assert!(d >= base.min(cap), "attempt {} below base: {:?}", a, d);
+            prev = d;
+        }
+        // The first delay is exactly the base (clamped to the cap).
+        prop_assert_eq!(backoff_delay(0, base, cap), base.min(cap));
     }
 
     /// 2-bit packing round-trips for arbitrary code sequences.
@@ -248,6 +333,34 @@ proptest! {
                         st.monitor().record(s, 1_000_000, 1e-4);
                     }
                 }
+            }
+        }
+        prop_assert_eq!(read_all(&st, "x").unwrap(), payload);
+        std::fs::remove_dir_all(&base).ok();
+    }
+
+    /// Real mirrored store: any subset of primary servers dead — replicas
+    /// deleted from disk — still round-trips via the mirror partners.
+    #[test]
+    fn mirrored_store_round_trip_with_dead_primaries(
+        stripe in 1u64..500,
+        servers in 1u32..4,
+        payload in proptest::collection::vec(any::<u8>(), 1..8_000),
+        dead_mask in 0u16..8,
+    ) {
+        let base = std::env::temp_dir().join(format!(
+            "prop_dead_{}_{}",
+            std::process::id(),
+            stripe * 13 + servers as u64 + dead_mask as u64 * 101
+        ));
+        let p: Vec<_> = (0..servers).map(|i| base.join(format!("p{i}"))).collect();
+        let m: Vec<_> = (0..servers).map(|i| base.join(format!("m{i}"))).collect();
+        let st = MirroredStore::new(p.clone(), m, stripe).unwrap();
+        st.put("x", &payload).unwrap();
+        for i in 0..servers {
+            if dead_mask & (1 << i) != 0 {
+                st.monitor().mark_dead(ServerId { group: 0, index: i });
+                std::fs::remove_file(p[i as usize].join("x")).ok();
             }
         }
         prop_assert_eq!(read_all(&st, "x").unwrap(), payload);
