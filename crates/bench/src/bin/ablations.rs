@@ -81,7 +81,10 @@ fn main() {
             out.skipped_parts.to_string(),
         ]);
     }
-    print_table(&["hot threshold", "stressed time (s)", "skipped parts"], &rows);
+    print_table(
+        &["hot threshold", "stressed time (s)", "skipped parts"],
+        &rows,
+    );
     println!("\nany threshold below the stressor's ~100% utilization detects it;");
     println!("disabling the skip leaves CEFT convoying like PVFS (Fig. 9).\n");
 

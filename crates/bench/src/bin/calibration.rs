@@ -10,10 +10,26 @@ fn main() {
     print_table(
         &["metric", "paper", "simulated"],
         &[
-            vec!["disk write (Bonnie), MB/s".into(), "32".into(), format!("{:.1}", c.disk_write_mbs)],
-            vec!["disk read (Bonnie), MB/s".into(), "26".into(), format!("{:.1}", c.disk_read_mbs)],
-            vec!["TCP over Myrinet (Netperf), MB/s".into(), "~112".into(), format!("{:.1}", c.net_mbs)],
-            vec!["TCP CPU utilization".into(), "47%".into(), format!("{:.0}%", c.net_cpu_fraction * 100.0)],
+            vec![
+                "disk write (Bonnie), MB/s".into(),
+                "32".into(),
+                format!("{:.1}", c.disk_write_mbs),
+            ],
+            vec![
+                "disk read (Bonnie), MB/s".into(),
+                "26".into(),
+                format!("{:.1}", c.disk_read_mbs),
+            ],
+            vec![
+                "TCP over Myrinet (Netperf), MB/s".into(),
+                "~112".into(),
+                format!("{:.1}", c.net_mbs),
+            ],
+            vec![
+                "TCP CPU utilization".into(),
+                "47%".into(),
+                format!("{:.0}%", c.net_cpu_fraction * 100.0),
+            ],
         ],
     );
 }

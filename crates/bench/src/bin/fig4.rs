@@ -18,14 +18,46 @@ fn main() {
         &["metric", "paper (2.7 GB nt)", "this run (scaled)"],
         &[
             vec!["total I/O ops".into(), "144".into(), format!("{}", s.ops)],
-            vec!["reads".into(), "89%".into(), format!("{:.0}%", s.read_fraction * 100.0)],
-            vec!["read size min".into(), "13 B".into(), format!("{} B", s.read_min)],
-            vec!["read size max".into(), "220 MB".into(), format!("{:.1} MB", s.read_max as f64 / 1e6)],
-            vec!["read size mean".into(), "~10 MB".into(), format!("{:.2} MB", s.read_mean / 1e6)],
-            vec!["write size min".into(), "50 B".into(), format!("{} B", s.write_min)],
-            vec!["write size max".into(), "778 B".into(), format!("{} B", s.write_max)],
-            vec!["write size mean".into(), "690 B".into(), format!("{:.0} B", s.write_mean)],
-            vec!["query found (hits)".into(), "-".into(), format!("{}", r.hits)],
+            vec![
+                "reads".into(),
+                "89%".into(),
+                format!("{:.0}%", s.read_fraction * 100.0),
+            ],
+            vec![
+                "read size min".into(),
+                "13 B".into(),
+                format!("{} B", s.read_min),
+            ],
+            vec![
+                "read size max".into(),
+                "220 MB".into(),
+                format!("{:.1} MB", s.read_max as f64 / 1e6),
+            ],
+            vec![
+                "read size mean".into(),
+                "~10 MB".into(),
+                format!("{:.2} MB", s.read_mean / 1e6),
+            ],
+            vec![
+                "write size min".into(),
+                "50 B".into(),
+                format!("{} B", s.write_min),
+            ],
+            vec![
+                "write size max".into(),
+                "778 B".into(),
+                format!("{} B", s.write_max),
+            ],
+            vec![
+                "write size mean".into(),
+                "690 B".into(),
+                format!("{:.0} B", s.write_mean),
+            ],
+            vec![
+                "query found (hits)".into(),
+                "-".into(),
+                format!("{}", r.hits),
+            ],
         ],
     );
     let out = std::path::Path::new("fig4_trace.tsv");

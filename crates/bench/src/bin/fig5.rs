@@ -8,7 +8,10 @@ fn main() {
     let db = arg_u64("--db-bytes", NT_BYTES);
     let rows = fig5(&[1, 2, 4, 8], db);
     println!("Figure 5: execution time, original vs over-PVFS (same resources)");
-    println!("database: {:.2} GB (copy time excluded from the original, as in the paper)\n", db as f64 / 1e9);
+    println!(
+        "database: {:.2} GB (copy time excluded from the original, as in the paper)\n",
+        db as f64 / 1e9
+    );
     print_table(
         &["nodes", "original (s)", "over-PVFS (s)", "PVFS/orig"],
         &rows

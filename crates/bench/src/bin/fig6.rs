@@ -10,7 +10,10 @@ fn main() {
     let servers = [1u32, 2, 4, 6, 8, 12, 16];
     let cells = fig6(&workers, &servers, db);
     println!("Figure 6: execution time (s) vs number of PVFS data servers");
-    println!("database: {:.2} GB; 'orig' = original scheme baseline\n", db as f64 / 1e9);
+    println!(
+        "database: {:.2} GB; 'orig' = original scheme baseline\n",
+        db as f64 / 1e9
+    );
     let mut headers: Vec<String> = vec!["workers".into(), "orig".into()];
     headers.extend(servers.iter().map(|s| format!("s={s}")));
     let headers_ref: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
@@ -34,7 +37,10 @@ fn main() {
     print_table(&headers_ref, &rows);
     // §4.3 in-text claim: I/O ≈ 11 % of execution, original, 2 workers.
     if let Some(c) = cells.iter().find(|c| c.workers == 2 && c.servers == 0) {
-        println!("\nI/O fraction (original, 2 workers): {:.1}%  (paper: ~11%)", c.io_fraction * 100.0);
+        println!(
+            "\nI/O fraction (original, 2 workers): {:.1}%  (paper: ~11%)",
+            c.io_fraction * 100.0
+        );
     }
     println!("expected shape: times fall with servers, flatten by ~4-8, no gain (or slight loss) at 12-16");
 }

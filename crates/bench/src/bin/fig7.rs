@@ -10,7 +10,12 @@ fn main() {
     println!("Figure 7: PVFS (8 servers) vs CEFT-PVFS (4 mirroring 4)");
     println!("database: {:.2} GB\n", db as f64 / 1e9);
     print_table(
-        &["workers", "over-PVFS (s)", "over-CEFT-PVFS (s)", "CEFT/PVFS"],
+        &[
+            "workers",
+            "over-PVFS (s)",
+            "over-CEFT-PVFS (s)",
+            "CEFT/PVFS",
+        ],
         &rows
             .iter()
             .map(|r| {

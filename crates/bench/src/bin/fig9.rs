@@ -10,7 +10,14 @@ fn main() {
     println!("Figure 9: one disk stressed (Figure 8 program), 8 workers / 8 servers");
     println!("database: {:.2} GB\n", db as f64 / 1e9);
     print_table(
-        &["scheme", "no stress (s)", "stressed (s)", "factor", "paper factor", "skipped parts"],
+        &[
+            "scheme",
+            "no stress (s)",
+            "stressed (s)",
+            "factor",
+            "paper factor",
+            "skipped parts",
+        ],
         &rows
             .iter()
             .map(|r| {

@@ -17,10 +17,26 @@ fn main() {
     print_table(
         &["metric", "paper", "simulated"],
         &[
-            vec!["disk write MB/s".into(), "32".into(), format!("{:.1}", c.disk_write_mbs)],
-            vec!["disk read MB/s".into(), "26".into(), format!("{:.1}", c.disk_read_mbs)],
-            vec!["TCP MB/s".into(), "~112".into(), format!("{:.1}", c.net_mbs)],
-            vec!["TCP CPU".into(), "47%".into(), format!("{:.0}%", c.net_cpu_fraction * 100.0)],
+            vec![
+                "disk write MB/s".into(),
+                "32".into(),
+                format!("{:.1}", c.disk_write_mbs),
+            ],
+            vec![
+                "disk read MB/s".into(),
+                "26".into(),
+                format!("{:.1}", c.disk_read_mbs),
+            ],
+            vec![
+                "TCP MB/s".into(),
+                "~112".into(),
+                format!("{:.1}", c.net_mbs),
+            ],
+            vec![
+                "TCP CPU".into(),
+                "47%".into(),
+                format!("{:.0}%", c.net_cpu_fraction * 100.0),
+            ],
         ],
     );
 
@@ -46,12 +62,17 @@ fn main() {
     let rows = fig5(&[1, 2, 4, 8], db);
     print_table(
         &["nodes", "original(s)", "PVFS(s)", "gain(s)"],
-        &rows.iter().map(|r| vec![
-            r.nodes.to_string(),
-            format!("{:.1}", r.t_original),
-            format!("{:.1}", r.t_pvfs),
-            format!("{:+.1}", r.t_original - r.t_pvfs),
-        ]).collect::<Vec<_>>(),
+        &rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.nodes.to_string(),
+                    format!("{:.1}", r.t_original),
+                    format!("{:.1}", r.t_pvfs),
+                    format!("{:+.1}", r.t_original - r.t_pvfs),
+                ]
+            })
+            .collect::<Vec<_>>(),
     );
 
     println!("\n=== Figure 6 (server sweep) ===\n");
@@ -65,46 +86,67 @@ fn main() {
     for &w in &workers {
         let mut row = vec![w.to_string()];
         for s in std::iter::once(0u32).chain(servers.iter().copied()) {
-            let cell = cells.iter().find(|c| c.workers == w && c.servers == s).unwrap();
+            let cell = cells
+                .iter()
+                .find(|c| c.workers == w && c.servers == s)
+                .unwrap();
             row.push(format!("{:.1}", cell.t));
         }
         rows.push(row);
     }
     print_table(&headers_ref, &rows);
     if let Some(c2) = cells.iter().find(|c| c.workers == 2 && c.servers == 0) {
-        println!("\nI/O fraction (original, 2 workers): {:.1}% (paper ~11%)", c2.io_fraction * 100.0);
+        println!(
+            "\nI/O fraction (original, 2 workers): {:.1}% (paper ~11%)",
+            c2.io_fraction * 100.0
+        );
     }
 
     println!("\n=== Figure 7 (PVFS 8 vs CEFT 4+4) ===\n");
     let rows = fig7(&[1, 2, 4, 8], db);
     print_table(
         &["workers", "PVFS(s)", "CEFT(s)", "CEFT/PVFS"],
-        &rows.iter().map(|r| vec![
-            r.workers.to_string(),
-            format!("{:.1}", r.t_pvfs),
-            format!("{:.1}", r.t_ceft),
-            format!("{:.3}", r.t_ceft / r.t_pvfs),
-        ]).collect::<Vec<_>>(),
+        &rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.workers.to_string(),
+                    format!("{:.1}", r.t_pvfs),
+                    format!("{:.1}", r.t_ceft),
+                    format!("{:.3}", r.t_ceft / r.t_pvfs),
+                ]
+            })
+            .collect::<Vec<_>>(),
     );
 
     println!("\n=== Figure 9 (one stressed disk) ===\n");
     let rows = fig9(db);
     print_table(
-        &["scheme", "clean(s)", "stressed(s)", "factor", "paper", "skips"],
-        &rows.iter().map(|r| {
-            let paper = match r.scheme {
-                "original" => "10x",
-                "over-PVFS" => "21x",
-                _ => "2x",
-            };
-            vec![
-                r.scheme.to_string(),
-                format!("{:.1}", r.t_clean),
-                format!("{:.1}", r.t_stressed),
-                format!("{:.1}x", r.factor),
-                paper.into(),
-                r.skipped_parts.to_string(),
-            ]
-        }).collect::<Vec<_>>(),
+        &[
+            "scheme",
+            "clean(s)",
+            "stressed(s)",
+            "factor",
+            "paper",
+            "skips",
+        ],
+        &rows
+            .iter()
+            .map(|r| {
+                let paper = match r.scheme {
+                    "original" => "10x",
+                    "over-PVFS" => "21x",
+                    _ => "2x",
+                };
+                vec![
+                    r.scheme.to_string(),
+                    format!("{:.1}", r.t_clean),
+                    format!("{:.1}", r.t_stressed),
+                    format!("{:.1}x", r.factor),
+                    paper.into(),
+                    r.skipped_parts.to_string(),
+                ]
+            })
+            .collect::<Vec<_>>(),
     );
 }

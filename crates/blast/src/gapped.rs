@@ -194,11 +194,7 @@ pub fn banded_global(
     let (m, n) = (query.len(), subject.len());
     if m == 0 {
         return (
-            if n == 0 {
-                0
-            } else {
-                -gaps.cost(n as i32)
-            },
+            if n == 0 { 0 } else { -gaps.cost(n as i32) },
             vec![AlignOp::InsSubject; n],
         );
     }

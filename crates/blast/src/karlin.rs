@@ -155,12 +155,26 @@ pub fn scorer_params(scorer: &Scorer) -> Option<KarlinParams> {
 /// conservative approximation, documented in DESIGN.md).
 pub fn gapped_params(scorer: &Scorer, gaps: GapPenalties) -> Option<KarlinParams> {
     match (scorer, gaps.open, gaps.extend) {
-        (Scorer::Nucleotide { reward: 1, penalty: -3 }, 5, 2) => Some(KarlinParams {
+        (
+            Scorer::Nucleotide {
+                reward: 1,
+                penalty: -3,
+            },
+            5,
+            2,
+        ) => Some(KarlinParams {
             lambda: 1.374,
             k: 0.711,
             h: 1.307,
         }),
-        (Scorer::Nucleotide { reward: 1, penalty: -2 }, 5, 2) => Some(KarlinParams {
+        (
+            Scorer::Nucleotide {
+                reward: 1,
+                penalty: -2,
+            },
+            5,
+            2,
+        ) => Some(KarlinParams {
             lambda: 1.28,
             k: 0.46,
             h: 0.85,

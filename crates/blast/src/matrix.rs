@@ -38,8 +38,8 @@ pub const BLOSUM62: [[i32; 24]; 24] = [
 /// B/Z/X/* get zero background.
 pub const AA_BACKGROUND: [f64; 24] = [
     0.07805, 0.05129, 0.04487, 0.05364, 0.01925, 0.04264, 0.06295, 0.07377, 0.02199, 0.05142,
-    0.09019, 0.05744, 0.02243, 0.03856, 0.05203, 0.07120, 0.05841, 0.01330, 0.03216, 0.06441,
-    0.0, 0.0, 0.0, 0.0,
+    0.09019, 0.05744, 0.02243, 0.03856, 0.05203, 0.07120, 0.05841, 0.01330, 0.03216, 0.06441, 0.0,
+    0.0, 0.0, 0.0,
 ];
 
 /// A scoring system.

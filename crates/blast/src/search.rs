@@ -131,8 +131,7 @@ fn stats_ctx(params: &SearchParams, query_len: usize, db: DbStats) -> StatsCtx {
     let reporting = if params.gapped { gapped } else { ungapped };
     let space = reporting.search_space(query_len as u64, db.residues, db.nseq);
     // Raw score that reaches gap_trigger bits under ungapped stats.
-    let gap_trigger_raw = ((params.gap_trigger_bits * std::f64::consts::LN_2
-        + ungapped.k.ln())
+    let gap_trigger_raw = ((params.gap_trigger_bits * std::f64::consts::LN_2 + ungapped.k.ln())
         / ungapped.lambda)
         .ceil() as i32;
     // Raw score whose E-value equals the cutoff (quick pre-filter).
@@ -661,7 +660,11 @@ mod tests {
         let top = &hits[0].hsps[0];
         assert!(top.evalue < 1e-50);
         // Most of the query aligns.
-        assert!(top.q_end - top.q_start > 500, "aligned {}", top.q_end - top.q_start);
+        assert!(
+            top.q_end - top.q_start > 500,
+            "aligned {}",
+            top.q_end - top.q_start
+        );
         assert!(top.percent_identity() > 90.0);
     }
 
@@ -883,7 +886,11 @@ mod tests {
         );
         let top = &hits[0].hsps[0];
         // The full 400-nt region aligns despite the masked middle.
-        assert!(top.q_end - top.q_start >= 380, "aligned {}", top.q_end - top.q_start);
+        assert!(
+            top.q_end - top.q_start >= 380,
+            "aligned {}",
+            top.q_end - top.q_start
+        );
         assert_eq!(top.identities, top.align_len);
     }
 

@@ -315,10 +315,7 @@ impl CeftClient {
         self.failures += 1;
         ctx.send(
             op.reply_to,
-            Ev::User(Envelope::local(ClientResp::Error {
-                tag: op.tag,
-                error,
-            })),
+            Ev::User(Envelope::local(ClientResp::Error { tag: op.tag, error })),
         );
     }
 
@@ -444,12 +441,8 @@ impl CeftClient {
                 self.flip = !self.flip;
                 let avoid = self.avoid();
                 let parts = match self.read_mode {
-                    ReadMode::DualHalf => {
-                        entry.layout.plan_read(offset, len, first_group, &avoid)
-                    }
-                    ReadMode::PrimaryOnly => {
-                        entry.layout.plan_single_group(offset, len, 0, &avoid)
-                    }
+                    ReadMode::DualHalf => entry.layout.plan_read(offset, len, first_group, &avoid),
+                    ReadMode::PrimaryOnly => entry.layout.plan_single_group(offset, len, 0, &avoid),
                 };
                 if parts.is_empty() {
                     ctx.send(

@@ -129,12 +129,8 @@ impl Ceft {
                 .enumerate()
                 .map(|(i, &n)| {
                     let node = &cluster.nodes[n as usize];
-                    let mut daemon = Iod::new(
-                        format!("ceft.iod.g{group}.{i}"),
-                        n,
-                        node.fs,
-                        cluster.net,
-                    );
+                    let mut daemon =
+                        Iod::new(format!("ceft.iod.g{group}.{i}"), n, node.fs, cluster.net);
                     daemon.set_overhead(cfg.iod_overhead);
                     let iod = eng.add(daemon);
                     let gauge = eng.component::<Disk>(node.disk).gauge();
@@ -196,9 +192,7 @@ impl Ceft {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use parblast_hwsim::{
-        start_stressor, DiskStressor, Envelope, HwParams, StressorConfig, MIB,
-    };
+    use parblast_hwsim::{start_stressor, DiskStressor, Envelope, HwParams, StressorConfig, MIB};
     use parblast_pvfs::{ClientReq, ClientResp};
     use parblast_simcore::{Component, Ctx};
     use std::cell::RefCell;
@@ -421,7 +415,11 @@ mod tests {
                 .map(|&(_, id)| eng.component::<Iod>(id).stats().3)
                 .sum()
         };
-        (latency, tx, (group_bytes(&ceft.primary), group_bytes(&ceft.mirror)))
+        (
+            latency,
+            tx,
+            (group_bytes(&ceft.primary), group_bytes(&ceft.mirror)),
+        )
     }
 
     #[test]

@@ -118,9 +118,7 @@ impl Component<Ev> for LoadMonitor {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use parblast_hwsim::{
-        start_stressor, Cluster, Disk, DiskStressor, HwParams, StressorConfig,
-    };
+    use parblast_hwsim::{start_stressor, Cluster, Disk, DiskStressor, HwParams, StressorConfig};
     use parblast_simcore::Engine;
     use std::cell::RefCell;
 

@@ -10,8 +10,8 @@ use std::path::Path;
 
 use parblast_blast::{DbStats, Program, SearchParams};
 use parblast_mpiblast::{
-    run_simblast, ParallelBlast, Parallelization, Scheme, SimBlastConfig, SimScheme,
-    TraceSummary, Tracer,
+    run_simblast, ParallelBlast, Parallelization, Scheme, SimBlastConfig, SimScheme, TraceSummary,
+    Tracer,
 };
 use parblast_seqdb::{
     extract_query, segment_into_fragments, SeqType, SyntheticConfig, SyntheticNt,
@@ -413,6 +413,110 @@ pub fn faults(db_bytes: u64, fail_times_s: &[f64]) -> Vec<FaultRow> {
     out
 }
 
+/// Per-worker scan rate for the *serving* workload, bytes/second.
+///
+/// The paper's single 568-nt query is compute-heavy (≈2.3 MB/s per
+/// worker, I/O ≈11% of the run). A serving workload is dominated by
+/// short interactive queries whose per-byte search cost is far lower, so
+/// the database scan is a much larger share of each pass (≈45–55% here).
+/// That is precisely the regime where scan sharing pays: the I/O half of
+/// the pass is amortized over the whole batch.
+pub const SERVE_SEARCH_RATE: f64 = 24e6;
+
+/// One serving-sweep row: one (scheme, offered load, batch cap) cell.
+#[derive(Debug, Clone)]
+pub struct ServeRow {
+    /// Scheme label.
+    pub scheme: &'static str,
+    /// Offered load relative to unbatched capacity (λ · S₁).
+    pub load: f64,
+    /// Scan-sharing batch cap `B` (1 = no sharing).
+    pub max_batch: usize,
+    /// Poisson arrival rate, queries/second.
+    pub arrival_qps: f64,
+    /// Unbatched single-pass service time S₁, seconds.
+    pub service_s: f64,
+    /// Frozen serving-run metrics.
+    pub report: parblast_serve::ServeReport,
+}
+
+/// Serving sweep: batch cap × offered load × scheme (8 workers; PVFS on
+/// 8 servers, CEFT on 4+4), `queries` Poisson arrivals per cell.
+///
+/// Per scheme, the service model probes the calibrated simulator once per
+/// batch size (a genuine `run_simblast` with `queries_per_pass = k`) and
+/// the arrival rate is set to `load / S₁` — `load > 1` offers more
+/// traffic than unbatched serving can absorb, so without scan sharing
+/// the queue grows without bound while batch caps ≥ 4 stay stable. The
+/// same arrival sequence (seed 2003) drives every batch cap, so cells in
+/// a (scheme, load) group are directly comparable.
+pub fn serve_sweep(
+    db_bytes: u64,
+    loads: &[f64],
+    batch_caps: &[usize],
+    queries: usize,
+    capacity: usize,
+) -> Vec<ServeRow> {
+    use parblast_hwsim::ArrivalProcess;
+    use parblast_serve::{BatchPolicy, Query, ScanSharingServer, ServiceModel, SimExecutor};
+    use parblast_simcore::SimRng;
+
+    let schemes: Vec<(&'static str, SimScheme)> = vec![
+        ("original", SimScheme::Original),
+        (
+            "over-PVFS",
+            SimScheme::Pvfs {
+                servers: (0..8).collect(),
+            },
+        ),
+        (
+            "over-CEFT-PVFS",
+            SimScheme::Ceft {
+                primary: (0..4).collect(),
+                mirror: (4..8).collect(),
+            },
+        ),
+    ];
+    let cap_max = batch_caps.iter().copied().max().unwrap_or(1) as u32;
+    let mut out = Vec::new();
+    for (label, scheme) in schemes {
+        let mut cfg = sim_base(8, 9, scheme);
+        cfg.db_bytes = db_bytes;
+        cfg.search_rate = SERVE_SEARCH_RATE;
+        let mut model = ServiceModel::new(cfg);
+        // Probe every batch size once up front; the executors below clone
+        // the warmed cache and never touch the simulator again.
+        for k in 1..=cap_max {
+            model.cost(k);
+        }
+        let s1 = model.cost(1).service_s;
+        for &load in loads {
+            let rate = load / s1;
+            let times =
+                ArrivalProcess::Poisson { rate_qps: rate }.times(queries, &mut SimRng::new(2003));
+            let arrivals: Vec<Query> = times
+                .iter()
+                .enumerate()
+                .map(|(i, &t)| Query::new(i as u64, t))
+                .collect();
+            for &b in batch_caps {
+                let exec = SimExecutor::new(model.clone(), 7 + b as u64, 0.10);
+                let mut srv = ScanSharingServer::new(capacity, BatchPolicy { max_batch: b }, exec);
+                let report = srv.run_open_loop(&arrivals);
+                out.push(ServeRow {
+                    scheme: label,
+                    load,
+                    max_batch: b,
+                    arrival_qps: rate,
+                    service_s: s1,
+                    report,
+                });
+            }
+        }
+    }
+    out
+}
+
 /// Figure 4 output: the real run's trace.
 #[derive(Debug)]
 pub struct Fig4Result {
@@ -444,13 +548,7 @@ pub fn fig4(workdir: &Path, total_residues: u64) -> std::io::Result<Fig4Result> 
         residues: g.residues(),
         nseq: g.sequences(),
     };
-    let infos = segment_into_fragments(
-        &workdir.join("fmt"),
-        "nt",
-        SeqType::Nucleotide,
-        8,
-        seqs,
-    )?;
+    let infos = segment_into_fragments(&workdir.join("fmt"), "nt", SeqType::Nucleotide, 8, seqs)?;
     let mut fragments = vec![];
     for info in &infos {
         let bytes = std::fs::read(&info.path)?;
@@ -514,6 +612,42 @@ mod tests {
         for r in &rows {
             let ratio = r.t_ceft / r.t_pvfs;
             assert!(ratio > 0.9 && ratio < 1.35, "{r:?}");
+        }
+    }
+
+    #[test]
+    fn serve_batching_saves_io_and_improves_p95_under_saturation() {
+        // The issue's acceptance criterion: at an arrival rate where
+        // unbatched serving saturates (load 1.45 > 1), a batch cap of 4
+        // cuts database-read bytes ≥2× and improves p95 latency, under
+        // all three schemes.
+        let rows = serve_sweep(SMALL_DB, &[1.45], &[1, 4], 120, 4096);
+        for scheme in ["original", "over-PVFS", "over-CEFT-PVFS"] {
+            let cell = |b: usize| {
+                rows.iter()
+                    .find(|r| r.scheme == scheme && r.max_batch == b)
+                    .unwrap()
+            };
+            let (un, b4) = (cell(1), cell(4));
+            assert_eq!(un.report.served, 120, "{scheme}");
+            assert_eq!(b4.report.served, 120, "{scheme}");
+            assert!(
+                b4.report.bytes_read * 2 <= un.report.bytes_read,
+                "{scheme}: batched bytes {} vs unbatched {}",
+                b4.report.bytes_read,
+                un.report.bytes_read
+            );
+            assert!(b4.report.io_savings() >= 2.0, "{scheme}");
+            assert!(
+                b4.report.latency.p95 < un.report.latency.p95,
+                "{scheme}: batched p95 {:.1} vs unbatched {:.1}",
+                b4.report.latency.p95,
+                un.report.latency.p95
+            );
+            assert!(
+                b4.report.throughput_qps > un.report.throughput_qps,
+                "{scheme}"
+            );
         }
     }
 

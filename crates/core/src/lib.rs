@@ -58,6 +58,7 @@ pub use parblast_mpiblast as mpiblast;
 pub use parblast_pio as pio;
 pub use parblast_pvfs as pvfs;
 pub use parblast_seqdb as seqdb;
+pub use parblast_serve as serve;
 pub use parblast_simcore as simcore;
 
 /// One-stop imports for examples and downstream users.
@@ -74,8 +75,12 @@ pub mod prelude {
     };
     pub use parblast_seqdb::blastdb::DbSequence;
     pub use parblast_seqdb::{
-        extract_query, segment_into_fragments, FastaReader, FastaWriter, SeqType,
-        SyntheticConfig, SyntheticNt, Volume, VolumeWriter,
+        extract_query, segment_into_fragments, FastaReader, FastaWriter, SeqType, SyntheticConfig,
+        SyntheticNt, Volume, VolumeWriter,
+    };
+    pub use parblast_serve::{
+        serve_batched, AdmissionQueue, BatchPolicy, Priority, Query, ScanSharingServer,
+        ServeReport, ServiceModel, SimExecutor,
     };
 
     pub use crate::experiments;

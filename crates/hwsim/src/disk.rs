@@ -504,11 +504,7 @@ mod tests {
         eng.schedule(SimTime::ZERO, r1, Ev::Timer(0));
         eng.schedule(SimTime::ZERO, r2, Ev::Timer(0));
         eng.run();
-        let t = f1
-            .borrow()
-            .unwrap()
-            .max(f2.borrow().unwrap())
-            .as_secs_f64();
+        let t = f1.borrow().unwrap().max(f2.borrow().unwrap()).as_secs_f64();
         let agg = 2.0 * total as f64 / MIB as f64 / t;
         // Aggregate should be well below the lone-reader rate (seeks) but
         // far above the stressed collapse.

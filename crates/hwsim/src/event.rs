@@ -266,9 +266,7 @@ pub struct NetFaultRule {
 impl NetFaultRule {
     /// Does this rule apply to a `src → dst` message at time `now`?
     pub fn matches(&self, now: SimTime, src: u32, dst: u32) -> bool {
-        now < self.until
-            && self.src.is_none_or(|s| s == src)
-            && self.dst.is_none_or(|d| d == dst)
+        now < self.until && self.src.is_none_or(|s| s == src) && self.dst.is_none_or(|d| d == dst)
     }
 }
 

@@ -161,12 +161,15 @@ impl FaultSchedule {
         delay: SimTime,
         until: SimTime,
     ) -> Self {
-        self.push(at, Fault::NetDelay {
-            src,
-            dst,
-            delay,
-            until,
-        })
+        self.push(
+            at,
+            Fault::NetDelay {
+                src,
+                dst,
+                delay,
+                until,
+            },
+        )
     }
 
     /// The scheduled events, in insertion order.
@@ -382,8 +385,16 @@ mod tests {
         // One request before the failure (completes), one during (lost),
         // one after repair (completes).
         eng.schedule(SimTime::ZERO, disk, Ev::Disk(disk_req(0, sink, 1)));
-        eng.schedule(SimTime::from_secs(2), disk, Ev::Disk(disk_req(1 << 30, sink, 2)));
-        eng.schedule(SimTime::from_secs(6), disk, Ev::Disk(disk_req(2 << 30, sink, 3)));
+        eng.schedule(
+            SimTime::from_secs(2),
+            disk,
+            Ev::Disk(disk_req(1 << 30, sink, 2)),
+        );
+        eng.schedule(
+            SimTime::from_secs(6),
+            disk,
+            Ev::Disk(disk_req(2 << 30, sink, 3)),
+        );
         eng.run();
         let tags: Vec<u64> = done.borrow().iter().map(|&(_, t)| t).collect();
         assert_eq!(tags, vec![1, 3]);
@@ -448,12 +459,8 @@ mod tests {
         let done = Rc::new(RefCell::new(vec![]));
         let sink = eng.add(Sink { done: done.clone() });
         let net = eng.add(Network::new("net", 2, vec![], NetParams::default()));
-        let plan = FaultSchedule::new().drop_messages(
-            SimTime::ZERO,
-            Some(0),
-            None,
-            SimTime::from_secs(2),
-        );
+        let plan =
+            FaultSchedule::new().drop_messages(SimTime::ZERO, Some(0), None, SimTime::from_secs(2));
         let mut inj = FaultInjector::new(plan);
         inj.register_net(net);
         inj.install(&mut eng);

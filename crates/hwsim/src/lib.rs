@@ -17,6 +17,7 @@
 
 #![warn(missing_docs)]
 
+pub mod arrivals;
 pub mod cache;
 pub mod cluster;
 pub mod cpu;
@@ -28,6 +29,7 @@ pub mod net;
 pub mod params;
 pub mod stressor;
 
+pub use arrivals::ArrivalProcess;
 pub use cache::{BlockKey, PageCache};
 pub use cluster::{Cluster, NodeIds};
 pub use cpu::Cpu;

@@ -46,7 +46,7 @@ struct InFlight {
     offset: u64,
     len: u64,
     unit: u64,
-    cursor: u64, // bytes already completed
+    cursor: u64,           // bytes already completed
     last_unit: (u64, u64), // absolute (start, len) of the unit in flight
     cached_bytes: u64,
     reply_to: CompId,

@@ -41,7 +41,12 @@ pub struct Network {
 impl Network {
     /// New network for `nodes` nodes; `cpus[i]` receives the TCP CPU tax of
     /// node `i` (pass an empty slice to disable the tax).
-    pub fn new(name: impl Into<String>, nodes: usize, cpus: Vec<CompId>, params: NetParams) -> Self {
+    pub fn new(
+        name: impl Into<String>,
+        nodes: usize,
+        cpus: Vec<CompId>,
+        params: NetParams,
+    ) -> Self {
         Network {
             params,
             nics: (0..nodes)
@@ -197,7 +202,16 @@ mod tests {
     }
 
     #[allow(clippy::too_many_arguments)]
-    fn send(eng: &mut Engine<Ev>, net: CompId, at: SimTime, src: u32, dst_node: u32, dst: CompId, bytes: u64, tag: u32) {
+    fn send(
+        eng: &mut Engine<Ev>,
+        net: CompId,
+        at: SimTime,
+        src: u32,
+        dst_node: u32,
+        dst: CompId,
+        bytes: u64,
+        tag: u32,
+    ) {
         eng.schedule(
             at,
             net,
@@ -271,7 +285,16 @@ mod tests {
         // Nodes 0 and 1 each stream 64 MiB to node 2.
         for i in 0..64u64 {
             send(&mut eng, net, SimTime::ZERO, 0, 2, sink, MIB, i as u32);
-            send(&mut eng, net, SimTime::ZERO, 1, 2, sink, MIB, 100 + i as u32);
+            send(
+                &mut eng,
+                net,
+                SimTime::ZERO,
+                1,
+                2,
+                sink,
+                MIB,
+                100 + i as u32,
+            );
         }
         eng.run();
         let t = got.borrow().last().unwrap().0.as_secs_f64();

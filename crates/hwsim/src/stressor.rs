@@ -86,7 +86,12 @@ impl DiskStressor {
             return;
         }
         if self.offset + self.cfg.write_size > self.cfg.file_limit {
-            ctx.send(self.fs, Ev::Fs(FsMsg::Truncate { file: self.cfg.file }));
+            ctx.send(
+                self.fs,
+                Ev::Fs(FsMsg::Truncate {
+                    file: self.cfg.file,
+                }),
+            );
             self.offset = 0;
             self.truncates += 1;
         }
@@ -108,11 +113,10 @@ impl DiskStressor {
 impl Component<Ev> for DiskStressor {
     fn on_event(&mut self, ctx: &mut Ctx<'_, Ev>, ev: Ev) {
         match ev {
-            Ev::Timer(_)
-                if !self.started => {
-                    self.started = true;
-                    self.issue(ctx);
-                }
+            Ev::Timer(_) if !self.started => {
+                self.started = true;
+                self.issue(ctx);
+            }
             Ev::FsDone(FsDone { .. }) => {
                 self.appends += 1;
                 self.issue(ctx);

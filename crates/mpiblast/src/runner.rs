@@ -118,8 +118,7 @@ impl ParallelBlast {
             task_tx.send(f.clone()).expect("queue");
         }
         drop(task_tx);
-        let (res_tx, res_rx) =
-            channel::unbounded::<io::Result<Vec<(usize, Vec<Hit>)>>>();
+        let (res_tx, res_rx) = channel::unbounded::<io::Result<Vec<(usize, Vec<Hit>)>>>();
         let copy_total = AtomicU64::new(0);
         std::thread::scope(|scope| {
             for w in 0..self.workers.max(1) {
@@ -130,12 +129,9 @@ impl ParallelBlast {
                 scope.spawn(move || {
                     while let Ok(fragment) = task_rx.recv() {
                         let r = (|| -> io::Result<Vec<(usize, Vec<Hit>)>> {
-                            let (reader, copy_s) =
-                                self.scheme.open_for_worker(w, &fragment)?;
-                            copy_total
-                                .fetch_add((copy_s * 1e6) as u64, Ordering::Relaxed);
-                            let mut src =
-                                TracedSource::new(reader, tracer.clone(), w as u32);
+                            let (reader, copy_s) = self.scheme.open_for_worker(w, &fragment)?;
+                            copy_total.fetch_add((copy_s * 1e6) as u64, Ordering::Relaxed);
+                            let mut src = TracedSource::new(reader, tracer.clone(), w as u32);
                             // One read of the fragment serves every query.
                             let volume = Volume::read_from(&mut src)?;
                             Ok(queries
@@ -235,8 +231,7 @@ impl ParallelBlast {
         for t in tasks {
             task_tx.send((t, 1)).expect("queue");
         }
-        let (res_tx, res_rx) =
-            channel::unbounded::<(Task, u32, io::Result<FragmentResult>)>();
+        let (res_tx, res_rx) = channel::unbounded::<(Task, u32, io::Result<FragmentResult>)>();
         let copy_total = AtomicU64::new(0);
 
         std::thread::scope(|scope| {
@@ -294,8 +289,7 @@ impl ParallelBlast {
                 for hit in fr.hits {
                     // Under query segmentation the same subject can be
                     // found by several pieces: merge HSP lists per subject.
-                    if let Some(existing) =
-                        hits.iter_mut().find(|h| h.subject_id == hit.subject_id)
+                    if let Some(existing) = hits.iter_mut().find(|h| h.subject_id == hit.subject_id)
                     {
                         for hsp in hit.hsps {
                             let dup = existing.hsps.iter().any(|e| {
@@ -307,9 +301,7 @@ impl ParallelBlast {
                                 existing.hsps.push(hsp);
                             }
                         }
-                        existing
-                            .hsps
-                            .sort_by_key(|h| std::cmp::Reverse(h.score));
+                        existing.hsps.sort_by_key(|h| std::cmp::Reverse(h.score));
                     } else {
                         hits.push(hit);
                     }
@@ -398,12 +390,16 @@ mod tests {
             nseq: g.sequences(),
         };
         let dir = base.join("fmt");
-        let infos =
-            segment_into_fragments(&dir, "nt", SeqType::Nucleotide, frags, seqs).unwrap();
+        let infos = segment_into_fragments(&dir, "nt", SeqType::Nucleotide, frags, seqs).unwrap();
         let mut names = vec![];
         for info in infos {
             let bytes = std::fs::read(&info.path).unwrap();
-            let name = info.path.file_name().unwrap().to_string_lossy().into_owned();
+            let name = info
+                .path
+                .file_name()
+                .unwrap()
+                .to_string_lossy()
+                .into_owned();
             scheme.load_fragment(&name, &bytes).unwrap();
             names.push(name);
         }
@@ -528,7 +524,10 @@ mod tests {
         assert!(read > frag_total);
         // Re-run with 1 query: read bytes must be identical.
         let tracer2 = Tracer::new();
-        let job2 = ParallelBlast { tracer: tracer2.clone(), ..job };
+        let job2 = ParallelBlast {
+            tracer: tracer2.clone(),
+            ..job
+        };
         job2.run_batch(&queries[..1]).unwrap();
         let read1: u64 = tracer2
             .events()
@@ -570,7 +569,9 @@ mod tests {
             tracer: Tracer::disabled(),
             parallelization,
         };
-        let db_seg = mk(Parallelization::DatabaseSegmentation).run(&query).unwrap();
+        let db_seg = mk(Parallelization::DatabaseSegmentation)
+            .run(&query)
+            .unwrap();
         let q_seg = mk(Parallelization::QuerySegmentation {
             pieces: 4,
             overlap: 120,

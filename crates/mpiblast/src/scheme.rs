@@ -3,7 +3,9 @@
 use std::io;
 use std::path::PathBuf;
 
-use parblast_pio::{copy_object, LocalStore, MirroredStore, ObjectReader, ObjectStore, StripedStore};
+use parblast_pio::{
+    copy_object, LocalStore, MirroredStore, ObjectReader, ObjectStore, StripedStore,
+};
 use parblast_seqdb::ReadAt;
 
 use crate::trace::{IoKind, Tracer};
@@ -187,10 +189,7 @@ mod tests {
     fn scheme_names_match_paper() {
         let base = tmp("names");
         assert_eq!(Scheme::local_at(&base, 1).unwrap().name(), "original");
-        assert_eq!(
-            Scheme::pvfs_at(&base, 2, 1024).unwrap().name(),
-            "over-PVFS"
-        );
+        assert_eq!(Scheme::pvfs_at(&base, 2, 1024).unwrap().name(), "over-PVFS");
         assert_eq!(
             Scheme::ceft_at(&base, 1, 1024).unwrap().name(),
             "over-CEFT-PVFS"

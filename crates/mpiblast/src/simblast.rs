@@ -16,11 +16,13 @@
 
 use parblast_ceft::{Ceft, CeftClient, CeftConfig};
 use parblast_hwsim::{
-    start_stressor, Cluster, DiskStressor, Envelope, Ev, FaultInjector, FaultSchedule, FsDone,
-    FsMsg, HwParams, NetSend, StressorConfig, CpuMsg,
+    start_stressor, Cluster, CpuMsg, DiskStressor, Envelope, Ev, FaultInjector, FaultSchedule,
+    FsDone, FsMsg, HwParams, NetSend, StressorConfig,
 };
 use parblast_pvfs::{ClientReq, ClientResp, Pvfs, PvfsClient, RetryPolicy, CTRL_BYTES};
 use parblast_simcore::{CompId, Component, Ctx, Engine, SimTime, TraceEntry};
+
+use crate::trace::{IoKind, Tracer};
 
 /// Which simulated I/O scheme to use.
 #[derive(Debug, Clone)]
@@ -81,6 +83,16 @@ pub struct SimBlastConfig {
     pub result_writes: u32,
     /// Result write size in bytes (Figure 4: mean 690 B).
     pub result_write_bytes: u64,
+    /// Queries sharing each fragment scan (the serving layer's
+    /// scan-sharing batch). One fragment read serves the whole batch, so
+    /// I/O stays per-pass while compute and result writes scale by the
+    /// batch size. `1` (the default) is the paper's single-query job and
+    /// leaves the simulation event-for-event unchanged.
+    pub queries_per_pass: u32,
+    /// Optional application-level I/O trace collector. Pass
+    /// [`Tracer::simulated`] to take a Figure-4-style trace from inside
+    /// the simulator with deterministic `SimTime` timestamps.
+    pub io_tracer: Option<Tracer>,
     /// CEFT deployment configuration (read mode, skip policy, heartbeat).
     pub ceft: CeftConfig,
     /// Nodes whose disk is stressed by the Figure 8 program from t=0.
@@ -126,6 +138,8 @@ impl Default for SimBlastConfig {
             compute_cv: 0.30,
             result_writes: 2,
             result_write_bytes: 690,
+            queries_per_pass: 1,
+            io_tracer: None,
             ceft: CeftConfig::default(),
             stress_nodes: Vec::new(),
             faults: FaultSchedule::default(),
@@ -243,8 +257,7 @@ impl Component<Ev> for LocalClient {
                         tag,
                     } => {
                         let token = ctx.fresh_token();
-                        self.pending
-                            .insert(token, (reply_to, tag, ctx.now(), len));
+                        self.pending.insert(token, (reply_to, tag, ctx.now(), len));
                         ctx.send(
                             self.fs,
                             Ev::Fs(FsMsg::Read {
@@ -268,8 +281,7 @@ impl Component<Ev> for LocalClient {
                         tag,
                     } => {
                         let token = ctx.fresh_token();
-                        self.pending
-                            .insert(token, (reply_to, tag, ctx.now(), len));
+                        self.pending.insert(token, (reply_to, tag, ctx.now(), len));
                         ctx.send(
                             self.fs,
                             Ev::Fs(FsMsg::Write {
@@ -324,6 +336,8 @@ struct SimWorker {
     compute_cv: f64,
     result_writes: u32,
     result_write_bytes: u64,
+    batch: u32,
+    tracer: Option<Tracer>,
     // run state
     fragment: Option<(u32, u64)>,
     offset: u64,
@@ -355,6 +369,10 @@ impl SimWorker {
         if self.writes_left > 0 {
             self.writes_left -= 1;
             let (frag, _) = self.fragment.expect("assigned");
+            if let Some(tr) = &self.tracer {
+                tr.advance_to(ctx.now());
+                tr.record(self.index, IoKind::Write, self.result_write_bytes);
+            }
             ctx.send(
                 self.client,
                 Ev::User(Envelope::local(ClientReq::Write {
@@ -393,7 +411,9 @@ impl Component<Ev> for SimWorker {
                         if let JobMsg::Assign { fragment, size } = *msg {
                             self.fragment = Some((fragment, size));
                             self.offset = 0;
-                            self.writes_left = self.result_writes;
+                            // Every query in the scan-sharing batch writes
+                            // its own small result files.
+                            self.writes_left = self.result_writes * self.batch;
                             ctx.send(
                                 self.client,
                                 Ev::User(Envelope::local(ClientReq::Open {
@@ -412,13 +432,20 @@ impl Component<Ev> for SimWorker {
                             ClientResp::OpenDone { .. } => self.issue_read(ctx),
                             ClientResp::ReadDone { latency, len, tag } if tag == TAG_READ => {
                                 self.stats.io_s += latency.as_secs_f64();
+                                if let Some(tr) = &self.tracer {
+                                    tr.advance_to(ctx.now());
+                                    tr.record(self.index, IoKind::Read, len);
+                                }
                                 // blastall runs one search thread per CPU
                                 // (the paper reports ≈99 % CPU busy on the
                                 // dual-CPU nodes): two parallel jobs, the
-                                // chunk is done when both finish.
-                                let factor =
-                                    ctx.rng().lognormal_mean_cv(1.0, self.compute_cv);
-                                let work = len as f64 / self.search_rate * factor;
+                                // chunk is done when both finish. A
+                                // scan-sharing batch multiplies the compute
+                                // (every query scans the chunk) but not the
+                                // read.
+                                let factor = ctx.rng().lognormal_mean_cv(1.0, self.compute_cv);
+                                let work =
+                                    len as f64 * self.batch as f64 / self.search_rate * factor;
                                 self.cpu_pending = 2;
                                 for _ in 0..2 {
                                     ctx.send(
@@ -441,8 +468,7 @@ impl Component<Ev> for SimWorker {
                                 // The client gave up on a server. Abort the
                                 // fragment and hand it back to the master
                                 // for reassignment.
-                                let (fragment, size) =
-                                    self.fragment.take().expect("assigned");
+                                let (fragment, size) = self.fragment.take().expect("assigned");
                                 self.cpu_pending = 0;
                                 let worker = self.index;
                                 ctx.send(
@@ -605,8 +631,7 @@ pub fn run_simblast(cfg: &SimBlastConfig) -> SimOutcome {
 
     // Fault injector (installed only when there is something to inject, so
     // fault-free runs are event-for-event identical to before).
-    let mut injector =
-        (!cfg.faults.is_empty()).then(|| FaultInjector::new(cfg.faults.clone()));
+    let mut injector = (!cfg.faults.is_empty()).then(|| FaultInjector::new(cfg.faults.clone()));
 
     // Deploy the I/O scheme and create one client per worker node.
     let mut ceft_clients: Vec<CompId> = Vec::new();
@@ -698,6 +723,8 @@ pub fn run_simblast(cfg: &SimBlastConfig) -> SimOutcome {
                 compute_cv: cfg.compute_cv,
                 result_writes: cfg.result_writes,
                 result_write_bytes: cfg.result_write_bytes,
+                batch: cfg.queries_per_pass.max(1),
+                tracer: cfg.io_tracer.clone(),
                 fragment: None,
                 offset: 0,
                 writes_left: 0,
@@ -744,9 +771,7 @@ pub fn run_simblast(cfg: &SimBlastConfig) -> SimOutcome {
     let mut horizon = cfg.warmup_s + 50.0;
     loop {
         eng.run_until(SimTime::from_secs_f64(horizon));
-        if eng.component::<SimMaster>(master).finished.is_some()
-            || horizon >= cfg.horizon_s
-        {
+        if eng.component::<SimMaster>(master).finished.is_some() || horizon >= cfg.horizon_s {
             break;
         }
         horizon += 50.0;
@@ -770,15 +795,16 @@ pub fn run_simblast(cfg: &SimBlastConfig) -> SimOutcome {
     let mut per_worker = Vec::new();
     let mut io = 0.0;
     let mut bytes = 0u64;
+    let batch = cfg.queries_per_pass.max(1) as f64;
     for &(_, wcomp) in &worker_ids {
         let w = eng.component::<SimWorker>(wcomp);
         let mut st = w.stats;
-        st.compute_s = st.bytes_read as f64 / cfg.search_rate;
+        st.compute_s = st.bytes_read as f64 * batch / cfg.search_rate;
         per_worker.push(st);
         io += st.io_s;
         bytes += st.bytes_read;
     }
-    let compute = bytes as f64 / cfg.search_rate;
+    let compute = bytes as f64 * batch / cfg.search_rate;
     let io_fraction = if io + compute > 0.0 {
         io / (io + compute)
     } else {
@@ -849,6 +875,41 @@ mod tests {
     }
 
     #[test]
+    fn batched_pass_amortizes_io_not_compute() {
+        let mut cfg = small(SimScheme::Original, 2, 3);
+        let t1 = run_simblast(&cfg).makespan_s;
+        cfg.queries_per_pass = 4;
+        let out4 = run_simblast(&cfg);
+        // Same single database pass...
+        let total_bytes: u64 = out4.per_worker.iter().map(|w| w.bytes_read).sum();
+        assert_eq!(total_bytes, cfg.db_bytes / 2 * 2);
+        // ...but 4 queries' worth of compute: longer than one query, far
+        // shorter than four sequential passes.
+        assert!(out4.makespan_s > t1 * 2.0, "t1={t1} t4={}", out4.makespan_s);
+        assert!(out4.makespan_s < t1 * 4.0, "t1={t1} t4={}", out4.makespan_s);
+        // I/O fraction shrinks when the scan is shared.
+        assert!(out4.io_fraction < 0.06, "io_fraction={}", out4.io_fraction);
+    }
+
+    #[test]
+    fn sim_io_trace_is_deterministic_and_read_dominated() {
+        let run = || {
+            let mut cfg = small(SimScheme::Original, 2, 3);
+            cfg.io_tracer = Some(Tracer::simulated());
+            run_simblast(&cfg);
+            cfg.io_tracer.unwrap().events()
+        };
+        let (a, b) = (run(), run());
+        assert!(!a.is_empty());
+        assert_eq!(format!("{a:?}"), format!("{b:?}"), "sim trace diverged");
+        let s = crate::trace::TraceSummary::from_events(&a);
+        assert!(s.read_fraction > 0.7, "{s:?}");
+        assert_eq!(s.write_max, 690);
+        // Timestamps are simulation time: monotone, starting after warmup.
+        assert!(a[0].t >= 1.0, "first event at {}", a[0].t);
+    }
+
+    #[test]
     fn pvfs_faster_than_original_at_two_nodes() {
         let t_orig = run_simblast(&small(SimScheme::Original, 2, 3)).makespan_s;
         let t_pvfs = run_simblast(&small(
@@ -868,14 +929,7 @@ mod tests {
     #[test]
     fn pvfs_slower_than_original_at_one_node() {
         let t_orig = run_simblast(&small(SimScheme::Original, 1, 2)).makespan_s;
-        let t_pvfs = run_simblast(&small(
-            SimScheme::Pvfs {
-                servers: vec![0],
-            },
-            1,
-            2,
-        ))
-        .makespan_s;
+        let t_pvfs = run_simblast(&small(SimScheme::Pvfs { servers: vec![0] }, 1, 2)).makespan_s;
         assert!(
             t_pvfs > t_orig,
             "PVFS ({t_pvfs}) should lose to original ({t_orig}) at 1 node"

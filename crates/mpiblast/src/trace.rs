@@ -6,9 +6,11 @@
 //! way §4.2 reports: operation counts, read/write mix, and size
 //! distributions (13 B – 220 MB reads with a ~10 MB mean in the original).
 
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
+use parblast_simcore::SimTime;
 use parking_lot::Mutex;
 
 /// Operation kind.
@@ -39,34 +41,80 @@ pub struct Tracer {
     inner: Arc<Inner>,
 }
 
+/// Where a tracer's timestamps come from.
+enum Clock {
+    /// Wall-clock seconds since the tracer was created (the real runner).
+    Wall(Instant),
+    /// Simulated nanoseconds, advanced explicitly via
+    /// [`Tracer::advance_to`] — traces taken inside the simulator are a
+    /// pure function of the run and byte-identical across repeats.
+    Sim(AtomicU64),
+}
+
 struct Inner {
-    t0: Instant,
+    clock: Clock,
     events: Mutex<Vec<TraceEvent>>,
     enabled: bool,
 }
 
+impl std::fmt::Debug for Tracer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Tracer")
+            .field("enabled", &self.inner.enabled)
+            .field(
+                "clock",
+                &match self.inner.clock {
+                    Clock::Wall(_) => "wall",
+                    Clock::Sim(_) => "sim",
+                },
+            )
+            .field("events", &self.inner.events.lock().len())
+            .finish()
+    }
+}
+
 impl Tracer {
-    /// New enabled tracer.
-    pub fn new() -> Self {
+    fn with(clock: Clock, enabled: bool) -> Self {
         Tracer {
             inner: Arc::new(Inner {
-                t0: Instant::now(),
+                clock,
                 events: Mutex::new(Vec::new()),
-                enabled: true,
+                enabled,
             }),
         }
+    }
+
+    /// New enabled tracer timestamping from the wall clock.
+    pub fn new() -> Self {
+        Tracer::with(Clock::Wall(Instant::now()), true)
+    }
+
+    /// New enabled tracer timestamping from simulated time, starting at
+    /// zero. Drive the clock with [`Tracer::advance_to`]; the resulting
+    /// Figure-4-style trace is deterministic across runs.
+    pub fn simulated() -> Self {
+        Tracer::with(Clock::Sim(AtomicU64::new(0)), true)
     }
 
     /// A tracer that records nothing — the paper turned tracing off during
     /// timing measurements "to eliminate the influence of the trace
     /// collection facilities".
     pub fn disabled() -> Self {
-        Tracer {
-            inner: Arc::new(Inner {
-                t0: Instant::now(),
-                events: Mutex::new(Vec::new()),
-                enabled: false,
-            }),
+        Tracer::with(Clock::Wall(Instant::now()), false)
+    }
+
+    /// Move a simulated clock to `now` (no-op for wall-clock tracers).
+    pub fn advance_to(&self, now: SimTime) {
+        if let Clock::Sim(ns) = &self.inner.clock {
+            ns.store(now.as_nanos(), Ordering::Relaxed);
+        }
+    }
+
+    /// Current trace timestamp, seconds.
+    fn now_s(&self) -> f64 {
+        match &self.inner.clock {
+            Clock::Wall(t0) => t0.elapsed().as_secs_f64(),
+            Clock::Sim(ns) => ns.load(Ordering::Relaxed) as f64 / 1e9,
         }
     }
 
@@ -75,7 +123,7 @@ impl Tracer {
         if !self.inner.enabled {
             return;
         }
-        let t = self.inner.t0.elapsed().as_secs_f64();
+        let t = self.now_s();
         self.inner.events.lock().push(TraceEvent {
             t,
             kind,
@@ -126,6 +174,9 @@ pub struct TraceSummary {
     pub write_max: u64,
     /// Mean write size in bytes.
     pub write_mean: f64,
+    /// Read-size tail percentiles (p50/p95/p99, bytes), from the
+    /// log-histogram of read sizes.
+    pub read_pct: parblast_simcore::Percentiles,
 }
 
 impl TraceSummary {
@@ -142,9 +193,11 @@ impl TraceSummary {
             write_min: u64::MAX,
             write_max: 0,
             write_mean: 0.0,
+            read_pct: parblast_simcore::Percentiles::default(),
         };
         let mut rsum = 0u64;
         let mut wsum = 0u64;
+        let mut read_sizes = parblast_simcore::LogHistogram::new();
         for e in events {
             match e.kind {
                 IoKind::Read => {
@@ -152,6 +205,7 @@ impl TraceSummary {
                     rsum += e.bytes;
                     s.read_min = s.read_min.min(e.bytes);
                     s.read_max = s.read_max.max(e.bytes);
+                    read_sizes.record(e.bytes);
                 }
                 IoKind::Write => {
                     s.writes += 1;
@@ -174,6 +228,7 @@ impl TraceSummary {
         if s.ops > 0 {
             s.read_fraction = s.reads as f64 / s.ops as f64;
         }
+        s.read_pct = read_sizes.percentiles();
         s
     }
 
@@ -217,6 +272,45 @@ mod tests {
         assert_eq!(s.write_min, 50);
         assert_eq!(s.write_max, 778);
         assert!((s.write_mean - 414.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn simulated_clock_timestamps_are_deterministic() {
+        let run = || {
+            let t = Tracer::simulated();
+            t.advance_to(SimTime::from_millis(250));
+            t.record(0, IoKind::Read, 8 << 20);
+            t.advance_to(SimTime::from_secs(3));
+            t.record(1, IoKind::Write, 690);
+            t.events()
+        };
+        let (a, b) = (run(), run());
+        assert_eq!(format!("{a:?}"), format!("{b:?}"));
+        assert_eq!(a[0].t, 0.25);
+        assert_eq!(a[1].t, 3.0);
+    }
+
+    #[test]
+    fn wall_tracer_ignores_advance_to() {
+        let t = Tracer::new();
+        t.advance_to(SimTime::from_secs(1000));
+        t.record(0, IoKind::Read, 1);
+        // Wall timestamps are elapsed-since-creation, far below 1000 s.
+        assert!(t.events()[0].t < 100.0);
+    }
+
+    #[test]
+    fn summary_reports_read_percentiles() {
+        let t = Tracer::new();
+        for _ in 0..99 {
+            t.record(0, IoKind::Read, 8 << 20);
+        }
+        t.record(0, IoKind::Read, 13);
+        let s = t.summary();
+        assert!(s.read_pct.p50 > 1e6, "{:?}", s.read_pct);
+        assert!(s.read_pct.p50 <= s.read_pct.p95);
+        assert!(s.read_pct.p95 <= s.read_pct.p99);
+        assert!(s.read_pct.p99 <= (8 << 20) as f64);
     }
 
     #[test]

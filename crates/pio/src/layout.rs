@@ -197,7 +197,6 @@ mod tests {
     }
 }
 
-
 /// Identifies one data server within a mirrored (RAID-10) deployment.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct ServerId {
@@ -366,10 +365,7 @@ mod mirror_tests {
         let parts = l.plan_read(0, 8 * S, 0, &[hot]);
         assert!(parts.iter().all(|p| p.server != hot));
         // The partner picks up the redirected share on the same offsets.
-        let redirected: Vec<_> = parts
-            .iter()
-            .filter(|p| p.server == id(1, 2))
-            .collect();
+        let redirected: Vec<_> = parts.iter().filter(|p| p.server == id(1, 2)).collect();
         assert!(!redirected.is_empty());
     }
 

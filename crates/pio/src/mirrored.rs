@@ -147,11 +147,7 @@ pub struct MirroredStore {
 
 impl MirroredStore {
     /// New mirrored store (equal-length groups; directories created).
-    pub fn new(
-        primary: Vec<PathBuf>,
-        mirror: Vec<PathBuf>,
-        stripe_size: u64,
-    ) -> io::Result<Self> {
+    pub fn new(primary: Vec<PathBuf>, mirror: Vec<PathBuf>, stripe_size: u64) -> io::Result<Self> {
         assert_eq!(
             primary.len(),
             mirror.len(),
@@ -245,9 +241,8 @@ impl ObjectStore for MirroredStore {
                 let _ = fs::remove_file(self.path_of(ServerId { group, index: i }, name));
             }
         }
-        let _ = fs::remove_file(
-            self.path_of(ServerId { group: 0, index: 0 }, &format!("{name}.meta")),
-        );
+        let _ =
+            fs::remove_file(self.path_of(ServerId { group: 0, index: 0 }, &format!("{name}.meta")));
         Ok(())
     }
 }
@@ -275,7 +270,10 @@ impl ObjectReader for MirroredReader {
         let first_group = u8::from(self.flip);
         self.flip = !self.flip;
         let skips = self.store.monitor.skips();
-        let parts = self.store.layout.plan_read(offset, len, first_group, &skips);
+        let parts = self
+            .store
+            .layout
+            .plan_read(offset, len, first_group, &skips);
         let monitor = self.store.monitor();
         let results: Vec<io::Result<(ReadPart, Vec<u8>)>> = std::thread::scope(|scope| {
             let handles: Vec<_> = parts
@@ -287,15 +285,11 @@ impl ObjectReader for MirroredReader {
                     let partner_path = self.store.path_of(partner, &self.name);
                     let mon = Arc::clone(&monitor);
                     scope.spawn(move || -> io::Result<(ReadPart, Vec<u8>)> {
-                        let fetch = |server: ServerId,
-                                     path: &PathBuf|
-                         -> io::Result<Vec<u8>> {
+                        let fetch = |server: ServerId, path: &PathBuf| -> io::Result<Vec<u8>> {
                             let fault = mon.fault_of(server);
                             let t0 = Instant::now();
                             if fault > 0.0 {
-                                std::thread::sleep(std::time::Duration::from_secs_f64(
-                                    fault,
-                                ));
+                                std::thread::sleep(std::time::Duration::from_secs_f64(fault));
                             }
                             let mut f = File::open(path)?;
                             f.seek(SeekFrom::Start(part.local_offset))?;
@@ -398,10 +392,8 @@ mod tests {
         let mk = |g: &str| {
             (0..n)
                 .map(|i| {
-                    std::env::temp_dir().join(format!(
-                        "pio_mirror_{tag}_{}_{g}{i}",
-                        std::process::id()
-                    ))
+                    std::env::temp_dir()
+                        .join(format!("pio_mirror_{tag}_{}_{g}{i}", std::process::id()))
                 })
                 .collect::<Vec<_>>()
         };

@@ -141,11 +141,7 @@ impl ObjectReader for StripedReader {
                 .map(|r| {
                     let path = self.store.server_path(r.server, &self.name);
                     let (lo, ln, srv) = (r.local_offset, r.len, r.server);
-                    let delay = self
-                        .fault_delays
-                        .get(srv as usize)
-                        .copied()
-                        .unwrap_or(0.0);
+                    let delay = self.fault_delays.get(srv as usize).copied().unwrap_or(0.0);
                     scope.spawn(move || -> io::Result<(u32, Vec<u8>)> {
                         if delay > 0.0 {
                             std::thread::sleep(std::time::Duration::from_secs_f64(delay));
@@ -203,10 +199,7 @@ mod tests {
     fn dirs(tag: &str, n: usize) -> Vec<PathBuf> {
         (0..n)
             .map(|i| {
-                std::env::temp_dir().join(format!(
-                    "pio_striped_{tag}_{}_{i}",
-                    std::process::id()
-                ))
+                std::env::temp_dir().join(format!("pio_striped_{tag}_{}_{i}", std::process::id()))
             })
             .collect()
     }

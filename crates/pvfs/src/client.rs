@@ -135,7 +135,13 @@ impl PvfsClient {
         &self.read_latency
     }
 
-    fn send_net(&self, ctx: &mut Ctx<'_, Ev>, dst: ServerAddr, bytes: u64, payload: Box<dyn std::any::Any>) {
+    fn send_net(
+        &self,
+        ctx: &mut Ctx<'_, Ev>,
+        dst: ServerAddr,
+        bytes: u64,
+        payload: Box<dyn std::any::Any>,
+    ) {
         ctx.send(
             self.net,
             Ev::Net(NetSend {

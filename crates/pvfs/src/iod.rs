@@ -246,10 +246,7 @@ impl Component<Ev> for Iod {
                                             dst_node: cnode,
                                             bytes: CTRL_BYTES,
                                             dst: ccomp,
-                                            payload: Box::new(IodWriteResp {
-                                                token: ctoken,
-                                                len,
-                                            }),
+                                            payload: Box::new(IodWriteResp { token: ctoken, len }),
                                         }),
                                     );
                                 }
@@ -341,7 +338,9 @@ mod tests {
     }
 
     #[allow(clippy::type_complexity)]
-    fn build(reads: Vec<(u64, u64)>) -> (Engine<Ev>, CompId, Rc<RefCell<Vec<(SimTime, u64, u64)>>>) {
+    fn build(
+        reads: Vec<(u64, u64)>,
+    ) -> (Engine<Ev>, CompId, Rc<RefCell<Vec<(SimTime, u64, u64)>>>) {
         let mut eng: Engine<Ev> = Engine::new(0);
         let c = Cluster::build(&mut eng, 2, HwParams::default());
         let iod = eng.add(Iod::new("iod0", 0, c.nodes[0].fs, c.net));

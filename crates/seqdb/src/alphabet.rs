@@ -165,7 +165,12 @@ mod tests {
             if letter == b'X' {
                 continue;
             }
-            assert_eq!(encode_aa(letter), Some(i as u8), "letter {}", letter as char);
+            assert_eq!(
+                encode_aa(letter),
+                Some(i as u8),
+                "letter {}",
+                letter as char
+            );
         }
         assert_eq!(encode_aa(b'J'), Some(22)); // unknown → X
         assert_eq!(decode_aa(22), b'X');

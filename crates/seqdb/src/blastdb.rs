@@ -303,14 +303,14 @@ impl Volume {
             let codes = match header.seq_type {
                 SeqType::Nucleotide => {
                     let nbytes = nres.div_ceil(4);
-                    unpack_2bit(&data[data_start as usize..data_start as usize + nbytes], nres)
+                    unpack_2bit(
+                        &data[data_start as usize..data_start as usize + nbytes],
+                        nres,
+                    )
                 }
-                SeqType::Protein => {
-                    data[data_start as usize..data_start as usize + nres].to_vec()
-                }
+                SeqType::Protein => data[data_start as usize..data_start as usize + nres].to_vec(),
             };
-            let defline =
-                String::from_utf8_lossy(&defs[def_start..def_start + dlen]).into_owned();
+            let defline = String::from_utf8_lossy(&defs[def_start..def_start + dlen]).into_owned();
             sequences.push(DbSequence { defline, codes });
         }
         Ok(Volume {
@@ -358,7 +358,10 @@ mod tests {
         assert_eq!(v.sequences[0].defline, "seq1 E. coli fragment");
         assert_eq!(v.sequences[0].id(), "seq1");
         assert_eq!(v.sequences[0].codes.len(), 13);
-        assert_eq!(v.sequences[1].codes, crate::alphabet::encode_nt_seq(b"TTTTGGGG"));
+        assert_eq!(
+            v.sequences[1].codes,
+            crate::alphabet::encode_nt_seq(b"TTTTGGGG")
+        );
         // N canonicalizes to A.
         assert_eq!(
             v.sequences[2].codes,

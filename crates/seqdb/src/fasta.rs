@@ -83,11 +83,15 @@ impl<R: Read> FastaReader<R> {
                 break;
             }
             if self.line.first() == Some(&b'>') {
-                self.pending_defline =
-                    Some(String::from_utf8_lossy(&self.line[1..]).into_owned());
+                self.pending_defline = Some(String::from_utf8_lossy(&self.line[1..]).into_owned());
                 break;
             }
-            seq.extend(self.line.iter().copied().filter(|c| !c.is_ascii_whitespace()));
+            seq.extend(
+                self.line
+                    .iter()
+                    .copied()
+                    .filter(|c| !c.is_ascii_whitespace()),
+            );
         }
         let mut parts = defline.splitn(2, char::is_whitespace);
         let id = parts.next().unwrap_or("").to_string();

@@ -146,8 +146,7 @@ mod tests {
             ("a".to_string(), vec![0u8, 1, 2, 3]),
             ("b".to_string(), vec![3u8, 2]),
         ];
-        let frags =
-            segment_into_fragments(&dir, "db", SeqType::Nucleotide, 1, seqs).unwrap();
+        let frags = segment_into_fragments(&dir, "db", SeqType::Nucleotide, 1, seqs).unwrap();
         assert_eq!(frags.len(), 1);
         let mut f = File::open(&frags[0].path).unwrap();
         let v = Volume::read_from(&mut f).unwrap();

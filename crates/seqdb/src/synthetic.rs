@@ -148,13 +148,11 @@ impl SyntheticNt {
 /// Cut a query of `len` residues out of a database sequence (2-bit codes),
 /// mutating each position with probability `mutation_rate` — the paper's
 /// "568-character query extracted from ecoli.nt" shape.
-pub fn extract_query(
-    seq: &[u8],
-    len: usize,
-    mutation_rate: f64,
-    seed: u64,
-) -> Vec<u8> {
-    assert!(!seq.is_empty(), "cannot extract a query from an empty sequence");
+pub fn extract_query(seq: &[u8], len: usize, mutation_rate: f64, seed: u64) -> Vec<u8> {
+    assert!(
+        !seq.is_empty(),
+        "cannot extract a query from an empty sequence"
+    );
     let mut rng = StdRng::seed_from_u64(seed);
     let len = len.min(seq.len());
     let start = if seq.len() == len {
@@ -195,7 +193,10 @@ mod tests {
             total += codes.len() as u64;
         }
         assert!(total >= 100_000);
-        assert!(total < 100_000 + 200_000, "overshoot bounded by one sequence");
+        assert!(
+            total < 100_000 + 200_000,
+            "overshoot bounded by one sequence"
+        );
         assert_eq!(total, g.residues());
     }
 

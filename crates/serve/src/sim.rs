@@ -1,0 +1,181 @@
+//! Simulated batch executor: serving on top of the calibrated cluster.
+//!
+//! Running the full discrete-event simulator once per batch would make a
+//! 10 000-query sweep intractable, and is unnecessary: with a fixed
+//! fragment layout the cost of a scan-sharing pass depends only on the
+//! batch size. The [`ServiceModel`] therefore *probes* the simulator once
+//! per distinct batch size (a genuine [`run_simblast`] run with
+//! `queries_per_pass = k`) and caches the resulting pass cost; the
+//! serving loop then replays those costs with per-batch lognormal
+//! variability from its own seeded RNG stream. Determinism is preserved
+//! end to end: `(config, seed) → report` is a pure function.
+
+use std::collections::HashMap;
+
+use parblast_mpiblast::{run_simblast, SimBlastConfig};
+use parblast_simcore::{SimRng, SimTime};
+
+use crate::batcher::{BatchExecutor, BatchResult};
+use crate::queue::Query;
+
+/// Cost of one scan-shared pass over the whole fragment set.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScanPassCost {
+    /// Pass duration (job makespan), seconds.
+    pub service_s: f64,
+    /// Scan (I/O) share of the pass, seconds.
+    pub scan_s: f64,
+    /// Search (compute) share of the pass, seconds.
+    pub search_s: f64,
+    /// Database bytes read by the pass.
+    pub bytes_read: u64,
+}
+
+/// Pass-cost model probed from the calibrated simulator.
+#[derive(Debug, Clone)]
+pub struct ServiceModel {
+    base: SimBlastConfig,
+    cache: HashMap<u32, ScanPassCost>,
+}
+
+impl ServiceModel {
+    /// Model over `base` (scheme, database size, worker count and seed all
+    /// come from it; `queries_per_pass` is overridden per probe).
+    pub fn new(base: SimBlastConfig) -> Self {
+        ServiceModel {
+            base,
+            cache: HashMap::new(),
+        }
+    }
+
+    /// Cost of a pass carrying `k` queries (probed on first use).
+    pub fn cost(&mut self, k: u32) -> ScanPassCost {
+        let k = k.max(1);
+        if let Some(&c) = self.cache.get(&k) {
+            return c;
+        }
+        let mut cfg = self.base.clone();
+        cfg.queries_per_pass = k;
+        let out = run_simblast(&cfg);
+        assert!(out.completed, "service-model probe failed: {:?}", out.error);
+        let io: f64 = out.per_worker.iter().map(|w| w.io_s).sum();
+        let compute: f64 = out.per_worker.iter().map(|w| w.compute_s).sum();
+        let bytes: u64 = out.per_worker.iter().map(|w| w.bytes_read).sum();
+        let io_share = if io + compute > 0.0 {
+            io / (io + compute)
+        } else {
+            0.0
+        };
+        let c = ScanPassCost {
+            service_s: out.makespan_s,
+            scan_s: out.makespan_s * io_share,
+            search_s: out.makespan_s * (1.0 - io_share),
+            bytes_read: bytes,
+        };
+        self.cache.insert(k, c);
+        c
+    }
+}
+
+/// [`BatchExecutor`] over a [`ServiceModel`], with optional per-batch
+/// lognormal service variability (`jitter_cv = 0` replays the probed cost
+/// exactly).
+pub struct SimExecutor {
+    model: ServiceModel,
+    rng: SimRng,
+    jitter_cv: f64,
+}
+
+impl std::fmt::Debug for SimExecutor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SimExecutor")
+            .field("model", &self.model)
+            .field("jitter_cv", &self.jitter_cv)
+            .finish_non_exhaustive()
+    }
+}
+
+impl SimExecutor {
+    /// Executor over `model`; `seed` feeds the jitter stream.
+    pub fn new(model: ServiceModel, seed: u64, jitter_cv: f64) -> Self {
+        SimExecutor {
+            model,
+            rng: SimRng::new(seed),
+            jitter_cv,
+        }
+    }
+}
+
+impl BatchExecutor for SimExecutor {
+    fn execute(&mut self, batch: &[Query], _now: SimTime) -> BatchResult {
+        let c = self.model.cost(batch.len() as u32);
+        let f = if self.jitter_cv > 0.0 {
+            self.rng.lognormal_mean_cv(1.0, self.jitter_cv)
+        } else {
+            1.0
+        };
+        BatchResult {
+            service: SimTime::from_secs_f64(c.service_s * f),
+            scan_s: c.scan_s * f,
+            search_s: c.search_s * f,
+            bytes_read: c.bytes_read,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parblast_mpiblast::SimScheme;
+
+    fn base() -> SimBlastConfig {
+        SimBlastConfig {
+            nodes: 3,
+            workers: 2,
+            fragments: 2,
+            db_bytes: 64 << 20,
+            scheme: SimScheme::Original,
+            master_node: 2,
+            warmup_s: 1.0,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn batched_pass_cheaper_per_query() {
+        let mut m = ServiceModel::new(base());
+        let c1 = m.cost(1);
+        let c4 = m.cost(4);
+        // Same bytes either way (one pass), compute scales with k.
+        assert_eq!(c1.bytes_read, c4.bytes_read);
+        assert!(c4.service_s > c1.service_s);
+        // Per-query cost shrinks: scan sharing amortizes the I/O.
+        assert!(c4.service_s / 4.0 < c1.service_s, "c1={c1:?} c4={c4:?}");
+        // Probes are cached.
+        assert_eq!(m.cost(4), c4);
+    }
+
+    #[test]
+    fn zero_jitter_replays_probe_exactly() {
+        let mut m = ServiceModel::new(base());
+        let c = m.cost(2);
+        let mut ex = SimExecutor::new(m, 9, 0.0);
+        let q = [Query::new(1, SimTime::ZERO), Query::new(2, SimTime::ZERO)];
+        let r = ex.execute(&q, SimTime::ZERO);
+        assert_eq!(r.service, SimTime::from_secs_f64(c.service_s));
+        assert_eq!(r.bytes_read, c.bytes_read);
+    }
+
+    #[test]
+    fn jitter_is_seed_deterministic() {
+        let run = |seed| {
+            let mut ex = SimExecutor::new(ServiceModel::new(base()), seed, 0.25);
+            let q = [Query::new(1, SimTime::ZERO)];
+            (0..5)
+                .map(|_| ex.execute(&q, SimTime::ZERO).service)
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(7), run(7));
+        assert_ne!(run(7), run(8));
+    }
+}

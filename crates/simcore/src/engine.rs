@@ -137,12 +137,7 @@ impl<'a, E> Ctx<'a, E> {
         let time = at.max(self.now);
         let seq = *self.seq;
         *self.seq += 1;
-        self.heap.push(Reverse(Scheduled {
-            time,
-            seq,
-            dst,
-            ev,
-        }));
+        self.heap.push(Reverse(Scheduled { time, seq, dst, ev }));
     }
 
     /// Schedule `ev` for `dst` after `delay`.
@@ -304,12 +299,7 @@ impl<E> Engine<E> {
         let time = at.max(self.now);
         let seq = self.seq;
         self.seq += 1;
-        self.heap.push(Reverse(Scheduled {
-            time,
-            seq,
-            dst,
-            ev,
-        }));
+        self.heap.push(Reverse(Scheduled { time, seq, dst, ev }));
     }
 
     /// Mutable access to a component, downcast to its concrete type.
@@ -416,11 +406,7 @@ mod tests {
                     self.log.push((ctx.now(), n));
                     if self.remaining > 0 {
                         self.remaining -= 1;
-                        ctx.schedule_in(
-                            SimTime::from_millis(2),
-                            ctx.self_id(),
-                            Msg::Ping(n + 1),
-                        );
+                        ctx.schedule_in(SimTime::from_millis(2), ctx.self_id(), Msg::Ping(n + 1));
                     }
                 }
             }

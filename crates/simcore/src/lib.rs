@@ -44,7 +44,7 @@ pub mod time;
 pub use engine::{AnyComponent, CompId, Component, Ctx, Engine, RunOutcome, TraceEntry};
 pub use resource::{FcfsStation, PsJobId, PsResource};
 pub use rng::SimRng;
-pub use stats::{LogHistogram, Summary, TimeWeighted};
+pub use stats::{LogHistogram, Percentiles, Summary, TimeWeighted};
 pub use time::SimTime;
 
 /// Convenience re-exports.
@@ -52,6 +52,6 @@ pub mod prelude {
     pub use crate::engine::{CompId, Component, Ctx, Engine, RunOutcome};
     pub use crate::resource::{FcfsStation, PsResource};
     pub use crate::rng::SimRng;
-    pub use crate::stats::{LogHistogram, Summary, TimeWeighted};
+    pub use crate::stats::{LogHistogram, Percentiles, Summary, TimeWeighted};
     pub use crate::time::SimTime;
 }

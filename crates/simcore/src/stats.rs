@@ -86,9 +86,7 @@ impl Summary {
         let n = self.n + other.n;
         let delta = other.mean - self.mean;
         let mean = self.mean + delta * other.n as f64 / n as f64;
-        let m2 = self.m2
-            + other.m2
-            + delta * delta * (self.n as f64 * other.n as f64) / n as f64;
+        let m2 = self.m2 + other.m2 + delta * delta * (self.n as f64 * other.n as f64) / n as f64;
         self.n = n;
         self.mean = mean;
         self.m2 = m2;
@@ -174,7 +172,11 @@ impl LogHistogram {
     /// Record a non-negative value; bucket `i` holds values in
     /// `[2^i, 2^(i+1))` with 0 landing in bucket 0.
     pub fn record(&mut self, x: u64) {
-        let idx = if x <= 1 { 0 } else { 63 - x.leading_zeros() as usize };
+        let idx = if x <= 1 {
+            0
+        } else {
+            63 - x.leading_zeros() as usize
+        };
         self.buckets[idx.min(63)] += 1;
         self.summary.record(x as f64);
     }
@@ -214,6 +216,76 @@ impl LogHistogram {
         }
         1u64 << 63
     }
+
+    /// Quantile with linear interpolation *inside* the matched
+    /// power-of-two bucket, assuming observations are spread uniformly
+    /// over `[2^i, 2^(i+1))`. Much tighter than [`Self::quantile`] (which
+    /// only returns bucket floors) while staying O(buckets) and clamped to
+    /// the observed min/max so the tails never overshoot the data.
+    pub fn quantile_interpolated(&self, q: f64) -> f64 {
+        let total: u64 = self.buckets.iter().sum();
+        if total == 0 {
+            return 0.0;
+        }
+        let target = (q.clamp(0.0, 1.0) * total as f64).max(1.0);
+        let mut acc = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            let next = acc + c;
+            if (next as f64) >= target {
+                let into = (target - acc as f64) / c as f64; // (0, 1]
+                let floor = if i == 0 { 0.0 } else { (1u64 << i) as f64 };
+                let width = if i == 0 { 2.0 } else { (1u64 << i) as f64 };
+                let v = floor + into * width;
+                // The histogram only knows bucket boundaries; the summary
+                // knows the true extremes. Clamp so p99 of a single-valued
+                // distribution is that value, not its bucket ceiling.
+                let lo = self.summary.min().unwrap_or(0.0);
+                let hi = self.summary.max().unwrap_or(v);
+                return v.clamp(lo, hi);
+            }
+            acc = next;
+        }
+        self.summary.max().unwrap_or(0.0)
+    }
+
+    /// Median (interpolated).
+    pub fn p50(&self) -> f64 {
+        self.quantile_interpolated(0.50)
+    }
+
+    /// 95th percentile (interpolated).
+    pub fn p95(&self) -> f64 {
+        self.quantile_interpolated(0.95)
+    }
+
+    /// 99th percentile (interpolated).
+    pub fn p99(&self) -> f64 {
+        self.quantile_interpolated(0.99)
+    }
+
+    /// The three tail percentiles experiment reports quote.
+    pub fn percentiles(&self) -> Percentiles {
+        Percentiles {
+            p50: self.p50(),
+            p95: self.p95(),
+            p99: self.p99(),
+        }
+    }
+}
+
+/// `p50`/`p95`/`p99` extracted from a [`LogHistogram`], in the histogram's
+/// recording unit.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Percentiles {
+    /// Median.
+    pub p50: f64,
+    /// 95th percentile.
+    pub p95: f64,
+    /// 99th percentile.
+    pub p99: f64,
 }
 
 #[cfg(test)]
@@ -297,5 +369,39 @@ mod tests {
         }
         assert!(h.quantile(0.1) <= h.quantile(0.5));
         assert!(h.quantile(0.5) <= h.quantile(0.99));
+    }
+
+    #[test]
+    fn interpolated_percentiles_track_uniform_data() {
+        let mut h = LogHistogram::new();
+        for i in 0..=1000u64 {
+            h.record(i);
+        }
+        let p = h.percentiles();
+        // Bucket interpolation on power-of-two buckets is coarse but must
+        // land within the right bucket's span of the true percentile.
+        assert!(p.p50 >= 256.0 && p.p50 <= 1000.0, "p50={}", p.p50);
+        assert!(p.p95 >= 512.0 && p.p95 <= 1000.0, "p95={}", p.p95);
+        assert!(p.p99 >= 512.0 && p.p99 <= 1000.0, "p99={}", p.p99);
+        assert!(p.p50 <= p.p95 && p.p95 <= p.p99);
+    }
+
+    #[test]
+    fn interpolated_percentiles_clamp_to_observed_range() {
+        let mut h = LogHistogram::new();
+        for _ in 0..100 {
+            h.record(700);
+        }
+        let p = h.percentiles();
+        assert_eq!(p.p50, 700.0);
+        assert_eq!(p.p95, 700.0);
+        assert_eq!(p.p99, 700.0);
+    }
+
+    #[test]
+    fn empty_histogram_percentiles_are_zero() {
+        let h = LogHistogram::new();
+        let p = h.percentiles();
+        assert_eq!((p.p50, p.p95, p.p99), (0.0, 0.0, 0.0));
     }
 }

@@ -31,10 +31,16 @@ fn main() {
     println!("PVFS server-count sweep, 8 workers (calibrated 2003 cluster)\n");
     for (label, db) in [
         ("nt today (2.7 GB)", 2_700_000_000u64),
-        ("nt x4 (10.8 GB — the paper's 'rapidly growing database' case)", 10_800_000_000u64),
+        (
+            "nt x4 (10.8 GB — the paper's 'rapidly growing database' case)",
+            10_800_000_000u64,
+        ),
     ] {
         println!("database: {label}");
-        println!("{:>8}  {:>10}  {:>12}  {:>8}", "servers", "time (s)", "io fraction", "speedup");
+        println!(
+            "{:>8}  {:>10}  {:>12}  {:>8}",
+            "servers", "time (s)", "io fraction", "speedup"
+        );
         let mut base = None;
         for s in [1u32, 2, 4, 8, 12, 16] {
             let out = run(s, db);

@@ -29,7 +29,10 @@ fn main() -> std::io::Result<()> {
     for i in 0..8u64 {
         r.read_at(i * (1 << 20), &mut buf)?;
     }
-    println!("clean read pass: {:.1} ms", t0.elapsed().as_secs_f64() * 1e3);
+    println!(
+        "clean read pass: {:.1} ms",
+        t0.elapsed().as_secs_f64() * 1e3
+    );
 
     // Stress primary server 2: every read from it now takes an extra 40 ms
     // (the fault-injection stand-in for the paper's Figure 8 stressor).
@@ -46,14 +49,20 @@ fn main() -> std::io::Result<()> {
         t1.elapsed().as_secs_f64() * 1e3,
         store.monitor().skips()
     );
-    assert!(store.monitor().skips().contains(&hot), "hot server detected");
+    assert!(
+        store.monitor().skips().contains(&hot),
+        "hot server detected"
+    );
 
     // With the skip in place, reads avoid the hot server entirely.
     let t2 = Instant::now();
     for i in 0..8u64 {
         r.read_at(i * (1 << 20), &mut buf)?;
     }
-    println!("skipping pass: {:.1} ms (hot server avoided)", t2.elapsed().as_secs_f64() * 1e3);
+    println!(
+        "skipping pass: {:.1} ms (hot server avoided)",
+        t2.elapsed().as_secs_f64() * 1e3
+    );
 
     // The redundancy is real: destroy the hot server's file and re-read.
     std::fs::remove_file(base.join("primary2").join("nt.000.pdb"))?;

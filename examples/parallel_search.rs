@@ -31,13 +31,7 @@ fn main() -> std::io::Result<()> {
         residues: gen.residues(),
         nseq: gen.sequences(),
     };
-    let infos = segment_into_fragments(
-        &base.join("fmt"),
-        "nt",
-        SeqType::Nucleotide,
-        8,
-        seqs,
-    )?;
+    let infos = segment_into_fragments(&base.join("fmt"), "nt", SeqType::Nucleotide, 8, seqs)?;
     println!(
         "segmented into {} fragments of ~{} residues each",
         infos.len(),
@@ -54,7 +48,12 @@ fn main() -> std::io::Result<()> {
         let mut fragments = Vec::new();
         for info in &infos {
             let bytes = std::fs::read(&info.path)?;
-            let name = info.path.file_name().unwrap().to_string_lossy().into_owned();
+            let name = info
+                .path
+                .file_name()
+                .unwrap()
+                .to_string_lossy()
+                .into_owned();
             scheme.load_fragment(&name, &bytes)?;
             fragments.push(name);
         }
@@ -77,7 +76,10 @@ fn main() -> std::io::Result<()> {
             out.wall_s,
             out.copy_s,
             out.hits.len(),
-            out.hits.first().map(|h| h.best_evalue()).unwrap_or(f64::NAN),
+            out.hits
+                .first()
+                .map(|h| h.best_evalue())
+                .unwrap_or(f64::NAN),
         );
         println!(
             "  I/O trace: {} ops, {:.0}% reads, reads {}B..{:.1}MB (mean {:.2}MB), writes ≤{}B",

@@ -29,7 +29,10 @@ fn main() {
     // 2. Extract the paper's style of query: 568 nucleotides cut from a
     //    database sequence, with 2 % mutations.
     let query = extract_query(&seqs[10].1, 568, 0.02, 7);
-    println!("query: {} nt (2% mutated window of sequence 11)", query.len());
+    println!(
+        "query: {} nt (2% mutated window of sequence 11)",
+        query.len()
+    );
 
     // 3. Build an in-memory volume and search it with blastn defaults
     //    (word size 11, +1/−3, gaps 5/2 — the 2003-era parameters).
@@ -48,5 +51,9 @@ fn main() {
     let top: Vec<_> = hits.iter().take(5).cloned().collect();
     print!("{}", tabular("query_568nt", &top));
     assert!(!hits.is_empty(), "the planted query must be found");
-    println!("\n{} subject(s) matched; best E-value {:.2e}", hits.len(), hits[0].best_evalue());
+    println!(
+        "\n{} subject(s) matched; best E-value {:.2e}",
+        hits.len(),
+        hits[0].best_evalue()
+    );
 }

@@ -110,7 +110,10 @@ fn report(group: Option<&str>, id: &str, ns: f64, throughput: Option<Throughput>
     let rate = throughput
         .map(|t| match t {
             Throughput::Bytes(b) => {
-                format!("  {:.1} MiB/s", b as f64 / (ns * 1e-9) / (1u64 << 20) as f64)
+                format!(
+                    "  {:.1} MiB/s",
+                    b as f64 / (ns * 1e-9) / (1u64 << 20) as f64
+                )
             }
             Throughput::Elements(e) => format!("  {:.0} elem/s", e as f64 / (ns * 1e-9)),
         })

@@ -88,6 +88,43 @@ pub mod strategy {
         type Value;
         /// Draw one value.
         fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Transform generated values with `f` (proptest's `prop_map`).
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { inner: self, f }
+        }
+    }
+
+    /// Strategy adapter produced by [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+        fn generate(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// Uniform choice between boxed strategies of a common value type;
+    /// built by the [`prop_oneof!`](crate::prop_oneof) macro.
+    pub struct OneOf<T> {
+        /// The alternatives, drawn with equal probability.
+        pub choices: Vec<Box<dyn Strategy<Value = T>>>,
+    }
+
+    impl<T> Strategy for OneOf<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            let i = rng.in_range(0usize, self.choices.len());
+            self.choices[i].generate(rng)
+        }
     }
 
     macro_rules! impl_range_strategy {
@@ -177,12 +214,51 @@ pub mod collection {
     }
 }
 
+/// `Option<T>` strategies.
+pub mod option {
+    use super::strategy::Strategy;
+    use super::TestRng;
+
+    /// Strategy for `Option<S::Value>` returned by [`of`].
+    pub struct OptionStrategy<S> {
+        inner: S,
+    }
+
+    /// Generate `Some(inner)` or `None` with equal probability.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy { inner }
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+            if rng.in_range(0u32, 2) == 0 {
+                None
+            } else {
+                Some(self.inner.generate(rng))
+            }
+        }
+    }
+}
+
 /// Everything a property-test file needs in scope.
 pub mod prelude {
     pub use crate::arbitrary::any;
     pub use crate::strategy::Strategy;
-    pub use crate::{prop_assert, prop_assert_eq, prop_assume, proptest};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assume, prop_oneof, proptest};
     pub use crate::{ProptestConfig, TestCaseError};
+}
+
+/// Uniform choice among strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::OneOf {
+            choices: ::std::vec![
+                $( ::std::boxed::Box::new($strat) as _ ),+
+            ],
+        }
+    };
 }
 
 /// Define property tests: each `fn name(arg in strategy, ...) { body }`
@@ -278,6 +354,17 @@ macro_rules! prop_assert_eq {
             )));
         }
     }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (__l, __r) = (&$left, &$right);
+        if !(*__l == *__r) {
+            return ::core::result::Result::Err($crate::TestCaseError::Fail(format!(
+                "{}\n  left: {:?}\n right: {:?}",
+                format!($($fmt)+),
+                __l,
+                __r
+            )));
+        }
+    }};
 }
 
 /// Reject the current case (draw a fresh one) unless the condition holds.
@@ -305,6 +392,20 @@ mod tests {
         fn assume_rejects(x in 0u32..100) {
             prop_assume!(x % 2 == 0);
             prop_assert_eq!(x % 2, 0);
+        }
+
+        #[test]
+        fn map_and_oneof_compose(
+            v in prop_oneof![
+                (0u8..3).prop_map(|x| x as u32),
+                (10u8..13).prop_map(|x| x as u32),
+            ],
+            o in crate::option::of(5u64..9),
+        ) {
+            prop_assert!((0u32..3).contains(&v) || (10u32..13).contains(&v));
+            if let Some(x) = o {
+                prop_assert!((5..9).contains(&x));
+            }
         }
     }
 

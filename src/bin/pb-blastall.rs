@@ -116,9 +116,7 @@ fn main() -> std::io::Result<()> {
         tracer: Tracer::disabled(),
         parallelization: Parallelization::DatabaseSegmentation,
     };
-    let batch = job.run_batch(
-        &queries.iter().map(|(_, c)| c.clone()).collect::<Vec<_>>(),
-    )?;
+    let batch = job.run_batch(&queries.iter().map(|(_, c)| c.clone()).collect::<Vec<_>>())?;
     for ((qid, _), hits) in queries.iter().zip(&batch.per_query) {
         print!("{}", tabular(qid, hits));
     }

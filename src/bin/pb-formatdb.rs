@@ -31,9 +31,7 @@ fn main() -> std::io::Result<()> {
     }
     let out = std::path::PathBuf::from(arg("--out").unwrap_or_else(|| ".".into()));
     let name = arg("--name").unwrap_or_else(|| "db".into());
-    let fragments: u32 = arg("--fragments")
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(1);
+    let fragments: u32 = arg("--fragments").and_then(|v| v.parse().ok()).unwrap_or(1);
     let protein = flag("--protein");
     let seq_type = if protein {
         SeqType::Protein
@@ -74,7 +72,10 @@ fn main() -> std::io::Result<()> {
     let nseq = seqs.len();
     let residues: u64 = seqs.iter().map(|(_, c)| c.len() as u64).sum();
     let infos = segment_into_fragments(&out, &name, seq_type, fragments, seqs)?;
-    println!("formatted {nseq} sequences / {residues} residues into {} fragment(s):", infos.len());
+    println!(
+        "formatted {nseq} sequences / {residues} residues into {} fragment(s):",
+        infos.len()
+    );
     for info in &infos {
         println!(
             "  {}  {} seqs, {} residues, {} bytes",

@@ -1,7 +1,10 @@
 //! Determinism audit: the simulator with a fault schedule is a pure
 //! function of (configuration, seed). Two runs with the same seed must
 //! produce byte-identical event-delivery traces — fault injection included
-//! — and different seeds must actually change the schedule.
+//! — and different seeds must actually change the schedule. The serving
+//! layer inherits both obligations: scan-sharing batches must return
+//! byte-identical results to sequential per-query serving, and a serving
+//! sweep must be a pure function of its configuration.
 
 use parblast::hwsim::FaultSchedule;
 use parblast::mpiblast::{run_simblast, SimBlastConfig, SimScheme};
@@ -76,4 +79,97 @@ fn trace_capture_does_not_change_the_outcome() {
     assert_eq!(a.makespan_s, b.makespan_s);
     assert_eq!(a.retries, b.retries);
     assert_eq!(a.failovers, b.failovers);
+}
+
+/// Scan-sharing on the *real* engine: for every seed, serving a query
+/// list in batches returns per-query reports byte-identical to serving
+/// each query alone.
+#[test]
+fn batched_serving_is_byte_identical_to_sequential() {
+    use parblast::blast::{DbStats, Program, SearchParams};
+    use parblast::mpiblast::{ParallelBlast, Parallelization, Scheme, Tracer};
+    use parblast::seqdb::{
+        extract_query, segment_into_fragments, SeqType, SyntheticConfig, SyntheticNt,
+    };
+    use parblast::serve::serve_batched;
+
+    for seed in SEEDS {
+        let base =
+            std::env::temp_dir().join(format!("determinism_serve_{seed}_{}", std::process::id()));
+        std::fs::create_dir_all(&base).unwrap();
+        let scheme = Scheme::local_at(&base.join("io"), 2).unwrap();
+        let mut g = SyntheticNt::new(SyntheticConfig {
+            total_residues: 200_000,
+            seed,
+            ..Default::default()
+        });
+        let mut seqs = vec![];
+        while let Some(x) = g.next() {
+            seqs.push(x);
+        }
+        let queries: Vec<Vec<u8>> = (0..4)
+            .map(|i| extract_query(&seqs[i + 1].1, 350, 0.02, seed ^ i as u64))
+            .collect();
+        let db = DbStats {
+            residues: g.residues(),
+            nseq: g.sequences(),
+        };
+        let infos =
+            segment_into_fragments(&base.join("fmt"), "nt", SeqType::Nucleotide, 3, seqs).unwrap();
+        let mut fragments = vec![];
+        for info in infos {
+            let bytes = std::fs::read(&info.path).unwrap();
+            let name = info
+                .path
+                .file_name()
+                .unwrap()
+                .to_string_lossy()
+                .into_owned();
+            scheme.load_fragment(&name, &bytes).unwrap();
+            fragments.push(name);
+        }
+        let job = ParallelBlast {
+            program: Program::Blastn,
+            params: SearchParams::blastn(),
+            db,
+            fragments,
+            workers: 2,
+            scheme,
+            tracer: Tracer::new(),
+            parallelization: Parallelization::DatabaseSegmentation,
+        };
+        let batched = serve_batched(&job, &queries, 3).unwrap();
+        let sequential = serve_batched(&job, &queries, 1).unwrap();
+        assert_eq!(
+            batched.per_query, sequential.per_query,
+            "seed {seed}: batched and sequential reports diverged"
+        );
+        assert_eq!(batched.batches, 2, "seed {seed}");
+        assert_eq!(sequential.batches, 4, "seed {seed}");
+        std::fs::remove_dir_all(&base).ok();
+    }
+}
+
+/// The serving sweep — simulator probes, Poisson arrivals, batch-queue
+/// replay, percentile extraction — is a pure function of its
+/// configuration: two identical invocations agree on every report field.
+#[test]
+fn serve_sweep_is_a_pure_function_of_config() {
+    use parblast::experiments::serve_sweep;
+
+    let run = || serve_sweep(64 << 20, &[1.2], &[1, 4], 40, 256);
+    let a = run();
+    let b = run();
+    assert_eq!(a.len(), b.len());
+    for (x, y) in a.iter().zip(&b) {
+        assert_eq!(
+            x.arrival_qps, y.arrival_qps,
+            "{} B={}",
+            x.scheme, x.max_batch
+        );
+        assert_eq!(x.report, y.report, "{} B={}", x.scheme, x.max_batch);
+    }
+    // Batching must actually change the outcome (the reports are not
+    // trivially equal across cells).
+    assert_ne!(a[0].report, a[1].report);
 }

@@ -141,7 +141,12 @@ fn segmented_search_equals_whole_database_search() {
     let mut fragments = Vec::new();
     for info in &infos {
         let bytes = std::fs::read(&info.path).unwrap();
-        let name = info.path.file_name().unwrap().to_string_lossy().into_owned();
+        let name = info
+            .path
+            .file_name()
+            .unwrap()
+            .to_string_lossy()
+            .into_owned();
         scheme.load_fragment(&name, &bytes).unwrap();
         fragments.push(name);
     }

@@ -12,8 +12,8 @@
 
 use parblast::hwsim::FaultSchedule;
 use parblast::mpiblast::{
-    run_simblast, ParallelBlast, Parallelization, RunOutcome, Scheme, SimBlastConfig,
-    SimScheme, Tracer,
+    run_simblast, ParallelBlast, Parallelization, RunOutcome, Scheme, SimBlastConfig, SimScheme,
+    Tracer,
 };
 use parblast::pvfs::RetryPolicy;
 use parblast::simcore::SimTime;
@@ -61,11 +61,17 @@ fn ceft_completes_after_primary_crash_mid_search() {
         "CEFT must survive a primary crash: error = {:?}",
         out.error
     );
-    assert!(out.failovers > 0, "reads must have failed over to the mirror");
+    assert!(
+        out.failovers > 0,
+        "reads must have failed over to the mirror"
+    );
     // Every byte of the database was still searched exactly once.
     let bytes: u64 = out.per_worker.iter().map(|w| w.bytes_read).sum();
     let clean_bytes: u64 = clean.per_worker.iter().map(|w| w.bytes_read).sum();
-    assert_eq!(bytes, clean_bytes, "degraded run read a different byte count");
+    assert_eq!(
+        bytes, clean_bytes,
+        "degraded run read a different byte count"
+    );
     // Degraded, not free: slower than clean but far from the horizon.
     assert!(
         out.makespan_s > clean.makespan_s,
@@ -83,13 +89,19 @@ fn pvfs_reports_io_error_after_server_crash() {
     });
     cfg.faults = crash_at_2s();
     let out = run_simblast(&cfg);
-    assert!(!out.completed, "unmirrored PVFS cannot survive a dead server");
+    assert!(
+        !out.completed,
+        "unmirrored PVFS cannot survive a dead server"
+    );
     let err = out.error.expect("the abort must carry the I/O error");
     assert!(
         err.contains("timed out"),
         "error should name the timeout: {err}"
     );
-    assert!(out.retries > 0, "the client must have retried before giving up");
+    assert!(
+        out.retries > 0,
+        "the client must have retried before giving up"
+    );
 }
 
 #[test]
@@ -171,7 +183,12 @@ fn setup(base: &Path, scheme: &Scheme) -> (Vec<String>, Vec<u8>, DbStats) {
     let mut names = vec![];
     for info in infos {
         let bytes = std::fs::read(&info.path).unwrap();
-        let name = info.path.file_name().unwrap().to_string_lossy().into_owned();
+        let name = info
+            .path
+            .file_name()
+            .unwrap()
+            .to_string_lossy()
+            .into_owned();
         scheme.load_fragment(&name, &bytes).unwrap();
         names.push(name);
     }
@@ -211,7 +228,9 @@ fn real_ceft_yields_identical_hits_after_primary_loss() {
     let base = tmp("ceft");
     let ceft = Scheme::ceft_at(&base.join("c"), 2, 16 << 10).unwrap();
     let (fragments, query, db) = setup(&base, &ceft);
-    let baseline = job(ceft.clone(), fragments.clone(), db).run(&query).unwrap();
+    let baseline = job(ceft.clone(), fragments.clone(), db)
+        .run(&query)
+        .unwrap();
     assert!(!baseline.hits.is_empty(), "planted query must be found");
 
     // Primary server 1 dies: its striped replicas vanish.

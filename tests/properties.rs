@@ -13,6 +13,7 @@ use parblast::pio::{
 };
 use parblast::pvfs::backoff_delay;
 use parblast::seqdb::{pack_2bit, reverse_complement, unpack_2bit};
+use parblast::serve::{AdmissionQueue, Priority, Query};
 use parblast::simcore::SimTime;
 
 proptest! {
@@ -269,6 +270,141 @@ proptest! {
             .sum();
         prop_assert!((check - 1.0).abs() < 1e-6, "Σp·e^(λs) = {check}");
         prop_assert!(params.h > 0.0 && params.k > 0.0 && params.k < 1.0);
+    }
+}
+
+/// One admission-queue operation for the model-equivalence proptest.
+#[derive(Debug, Clone, Copy)]
+enum QueueOp {
+    /// Offer a query of the given class (0..3).
+    Offer(u8),
+    /// Take a batch of at most this many queries.
+    Take(usize),
+}
+
+proptest! {
+    /// The admission queue against a reference model: capacity is
+    /// enforced exactly (offers fail iff the queue is full), scheduling is
+    /// strict priority across classes with FIFO inside each class, and no
+    /// admitted query is ever lost — after a full drain everything
+    /// admitted has been served exactly once (no starvation within a
+    /// class).
+    #[test]
+    fn admission_queue_matches_reference_model(
+        ops in proptest::collection::vec(
+            prop_oneof![
+                (0u8..3).prop_map(QueueOp::Offer),
+                (1usize..6).prop_map(QueueOp::Take),
+            ],
+            1..300,
+        ),
+        capacity in 1usize..32,
+    ) {
+        let mut q = AdmissionQueue::new(capacity);
+        let mut model: [std::collections::VecDeque<u64>; 3] = Default::default();
+        let mut next_id = 0u64;
+        let mut model_rejected = 0u64;
+        let mut served: Vec<u64> = Vec::new();
+        let take = |q: &mut AdmissionQueue,
+                        model: &mut [std::collections::VecDeque<u64>; 3],
+                        served: &mut Vec<u64>,
+                        max: usize|
+         -> Result<(), TestCaseError> {
+            let got: Vec<u64> = q
+                .take_batch(max, SimTime::ZERO)
+                .iter()
+                .map(|x| x.id)
+                .collect();
+            let mut expect = Vec::new();
+            for lane in model.iter_mut() {
+                while expect.len() < max {
+                    match lane.pop_front() {
+                        Some(i) => expect.push(i),
+                        None => break,
+                    }
+                }
+                if expect.len() >= max {
+                    break;
+                }
+            }
+            prop_assert_eq!(&got, &expect);
+            served.extend(got);
+            Ok(())
+        };
+        for op in ops {
+            match op {
+                QueueOp::Offer(class) => {
+                    let priority = Priority::ALL[class as usize];
+                    let res = q.offer(Query {
+                        id: next_id,
+                        priority,
+                        arrival: SimTime::ZERO,
+                        deadline: None,
+                        payload: 0,
+                    });
+                    let full =
+                        model.iter().map(|l| l.len()).sum::<usize>() >= capacity.max(1);
+                    prop_assert_eq!(res.is_err(), full, "offer vs model fullness");
+                    if full {
+                        model_rejected += 1;
+                    } else {
+                        model[class as usize].push_back(next_id);
+                    }
+                    next_id += 1;
+                }
+                QueueOp::Take(max) => take(&mut q, &mut model, &mut served, max)?,
+            }
+        }
+        // Drain: every admitted query must eventually come out.
+        while !q.is_empty() {
+            take(&mut q, &mut model, &mut served, 4)?;
+        }
+        prop_assert_eq!(q.rejected(), model_rejected);
+        prop_assert_eq!(served.len() as u64, q.admitted());
+        // Exactly once: ids are unique by construction, so set size matches.
+        let uniq: std::collections::HashSet<u64> = served.iter().copied().collect();
+        prop_assert_eq!(uniq.len(), served.len());
+    }
+
+    /// Deadlines: a query whose deadline has passed is never handed to a
+    /// batch, and every admitted query is either served or counted
+    /// expired.
+    #[test]
+    fn expired_queries_are_dropped_never_served(
+        deadlines in proptest::collection::vec(
+            proptest::option::of(0u64..50),
+            1..120,
+        ),
+        batch_max in 1usize..6,
+        step_s in 1u64..10,
+    ) {
+        let mut q = AdmissionQueue::new(1024);
+        for (i, d) in deadlines.iter().enumerate() {
+            q.offer(Query {
+                id: i as u64,
+                priority: Priority::Normal,
+                arrival: SimTime::ZERO,
+                deadline: d.map(SimTime::from_secs),
+                payload: 0,
+            })
+            .unwrap();
+        }
+        let mut now = SimTime::ZERO;
+        let mut served = 0u64;
+        while !q.is_empty() {
+            let batch = q.take_batch(batch_max, now);
+            for b in &batch {
+                prop_assert!(
+                    b.deadline.is_none_or(|d| d >= now),
+                    "query {} served {}s past its deadline",
+                    b.id,
+                    now.as_secs_f64()
+                );
+            }
+            served += batch.len() as u64;
+            now = now.saturating_add(SimTime::from_secs(step_s));
+        }
+        prop_assert_eq!(served + q.expired(), deadlines.len() as u64);
     }
 }
 
