@@ -23,16 +23,69 @@ pub struct ExtensionResult {
     pub s_ext: usize,
 }
 
+/// Reusable DP buffers for the X-drop gapped extension. One gapped
+/// extension needs five subject-length rows plus two reversed-prefix
+/// copies; allocating them per call dominated the extension cost on the
+/// hot path, so [`xdrop_extend_with`]/[`extend_gapped_with`] recycle the
+/// buffers here across calls (and, via `ScanWorkspace`, across subjects,
+/// fragments and batched queries).
+#[derive(Debug, Default)]
+pub struct GappedWorkspace {
+    h_prev: Vec<i32>,
+    f_prev: Vec<i32>,
+    h_row: Vec<i32>,
+    e_row: Vec<i32>,
+    f_row: Vec<i32>,
+    left_q: Vec<u8>,
+    left_s: Vec<u8>,
+}
+
+impl GappedWorkspace {
+    /// Empty workspace; buffers grow to the largest extension seen.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+/// Reset `buf` to `n` copies of `v` without shrinking capacity.
+#[inline]
+fn refill(buf: &mut Vec<i32>, n: usize, v: i32) {
+    buf.clear();
+    buf.resize(n, v);
+}
+
 /// X-drop gapped extension of `query` vs `subject` starting at their
 /// beginnings (callers slice/reverse to anchor). Affine gaps; `x_drop` in
-/// raw score units.
-#[allow(clippy::needless_range_loop)] // absolute-j indexing mirrors the DP recurrences
+/// raw score units. Allocates fresh DP rows; hot paths should use
+/// [`xdrop_extend_with`].
 pub fn xdrop_extend(
     query: &[u8],
     subject: &[u8],
     scorer: &Scorer,
     gaps: GapPenalties,
     x_drop: i32,
+) -> ExtensionResult {
+    xdrop_extend_with(
+        query,
+        subject,
+        scorer,
+        gaps,
+        x_drop,
+        &mut GappedWorkspace::new(),
+    )
+}
+
+/// [`xdrop_extend`] with caller-provided DP buffers. The rows are
+/// re-initialized to the exact state the allocating version starts from,
+/// so results are identical call for call.
+#[allow(clippy::needless_range_loop)] // absolute-j indexing mirrors the DP recurrences
+pub fn xdrop_extend_with(
+    query: &[u8],
+    subject: &[u8],
+    scorer: &Scorer,
+    gaps: GapPenalties,
+    x_drop: i32,
+    ws: &mut GappedWorkspace,
 ) -> ExtensionResult {
     let n = subject.len();
     if n == 0 || query.is_empty() {
@@ -51,8 +104,10 @@ pub fn xdrop_extend(
     // Previous row (absolute j indexing over [lo_prev, hi_prev]).
     let mut lo_prev = 0usize;
     let mut hi_prev = 0usize;
-    let mut h_prev = vec![0i32; n + 1];
-    let mut f_prev = vec![NEG; n + 1];
+    refill(&mut ws.h_prev, n + 1, 0);
+    refill(&mut ws.f_prev, n + 1, NEG);
+    let h_prev = &mut ws.h_prev;
+    let f_prev = &mut ws.f_prev;
     // Row 0: leading gap in the query.
     for j in 1..=n {
         let v = -gaps.open - ext * j as i32;
@@ -63,9 +118,12 @@ pub fn xdrop_extend(
         hi_prev = j;
     }
 
-    let mut h_row = vec![NEG; n + 1];
-    let mut e_row = vec![NEG; n + 1];
-    let mut f_row = vec![NEG; n + 1];
+    refill(&mut ws.h_row, n + 1, NEG);
+    refill(&mut ws.e_row, n + 1, NEG);
+    refill(&mut ws.f_row, n + 1, NEG);
+    let h_row = &mut ws.h_row;
+    let e_row = &mut ws.e_row;
+    let f_row = &mut ws.f_row;
 
     for i in 1..=query.len() {
         let qc = query[i - 1];
@@ -134,7 +192,7 @@ pub fn xdrop_extend(
 
 /// Bidirectional gapped extension anchored at `(q0, s0)` (the anchor pair
 /// itself is scored by the right extension). Returns `(score, q_range,
-/// s_range)`.
+/// s_range)`. Allocating convenience wrapper over [`extend_gapped_with`].
 pub fn extend_gapped(
     query: &[u8],
     subject: &[u8],
@@ -144,10 +202,42 @@ pub fn extend_gapped(
     gaps: GapPenalties,
     x_drop: i32,
 ) -> (i32, std::ops::Range<usize>, std::ops::Range<usize>) {
-    let right = xdrop_extend(&query[q0..], &subject[s0..], scorer, gaps, x_drop);
-    let left_q: Vec<u8> = query[..q0].iter().rev().copied().collect();
-    let left_s: Vec<u8> = subject[..s0].iter().rev().copied().collect();
-    let left = xdrop_extend(&left_q, &left_s, scorer, gaps, x_drop);
+    extend_gapped_with(
+        query,
+        subject,
+        q0,
+        s0,
+        scorer,
+        gaps,
+        x_drop,
+        &mut GappedWorkspace::new(),
+    )
+}
+
+/// [`extend_gapped`] with reusable DP rows and reversed-prefix buffers.
+#[allow(clippy::too_many_arguments)]
+pub fn extend_gapped_with(
+    query: &[u8],
+    subject: &[u8],
+    q0: usize,
+    s0: usize,
+    scorer: &Scorer,
+    gaps: GapPenalties,
+    x_drop: i32,
+    ws: &mut GappedWorkspace,
+) -> (i32, std::ops::Range<usize>, std::ops::Range<usize>) {
+    let right = xdrop_extend_with(&query[q0..], &subject[s0..], scorer, gaps, x_drop, ws);
+    // Take the reversed-prefix buffers out so the workspace rows can be
+    // borrowed mutably for the left extension.
+    let mut left_q = std::mem::take(&mut ws.left_q);
+    let mut left_s = std::mem::take(&mut ws.left_s);
+    left_q.clear();
+    left_q.extend(query[..q0].iter().rev().copied());
+    left_s.clear();
+    left_s.extend(subject[..s0].iter().rev().copied());
+    let left = xdrop_extend_with(&left_q, &left_s, scorer, gaps, x_drop, ws);
+    ws.left_q = left_q;
+    ws.left_s = left_s;
     (
         left.score + right.score,
         (q0 - left.q_ext)..(q0 + right.q_ext),

@@ -33,6 +33,7 @@
 
 #![warn(missing_docs)]
 
+pub mod baseline;
 pub mod dust;
 pub mod extend;
 pub mod gapped;
@@ -42,16 +43,24 @@ pub mod matrix;
 pub mod report;
 pub mod search;
 pub mod translate;
+pub mod workspace;
 
 pub use dust::{dust_mask, is_masked, word_masked, DustParams};
 pub use extend::{extend_ungapped, UngappedHsp};
-pub use gapped::{align_stats, banded_global, extend_gapped, xdrop_extend, AlignOp, AlignStats};
+pub use gapped::{
+    align_stats, banded_global, extend_gapped, extend_gapped_with, xdrop_extend, xdrop_extend_with,
+    AlignOp, AlignStats, GappedWorkspace,
+};
 pub use karlin::{gapped_params, scorer_params, ungapped_params, KarlinParams};
 pub use lookup::{AaLookup, NtLookup};
 pub use matrix::{GapPenalties, Scorer, AA_BACKGROUND, BLOSUM62};
 pub use report::{tabular, Hit, Hsp};
-pub use search::{search_volume, DbStats, Program, SearchParams};
+pub use search::{
+    search_packed, search_packed_with, search_volume, search_volume_with, DbStats, Program,
+    ScanWorkspace, SearchParams,
+};
 pub use translate::{six_frames, translate_codon, translate_frame, Frame};
+pub use workspace::DiagTracker;
 
 use parblast_seqdb::Volume;
 

@@ -14,8 +14,21 @@ pub struct NtLookup {
     /// Word size (≤ 12 for the direct table).
     pub word: usize,
     mask: u32,
-    starts: Vec<u32>,
+    /// Direct-address table: `0` = empty cell, else 1-based index into
+    /// `ranges`. Allocated zeroed (so the kernel hands back untouched
+    /// zero pages) and only the ~one-page-per-query-word cells are ever
+    /// written — building never sweeps the 4^w cells, which is what made
+    /// the old full-CSR prefix-sum build cost ~30 ms per query context.
+    table: Vec<u32>,
+    /// `[start, end)` slices of `positions`, one per non-empty cell.
+    ranges: Vec<(u32, u32)>,
     positions: Vec<u32>,
+    /// Presence bit vector (NCBI's `pv_array`): bit `c` set iff cell `c`
+    /// has at least one query position. 4^11 bits = 512 KB vs the 16 MB
+    /// `table`, so the almost-always-miss probe in the scan inner loop
+    /// stays cache-resident. Only [`Self::scan_packed`] consults it;
+    /// [`Self::scan`] is kept as the pre-optimization reference scanner.
+    pv: Vec<u64>,
 }
 
 impl NtLookup {
@@ -31,33 +44,55 @@ impl NtLookup {
         assert!(word > 0 && word <= 12, "word size must be 1..=12");
         let cells = 1usize << (2 * word);
         let code_mask = (cells - 1) as u32;
-        let mut counts = vec![0u32; cells + 1];
+        // Collect (cell, qpos) once, then stable-sort by cell: work is
+        // O(query) instead of O(4^w), and the stable sort preserves the
+        // ascending-qpos order per cell the scanners emit.
+        let mut pairs: Vec<(u32, u32)> = Vec::with_capacity(query.len());
         let mut w = 0u32;
         for (i, &c) in query.iter().enumerate() {
             w = ((w << 2) | c as u32) & code_mask;
             if i + 1 >= word && !word_masked(mask, i + 1 - word, word) {
-                counts[w as usize + 1] += 1;
+                pairs.push((w, (i + 1 - word) as u32));
             }
         }
-        for i in 1..=cells {
-            counts[i] += counts[i - 1];
-        }
-        let mut positions = vec![0u32; *counts.last().unwrap() as usize];
-        let mut cursor = counts.clone();
-        let mut w = 0u32;
-        for (i, &c) in query.iter().enumerate() {
-            w = ((w << 2) | c as u32) & code_mask;
-            if i + 1 >= word && !word_masked(mask, i + 1 - word, word) {
-                let qpos = (i + 1 - word) as u32;
-                positions[cursor[w as usize] as usize] = qpos;
-                cursor[w as usize] += 1;
+        pairs.sort_by_key(|&(cell, _)| cell);
+        let mut table = vec![0u32; cells];
+        let mut pv = vec![0u64; cells.div_ceil(64)];
+        let mut ranges: Vec<(u32, u32)> = Vec::new();
+        let mut positions = Vec::with_capacity(pairs.len());
+        for &(cell, qpos) in &pairs {
+            let c = cell as usize;
+            if table[c] == 0 {
+                ranges.push((positions.len() as u32, positions.len() as u32));
+                table[c] = ranges.len() as u32;
+                pv[c >> 6] |= 1u64 << (c & 63);
             }
+            positions.push(qpos);
+            ranges.last_mut().expect("just pushed").1 = positions.len() as u32;
         }
         NtLookup {
             word,
             mask: code_mask,
-            starts: counts,
+            table,
+            ranges,
             positions,
+            pv,
+        }
+    }
+
+    /// Emit all hits for the rolled word `w` whose last residue is at
+    /// subject index `i - 1`. The presence bit is checked first so the
+    /// common no-hit case never touches the big direct table.
+    #[inline(always)]
+    fn probe<F: FnMut(u32, u32)>(&self, w: u32, i: usize, f: &mut F) {
+        let cell = w as usize;
+        if self.pv[cell >> 6] & (1u64 << (cell & 63)) == 0 {
+            return;
+        }
+        let (lo, hi) = self.ranges[self.table[cell] as usize - 1];
+        let spos = (i - self.word) as u32;
+        for &qpos in &self.positions[lo as usize..hi as usize] {
+            f(qpos, spos);
         }
     }
 
@@ -65,7 +100,13 @@ impl NtLookup {
     #[inline]
     pub fn hits(&self, w: u32) -> &[u32] {
         let w = (w & self.mask) as usize;
-        &self.positions[self.starts[w] as usize..self.starts[w + 1] as usize]
+        match self.table[w] {
+            0 => &[],
+            r => {
+                let (lo, hi) = self.ranges[r as usize - 1];
+                &self.positions[lo as usize..hi as usize]
+            }
+        }
     }
 
     /// Scan a 2-bit-coded subject, invoking `f(qpos, spos)` for every word
@@ -85,14 +126,58 @@ impl NtLookup {
             }
         }
     }
+
+    /// Scan a 2-bit *packed* subject (4 bases per byte, [`pack_2bit`]
+    /// layout) of `nbases` residues, invoking `f(qpos, spos)` for every
+    /// word hit — exactly the pairs [`Self::scan`] reports on the unpacked
+    /// codes, in the same order. This is the blastn hot path: the seed
+    /// word rolls across whole packed bytes so the subject never has to be
+    /// expanded, and each candidate word is screened against the
+    /// cache-resident presence bit vector so the big CSR arrays are only
+    /// touched on a genuine hit (≈0.03% of probes for a 568-nt query at
+    /// `W=11`).
+    ///
+    /// [`pack_2bit`]: parblast_seqdb::pack_2bit
+    pub fn scan_packed<F: FnMut(u32, u32)>(&self, packed: &[u8], nbases: usize, mut f: F) {
+        if nbases < self.word {
+            return;
+        }
+        debug_assert!(packed.len() >= nbases.div_ceil(4));
+        let mut w = 0u32;
+        let mut i = 0usize; // residues consumed so far
+        let full = nbases / 4;
+        for &b in &packed[..full] {
+            // Four rolled updates per byte, big-endian within the byte.
+            for c in [(b >> 6) & 3, (b >> 4) & 3, (b >> 2) & 3, b & 3] {
+                w = ((w << 2) | c as u32) & self.mask;
+                i += 1;
+                if i >= self.word {
+                    self.probe(w, i, &mut f);
+                }
+            }
+        }
+        // Ragged tail: 1–3 residues in the final partial byte.
+        for idx in full * 4..nbases {
+            let c = (packed[idx / 4] >> (6 - 2 * (idx % 4))) & 3;
+            w = ((w << 2) | c as u32) & self.mask;
+            i += 1;
+            if i >= self.word {
+                self.probe(w, i, &mut f);
+            }
+        }
+    }
 }
 
-/// blastp neighborhood lookup over 3-mers.
+/// blastp neighborhood lookup over 3-mers. Like [`NtLookup`], the table
+/// is CSR-packed: one `starts` prefix-sum over the direct-address cells
+/// plus one flat `positions` array, instead of a `Vec` allocation per
+/// non-empty cell.
 pub struct AaLookup {
     /// Word size (fixed 3 in practice; 2 allowed for tests).
     pub word: usize,
     alpha: usize,
-    table: Vec<Vec<u32>>,
+    starts: Vec<u32>,
+    positions: Vec<u32>,
 }
 
 impl AaLookup {
@@ -103,10 +188,13 @@ impl AaLookup {
         assert!(word == 2 || word == 3, "protein word size must be 2 or 3");
         let alpha = scorer.alphabet();
         let cells = alpha.pow(word as u32);
-        let mut table = vec![Vec::new(); cells];
         let nwords = query.len().saturating_sub(word - 1);
         // For every query word, enumerate neighbor words scoring ≥ T.
         // 24^3 = 13824 candidates per query word: fine for real queries.
+        // Collect (cell, qpos) pairs once, then counting-sort into CSR —
+        // the stable fill preserves the ascending-qpos order per cell that
+        // the old per-cell `Vec` pushes produced.
+        let mut pairs: Vec<(u32, u32)> = Vec::new();
         let mut stack_word = vec![0u8; word];
         for qpos in 0..nwords {
             let qw = &query[qpos..qpos + word];
@@ -123,11 +211,29 @@ impl AaLookup {
                     for &c in cell_word {
                         idx = idx * alpha + c as usize;
                     }
-                    table[idx].push(qpos as u32);
+                    pairs.push((idx as u32, qpos as u32));
                 },
             );
         }
-        AaLookup { word, alpha, table }
+        let mut starts = vec![0u32; cells + 1];
+        for &(cell, _) in &pairs {
+            starts[cell as usize + 1] += 1;
+        }
+        for i in 1..=cells {
+            starts[i] += starts[i - 1];
+        }
+        let mut positions = vec![0u32; pairs.len()];
+        let mut cursor = starts.clone();
+        for &(cell, qpos) in &pairs {
+            positions[cursor[cell as usize] as usize] = qpos;
+            cursor[cell as usize] += 1;
+        }
+        AaLookup {
+            word,
+            alpha,
+            starts,
+            positions,
+        }
     }
 
     /// Query positions matching subject word starting at `sw`.
@@ -137,7 +243,7 @@ impl AaLookup {
         for &c in sw {
             idx = idx * self.alpha + c as usize;
         }
-        &self.table[idx]
+        &self.positions[self.starts[idx] as usize..self.starts[idx + 1] as usize]
     }
 
     /// Scan a protein subject, invoking `f(qpos, spos)` for every
@@ -221,6 +327,39 @@ mod tests {
         // Self-scan must include the diagonal (qp == sp) for every word.
         let diag = hits.iter().filter(|&&(q, s)| q == s).count();
         assert_eq!(diag, 64 - 10);
+    }
+
+    #[test]
+    fn scan_packed_matches_scan_including_ragged_tails() {
+        use parblast_seqdb::pack_2bit;
+        for len in [7usize, 16, 33, 250, 255] {
+            let subject: Vec<u8> = (0..len).map(|i| ((i * 31 + 7) % 4) as u8).collect();
+            let q: Vec<u8> = (0..40).map(|i| ((i * 31 + 7) % 4) as u8).collect();
+            for word in [4usize, 8, 11, 12] {
+                let lk = NtLookup::build(&q, word);
+                let mut a = vec![];
+                lk.scan(&subject, |qp, sp| a.push((qp, sp)));
+                let mut b = vec![];
+                lk.scan_packed(&pack_2bit(&subject), len, |qp, sp| b.push((qp, sp)));
+                assert_eq!(a, b, "len {len} word {word}");
+                assert!(
+                    word > 8 || len < word || !a.is_empty(),
+                    "len {len} word {word}: vacuous comparison"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn scan_packed_subject_shorter_than_word() {
+        let q = encode_nt_seq(b"ACGTACGTACGT");
+        let lk = NtLookup::build(&q, 8);
+        let mut hits = 0;
+        let subj = encode_nt_seq(b"ACGTA");
+        lk.scan_packed(&parblast_seqdb::pack_2bit(&subj), subj.len(), |_, _| {
+            hits += 1
+        });
+        assert_eq!(hits, 0);
     }
 
     #[test]

@@ -6,18 +6,17 @@
 //! translated programs) use the 3-mer neighborhood lookup with two-hit
 //! triggering on a diagonal, like NCBI BLAST 2.x.
 
-use std::collections::HashMap;
-
-use parblast_seqdb::{reverse_complement, SeqType, Volume};
+use parblast_seqdb::{reverse_complement, unpack_2bit_into, PackedVolume, SeqType, Volume};
 
 use crate::dust::{dust_mask, DustParams};
 use crate::extend::extend_ungapped;
-use crate::gapped::{align_stats, banded_global, extend_gapped};
+use crate::gapped::{align_stats, banded_global, extend_gapped_with, GappedWorkspace};
 use crate::karlin::{gapped_params, scorer_params, KarlinParams};
 use crate::lookup::{AaLookup, NtLookup};
 use crate::matrix::{GapPenalties, Scorer};
 use crate::report::{Hit, Hsp};
 use crate::translate::six_frames;
+use crate::workspace::DiagTracker;
 
 /// Which BLAST program to run (§2.1 of the paper lists all five).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -117,15 +116,15 @@ impl SearchParams {
     }
 }
 
-struct StatsCtx {
-    ungapped: KarlinParams,
-    gapped: KarlinParams,
-    space: f64,
-    gap_trigger_raw: i32,
-    cutoff_raw: i32,
+pub(crate) struct StatsCtx {
+    pub(crate) ungapped: KarlinParams,
+    pub(crate) gapped: KarlinParams,
+    pub(crate) space: f64,
+    pub(crate) gap_trigger_raw: i32,
+    pub(crate) cutoff_raw: i32,
 }
 
-fn stats_ctx(params: &SearchParams, query_len: usize, db: DbStats) -> StatsCtx {
+pub(crate) fn stats_ctx(params: &SearchParams, query_len: usize, db: DbStats) -> StatsCtx {
     let ungapped = scorer_params(&params.scorer).expect("scoring system has valid statistics");
     let gapped = gapped_params(&params.scorer, params.gaps).unwrap_or(ungapped);
     let reporting = if params.gapped { gapped } else { ungapped };
@@ -148,54 +147,171 @@ fn stats_ctx(params: &SearchParams, query_len: usize, db: DbStats) -> StatsCtx {
 }
 
 /// One query context: a residue string plus its frame annotation.
-struct QueryCtx {
-    codes: Vec<u8>,
-    frame: i8,
+pub(crate) struct QueryCtx {
+    pub(crate) codes: Vec<u8>,
+    pub(crate) frame: i8,
 }
 
 /// Candidate HSP in context coordinates.
-struct Candidate {
-    score: i32,
-    q_range: std::ops::Range<usize>,
-    s_range: std::ops::Range<usize>,
-    q_frame: i8,
-    s_frame: i8,
-    gapped: bool,
+#[derive(Clone)]
+pub(crate) struct Candidate {
+    pub(crate) score: i32,
+    pub(crate) q_range: std::ops::Range<usize>,
+    pub(crate) s_range: std::ops::Range<usize>,
+    pub(crate) q_frame: i8,
+    pub(crate) s_frame: i8,
+    pub(crate) gapped: bool,
 }
 
-/// Search one subject (one frame) with one nucleotide query context.
-#[allow(clippy::too_many_arguments)]
+/// Reusable per-thread scratch for [`search_volume_with`] /
+/// [`search_packed_with`]: flat diagonal trackers, the lazy subject-unpack
+/// buffer, candidate lists, and the gapped-DP rows. One workspace serves
+/// any number of searches — subjects, fragments, and batched queries all
+/// recycle the same memory, so the per-subject scan path performs no heap
+/// allocation at all.
+#[derive(Default)]
+pub struct ScanWorkspace {
+    diag_end: DiagTracker,
+    last_hit: DiagTracker,
+    subject: Vec<u8>,
+    subject_valid: bool,
+    cands: Vec<Candidate>,
+    kept: Vec<Candidate>,
+    gapped: GappedWorkspace,
+}
+
+impl ScanWorkspace {
+    /// Empty workspace; buffers grow to the largest subject seen.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+/// A nucleotide subject in either representation the scanner accepts.
+#[derive(Clone, Copy)]
+enum SubjectRef<'a> {
+    /// Decoded codes, one residue per byte.
+    Codes(&'a [u8]),
+    /// 2-bit packed bytes plus residue count.
+    Packed { bytes: &'a [u8], len: usize },
+}
+
+impl SubjectRef<'_> {
+    fn len(&self) -> usize {
+        match self {
+            SubjectRef::Codes(c) => c.len(),
+            SubjectRef::Packed { len, .. } => *len,
+        }
+    }
+}
+
+/// Search one subject (one frame) with one nucleotide query context. For
+/// packed subjects the codes are unpacked lazily into `ws.subject` on the
+/// first seed hit — subjects that never seed are scanned entirely in
+/// packed form.
 fn scan_nt_context(
     lookup: &NtLookup,
     qctx: &QueryCtx,
-    subject: &[u8],
+    subject: SubjectRef<'_>,
     s_frame: i8,
     params: &SearchParams,
     st: &StatsCtx,
+    ws: &mut ScanWorkspace,
+) {
+    let query = &qctx.codes;
+    let qlen = query.len();
+    ws.diag_end.begin(qlen + subject.len() + 1);
+    match subject {
+        SubjectRef::Codes(codes) => {
+            lookup.scan(codes, |qp, sp| {
+                nt_hit(
+                    query,
+                    codes,
+                    qp as usize,
+                    sp as usize,
+                    lookup.word,
+                    qctx.frame,
+                    s_frame,
+                    params,
+                    st,
+                    &mut ws.diag_end,
+                    &mut ws.gapped,
+                    &mut ws.cands,
+                );
+            });
+        }
+        SubjectRef::Packed { bytes, len } => {
+            lookup.scan_packed(bytes, len, |qp, sp| {
+                if !ws.subject_valid {
+                    unpack_2bit_into(bytes, len, &mut ws.subject);
+                    ws.subject_valid = true;
+                }
+                nt_hit(
+                    query,
+                    &ws.subject,
+                    qp as usize,
+                    sp as usize,
+                    lookup.word,
+                    qctx.frame,
+                    s_frame,
+                    params,
+                    st,
+                    &mut ws.diag_end,
+                    &mut ws.gapped,
+                    &mut ws.cands,
+                );
+            });
+        }
+    }
+}
+
+/// One nucleotide seed hit: diagonal-redundancy check, ungapped extension,
+/// candidate emission. Mirrors the pre-workspace kernel exactly, with the
+/// diagonal `HashMap` replaced by the flat tracker (`diag = s − q + qlen`).
+#[allow(clippy::too_many_arguments)]
+#[inline]
+fn nt_hit(
+    query: &[u8],
+    subject: &[u8],
+    qp: usize,
+    sp: usize,
+    word: usize,
+    q_frame: i8,
+    s_frame: i8,
+    params: &SearchParams,
+    st: &StatsCtx,
+    diag_end: &mut DiagTracker,
+    gws: &mut GappedWorkspace,
     out: &mut Vec<Candidate>,
 ) {
-    let mut diag_end: HashMap<i64, usize> = HashMap::new();
-    let query = &qctx.codes;
-    lookup.scan(subject, |qp, sp| {
-        let (qp, sp) = (qp as usize, sp as usize);
-        let diag = sp as i64 - qp as i64;
-        if let Some(&end) = diag_end.get(&diag) {
-            if sp < end {
-                return;
-            }
+    let diag = sp + query.len() - qp;
+    if let Some(end) = diag_end.get(diag) {
+        if sp < end as usize {
+            return;
         }
-        let hsp = extend_ungapped(
-            query,
-            subject,
-            qp,
-            sp,
-            lookup.word,
-            &params.scorer,
-            params.x_drop_ungapped,
-        );
-        diag_end.insert(diag, hsp.s_end);
-        push_candidate(hsp, query, subject, qctx.frame, s_frame, params, st, out);
-    });
+    }
+    let hsp = extend_ungapped(
+        query,
+        subject,
+        qp,
+        sp,
+        word,
+        &params.scorer,
+        params.x_drop_ungapped,
+    );
+    diag_end.set(diag, hsp.s_end as u32);
+    push_candidate(
+        hsp,
+        query,
+        subject,
+        q_frame,
+        s_frame,
+        params.gapped,
+        params,
+        st,
+        gws,
+        out,
+    );
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -205,14 +321,16 @@ fn push_candidate(
     subject: &[u8],
     q_frame: i8,
     s_frame: i8,
+    do_gapped: bool,
     params: &SearchParams,
     st: &StatsCtx,
+    gws: &mut GappedWorkspace,
     out: &mut Vec<Candidate>,
 ) {
-    if params.gapped && hsp.score >= st.gap_trigger_raw {
+    if do_gapped && hsp.score >= st.gap_trigger_raw {
         // Anchor the gapped extension at the midpoint of the ungapped HSP.
         let mid = hsp.len() / 2;
-        let (score, qr, sr) = extend_gapped(
+        let (score, qr, sr) = extend_gapped_with(
             query,
             subject,
             hsp.q_start + mid,
@@ -220,6 +338,7 @@ fn push_candidate(
             &params.scorer,
             params.gaps,
             params.x_drop_gapped,
+            gws,
         );
         if score >= st.cutoff_raw {
             out.push(Candidate {
@@ -252,27 +371,27 @@ fn scan_aa_context(
     s_frame: i8,
     params: &SearchParams,
     st: &StatsCtx,
-    gapped_allowed: bool,
-    out: &mut Vec<Candidate>,
+    do_gapped: bool,
+    ws: &mut ScanWorkspace,
 ) {
-    let mut diag_end: HashMap<i64, usize> = HashMap::new();
-    let mut last_hit: HashMap<i64, usize> = HashMap::new();
     let query = &qctx.codes;
+    let qlen = query.len();
+    let ndiags = qlen + subject.len() + 1;
+    ws.diag_end.begin(ndiags);
+    ws.last_hit.begin(ndiags);
     let two_hit = params.two_hit_window;
-    let mut local = params.clone();
-    local.gapped = params.gapped && gapped_allowed;
     lookup.scan(subject, |qp, sp| {
         let (qp, sp) = (qp as usize, sp as usize);
-        let diag = sp as i64 - qp as i64;
-        if let Some(&end) = diag_end.get(&diag) {
-            if sp < end {
+        let diag = sp + qlen - qp;
+        if let Some(end) = ws.diag_end.get(diag) {
+            if sp < end as usize {
                 return;
             }
         }
         if two_hit > 0 {
-            let prev = last_hit.insert(diag, sp);
+            let prev = ws.last_hit.replace(diag, sp as u32);
             let trigger = match prev {
-                Some(p) => sp > p && sp - p <= two_hit,
+                Some(p) => sp > p as usize && sp - p as usize <= two_hit,
                 None => false,
             };
             if !trigger {
@@ -288,25 +407,38 @@ fn scan_aa_context(
             &params.scorer,
             params.x_drop_ungapped,
         );
-        diag_end.insert(diag, hsp.s_end);
-        push_candidate(hsp, query, subject, qctx.frame, s_frame, &local, st, out);
+        ws.diag_end.set(diag, hsp.s_end as u32);
+        push_candidate(
+            hsp,
+            query,
+            subject,
+            qctx.frame,
+            s_frame,
+            do_gapped,
+            params,
+            st,
+            &mut ws.gapped,
+            &mut ws.cands,
+        );
     });
 }
 
 /// Annotate candidates into final HSPs: cull contained duplicates, compute
-/// alignment statistics and E-values.
+/// alignment statistics and E-values. `cands` and `kept` are workspace
+/// buffers (consumed and reused); `subject_ctxs` maps each subject frame
+/// to its decoded codes by linear search (at most six frames).
 fn finalize(
-    candidates: Vec<Candidate>,
+    cands: &mut [Candidate],
+    kept: &mut Vec<Candidate>,
     query_ctxs: &[QueryCtx],
-    subject_ctxs: &HashMap<i8, Vec<u8>>,
+    subject_ctxs: &[(i8, &[u8])],
     params: &SearchParams,
     st: &StatsCtx,
 ) -> Vec<Hsp> {
-    let mut cands = candidates;
     cands.sort_by_key(|c| std::cmp::Reverse(c.score));
-    let mut kept: Vec<Candidate> = Vec::new();
-    'outer: for c in cands {
-        for k in &kept {
+    kept.clear();
+    'outer: for c in cands.iter() {
+        for k in kept.iter() {
             if k.q_frame == c.q_frame
                 && k.s_frame == c.s_frame
                 && c.q_range.start >= k.q_range.start
@@ -317,10 +449,10 @@ fn finalize(
                 continue 'outer; // contained in a better HSP
             }
         }
-        kept.push(c);
+        kept.push(c.clone());
     }
     let mut out = Vec::with_capacity(kept.len());
-    for c in kept {
+    for c in kept.iter() {
         let kp = if c.gapped { st.gapped } else { st.ungapped };
         let evalue = kp.evalue(c.score, st.space);
         if evalue > params.evalue {
@@ -330,7 +462,11 @@ fn finalize(
             .iter()
             .find(|q| q.frame == c.q_frame)
             .expect("query context");
-        let subject = &subject_ctxs[&c.s_frame];
+        let subject = subject_ctxs
+            .iter()
+            .find(|(f, _)| *f == c.s_frame)
+            .expect("subject context")
+            .1;
         let qslice = &qctx.codes[c.q_range.clone()];
         let sslice = &subject[c.s_range.clone()];
         let (_, ops) = banded_global(qslice, sslice, &params.scorer, params.gaps, 16);
@@ -363,7 +499,8 @@ fn finalize(
     out
 }
 
-/// Run `program` for one query over one database volume.
+/// Run `program` for one query over one database volume. Convenience
+/// wrapper over [`search_volume_with`] with a throwaway workspace.
 pub fn search_volume(
     program: Program,
     query: &[u8],
@@ -371,10 +508,31 @@ pub fn search_volume(
     params: &SearchParams,
     db: DbStats,
 ) -> Vec<Hit> {
+    search_volume_with(
+        program,
+        query,
+        volume,
+        params,
+        db,
+        &mut ScanWorkspace::new(),
+    )
+}
+
+/// [`search_volume`] with a caller-provided [`ScanWorkspace`], so repeated
+/// searches (across fragments, worker-thread jobs, or batched queries)
+/// reuse scan and DP buffers instead of reallocating them.
+pub fn search_volume_with(
+    program: Program,
+    query: &[u8],
+    volume: &Volume,
+    params: &SearchParams,
+    db: DbStats,
+    ws: &mut ScanWorkspace,
+) -> Vec<Hit> {
     match program {
         Program::Blastn => {
             assert_eq!(volume.seq_type, SeqType::Nucleotide, "blastn needs a nt db");
-            search_blastn(query, volume, params, db)
+            search_blastn(query, NtSubjects::Decoded(volume), params, db, ws)
         }
         Program::Blastp => {
             assert_eq!(volume.seq_type, SeqType::Protein, "blastp needs an aa db");
@@ -382,7 +540,7 @@ pub fn search_volume(
                 codes: query.to_vec(),
                 frame: 1,
             }];
-            search_protein(&ctxs, query.len(), volume, false, params, db, true)
+            search_protein(&ctxs, query.len(), volume, false, params, db, true, ws)
         }
         Program::Blastx => {
             assert_eq!(volume.seq_type, SeqType::Protein, "blastx needs an aa db");
@@ -394,7 +552,7 @@ pub fn search_volume(
                 })
                 .collect();
             let eff_len = query.len() / 3;
-            search_protein(&ctxs, eff_len, volume, false, params, db, true)
+            search_protein(&ctxs, eff_len, volume, false, params, db, true, ws)
         }
         Program::Tblastn => {
             assert_eq!(
@@ -406,7 +564,7 @@ pub fn search_volume(
                 codes: query.to_vec(),
                 frame: 1,
             }];
-            search_protein(&ctxs, query.len(), volume, true, params, db, true)
+            search_protein(&ctxs, query.len(), volume, true, params, db, true, ws)
         }
         Program::Tblastx => {
             assert_eq!(
@@ -423,12 +581,83 @@ pub fn search_volume(
                 .collect();
             let eff_len = query.len() / 3;
             // NCBI tblastx is ungapped-only.
-            search_protein(&ctxs, eff_len, volume, true, params, db, false)
+            search_protein(&ctxs, eff_len, volume, true, params, db, false, ws)
         }
     }
 }
 
-fn search_blastn(query: &[u8], volume: &Volume, params: &SearchParams, db: DbStats) -> Vec<Hit> {
+/// Run `program` for one query over a packed volume. For blastn this is
+/// the zero-decode hot path: the scanner reads 2-bit packed subject bytes
+/// directly and only seed-hit subjects are unpacked. Other programs decode
+/// the volume first (exactly what [`Volume::read_from`] used to do).
+pub fn search_packed(
+    program: Program,
+    query: &[u8],
+    volume: &PackedVolume,
+    params: &SearchParams,
+    db: DbStats,
+) -> Vec<Hit> {
+    search_packed_with(
+        program,
+        query,
+        volume,
+        params,
+        db,
+        &mut ScanWorkspace::new(),
+    )
+}
+
+/// [`search_packed`] with a caller-provided reusable [`ScanWorkspace`].
+pub fn search_packed_with(
+    program: Program,
+    query: &[u8],
+    volume: &PackedVolume,
+    params: &SearchParams,
+    db: DbStats,
+    ws: &mut ScanWorkspace,
+) -> Vec<Hit> {
+    match program {
+        Program::Blastn => {
+            assert_eq!(volume.seq_type, SeqType::Nucleotide, "blastn needs a nt db");
+            search_blastn(query, NtSubjects::Packed(volume), params, db, ws)
+        }
+        _ => {
+            let decoded = volume.to_volume();
+            search_volume_with(program, query, &decoded, params, db, ws)
+        }
+    }
+}
+
+/// The blastn subject source: a decoded volume or a packed one.
+#[derive(Clone, Copy)]
+enum NtSubjects<'a> {
+    Decoded(&'a Volume),
+    Packed(&'a PackedVolume),
+}
+
+impl NtSubjects<'_> {
+    fn nseq(&self) -> usize {
+        match self {
+            NtSubjects::Decoded(v) => v.sequences.len(),
+            NtSubjects::Packed(p) => p.nseq(),
+        }
+    }
+
+    fn id(&self, i: usize) -> String {
+        match self {
+            NtSubjects::Decoded(v) => v.sequences[i].id().to_string(),
+            NtSubjects::Packed(p) => p.id(i),
+        }
+    }
+}
+
+fn search_blastn(
+    query: &[u8],
+    subjects: NtSubjects<'_>,
+    params: &SearchParams,
+    db: DbStats,
+    ws: &mut ScanWorkspace,
+) -> Vec<Hit> {
     let st = stats_ctx(params, query.len(), db);
     let ctxs = [
         QueryCtx {
@@ -451,21 +680,43 @@ fn search_blastn(query: &[u8], volume: &Volume, params: &SearchParams, db: DbSta
         })
         .collect();
     let mut hits = Vec::new();
-    for (si, subject) in volume.sequences.iter().enumerate() {
-        let mut cands = Vec::new();
+    for si in 0..subjects.nseq() {
+        ws.cands.clear();
+        ws.subject_valid = false;
+        let sref = match subjects {
+            NtSubjects::Decoded(v) => SubjectRef::Codes(&v.sequences[si].codes),
+            NtSubjects::Packed(p) => SubjectRef::Packed {
+                bytes: p.packed(si),
+                len: p.seq_len(si),
+            },
+        };
         for (ctx, lk) in ctxs.iter().zip(&lookups) {
             // Minus-strand matches carry s_frame −1 (reported with
             // reversed subject coordinates, NCBI-style).
             let s_frame = ctx.frame;
-            scan_nt_context(lk, ctx, &subject.codes, s_frame, params, &st, &mut cands);
+            scan_nt_context(lk, ctx, sref, s_frame, params, &st, ws);
         }
-        let mut subject_ctxs = HashMap::new();
-        subject_ctxs.insert(1i8, subject.codes.clone());
-        subject_ctxs.insert(-1i8, subject.codes.clone());
-        let hsps = finalize(cands, &ctxs, &subject_ctxs, params, &st);
+        if ws.cands.is_empty() {
+            continue; // hitless subject: never unpacked, nothing to report
+        }
+        // Any candidate implies at least one seed hit, so for the packed
+        // path the lazy unpack has filled `ws.subject` by now.
+        let codes: &[u8] = match subjects {
+            NtSubjects::Decoded(v) => &v.sequences[si].codes,
+            NtSubjects::Packed(_) => &ws.subject,
+        };
+        let subject_ctxs = [(1i8, codes), (-1i8, codes)];
+        let hsps = finalize(
+            &mut ws.cands,
+            &mut ws.kept,
+            &ctxs,
+            &subject_ctxs,
+            params,
+            &st,
+        );
         if !hsps.is_empty() {
             hits.push(Hit {
-                subject_id: subject.id().to_string(),
+                subject_id: subjects.id(si),
                 subject_index: si,
                 hsps,
             });
@@ -483,6 +734,7 @@ fn search_protein(
     params: &SearchParams,
     db: DbStats,
     gapped_allowed: bool,
+    ws: &mut ScanWorkspace,
 ) -> Vec<Hit> {
     let db_eff = if translate_db {
         DbStats {
@@ -504,33 +756,36 @@ fn search_protein(
             )
         })
         .collect();
+    let do_gapped = params.gapped && gapped_allowed;
     let mut hits = Vec::new();
     for (si, subject) in volume.sequences.iter().enumerate() {
-        let subject_frames: Vec<(i8, Vec<u8>)> = if translate_db {
-            six_frames(&subject.codes)
-                .into_iter()
-                .map(|f| (f.frame, f.codes))
+        let translated;
+        let subject_frames: Vec<(i8, &[u8])> = if translate_db {
+            translated = six_frames(&subject.codes);
+            translated
+                .iter()
+                .map(|f| (f.frame, f.codes.as_slice()))
                 .collect()
         } else {
-            vec![(1i8, subject.codes.clone())]
+            vec![(1i8, subject.codes.as_slice())]
         };
-        let mut cands = Vec::new();
-        for (s_frame, scodes) in &subject_frames {
+        ws.cands.clear();
+        for &(s_frame, scodes) in &subject_frames {
             for (ctx, lk) in query_ctxs.iter().zip(&lookups) {
-                scan_aa_context(
-                    lk,
-                    ctx,
-                    scodes,
-                    *s_frame,
-                    params,
-                    &st,
-                    gapped_allowed,
-                    &mut cands,
-                );
+                scan_aa_context(lk, ctx, scodes, s_frame, params, &st, do_gapped, ws);
             }
         }
-        let subject_ctxs: HashMap<i8, Vec<u8>> = subject_frames.into_iter().collect();
-        let hsps = finalize(cands, query_ctxs, &subject_ctxs, params, &st);
+        if ws.cands.is_empty() {
+            continue;
+        }
+        let hsps = finalize(
+            &mut ws.cands,
+            &mut ws.kept,
+            query_ctxs,
+            &subject_frames,
+            params,
+            &st,
+        );
         if !hsps.is_empty() {
             hits.push(Hit {
                 subject_id: subject.id().to_string(),
@@ -542,7 +797,7 @@ fn search_protein(
     rank(hits, params.max_hits)
 }
 
-fn rank(mut hits: Vec<Hit>, max_hits: usize) -> Vec<Hit> {
+pub(crate) fn rank(mut hits: Vec<Hit>, max_hits: usize) -> Vec<Hit> {
     hits.sort_by(|a, b| {
         a.best_evalue()
             .partial_cmp(&b.best_evalue())

@@ -421,7 +421,13 @@ pub fn faults(db_bytes: u64, fail_times_s: &[f64]) -> Vec<FaultRow> {
 /// the database scan is a much larger share of each pass (≈45–55% here).
 /// That is precisely the regime where scan sharing pays: the I/O half of
 /// the pass is amortized over the whole batch.
-pub const SERVE_SEARCH_RATE: f64 = 24e6;
+///
+/// Calibrated against the packed-scan kernel: `bench --bin engine`
+/// measures ≈32 MB of on-disk volume bytes searched per second per
+/// 568-nt query (`fragment_search.packed_bytes_per_s` in
+/// `BENCH_engine.json`); the pre-rewrite kernel measured ≈24 MB/s, the
+/// previous value of this constant.
+pub const SERVE_SEARCH_RATE: f64 = 32e6;
 
 /// One serving-sweep row: one (scheme, offered load, batch cap) cell.
 #[derive(Debug, Clone)]

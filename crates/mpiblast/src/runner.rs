@@ -12,8 +12,8 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 
 use crossbeam::channel;
-use parblast_blast::{search_volume, DbStats, Hit, Program, SearchParams};
-use parblast_seqdb::Volume;
+use parblast_blast::{search_packed_with, DbStats, Hit, Program, ScanWorkspace, SearchParams};
+use parblast_seqdb::PackedVolume;
 
 use crate::scheme::{Scheme, TracedSource};
 use crate::trace::{IoKind, Tracer};
@@ -127,25 +127,31 @@ impl ParallelBlast {
                 let tracer = self.tracer.clone();
                 let copy_total = &copy_total;
                 scope.spawn(move || {
+                    // One workspace per worker thread: scan and DP buffers
+                    // are recycled across every fragment and every query
+                    // this worker touches.
+                    let mut ws = ScanWorkspace::new();
                     while let Ok(fragment) = task_rx.recv() {
                         let r = (|| -> io::Result<Vec<(usize, Vec<Hit>)>> {
                             let (reader, copy_s) = self.scheme.open_for_worker(w, &fragment)?;
                             copy_total.fetch_add((copy_s * 1e6) as u64, Ordering::Relaxed);
                             let mut src = TracedSource::new(reader, tracer.clone(), w as u32);
-                            // One read of the fragment serves every query.
-                            let volume = Volume::read_from(&mut src)?;
+                            // One read of the fragment serves every query;
+                            // nucleotide data stays 2-bit packed.
+                            let volume = PackedVolume::read_from(&mut src)?;
                             Ok(queries
                                 .iter()
                                 .enumerate()
                                 .map(|(qi, q)| {
                                     (
                                         qi,
-                                        search_volume(
+                                        search_packed_with(
                                             self.program,
                                             q,
                                             &volume,
                                             &self.params,
                                             self.db,
+                                            &mut ws,
                                         ),
                                     )
                                 })
@@ -241,10 +247,12 @@ impl ParallelBlast {
                 let tracer = self.tracer.clone();
                 let copy_total = &copy_total;
                 scope.spawn(move || {
+                    // Workspace reused across every task this worker runs.
+                    let mut ws = ScanWorkspace::new();
                     while let Ok((task, attempt)) = task_rx.recv() {
                         let piece = &query[task.q_offset..task.q_offset + task.q_len];
                         let r = self
-                            .search_fragment(w, &task.fragment, piece, &tracer, copy_total)
+                            .search_fragment(w, &task.fragment, piece, &tracer, copy_total, &mut ws)
                             .map(|mut fr| {
                                 // Map piece coordinates back onto the query.
                                 for hit in &mut fr.hits {
@@ -339,13 +347,14 @@ impl ParallelBlast {
         query: &[u8],
         tracer: &Tracer,
         copy_total: &AtomicU64,
+        ws: &mut ScanWorkspace,
     ) -> io::Result<FragmentResult> {
         let (reader, copy_s) = self.scheme.open_for_worker(worker, fragment)?;
         copy_total.fetch_add((copy_s * 1e6) as u64, Ordering::Relaxed);
         let t0 = Instant::now();
         let mut src = TracedSource::new(reader, tracer.clone(), worker as u32);
-        let volume = Volume::read_from(&mut src)?;
-        let hits = search_volume(self.program, query, &volume, &self.params, self.db);
+        let volume = PackedVolume::read_from(&mut src)?;
+        let hits = search_packed_with(self.program, query, &volume, &self.params, self.db, ws);
         // Small result write, as instrumented in the paper's Figure 4
         // (temporary result files of 50–778 bytes).
         let table = parblast_blast::tabular("query", &hits);

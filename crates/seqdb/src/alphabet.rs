@@ -120,9 +120,24 @@ pub fn pack_2bit(codes: &[u8]) -> Vec<u8> {
 
 /// Unpack `len` 2-bit nucleotide codes from packed bytes.
 pub fn unpack_2bit(packed: &[u8], len: usize) -> Vec<u8> {
-    (0..len)
-        .map(|i| (packed[i / 4] >> (6 - 2 * (i % 4))) & 3)
-        .collect()
+    let mut out = Vec::new();
+    unpack_2bit_into(packed, len, &mut out);
+    out
+}
+
+/// Unpack `len` 2-bit nucleotide codes into a reusable buffer (cleared
+/// first). The allocation-free counterpart of [`unpack_2bit`] for hot
+/// per-subject paths: full bytes expand four codes at a time.
+pub fn unpack_2bit_into(packed: &[u8], len: usize, out: &mut Vec<u8>) {
+    out.clear();
+    out.reserve(len);
+    let full = len / 4;
+    for &b in &packed[..full] {
+        out.extend_from_slice(&[(b >> 6) & 3, (b >> 4) & 3, (b >> 2) & 3, b & 3]);
+    }
+    for i in full * 4..len {
+        out.push((packed[i / 4] >> (6 - 2 * (i % 4))) & 3);
+    }
 }
 
 #[cfg(test)]

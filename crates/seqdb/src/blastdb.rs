@@ -19,7 +19,7 @@ use std::fs::File;
 use std::io::{self, Read, Seek, SeekFrom, Write};
 use std::path::Path;
 
-use crate::alphabet::{encode_aa_seq, encode_nt_seq, pack_2bit, unpack_2bit};
+use crate::alphabet::{encode_aa_seq, encode_nt_seq, pack_2bit, unpack_2bit_into};
 
 /// Magic bytes of a volume file.
 pub const MAGIC: [u8; 4] = *b"PBDB";
@@ -275,9 +275,56 @@ impl Volume {
         self.sequences.iter().map(|s| s.codes.len() as u64).sum()
     }
 
-    /// Read a whole volume through any [`ReadAt`] source. Performs the
-    /// BLAST-shaped access sequence: header → index → bulk data → deflines.
+    /// Read a whole volume through any [`ReadAt`] source, decoding every
+    /// sequence to one code per byte. Performs the BLAST-shaped access
+    /// sequence: header → index → bulk data → deflines. Hot search paths
+    /// should prefer [`PackedVolume::read_from`], which keeps nucleotide
+    /// data 2-bit packed instead of expanding it 4×.
     pub fn read_from<R: ReadAt>(src: &mut R) -> io::Result<Volume> {
+        Ok(PackedVolume::read_from(src)?.into_volume())
+    }
+
+    /// Read just the header.
+    pub fn read_header<R: ReadAt>(src: &mut R) -> io::Result<VolumeHeader> {
+        let mut hdr = [0u8; HEADER_LEN as usize];
+        src.read_at(0, &mut hdr)?;
+        VolumeHeader::from_bytes(&hdr)
+    }
+}
+
+/// One sequence's location inside a [`PackedVolume`].
+#[derive(Debug, Clone, Copy)]
+struct PackedEntry {
+    /// Byte offset of the sequence inside the data blob.
+    data_start: usize,
+    /// Residue count.
+    nres: usize,
+    /// Defline byte range inside the defline blob.
+    def_start: usize,
+    def_len: usize,
+}
+
+/// A volume decoded only to its storage representation: nucleotide data
+/// stays 2-bit packed (4 bases per byte), protein data is one code per
+/// byte either way. This is the zero-copy substrate of the packed-scan
+/// blastn kernel — the scanner rolls its seed word directly across these
+/// bytes and only subjects that produce seed hits are ever unpacked (into
+/// a caller-provided reusable buffer).
+#[derive(Debug, Clone)]
+pub struct PackedVolume {
+    /// Residue type.
+    pub seq_type: SeqType,
+    data: Vec<u8>,
+    entries: Vec<PackedEntry>,
+    deflines: Vec<u8>,
+}
+
+impl PackedVolume {
+    /// Read a whole volume through any [`ReadAt`] source without unpacking.
+    /// Performs the exact same access sequence as [`Volume::read_from`]
+    /// (header → index → bulk data → deflines), so I/O traces are
+    /// identical between the two readers.
+    pub fn read_from<R: ReadAt>(src: &mut R) -> io::Result<PackedVolume> {
         let mut hdr = [0u8; HEADER_LEN as usize];
         src.read_at(0, &mut hdr)?;
         let header = VolumeHeader::from_bytes(&hdr)?;
@@ -290,40 +337,117 @@ impl Volume {
         src.read_at(HEADER_LEN, &mut data)?;
         let total = src.len()?;
         let def_len = (total - header.defline_offset) as usize;
-        let mut defs = vec![0u8; def_len];
-        src.read_at(header.defline_offset, &mut defs)?;
+        let mut deflines = vec![0u8; def_len];
+        src.read_at(header.defline_offset, &mut deflines)?;
 
-        let mut sequences = Vec::with_capacity(header.nseq as usize);
+        let mut entries = Vec::with_capacity(header.nseq as usize);
         for i in 0..header.nseq as usize {
             let at = i * INDEX_ENTRY_LEN as usize;
-            let data_start = get_u64(&index, at) - HEADER_LEN;
+            let data_start = (get_u64(&index, at) - HEADER_LEN) as usize;
             let nres = get_u64(&index, at + 8) as usize;
             let def_start = get_u64(&index, at + 16) as usize;
             let dlen = get_u64(&index, at + 24) as usize;
-            let codes = match header.seq_type {
-                SeqType::Nucleotide => {
-                    let nbytes = nres.div_ceil(4);
-                    unpack_2bit(
-                        &data[data_start as usize..data_start as usize + nbytes],
-                        nres,
-                    )
-                }
-                SeqType::Protein => data[data_start as usize..data_start as usize + nres].to_vec(),
+            let stored = match header.seq_type {
+                SeqType::Nucleotide => nres.div_ceil(4),
+                SeqType::Protein => nres,
             };
-            let defline = String::from_utf8_lossy(&defs[def_start..def_start + dlen]).into_owned();
-            sequences.push(DbSequence { defline, codes });
+            if data_start + stored > data.len() || def_start + dlen > deflines.len() {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    "volume index entry out of bounds",
+                ));
+            }
+            entries.push(PackedEntry {
+                data_start,
+                nres,
+                def_start,
+                def_len: dlen,
+            });
         }
-        Ok(Volume {
+        Ok(PackedVolume {
             seq_type: header.seq_type,
-            sequences,
+            data,
+            entries,
+            deflines,
         })
     }
 
-    /// Read just the header.
-    pub fn read_header<R: ReadAt>(src: &mut R) -> io::Result<VolumeHeader> {
-        let mut hdr = [0u8; HEADER_LEN as usize];
-        src.read_at(0, &mut hdr)?;
-        VolumeHeader::from_bytes(&hdr)
+    /// Number of sequences.
+    pub fn nseq(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Total residues across all sequences.
+    pub fn residues(&self) -> u64 {
+        self.entries.iter().map(|e| e.nres as u64).sum()
+    }
+
+    /// Residue count of sequence `i`.
+    pub fn seq_len(&self, i: usize) -> usize {
+        self.entries[i].nres
+    }
+
+    /// Stored bytes of sequence `i`: 2-bit packed for nucleotide volumes
+    /// (big-endian within the byte, [`crate::alphabet::pack_2bit`] layout),
+    /// one code per byte for protein volumes.
+    pub fn packed(&self, i: usize) -> &[u8] {
+        let e = &self.entries[i];
+        let stored = match self.seq_type {
+            SeqType::Nucleotide => e.nres.div_ceil(4),
+            SeqType::Protein => e.nres,
+        };
+        &self.data[e.data_start..e.data_start + stored]
+    }
+
+    /// Defline of sequence `i`.
+    pub fn defline(&self, i: usize) -> std::borrow::Cow<'_, str> {
+        let e = &self.entries[i];
+        String::from_utf8_lossy(&self.deflines[e.def_start..e.def_start + e.def_len])
+    }
+
+    /// Identifier of sequence `i`: first word of its defline.
+    pub fn id(&self, i: usize) -> String {
+        self.defline(i)
+            .split_whitespace()
+            .next()
+            .unwrap_or("")
+            .to_string()
+    }
+
+    /// Unpack sequence `i` into a reusable buffer (cleared first); for
+    /// protein volumes this is a plain copy.
+    pub fn unpack_into(&self, i: usize, out: &mut Vec<u8>) {
+        let e = &self.entries[i];
+        match self.seq_type {
+            SeqType::Nucleotide => unpack_2bit_into(self.packed(i), e.nres, out),
+            SeqType::Protein => {
+                out.clear();
+                out.extend_from_slice(self.packed(i));
+            }
+        }
+    }
+
+    /// Decode every sequence into a [`Volume`] (the 1-byte-per-residue
+    /// representation the protein search paths and reporting use).
+    pub fn to_volume(&self) -> Volume {
+        let mut sequences = Vec::with_capacity(self.entries.len());
+        for i in 0..self.entries.len() {
+            let mut codes = Vec::new();
+            self.unpack_into(i, &mut codes);
+            sequences.push(DbSequence {
+                defline: self.defline(i).into_owned(),
+                codes,
+            });
+        }
+        Volume {
+            seq_type: self.seq_type,
+            sequences,
+        }
+    }
+
+    /// Consuming variant of [`Self::to_volume`].
+    pub fn into_volume(self) -> Volume {
+        self.to_volume()
     }
 }
 
@@ -368,6 +492,83 @@ mod tests {
             crate::alphabet::encode_nt_seq(b"ACGAAAAACG")
         );
         assert_eq!(v.residues(), 13 + 8 + 10);
+    }
+
+    #[test]
+    fn packed_volume_matches_decoded_volume() {
+        for (seq_type, seqs) in [
+            (
+                SeqType::Nucleotide,
+                vec![
+                    ("seq1 E. coli fragment", b"ACGTACGTACGTA".as_slice()),
+                    ("seq2", b"TTTTGGGG"),
+                    ("seq3 ragged", b"ACGTACG"),
+                ],
+            ),
+            (
+                SeqType::Protein,
+                vec![("p1 kinase", b"MKVLA".as_slice()), ("p2", b"ARNDCQE")],
+            ),
+        ] {
+            let bytes = build(seq_type, &seqs);
+            let v = Volume::read_from(&mut bytes.as_slice()).unwrap();
+            let p = PackedVolume::read_from(&mut bytes.as_slice()).unwrap();
+            assert_eq!(p.seq_type, v.seq_type);
+            assert_eq!(p.nseq(), v.sequences.len());
+            assert_eq!(p.residues(), v.residues());
+            let mut buf = Vec::new();
+            for (i, s) in v.sequences.iter().enumerate() {
+                assert_eq!(p.seq_len(i), s.codes.len());
+                assert_eq!(p.defline(i), s.defline);
+                assert_eq!(p.id(i), s.id());
+                p.unpack_into(i, &mut buf);
+                assert_eq!(buf, s.codes, "seq {i}");
+                if seq_type == SeqType::Nucleotide {
+                    assert_eq!(p.packed(i), crate::alphabet::pack_2bit(&s.codes));
+                } else {
+                    assert_eq!(p.packed(i), s.codes.as_slice());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn packed_volume_issues_the_same_reads_as_volume() {
+        // The two readers must be trace-identical so pio/Tracer-based tests
+        // and figure reproductions hold for either. Record (offset, len)
+        // pairs through a counting ReadAt wrapper.
+        struct Recorder<'a> {
+            inner: &'a [u8],
+            reads: Vec<(u64, usize)>,
+        }
+        impl ReadAt for Recorder<'_> {
+            fn read_at(&mut self, offset: u64, buf: &mut [u8]) -> io::Result<()> {
+                self.reads.push((offset, buf.len()));
+                let mut s = self.inner;
+                s.read_at(offset, buf)
+            }
+            fn len(&mut self) -> io::Result<u64> {
+                Ok(self.inner.len() as u64)
+            }
+        }
+        let bytes = build(
+            SeqType::Nucleotide,
+            &[("a", b"ACGTACGTA".as_slice()), ("b", b"GGCC")],
+        );
+        let mut r1 = Recorder {
+            inner: &bytes,
+            reads: vec![],
+        };
+        Volume::read_from(&mut r1).unwrap();
+        let mut r2 = Recorder {
+            inner: &bytes,
+            reads: vec![],
+        };
+        PackedVolume::read_from(&mut r2).unwrap();
+        assert_eq!(r1.reads, r2.reads);
+        // header → index → bulk data → deflines: four reads.
+        assert_eq!(r1.reads.len(), 4);
+        assert_eq!(r1.reads[0], (0, HEADER_LEN as usize));
     }
 
     #[test]

@@ -6,7 +6,11 @@
 //! via `pio`) exactly once per batch and searched with every query in the
 //! batch. Results per query are rendered to the same tabular report the
 //! single-query path produces — byte-identical to running each query
-//! alone, which `tests/determinism.rs` enforces.
+//! alone, which `tests/determinism.rs` enforces. Each worker thread
+//! keeps one reusable `ScanWorkspace` for its whole job, so every query
+//! in every batch recycles the same diagonal trackers, subject-unpack
+//! buffer, and gapped-DP rows — the packed-scan hot path allocates
+//! nothing per subject no matter how many queries a batch carries.
 
 use std::io;
 use std::time::Instant;

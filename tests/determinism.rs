@@ -81,6 +81,89 @@ fn trace_capture_does_not_change_the_outcome() {
     assert_eq!(a.failovers, b.failovers);
 }
 
+/// Render a blastn `search_volume` outcome to a digest that pins every
+/// reported field: subject order, HSP order, raw/bit scores, E-values,
+/// coordinates on both strands, and alignment statistics. Uses FNV-1a over
+/// the full `Debug` rendering so any hit-for-hit deviation changes the
+/// digest.
+fn blastn_digest(seed: u64, gapped: bool) -> String {
+    use parblast::blast::{search_volume, DbStats, Program, SearchParams};
+    use parblast::seqdb::blastdb::DbSequence;
+    use parblast::seqdb::{
+        extract_query, reverse_complement, SeqType, SyntheticConfig, SyntheticNt, Volume,
+    };
+
+    let mut g = SyntheticNt::new(SyntheticConfig {
+        total_residues: 120_000,
+        seed,
+        ..Default::default()
+    });
+    let mut seqs = vec![];
+    while let Some(x) = g.next() {
+        seqs.push(x);
+    }
+    // A mutated query cut from the database (forward-strand alignments with
+    // mismatches and indels) ...
+    let query = extract_query(&seqs[1].1, 500, 0.03, seed);
+    // ... plus one subject carrying the reverse complement of the query so
+    // minus-strand reporting is pinned too.
+    let mut minus = seqs[2].1[..200.min(seqs[2].1.len())].to_vec();
+    minus.extend(reverse_complement(&query));
+    minus.extend_from_slice(&seqs[3].1[..150.min(seqs[3].1.len())]);
+    seqs.push(("minus_planted reverse-strand target".to_string(), minus));
+
+    let volume = Volume {
+        seq_type: SeqType::Nucleotide,
+        sequences: seqs
+            .into_iter()
+            .map(|(defline, codes)| DbSequence { defline, codes })
+            .collect(),
+    };
+    let db = DbStats {
+        residues: volume.residues(),
+        nseq: volume.sequences.len() as u64,
+    };
+    let mut params = SearchParams::blastn();
+    params.gapped = gapped;
+    let hits = search_volume(Program::Blastn, &query, &volume, &params, db);
+    // Both strands must actually be exercised for the pin to mean anything.
+    let frames: std::collections::BTreeSet<i8> = hits
+        .iter()
+        .flat_map(|h| h.hsps.iter().map(|s| s.q_frame))
+        .collect();
+    assert!(
+        frames.contains(&1) && frames.contains(&-1),
+        "seed {seed}: digest must cover both strands, got {frames:?}"
+    );
+    let rendered = format!("{hits:?}");
+    let mut h: u64 = 0xcbf29ce484222325;
+    for b in rendered.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    let nhsps: usize = hits.iter().map(|x| x.hsps.len()).sum();
+    format!("{}h/{}s/{:016x}", hits.len(), nhsps, h)
+}
+
+/// Golden-hits pin for the packed-scan kernel rewrite: blastn
+/// `search_volume` output (scores, ranges, E-values, order) must stay
+/// byte-identical to the pre-rewrite kernel (per-subject `unpack_2bit`,
+/// byte-at-a-time scanner, `HashMap` diagonal tracking). The digests below
+/// were captured from that kernel; the packed-scan/flat-diagonal kernel
+/// must reproduce them exactly, gapped and ungapped, on both strands.
+#[test]
+fn blastn_results_pinned_across_kernel_rewrite() {
+    const GOLDEN: [(u64, &str, &str); 3] = [
+        (42, "29h/49s/0f59e4ac0a239078", "29h/49s/09ade03370d3bbca"),
+        (1003, "26h/54s/18529e25739e352a", "26h/54s/3cc20b897a872e1e"),
+        (77, "13h/33s/82355a661b6adde5", "13h/33s/f111f995dbb6a0cf"),
+    ];
+    for (seed, gapped, ungapped) in GOLDEN {
+        assert_eq!(blastn_digest(seed, true), gapped, "seed {seed} gapped");
+        assert_eq!(blastn_digest(seed, false), ungapped, "seed {seed} ungapped");
+    }
+}
+
 /// Scan-sharing on the *real* engine: for every seed, serving a query
 /// list in batches returns per-query reports byte-identical to serving
 /// each query alone.
