@@ -56,8 +56,8 @@ pub use lookup::{AaLookup, NtLookup};
 pub use matrix::{GapPenalties, Scorer, AA_BACKGROUND, BLOSUM62};
 pub use report::{tabular, Hit, Hsp};
 pub use search::{
-    search_packed, search_packed_with, search_volume, search_volume_with, DbStats, Program,
-    ScanWorkspace, SearchParams,
+    rank_hits, search_packed, search_packed_range_with, search_packed_with, search_volume,
+    search_volume_with, DbStats, Program, ScanWorkspace, SearchParams,
 };
 pub use translate::{six_frames, translate_codon, translate_frame, Frame};
 pub use workspace::DiagTracker;

@@ -651,9 +651,48 @@ impl NtSubjects<'_> {
     }
 }
 
+/// Search only subjects `[range.start, range.end)` of a packed nucleotide
+/// volume, returning **unranked** hits (blastn only). Per-subject scanning
+/// is independent and the final ranking is a single sort over all hits, so
+/// concatenating range results in subject order and applying [`rank_hits`]
+/// once reproduces [`search_packed_with`] hit for hit — the property the
+/// streaming scan path relies on: search subjects as their bytes arrive
+/// through a [`parblast_seqdb::PackedVolumeStream`], rank at the end.
+pub fn search_packed_range_with(
+    query: &[u8],
+    volume: &PackedVolume,
+    range: std::ops::Range<usize>,
+    params: &SearchParams,
+    db: DbStats,
+    ws: &mut ScanWorkspace,
+) -> Vec<Hit> {
+    assert_eq!(volume.seq_type, SeqType::Nucleotide, "blastn needs a nt db");
+    search_blastn_range(query, NtSubjects::Packed(volume), range, params, db, ws)
+}
+
+/// The final ranking applied by every search entry point: sort by best
+/// E-value (ties broken by score) and keep the top `max_hits`. Exposed so
+/// range-searched hits can be merged and ranked exactly once.
+pub fn rank_hits(hits: Vec<Hit>, max_hits: usize) -> Vec<Hit> {
+    rank(hits, max_hits)
+}
+
 fn search_blastn(
     query: &[u8],
     subjects: NtSubjects<'_>,
+    params: &SearchParams,
+    db: DbStats,
+    ws: &mut ScanWorkspace,
+) -> Vec<Hit> {
+    let nseq = subjects.nseq();
+    let hits = search_blastn_range(query, subjects, 0..nseq, params, db, ws);
+    rank(hits, params.max_hits)
+}
+
+fn search_blastn_range(
+    query: &[u8],
+    subjects: NtSubjects<'_>,
+    range: std::ops::Range<usize>,
     params: &SearchParams,
     db: DbStats,
     ws: &mut ScanWorkspace,
@@ -680,7 +719,7 @@ fn search_blastn(
         })
         .collect();
     let mut hits = Vec::new();
-    for si in 0..subjects.nseq() {
+    for si in range {
         ws.cands.clear();
         ws.subject_valid = false;
         let sref = match subjects {
@@ -722,7 +761,7 @@ fn search_blastn(
             });
         }
     }
-    rank(hits, params.max_hits)
+    hits
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -1168,5 +1207,89 @@ mod tests {
         );
         assert_eq!(hits[0].subject_id, "full");
         assert_eq!(hits[1].subject_id, "half");
+    }
+
+    #[test]
+    fn range_search_concatenated_and_ranked_equals_full_search() {
+        use parblast_seqdb::{
+            extract_query, PackedVolumeStream, SyntheticConfig, SyntheticNt, VolumeWriter,
+        };
+
+        let mut g = SyntheticNt::new(SyntheticConfig {
+            total_residues: 80_000,
+            seed: 21,
+            ..Default::default()
+        });
+        let mut buf = std::io::Cursor::new(Vec::new());
+        let mut w = VolumeWriter::new(&mut buf, SeqType::Nucleotide).unwrap();
+        let mut query_src = None;
+        let mut i = 0;
+        while let Some((d, c)) = g.next() {
+            if i == 2 {
+                query_src = Some(c.clone());
+            }
+            w.add_codes(&d, &c).unwrap();
+            i += 1;
+        }
+        w.finish().unwrap();
+        let bytes = buf.into_inner();
+        let packed = PackedVolume::read_from(&mut bytes.as_slice()).unwrap();
+        let query = extract_query(&query_src.unwrap(), 400, 0.03, 21);
+        let db = DbStats {
+            residues: packed.residues(),
+            nseq: packed.nseq() as u64,
+        };
+        let params = SearchParams::blastn();
+        let full = search_packed(Program::Blastn, &query, &packed, &params, db);
+        assert!(!full.is_empty(), "vacuous comparison");
+
+        // Arbitrary subject split points, searched range by range with one
+        // final rank.
+        let mut ws = ScanWorkspace::new();
+        let cuts = [0, 1, packed.nseq() / 2, packed.nseq()];
+        let mut merged = Vec::new();
+        for pair in cuts.windows(2) {
+            merged.extend(search_packed_range_with(
+                &query,
+                &packed,
+                pair[0]..pair[1],
+                &params,
+                db,
+                &mut ws,
+            ));
+        }
+        let merged = rank_hits(merged, params.max_hits);
+        assert_eq!(format!("{full:?}"), format!("{merged:?}"), "split ranges");
+
+        // The streaming consumption pattern: scan each subject the moment
+        // its bytes arrive, rank once at the end.
+        let mut src = bytes.as_slice();
+        let mut stream = PackedVolumeStream::begin(&mut src).unwrap();
+        let mut scanned = 0;
+        let mut streamed = Vec::new();
+        loop {
+            let n = stream.feed(&mut src, 1536).unwrap();
+            while scanned < stream.ready_seqs() {
+                streamed.extend(search_packed_range_with(
+                    &query,
+                    stream.volume(),
+                    scanned..scanned + 1,
+                    &params,
+                    db,
+                    &mut ws,
+                ));
+                scanned += 1;
+            }
+            if n == 0 {
+                break;
+            }
+        }
+        assert_eq!(scanned, packed.nseq());
+        let streamed = rank_hits(streamed, params.max_hits);
+        assert_eq!(
+            format!("{full:?}"),
+            format!("{streamed:?}"),
+            "streamed scan"
+        );
     }
 }

@@ -340,6 +340,65 @@ pub fn fig9(db_bytes: u64) -> Vec<Fig9Row> {
         .collect()
 }
 
+/// One read-ahead ablation cell: one scheme at one prefetch depth.
+#[derive(Debug, Clone)]
+pub struct ReadAheadCell {
+    /// Scheme label.
+    pub scheme: &'static str,
+    /// Chunk read-ahead depth (0 = the paper's synchronous loop).
+    pub depth: u32,
+    /// Predicted execution time, seconds.
+    pub makespan_s: f64,
+    /// Speedup over the same scheme's synchronous run.
+    pub speedup: f64,
+}
+
+/// Read-ahead ablation (DESIGN.md §11): the simulator's prediction of how
+/// much of each scheme's I/O a double-buffered chunk pipeline hides, at 4
+/// workers (PVFS on 4 servers, CEFT on 2+2). Depth 0 is the calibrated
+/// paper-faithful loop; the benefit is bounded by each scheme's I/O
+/// fraction, so it saturates at one chunk of look-ahead.
+pub fn read_ahead_ablation(db_bytes: u64, depths: &[u32]) -> Vec<ReadAheadCell> {
+    let schemes: Vec<(&'static str, SimScheme)> = vec![
+        ("original", SimScheme::Original),
+        (
+            "over-PVFS",
+            SimScheme::Pvfs {
+                servers: (0..4).collect(),
+            },
+        ),
+        (
+            "over-CEFT-PVFS",
+            SimScheme::Ceft {
+                primary: (0..2).collect(),
+                mirror: (2..4).collect(),
+            },
+        ),
+    ];
+    let mut out = Vec::new();
+    for (label, scheme) in schemes {
+        let mut base = sim_base(4, 5, scheme);
+        base.db_bytes = db_bytes;
+        let t0 = mean_makespan(&base, &SEEDS);
+        for &depth in depths {
+            let makespan_s = if depth == 0 {
+                t0
+            } else {
+                let mut cfg = base.clone();
+                cfg.read_ahead = depth;
+                mean_makespan(&cfg, &SEEDS)
+            };
+            out.push(ReadAheadCell {
+                scheme: label,
+                depth,
+                makespan_s,
+                speedup: t0 / makespan_s,
+            });
+        }
+    }
+    out
+}
+
 /// One `faults` experiment row: one scheme at one failure time.
 #[derive(Debug, Clone)]
 pub struct FaultRow {
@@ -577,6 +636,7 @@ pub fn fig4(workdir: &Path, total_residues: u64) -> std::io::Result<Fig4Result> 
         scheme,
         tracer: tracer.clone(),
         parallelization: Parallelization::DatabaseSegmentation,
+        prefetch: false,
     };
     let out = job.run(&query)?;
     let events = tracer.events();
@@ -610,6 +670,28 @@ mod tests {
         let rows = fig5(&[1, 2], SMALL_DB);
         assert!(rows[0].t_pvfs > rows[0].t_original, "{rows:?}");
         assert!(rows[1].t_pvfs < rows[1].t_original, "{rows:?}");
+    }
+
+    #[test]
+    fn read_ahead_ablation_hides_io_for_the_parallel_schemes() {
+        let cells = read_ahead_ablation(SMALL_DB, &[0, 1]);
+        for scheme in ["over-PVFS", "over-CEFT-PVFS"] {
+            let d0 = cells
+                .iter()
+                .find(|c| c.scheme == scheme && c.depth == 0)
+                .unwrap();
+            let d1 = cells
+                .iter()
+                .find(|c| c.scheme == scheme && c.depth == 1)
+                .unwrap();
+            assert!(
+                d1.makespan_s < d0.makespan_s,
+                "{scheme}: depth 1 {} vs depth 0 {}",
+                d1.makespan_s,
+                d0.makespan_s
+            );
+            assert!(d1.speedup > 1.0, "{scheme}");
+        }
     }
 
     #[test]

@@ -89,6 +89,12 @@ pub struct SimBlastConfig {
     /// batch size. `1` (the default) is the paper's single-query job and
     /// leaves the simulation event-for-event unchanged.
     pub queries_per_pass: u32,
+    /// Chunk read-ahead depth: how many chunks a worker keeps in flight
+    /// or buffered *while computing*. `0` (the default) is the paper's
+    /// synchronous loop — read, then compute, then read — and leaves the
+    /// simulation event-for-event unchanged; `1` double-buffers so chunk
+    /// k+1 arrives while chunk k is scanned.
+    pub read_ahead: u32,
     /// Optional application-level I/O trace collector. Pass
     /// [`Tracer::simulated`] to take a Figure-4-style trace from inside
     /// the simulator with deterministic `SimTime` timestamps.
@@ -139,6 +145,7 @@ impl Default for SimBlastConfig {
             result_writes: 2,
             result_write_bytes: 690,
             queries_per_pass: 1,
+            read_ahead: 0,
             io_tracer: None,
             ceft: CeftConfig::default(),
             stress_nodes: Vec::new(),
@@ -319,10 +326,15 @@ impl Component<Ev> for LocalClient {
     }
 }
 
-/// Worker tags: reads use even tags, the final writes odd ones.
+/// Worker tag kinds, in the low two bits; the high bits carry the
+/// worker's abort generation so replies belonging to an aborted fragment
+/// are recognized and dropped. Generation 0 (any fault-free run) leaves
+/// the tags — and thus the event stream — exactly as before the
+/// generation scheme existed.
 const TAG_READ: u64 = 2;
 const TAG_WRITE: u64 = 3;
 const TAG_OPEN: u64 = 1;
+const TAG_KIND_BITS: u64 = 3;
 
 struct SimWorker {
     index: u32,
@@ -337,12 +349,20 @@ struct SimWorker {
     result_writes: u32,
     result_write_bytes: u64,
     batch: u32,
+    read_ahead: u32,
     tracer: Option<Tracer>,
     // run state
     fragment: Option<(u32, u64)>,
     offset: u64,
     writes_left: u32,
     cpu_pending: u8,
+    /// Abort generation: bumped when a fragment is handed back so stale
+    /// in-flight replies (reads, CPU completions) are dropped.
+    gen: u64,
+    /// Chunk reads submitted and not yet delivered.
+    inflight: u32,
+    /// Delivered chunks (their lengths) waiting for the CPU.
+    buffered: std::collections::VecDeque<u64>,
     stats: WorkerStats,
     name: String,
 }
@@ -358,11 +378,53 @@ impl SimWorker {
                 offset: self.offset,
                 len,
                 reply_to: ctx.self_id(),
-                tag: TAG_READ,
+                tag: TAG_READ | (self.gen << 2),
             })),
         );
         self.offset += len;
         self.stats.bytes_read += len;
+        self.inflight += 1;
+    }
+
+    /// Top up the chunk pipeline. While the CPU is busy the worker keeps
+    /// `read_ahead` chunks in flight or buffered; when it is idle at
+    /// least one read goes out (the synchronous path's only read).
+    fn fill_pipeline(&mut self, ctx: &mut Ctx<'_, Ev>) {
+        let Some((_, size)) = self.fragment else {
+            return;
+        };
+        let cap = if self.cpu_pending > 0 {
+            self.read_ahead
+        } else {
+            self.read_ahead.max(1)
+        };
+        while self.offset < size && self.inflight + (self.buffered.len() as u32) < cap {
+            self.issue_read(ctx);
+        }
+    }
+
+    /// Start scanning one delivered chunk. blastall runs one search
+    /// thread per CPU (the paper reports ≈99 % CPU busy on the dual-CPU
+    /// nodes): two parallel jobs, the chunk is done when both finish. A
+    /// scan-sharing batch multiplies the compute (every query scans the
+    /// chunk) but not the read.
+    fn start_compute(&mut self, ctx: &mut Ctx<'_, Ev>, len: u64) {
+        let factor = ctx.rng().lognormal_mean_cv(1.0, self.compute_cv);
+        let work = len as f64 * self.batch as f64 / self.search_rate * factor;
+        self.cpu_pending = 2;
+        for _ in 0..2 {
+            ctx.send(
+                self.cpu,
+                Ev::Cpu(CpuMsg::Run {
+                    work,
+                    reply_to: ctx.self_id(),
+                    tag: self.gen,
+                }),
+            );
+        }
+        // The chunk just moved out of the buffer: refill its slot so the
+        // next read overlaps this scan.
+        self.fill_pipeline(ctx);
     }
 
     fn issue_write_or_finish(&mut self, ctx: &mut Ctx<'_, Ev>) {
@@ -380,7 +442,7 @@ impl SimWorker {
                     offset: 0,
                     len: self.result_write_bytes,
                     reply_to: ctx.self_id(),
-                    tag: TAG_WRITE,
+                    tag: TAG_WRITE | (self.gen << 2),
                 })),
             );
         } else {
@@ -419,7 +481,7 @@ impl Component<Ev> for SimWorker {
                                 Ev::User(Envelope::local(ClientReq::Open {
                                     file: FRAG_FILE_BASE + fragment as u64,
                                     reply_to: ctx.self_id(),
-                                    tag: TAG_OPEN,
+                                    tag: TAG_OPEN | (self.gen << 2),
                                 })),
                             );
                         }
@@ -429,46 +491,54 @@ impl Component<Ev> for SimWorker {
                             .downcast::<ClientResp>()
                             .expect("worker got unknown message");
                         match resp {
-                            ClientResp::OpenDone { .. } => self.issue_read(ctx),
-                            ClientResp::ReadDone { latency, len, tag } if tag == TAG_READ => {
+                            ClientResp::OpenDone { tag, .. } => {
+                                if tag >> 2 == self.gen {
+                                    self.fill_pipeline(ctx);
+                                }
+                            }
+                            ClientResp::ReadDone { latency, len, tag }
+                                if tag & TAG_KIND_BITS == TAG_READ =>
+                            {
+                                if tag >> 2 != self.gen {
+                                    return; // reply for an aborted fragment
+                                }
+                                self.inflight -= 1;
                                 self.stats.io_s += latency.as_secs_f64();
                                 if let Some(tr) = &self.tracer {
                                     tr.advance_to(ctx.now());
                                     tr.record(self.index, IoKind::Read, len);
                                 }
-                                // blastall runs one search thread per CPU
-                                // (the paper reports ≈99 % CPU busy on the
-                                // dual-CPU nodes): two parallel jobs, the
-                                // chunk is done when both finish. A
-                                // scan-sharing batch multiplies the compute
-                                // (every query scans the chunk) but not the
-                                // read.
-                                let factor = ctx.rng().lognormal_mean_cv(1.0, self.compute_cv);
-                                let work =
-                                    len as f64 * self.batch as f64 / self.search_rate * factor;
-                                self.cpu_pending = 2;
-                                for _ in 0..2 {
-                                    ctx.send(
-                                        self.cpu,
-                                        Ev::Cpu(CpuMsg::Run {
-                                            work,
-                                            reply_to: ctx.self_id(),
-                                            tag: 0,
-                                        }),
-                                    );
+                                if self.cpu_pending == 0 {
+                                    self.start_compute(ctx, len);
+                                } else {
+                                    // Read-ahead delivered mid-scan: park
+                                    // the chunk until the CPU frees up.
+                                    self.buffered.push_back(len);
                                 }
                             }
                             // LocalClient replies to writes as ReadDone with
                             // the write tag; treat any non-read completion
                             // as a finished write.
-                            ClientResp::ReadDone { .. } | ClientResp::WriteDone { .. } => {
-                                self.issue_write_or_finish(ctx);
+                            ClientResp::ReadDone { tag, .. }
+                            | ClientResp::WriteDone { tag, .. } => {
+                                if tag >> 2 == self.gen && self.fragment.is_some() {
+                                    self.issue_write_or_finish(ctx);
+                                }
                             }
-                            ClientResp::Error { error, .. } => {
+                            ClientResp::Error { error, tag, .. } => {
                                 // The client gave up on a server. Abort the
-                                // fragment and hand it back to the master
-                                // for reassignment.
-                                let (fragment, size) = self.fragment.take().expect("assigned");
+                                // fragment — dropping any prefetched chunks
+                                // and in-flight reads with it — and hand it
+                                // back to the master for reassignment.
+                                if tag >> 2 != self.gen {
+                                    return; // the fragment is already gone
+                                }
+                                let Some((fragment, size)) = self.fragment.take() else {
+                                    return;
+                                };
+                                self.gen += 1;
+                                self.inflight = 0;
+                                self.buffered.clear();
                                 self.cpu_pending = 0;
                                 let worker = self.index;
                                 ctx.send(
@@ -491,17 +561,27 @@ impl Component<Ev> for SimWorker {
                     }
                 }
             }
-            Ev::CpuDone(_) => {
+            Ev::CpuDone(done) => {
+                if done.tag != self.gen {
+                    return; // compute for an aborted fragment
+                }
                 self.cpu_pending = self.cpu_pending.saturating_sub(1);
                 if self.cpu_pending > 0 {
                     return;
                 }
-                let (_, size) = self.fragment.expect("assigned");
-                if self.offset < size {
-                    self.issue_read(ctx);
-                } else {
+                let Some((_, size)) = self.fragment else {
+                    return;
+                };
+                if let Some(len) = self.buffered.pop_front() {
+                    self.start_compute(ctx, len);
+                } else if self.offset < size {
+                    // Idle: the pipeline puts out at least one read.
+                    self.fill_pipeline(ctx);
+                } else if self.inflight == 0 {
                     self.issue_write_or_finish(ctx);
                 }
+                // else: the tail chunks are still in flight; the next
+                // ReadDone restarts the scan.
             }
             _ => {}
         }
@@ -724,11 +804,15 @@ pub fn run_simblast(cfg: &SimBlastConfig) -> SimOutcome {
                 result_writes: cfg.result_writes,
                 result_write_bytes: cfg.result_write_bytes,
                 batch: cfg.queries_per_pass.max(1),
+                read_ahead: cfg.read_ahead,
                 tracer: cfg.io_tracer.clone(),
                 fragment: None,
                 offset: 0,
                 writes_left: 0,
                 cpu_pending: 0,
+                gen: 0,
+                inflight: 0,
+                buffered: std::collections::VecDeque::new(),
                 stats: WorkerStats::default(),
                 name: format!("worker{w}"),
             });
@@ -907,6 +991,89 @@ mod tests {
         assert_eq!(s.write_max, 690);
         // Timestamps are simulation time: monotone, starting after warmup.
         assert!(a[0].t >= 1.0, "first event at {}", a[0].t);
+    }
+
+    #[test]
+    fn read_ahead_hides_io_without_changing_the_workload() {
+        // Double-buffering the chunk reads must shave the I/O wait off
+        // the makespan while reading exactly the same bytes.
+        let mut cfg = small(
+            SimScheme::Pvfs {
+                servers: vec![0, 1],
+            },
+            2,
+            3,
+        );
+        let sync = run_simblast(&cfg);
+        cfg.read_ahead = 1;
+        let ahead = run_simblast(&cfg);
+        assert!(sync.completed && ahead.completed);
+        let bytes = |o: &SimOutcome| o.per_worker.iter().map(|w| w.bytes_read).sum::<u64>();
+        assert_eq!(bytes(&sync), bytes(&ahead), "read-ahead must not re-read");
+        assert!(
+            ahead.makespan_s < sync.makespan_s,
+            "read-ahead must shorten the run: {} vs {}",
+            ahead.makespan_s,
+            sync.makespan_s
+        );
+        // The win is bounded by the I/O it can hide.
+        assert!(
+            ahead.makespan_s > sync.makespan_s * (1.0 - sync.io_fraction - 0.05),
+            "win exceeds the hideable I/O: {} vs {} (io {})",
+            ahead.makespan_s,
+            sync.makespan_s,
+            sync.io_fraction
+        );
+    }
+
+    #[test]
+    fn read_ahead_saturates_at_one_chunk() {
+        // One chunk of look-ahead hides a compute-bound run's I/O;
+        // deeper pipelines only queue reads at the disk (the burst
+        // delays first-chunk delivery at each fragment start) and win
+        // nothing further. Variability off: different depths sample the
+        // per-chunk factors in different orders, which would otherwise
+        // drown the comparison in noise.
+        let mut cfg = small(SimScheme::Original, 2, 3);
+        cfg.compute_cv = 0.0;
+        let d0 = run_simblast(&cfg).makespan_s;
+        cfg.read_ahead = 1;
+        let d1 = run_simblast(&cfg).makespan_s;
+        cfg.read_ahead = 4;
+        let d4 = run_simblast(&cfg).makespan_s;
+        assert!(d1 < d0, "depth 1 ({d1}) must beat sync ({d0})");
+        assert!(d4 < d0, "depth 4 ({d4}) must still beat sync ({d0})");
+        assert!(
+            d1 <= d4,
+            "deeper than one chunk must not win more: d1 {d1} vs d4 {d4}"
+        );
+    }
+
+    #[test]
+    fn read_ahead_survives_ceft_crash_with_prefetch_in_flight() {
+        // A primary dies while prefetched chunk reads are in flight: the
+        // stale replies are dropped, the client fails over to the mirror,
+        // and the job still completes with every byte searched.
+        let scheme = SimScheme::Ceft {
+            primary: vec![0, 1],
+            mirror: vec![2, 3],
+        };
+        let mut cfg = small(scheme, 4, 5);
+        cfg.read_ahead = 2;
+        let clean = run_simblast(&cfg);
+        assert!(clean.completed);
+        cfg.faults = FaultSchedule::new().crash_server(SimTime::from_secs_f64(3.0), 1);
+        let out = run_simblast(&cfg);
+        assert!(
+            out.completed,
+            "CEFT with read-ahead must survive the crash: {:?}",
+            out.error
+        );
+        assert!(out.failovers > 0, "reads must have failed over");
+        let bytes = |o: &SimOutcome| o.per_worker.iter().map(|w| w.bytes_read).sum::<u64>();
+        // Aborted prefetches may re-read a fragment's chunks, never lose
+        // them: the degraded run reads at least the clean run's bytes.
+        assert!(bytes(&out) >= bytes(&clean));
     }
 
     #[test]

@@ -88,6 +88,36 @@ impl StripeLayout {
         out
     }
 
+    /// Copy plan translating `server`'s share of logical `[offset,
+    /// offset+len)` into a caller buffer: `(dst, src, n)` triples where
+    /// `src` indexes the server's fetched bytes (its stripes back to
+    /// back, local order) and `dst` indexes the logical buffer. Computed
+    /// up front so a completion handler can scatter a part without
+    /// re-deriving stripe math.
+    pub fn scatter(&self, offset: u64, len: u64, server: u32) -> Vec<(usize, usize, usize)> {
+        let mut out = Vec::new();
+        if len == 0 {
+            return out;
+        }
+        let s = self.stripe_size;
+        let n = self.servers as u64;
+        let first = offset / s;
+        let last = (offset + len - 1) / s;
+        let mut src = 0usize;
+        for k in first..=last {
+            if (k % n) as u32 != server {
+                continue;
+            }
+            let stripe_start = k * s;
+            let lo = offset.max(stripe_start);
+            let hi = (offset + len).min(stripe_start + s);
+            let nn = (hi - lo) as usize;
+            out.push(((lo - offset) as usize, src, nn));
+            src += nn;
+        }
+        out
+    }
+
     /// Bytes of a `size`-byte file stored on `server`.
     pub fn server_share(&self, size: u64, server: u32) -> u64 {
         self.map_extent(0, size)
@@ -293,7 +323,7 @@ impl MirroredLayout {
             .collect()
     }
 
-    fn place(&self, r: LocalRange, group: u8, skips: &[ServerId]) -> ReadPart {
+    pub(crate) fn place(&self, r: LocalRange, group: u8, skips: &[ServerId]) -> ReadPart {
         let mut server = ServerId {
             group,
             index: r.server,

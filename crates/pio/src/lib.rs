@@ -20,10 +20,12 @@
 
 pub mod layout;
 pub mod mirrored;
+pub mod pool;
 pub mod store;
 pub mod striped;
 
 pub use layout::{LocalRange, MirroredLayout, ReadPart, ServerId, StripeLayout};
 pub use mirrored::{HealthMonitor, MirroredReader, MirroredStore};
+pub use pool::{PendingRead, ReaderPool};
 pub use store::{copy_object, read_all, FileReader, LocalStore, ObjectReader, ObjectStore};
 pub use striped::{StripedReader, StripedStore};

@@ -15,9 +15,11 @@ use std::path::PathBuf;
 use std::sync::Arc;
 use std::time::Instant;
 
+use crossbeam::channel;
 use parking_lot::Mutex;
 
-use crate::layout::{MirroredLayout, ReadPart, ServerId};
+use crate::layout::{MirroredLayout, ServerId};
+use crate::pool::{self, PendingRead, ReaderPool};
 use crate::store::{ObjectReader, ObjectStore};
 
 /// Latency-based hot-spot detector shared by all readers of a store.
@@ -143,6 +145,7 @@ pub struct MirroredStore {
     mirror: Arc<Vec<PathBuf>>,
     layout: MirroredLayout,
     monitor: Arc<HealthMonitor>,
+    pool: Arc<ReaderPool>,
 }
 
 impl MirroredStore {
@@ -159,12 +162,25 @@ impl MirroredStore {
         }
         let layout = MirroredLayout::new(stripe_size, primary.len() as u32);
         let monitor = Arc::new(HealthMonitor::new(primary.len()));
+        // One persistent lane per physical server: primary group first,
+        // then the mirror group.
+        let pool = Arc::new(ReaderPool::new(primary.len() * 2));
         Ok(MirroredStore {
             primary: Arc::new(primary),
             mirror: Arc::new(mirror),
             layout,
             monitor,
+            pool,
         })
+    }
+
+    /// Model per-server disk bandwidth (bytes/second; 0 = unthrottled).
+    pub fn set_io_throttle(&self, bytes_per_s: u64) {
+        self.pool.set_throttle(bytes_per_s);
+    }
+
+    fn lane_of(&self, s: ServerId) -> usize {
+        s.group as usize * self.layout.group_size() as usize + s.index as usize
     }
 
     /// The shared health monitor (for fault injection and inspection).
@@ -257,125 +273,90 @@ pub struct MirroredReader {
 
 impl ObjectReader for MirroredReader {
     fn read_at(&mut self, offset: u64, buf: &mut [u8]) -> io::Result<()> {
-        let len = buf.len() as u64;
-        if offset + len > self.size {
+        // The blocking path rides the same persistent lanes as the async
+        // one: enqueue the per-server fetches, then wait on the completion.
+        self.read_at_async(offset, buf.len())?.wait_into(buf)
+    }
+
+    fn read_at_async(&mut self, offset: u64, len: usize) -> io::Result<PendingRead> {
+        if offset + len as u64 > self.size {
             return Err(io::Error::new(
                 io::ErrorKind::UnexpectedEof,
                 "mirrored read past end of object",
             ));
         }
         if len == 0 {
-            return Ok(());
+            return Ok(PendingRead::ready(Vec::new()));
         }
         let first_group = u8::from(self.flip);
         self.flip = !self.flip;
         let skips = self.store.monitor.skips();
-        let parts = self
-            .store
-            .layout
-            .plan_read(offset, len, first_group, &skips);
-        let monitor = self.store.monitor();
-        let results: Vec<io::Result<(ReadPart, Vec<u8>)>> = std::thread::scope(|scope| {
-            let handles: Vec<_> = parts
-                .iter()
-                .map(|p| {
-                    let part = *p;
-                    let partner = self.store.layout.partner(part.server);
-                    let path = self.store.path_of(part.server, &self.name);
-                    let partner_path = self.store.path_of(partner, &self.name);
-                    let mon = Arc::clone(&monitor);
-                    scope.spawn(move || -> io::Result<(ReadPart, Vec<u8>)> {
-                        let fetch = |server: ServerId, path: &PathBuf| -> io::Result<Vec<u8>> {
-                            let fault = mon.fault_of(server);
-                            let t0 = Instant::now();
-                            if fault > 0.0 {
-                                std::thread::sleep(std::time::Duration::from_secs_f64(fault));
-                            }
-                            let mut f = File::open(path)?;
-                            f.seek(SeekFrom::Start(part.local_offset))?;
-                            let mut out = vec![0u8; part.len as usize];
-                            f.read_exact(&mut out)?;
-                            mon.record(server, part.len, t0.elapsed().as_secs_f64());
-                            Ok(out)
-                        };
-                        match fetch(part.server, &path) {
-                            Ok(out) => Ok((part, out)),
-                            // Hard error: the server lost its replica. Mark
-                            // it dead (later plans avoid it) and serve this
-                            // part from the mirror partner — both groups
-                            // hold identical striped layouts.
-                            Err(_) => {
-                                mon.mark_dead(part.server);
-                                fetch(partner, &partner_path).map(|out| (part, out))
-                            }
-                        }
-                    })
-                })
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("reader thread panicked"))
-                .collect()
-        });
-        // Scatter: each part covers the stripes of one server within one
-        // half; reconstruct per part.
-        let s = self.store.layout.stripe.stripe_size;
-        let n = self.store.layout.group_size() as u64;
-        let half = len / 2;
+        // Dual-half schedule, planned part by part so each part's scatter
+        // segments are known at submission time (a skip-redirected part
+        // keeps its original half's offsets: both groups store identical
+        // striped layouts).
+        let half = len as u64 / 2;
         let halves = [
             (offset, half, first_group),
-            (offset + half, len - half, 1 - first_group),
+            (offset + half, len as u64 - half, 1 - first_group),
         ];
-        for res in results {
-            let (part, data) = res?;
-            // Find which half this part belongs to: by planned group
-            // (before skip substitution the part's half is determined by
-            // its local offsets intersecting the half's stripe set). The
-            // planner emits first-half parts before second-half parts and
-            // the (server.index, local range) pair is unique per half, so
-            // match on coverage.
-            let mut placed = false;
-            for &(ho, hl, _hg) in &halves {
-                if hl == 0 {
-                    continue;
-                }
-                // Does this part's local range match this half for its
-                // server index?
-                let ranges = self.store.layout.stripe.map_extent(ho, hl);
-                if let Some(r) = ranges.iter().find(|r| {
-                    r.server == part.server.index
-                        && r.local_offset == part.local_offset
-                        && r.len == part.len
-                }) {
-                    // Scatter this half's stripes of server r.server.
-                    let first_stripe = ho / s;
-                    let last_stripe = (ho + hl - 1) / s;
-                    let mut cursor = 0usize;
-                    for k in first_stripe..=last_stripe {
-                        if (k % n) as u32 != r.server {
-                            continue;
-                        }
-                        let stripe_start = k * s;
-                        let lo = ho.max(stripe_start);
-                        let hi = (ho + hl).min(stripe_start + s);
-                        let nn = (hi - lo) as usize;
-                        buf[(lo - offset) as usize..(hi - offset) as usize]
-                            .copy_from_slice(&data[cursor..cursor + nn]);
-                        cursor += nn;
-                    }
-                    debug_assert_eq!(cursor, data.len());
-                    placed = true;
-                    break;
-                }
+        let (tx, rx) = channel::unbounded();
+        let mut scatters = Vec::new();
+        for &(ho, hl, group) in &halves {
+            if hl == 0 {
+                continue;
             }
-            if !placed {
-                return Err(io::Error::new(
-                    io::ErrorKind::InvalidData,
-                    "read part does not match any half",
-                ));
+            for r in self.store.layout.stripe.map_extent(ho, hl) {
+                let part = self.store.layout.place(r, group, &skips);
+                let shift = (ho - offset) as usize;
+                scatters.push(
+                    self.store
+                        .layout
+                        .stripe
+                        .scatter(ho, hl, r.server)
+                        .into_iter()
+                        .map(|(dst, src, n)| (dst + shift, src, n))
+                        .collect::<Vec<_>>(),
+                );
+                let idx = scatters.len() - 1;
+                let partner = self.store.layout.partner(part.server);
+                let path = self.store.path_of(part.server, &self.name);
+                let partner_path = self.store.path_of(partner, &self.name);
+                let mon = self.store.monitor();
+                let throttle = self.store.pool.throttle_handle();
+                let tx = tx.clone();
+                let lane = self.store.lane_of(part.server);
+                self.store.pool.submit(lane, move || {
+                    let fetch = |server: ServerId, path: &PathBuf| -> io::Result<Vec<u8>> {
+                        let fault = mon.fault_of(server);
+                        let t0 = Instant::now();
+                        if fault > 0.0 {
+                            std::thread::sleep(std::time::Duration::from_secs_f64(fault));
+                        }
+                        let mut f = File::open(path)?;
+                        f.seek(SeekFrom::Start(part.local_offset))?;
+                        let mut out = vec![0u8; part.len as usize];
+                        f.read_exact(&mut out)?;
+                        pool::pace(&throttle, part.len);
+                        mon.record(server, part.len, t0.elapsed().as_secs_f64());
+                        Ok(out)
+                    };
+                    let res = match fetch(part.server, &path) {
+                        Ok(out) => Ok(out),
+                        // Hard error: the server lost its replica. Mark it
+                        // dead (later plans avoid it) and serve this part
+                        // from the mirror partner — both groups hold
+                        // identical striped layouts.
+                        Err(_) => {
+                            mon.mark_dead(part.server);
+                            fetch(partner, &partner_path)
+                        }
+                    };
+                    let _ = tx.send((idx, res));
+                });
             }
         }
-        Ok(())
+        Ok(PendingRead::in_flight(len, rx, scatters))
     }
 
     fn len(&mut self) -> io::Result<u64> {
@@ -534,6 +515,43 @@ mod tests {
         st.monitor().revive(dead);
         assert!(st.monitor().dead().is_empty());
         assert!(st.monitor().skips().is_empty());
+        cleanup(&p, &m);
+    }
+
+    #[test]
+    fn async_read_matches_sync_across_flip_states() {
+        let (p, m) = dirs("async", 3);
+        let st = MirroredStore::new(p.clone(), m.clone(), 512).unwrap();
+        let data = pattern(40_000);
+        st.put("obj", &data).unwrap();
+        let mut sync_r = st.open("obj").unwrap();
+        let mut async_r = st.open("obj").unwrap();
+        // Both readers start at the same flip state; issue several reads so
+        // both group orders are exercised.
+        for (off, len) in [(0u64, 10_000usize), (513, 7777), (100, 1), (0, 40_000)] {
+            let mut want = vec![0u8; len];
+            sync_r.read_at(off, &mut want).unwrap();
+            let got = async_r.read_at_async(off, len).unwrap().wait().unwrap();
+            assert_eq!(got, want, "off={off} len={len}");
+            assert_eq!(&want[..], &data[off as usize..off as usize + len]);
+        }
+        cleanup(&p, &m);
+    }
+
+    #[test]
+    fn async_read_fails_over_to_partner_while_in_flight() {
+        let (p, m) = dirs("asyncdead", 2);
+        let st = MirroredStore::new(p.clone(), m.clone(), 128).unwrap();
+        let data = pattern(20_000);
+        st.put("obj", &data).unwrap();
+        // Kill a primary replica, then issue the read asynchronously: the
+        // in-flight part hits the dead server on its lane thread and must
+        // reroute to the mirror partner before completion.
+        fs::remove_file(p[1].join("obj")).unwrap();
+        let mut r = st.open("obj").unwrap();
+        let pending = r.read_at_async(0, 20_000).unwrap();
+        assert_eq!(pending.wait().unwrap(), data);
+        assert_eq!(st.monitor().dead(), vec![ServerId { group: 0, index: 1 }]);
         cleanup(&p, &m);
     }
 

@@ -1,0 +1,299 @@
+//! Persistent per-server reader threads and a completion-based
+//! nonblocking read API.
+//!
+//! Before this module existed, every `read_at` on a striped or mirrored
+//! store spawned one OS thread per involved server and joined them before
+//! returning — tens of microseconds of spawn/join overhead on every call
+//! (measured ~32 µs for a one-server 64 KiB read). Now each store owns one
+//! long-lived thread per server directory (a *lane*, standing in for one
+//! PVFS I/O daemon); a read enqueues one fetch job per involved lane and
+//! either blocks on the completion (the classic `read_at`) or returns a
+//! [`PendingRead`] handle immediately (`read_at_async`) so the caller can
+//! overlap the wait with compute — the primitive the fragment-prefetch
+//! pipeline in `mpiblast` is built on.
+
+use std::fmt;
+use std::io;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use crossbeam::channel::{self, Receiver, Sender};
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// Fixed set of persistent reader threads, one per server directory.
+///
+/// Jobs submitted to the same lane run in submission order (one PVFS I/O
+/// daemon serves its disk serially); distinct lanes run in parallel. The
+/// threads exit when the owning store (all clones of it) is dropped.
+pub struct ReaderPool {
+    lanes: Vec<Sender<Job>>,
+    /// Modeled disk bandwidth in bytes/second (0 = unthrottled). Used by
+    /// benchmarks to stand in for the paper's ~26 MB/s disks, where real
+    /// reads would be served from the page cache at memory speed.
+    throttle: Arc<AtomicU64>,
+}
+
+impl ReaderPool {
+    /// Spawn `lanes` persistent reader threads.
+    pub fn new(lanes: usize) -> Self {
+        let senders = (0..lanes)
+            .map(|_| {
+                let (tx, rx) = channel::unbounded::<Job>();
+                std::thread::spawn(move || {
+                    while let Ok(job) = rx.recv() {
+                        job();
+                    }
+                });
+                tx
+            })
+            .collect();
+        ReaderPool {
+            lanes: senders,
+            throttle: Arc::new(AtomicU64::new(0)),
+        }
+    }
+
+    /// Number of lanes (server threads).
+    pub fn lanes(&self) -> usize {
+        self.lanes.len()
+    }
+
+    /// Enqueue `job` on `lane`; it runs after everything already queued
+    /// there.
+    pub fn submit(&self, lane: usize, job: impl FnOnce() + Send + 'static) {
+        self.lanes[lane]
+            .send(Box::new(job))
+            .unwrap_or_else(|_| unreachable!("lane thread outlives its sender"));
+    }
+
+    /// Model disk bandwidth: every fetched byte costs `1/bytes_per_s`
+    /// seconds of lane time on top of the real read (0 disables).
+    pub fn set_throttle(&self, bytes_per_s: u64) {
+        self.throttle.store(bytes_per_s, Ordering::Relaxed);
+    }
+
+    /// Shared handle to the throttle setting, for capture in fetch jobs.
+    pub fn throttle_handle(&self) -> Arc<AtomicU64> {
+        Arc::clone(&self.throttle)
+    }
+}
+
+impl fmt::Debug for ReaderPool {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ReaderPool")
+            .field("lanes", &self.lanes.len())
+            .field("throttle", &self.throttle.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+/// Sleep out the modeled transfer time of `bytes` at the throttle rate
+/// (no-op when unthrottled). Called by fetch jobs on their lane thread, so
+/// throttled lanes serialize exactly like a real disk would.
+pub fn pace(throttle: &AtomicU64, bytes: u64) {
+    let rate = throttle.load(Ordering::Relaxed);
+    if rate > 0 && bytes > 0 {
+        std::thread::sleep(Duration::from_secs_f64(bytes as f64 / rate as f64));
+    }
+}
+
+/// One fetched part's copy plan: `(dst, src, len)` — copy `len` bytes from
+/// offset `src` of the part's contiguous local bytes to offset `dst` of
+/// the logical read buffer.
+pub type ScatterSeg = (usize, usize, usize);
+
+/// Completion handle for an in-flight read: the read was split into parts
+/// (one per involved server lane); each part delivers its bytes through a
+/// channel together with a precomputed scatter plan. Waiting assembles the
+/// logical buffer; until then the caller is free to compute.
+pub struct PendingRead {
+    len: usize,
+    ready: Option<Vec<u8>>,
+    rx: Option<Receiver<(usize, io::Result<Vec<u8>>)>>,
+    scatters: Vec<Vec<ScatterSeg>>,
+}
+
+impl PendingRead {
+    /// An already-completed read (used by sources with no async backend,
+    /// e.g. plain files behind the default [`crate::ObjectReader`] impl).
+    pub fn ready(data: Vec<u8>) -> Self {
+        PendingRead {
+            len: data.len(),
+            ready: Some(data),
+            rx: None,
+            scatters: Vec::new(),
+        }
+    }
+
+    /// A read in flight on pool lanes: `scatters[i]` is the copy plan for
+    /// the part that will arrive tagged `i` on `rx`.
+    pub fn in_flight(
+        len: usize,
+        rx: Receiver<(usize, io::Result<Vec<u8>>)>,
+        scatters: Vec<Vec<ScatterSeg>>,
+    ) -> Self {
+        PendingRead {
+            len,
+            ready: None,
+            rx: Some(rx),
+            scatters,
+        }
+    }
+
+    /// Logical length of the read.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True for zero-length reads.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Block until every part has arrived and assemble them into `buf`
+    /// (which must be exactly the read's length). Returns the first part
+    /// error if any server failed.
+    pub fn wait_into(mut self, buf: &mut [u8]) -> io::Result<()> {
+        if buf.len() != self.len {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                format!("buffer is {} bytes, read is {}", buf.len(), self.len),
+            ));
+        }
+        if let Some(data) = self.ready.take() {
+            buf.copy_from_slice(&data);
+            return Ok(());
+        }
+        let rx = self.rx.take().unwrap_or_else(|| unreachable!());
+        let mut first_err = None;
+        // Drain every part even after an error so lane sends never linger.
+        for _ in 0..self.scatters.len() {
+            match rx.recv() {
+                Ok((idx, Ok(data))) => {
+                    for &(dst, src, n) in &self.scatters[idx] {
+                        buf[dst..dst + n].copy_from_slice(&data[src..src + n]);
+                    }
+                }
+                Ok((_, Err(e))) => {
+                    if first_err.is_none() {
+                        first_err = Some(e);
+                    }
+                }
+                Err(_) => {
+                    return Err(io::Error::new(
+                        io::ErrorKind::BrokenPipe,
+                        "reader pool disconnected mid-read",
+                    ))
+                }
+            }
+        }
+        match first_err {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
+    }
+
+    /// [`Self::wait_into`] an owned buffer.
+    pub fn wait(self) -> io::Result<Vec<u8>> {
+        let mut buf = vec![0u8; self.len];
+        self.wait_into(&mut buf)?;
+        Ok(buf)
+    }
+}
+
+impl fmt::Debug for PendingRead {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("PendingRead")
+            .field("len", &self.len)
+            .field("parts", &self.scatters.len())
+            .field("ready", &self.ready.is_some())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lanes_run_jobs_in_submission_order() {
+        let pool = ReaderPool::new(2);
+        let (tx, rx) = channel::unbounded();
+        for i in 0..10u32 {
+            let tx = tx.clone();
+            pool.submit(0, move || {
+                tx.send(i).unwrap();
+            });
+        }
+        drop(tx);
+        let got: Vec<u32> = rx.iter().take(10).collect();
+        assert_eq!(got, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn distinct_lanes_run_in_parallel() {
+        use std::sync::atomic::AtomicUsize;
+        let pool = ReaderPool::new(4);
+        let barrier = Arc::new(std::sync::Barrier::new(4));
+        let done = Arc::new(AtomicUsize::new(0));
+        let (tx, rx) = channel::unbounded();
+        for lane in 0..4 {
+            let (b, d, tx) = (Arc::clone(&barrier), Arc::clone(&done), tx.clone());
+            pool.submit(lane, move || {
+                // Deadlocks unless all four lanes reach this point at once.
+                b.wait();
+                d.fetch_add(1, Ordering::SeqCst);
+                let _ = tx.send(());
+            });
+        }
+        for _ in 0..4 {
+            rx.recv().unwrap();
+        }
+        assert_eq!(done.load(Ordering::SeqCst), 4);
+    }
+
+    #[test]
+    fn pending_read_assembles_scattered_parts() {
+        let (tx, rx) = channel::unbounded();
+        // Two parts interleaving 2-byte stripes of an 8-byte buffer.
+        let scatters = vec![
+            vec![(0, 0, 2), (4, 2, 2)], // part 0: bytes 0-1 and 4-5
+            vec![(2, 0, 2), (6, 2, 2)], // part 1: bytes 2-3 and 6-7
+        ];
+        tx.send((1usize, Ok(vec![3u8, 3, 4, 4]))).unwrap();
+        tx.send((0usize, Ok(vec![1u8, 1, 2, 2]))).unwrap();
+        let p = PendingRead::in_flight(8, rx, scatters);
+        assert_eq!(p.wait().unwrap(), vec![1, 1, 3, 3, 2, 2, 4, 4]);
+    }
+
+    #[test]
+    fn pending_read_surfaces_part_errors() {
+        let (tx, rx) = channel::unbounded();
+        tx.send((0usize, Ok(vec![0u8; 4]))).unwrap();
+        tx.send((
+            1usize,
+            Err(io::Error::new(io::ErrorKind::NotFound, "replica gone")),
+        ))
+        .unwrap();
+        let p = PendingRead::in_flight(8, rx, vec![vec![(0, 0, 4)], vec![(4, 0, 4)]]);
+        assert_eq!(p.wait().unwrap_err().kind(), io::ErrorKind::NotFound);
+    }
+
+    #[test]
+    fn ready_read_needs_matching_buffer() {
+        let p = PendingRead::ready(vec![7u8; 3]);
+        assert_eq!(p.len(), 3);
+        let mut small = [0u8; 2];
+        assert!(p.wait_into(&mut small).is_err());
+    }
+
+    #[test]
+    fn pace_is_a_noop_when_unthrottled() {
+        let t = AtomicU64::new(0);
+        let t0 = std::time::Instant::now();
+        pace(&t, 1 << 30);
+        assert!(t0.elapsed() < Duration::from_millis(100));
+    }
+}

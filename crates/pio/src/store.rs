@@ -13,10 +13,24 @@ use std::fs::{self, File};
 use std::io::{self, Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
 
+use crate::pool::PendingRead;
+
 /// Positional reader handed out by stores.
 pub trait ObjectReader: Send {
     /// Fill `buf` from `offset`; must read exactly `buf.len()` bytes.
     fn read_at(&mut self, offset: u64, buf: &mut [u8]) -> io::Result<()>;
+    /// Start reading `len` bytes from `offset` without waiting for the
+    /// data: the returned [`PendingRead`] completes on its own threads and
+    /// the caller overlaps compute until [`PendingRead::wait_into`]. The
+    /// default implementation performs the read synchronously and returns
+    /// an already-completed handle, so plain sources stay correct; pool-
+    /// backed stores (striped/mirrored) override it with a true async
+    /// path.
+    fn read_at_async(&mut self, offset: u64, len: usize) -> io::Result<PendingRead> {
+        let mut buf = vec![0u8; len];
+        self.read_at(offset, &mut buf)?;
+        Ok(PendingRead::ready(buf))
+    }
     /// Object length in bytes.
     fn len(&mut self) -> io::Result<u64>;
     /// True when the object is empty.

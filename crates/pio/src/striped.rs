@@ -1,15 +1,19 @@
 //! RAID-0 striped store: real files dealt round-robin across N server
-//! directories, read back with one parallel reader thread per server —
-//! a working user-space analogue of PVFS's data path on a single machine
-//! (where "servers" are directories, typically on different disks or
-//! mount points in a real deployment).
+//! directories, read back through one *persistent* reader thread per
+//! server — a working user-space analogue of PVFS's data path on a single
+//! machine (where "servers" are directories, typically on different disks
+//! or mount points in a real deployment, and the reader threads stand in
+//! for the per-server I/O daemons).
 
 use std::fs::{self, File};
 use std::io::{self, Read, Seek, SeekFrom, Write};
 use std::path::PathBuf;
 use std::sync::Arc;
 
+use crossbeam::channel;
+
 use crate::layout::StripeLayout;
+use crate::pool::{self, PendingRead, ReaderPool};
 use crate::store::{ObjectReader, ObjectStore};
 
 /// RAID-0 store over N server directories.
@@ -17,6 +21,7 @@ use crate::store::{ObjectReader, ObjectStore};
 pub struct StripedStore {
     dirs: Arc<Vec<PathBuf>>,
     layout: StripeLayout,
+    pool: Arc<ReaderPool>,
 }
 
 impl StripedStore {
@@ -28,10 +33,18 @@ impl StripedStore {
             fs::create_dir_all(d)?;
         }
         let layout = StripeLayout::new(stripe_size, dirs.len() as u32);
+        let pool = Arc::new(ReaderPool::new(dirs.len()));
         Ok(StripedStore {
             dirs: Arc::new(dirs),
             layout,
+            pool,
         })
+    }
+
+    /// Model per-server disk bandwidth (bytes/second; 0 = unthrottled).
+    /// Benchmarks use this to stand in for the paper's ~26 MB/s disks.
+    pub fn set_io_throttle(&self, bytes_per_s: u64) {
+        self.pool.set_throttle(bytes_per_s);
     }
 
     /// The stripe layout in use.
@@ -122,68 +135,51 @@ impl StripedReader {
 
 impl ObjectReader for StripedReader {
     fn read_at(&mut self, offset: u64, buf: &mut [u8]) -> io::Result<()> {
-        let len = buf.len() as u64;
-        if offset + len > self.size {
+        // The blocking path rides the same persistent lanes as the async
+        // one: enqueue the per-server fetches, then wait on the completion.
+        self.read_at_async(offset, buf.len())?.wait_into(buf)
+    }
+
+    fn read_at_async(&mut self, offset: u64, len: usize) -> io::Result<PendingRead> {
+        if offset + len as u64 > self.size {
             return Err(io::Error::new(
                 io::ErrorKind::UnexpectedEof,
                 "striped read past end of object",
             ));
         }
         if len == 0 {
-            return Ok(());
+            return Ok(PendingRead::ready(Vec::new()));
         }
-        let ranges = self.store.layout.map_extent(offset, len);
-        // One thread per involved server, each fetching its contiguous
-        // local range; the parent scatters stripes into the output buffer.
-        let results: Vec<io::Result<(u32, Vec<u8>)>> = std::thread::scope(|scope| {
-            let handles: Vec<_> = ranges
-                .iter()
-                .map(|r| {
-                    let path = self.store.server_path(r.server, &self.name);
-                    let (lo, ln, srv) = (r.local_offset, r.len, r.server);
-                    let delay = self.fault_delays.get(srv as usize).copied().unwrap_or(0.0);
-                    scope.spawn(move || -> io::Result<(u32, Vec<u8>)> {
-                        if delay > 0.0 {
-                            std::thread::sleep(std::time::Duration::from_secs_f64(delay));
-                        }
-                        let mut f = File::open(path)?;
-                        f.seek(SeekFrom::Start(lo))?;
-                        let mut out = vec![0u8; ln as usize];
-                        f.read_exact(&mut out)?;
-                        Ok((srv, out))
-                    })
-                })
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("reader thread panicked"))
-                .collect()
-        });
-        // Scatter each server's contiguous local bytes back into the
-        // logical buffer stripe by stripe.
-        let s = self.store.layout.stripe_size;
-        let nsrv = self.store.servers() as u64;
-        for res in results {
-            let (srv, data) = res?;
-            let mut cursor = 0usize;
-            // Walk the stripes of [offset, offset+len) owned by srv.
-            let first_stripe = offset / s;
-            let last_stripe = (offset + len - 1) / s;
-            for k in first_stripe..=last_stripe {
-                if (k % nsrv) as u32 != srv {
-                    continue;
-                }
-                let stripe_start = k * s;
-                let lo = offset.max(stripe_start);
-                let hi = (offset + len).min(stripe_start + s);
-                let n = (hi - lo) as usize;
-                buf[(lo - offset) as usize..(hi - offset) as usize]
-                    .copy_from_slice(&data[cursor..cursor + n]);
-                cursor += n;
-            }
-            debug_assert_eq!(cursor, data.len());
+        let ranges = self.store.layout.map_extent(offset, len as u64);
+        let (tx, rx) = channel::unbounded();
+        let mut scatters = Vec::with_capacity(ranges.len());
+        for (idx, r) in ranges.iter().enumerate() {
+            scatters.push(self.store.layout.scatter(offset, len as u64, r.server));
+            let path = self.store.server_path(r.server, &self.name);
+            let (lo, ln) = (r.local_offset, r.len);
+            let delay = self
+                .fault_delays
+                .get(r.server as usize)
+                .copied()
+                .unwrap_or(0.0);
+            let throttle = self.store.pool.throttle_handle();
+            let tx = tx.clone();
+            self.store.pool.submit(r.server as usize, move || {
+                let res = (|| {
+                    if delay > 0.0 {
+                        std::thread::sleep(std::time::Duration::from_secs_f64(delay));
+                    }
+                    let mut f = File::open(path)?;
+                    f.seek(SeekFrom::Start(lo))?;
+                    let mut out = vec![0u8; ln as usize];
+                    f.read_exact(&mut out)?;
+                    pool::pace(&throttle, ln);
+                    Ok(out)
+                })();
+                let _ = tx.send((idx, res));
+            });
         }
-        Ok(())
+        Ok(PendingRead::in_flight(len, rx, scatters))
     }
 
     fn len(&mut self) -> io::Result<u64> {
@@ -277,6 +273,51 @@ mod tests {
         assert!(st.open("obj").is_err());
         for d in &ds {
             assert!(!d.join("obj").exists());
+        }
+        cleanup(&ds);
+    }
+
+    #[test]
+    fn async_read_matches_sync_and_returns_before_the_data() {
+        let ds = dirs("async", 4);
+        let st = StripedStore::new(ds.clone(), 1024).unwrap();
+        let data = pattern(100_000);
+        st.put("obj", &data).unwrap();
+        let mut r = StripedReader {
+            store: st.clone(),
+            name: "obj".into(),
+            size: st.size("obj").unwrap(),
+            fault_delays: Vec::new(),
+        };
+        // Slow one server so the fetch takes a visible amount of time.
+        r.set_fault(1, 0.05);
+        let t0 = std::time::Instant::now();
+        let pending = r.read_at_async(0, 50_000).unwrap();
+        let submit = t0.elapsed();
+        let got = pending.wait().unwrap();
+        let total = t0.elapsed();
+        assert_eq!(&got[..], &data[..50_000]);
+        assert!(
+            submit < std::time::Duration::from_millis(40),
+            "submission blocked for {submit:?}"
+        );
+        assert!(total >= std::time::Duration::from_millis(50));
+        cleanup(&ds);
+    }
+
+    #[test]
+    fn concurrent_async_reads_share_the_lanes() {
+        let ds = dirs("concurrent", 3);
+        let st = StripedStore::new(ds.clone(), 512).unwrap();
+        let data = pattern(60_000);
+        st.put("obj", &data).unwrap();
+        let mut r = st.open("obj").unwrap();
+        let pendings: Vec<_> = (0..8u64)
+            .map(|i| r.read_at_async(i * 7000, 5000).unwrap())
+            .collect();
+        for (i, p) in pendings.into_iter().enumerate() {
+            let off = i * 7000;
+            assert_eq!(p.wait().unwrap(), &data[off..off + 5000], "read {i}");
         }
         cleanup(&ds);
     }

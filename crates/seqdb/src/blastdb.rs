@@ -451,6 +451,139 @@ impl PackedVolume {
     }
 }
 
+/// Incremental [`PackedVolume`] loader: the metadata (header, index,
+/// deflines) arrives up front, then the packed data region streams in
+/// chunks — and every sequence whose bytes have fully arrived is already
+/// searchable through [`Self::volume`], so a scan can start before the
+/// fragment finishes loading. This is the seqdb half of the prefetch
+/// pipeline: a worker overlapping fetch with search consumes chunks as the
+/// I/O layer delivers them instead of blocking on one monolithic
+/// [`PackedVolume::read_from`].
+///
+/// The access order differs from `read_from` (deflines before data rather
+/// than after) precisely so subject identifiers are available while data
+/// is still in flight; the finished volume is byte-identical either way,
+/// which `tests/properties.rs` pins for ragged chunk boundaries.
+#[derive(Debug)]
+pub struct PackedVolumeStream {
+    vol: PackedVolume,
+    /// End offset (within the data blob) of each sequence's stored bytes,
+    /// in storage order.
+    stored_ends: Vec<usize>,
+    /// Bytes of the data region received so far.
+    filled: usize,
+    /// Sequences fully contained in the filled prefix.
+    ready: usize,
+}
+
+impl PackedVolumeStream {
+    /// Read the metadata (header → index → deflines) and prepare a
+    /// zero-filled data region for streaming.
+    pub fn begin<R: ReadAt>(src: &mut R) -> io::Result<PackedVolumeStream> {
+        let mut hdr = [0u8; HEADER_LEN as usize];
+        src.read_at(0, &mut hdr)?;
+        let header = VolumeHeader::from_bytes(&hdr)?;
+        let index_len = (header.nseq * INDEX_ENTRY_LEN) as usize;
+        let mut index = vec![0u8; index_len];
+        src.read_at(header.index_offset, &mut index)?;
+        let total = src.len()?;
+        let def_len = (total - header.defline_offset) as usize;
+        let mut deflines = vec![0u8; def_len];
+        src.read_at(header.defline_offset, &mut deflines)?;
+        let data_len = (header.index_offset - HEADER_LEN) as usize;
+
+        let mut entries = Vec::with_capacity(header.nseq as usize);
+        let mut stored_ends = Vec::with_capacity(header.nseq as usize);
+        for i in 0..header.nseq as usize {
+            let at = i * INDEX_ENTRY_LEN as usize;
+            let data_start = (get_u64(&index, at) - HEADER_LEN) as usize;
+            let nres = get_u64(&index, at + 8) as usize;
+            let def_start = get_u64(&index, at + 16) as usize;
+            let dlen = get_u64(&index, at + 24) as usize;
+            let stored = match header.seq_type {
+                SeqType::Nucleotide => nres.div_ceil(4),
+                SeqType::Protein => nres,
+            };
+            if data_start + stored > data_len || def_start + dlen > deflines.len() {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    "volume index entry out of bounds",
+                ));
+            }
+            entries.push(PackedEntry {
+                data_start,
+                nres,
+                def_start,
+                def_len: dlen,
+            });
+            stored_ends.push(data_start + stored);
+        }
+        Ok(PackedVolumeStream {
+            vol: PackedVolume {
+                seq_type: header.seq_type,
+                data: vec![0u8; data_len],
+                entries,
+                deflines,
+            },
+            stored_ends,
+            filled: 0,
+            ready: 0,
+        })
+    }
+
+    /// Total size of the packed data region.
+    pub fn data_len(&self) -> usize {
+        self.vol.data.len()
+    }
+
+    /// Data bytes received so far.
+    pub fn filled(&self) -> usize {
+        self.filled
+    }
+
+    /// True once the whole data region has arrived.
+    pub fn is_complete(&self) -> bool {
+        self.filled == self.vol.data.len()
+    }
+
+    /// Read the next chunk of up to `max` data bytes from `src` (which
+    /// must be the same source `begin` read from). Returns the number of
+    /// bytes consumed — 0 once the stream is complete.
+    pub fn feed<R: ReadAt>(&mut self, src: &mut R, max: usize) -> io::Result<usize> {
+        let n = max.min(self.vol.data.len() - self.filled);
+        if n == 0 {
+            return Ok(0);
+        }
+        let at = HEADER_LEN + self.filled as u64;
+        src.read_at(at, &mut self.vol.data[self.filled..self.filled + n])?;
+        self.filled += n;
+        while self.ready < self.stored_ends.len() && self.stored_ends[self.ready] <= self.filled {
+            self.ready += 1;
+        }
+        Ok(n)
+    }
+
+    /// Number of sequences whose packed bytes have fully arrived: subjects
+    /// `[0, ready_seqs())` of [`Self::volume`] are valid to scan.
+    pub fn ready_seqs(&self) -> usize {
+        self.ready
+    }
+
+    /// The partially-loaded volume. Metadata (sequence count, lengths,
+    /// deflines) is complete; packed bytes are only valid for subjects
+    /// below [`Self::ready_seqs`] — the rest still read as zeros.
+    pub fn volume(&self) -> &PackedVolume {
+        &self.vol
+    }
+
+    /// Drain any remaining data from `src` and return the finished volume,
+    /// equal to what [`PackedVolume::read_from`] would have produced.
+    pub fn finish<R: ReadAt>(mut self, src: &mut R) -> io::Result<PackedVolume> {
+        while self.feed(src, 1 << 20)? > 0 {}
+        Ok(self.vol)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -569,6 +702,65 @@ mod tests {
         // header → index → bulk data → deflines: four reads.
         assert_eq!(r1.reads.len(), 4);
         assert_eq!(r1.reads[0], (0, HEADER_LEN as usize));
+    }
+
+    #[test]
+    fn stream_equals_read_from_at_any_chunk_size() {
+        let bytes = build(
+            SeqType::Nucleotide,
+            &[
+                ("s1 first", b"ACGTACGTACGTACGTA" as &[u8]),
+                ("s2 second", b"TTTTGGGGCCCCAAAA"),
+                ("s3 third", b"ACGT"),
+                ("s4 fourth", b"GGGTTTAAACCCGGGTTTAAACCC"),
+            ],
+        );
+        let whole = PackedVolume::read_from(&mut bytes.as_slice()).unwrap();
+        for chunk in [1usize, 3, 7, 16, 1024] {
+            let mut src = bytes.as_slice();
+            let mut stream = PackedVolumeStream::begin(&mut src).unwrap();
+            let mut prev_ready = 0;
+            while !stream.is_complete() {
+                stream.feed(&mut src, chunk).unwrap();
+                // Readiness is monotone and every ready subject's bytes
+                // already equal the final volume's.
+                assert!(stream.ready_seqs() >= prev_ready);
+                prev_ready = stream.ready_seqs();
+                for i in 0..stream.ready_seqs() {
+                    assert_eq!(stream.volume().packed(i), whole.packed(i), "chunk {chunk}");
+                }
+            }
+            assert_eq!(stream.ready_seqs(), whole.nseq());
+            let done = stream.finish(&mut src).unwrap();
+            assert_eq!(format!("{done:?}"), format!("{whole:?}"), "chunk {chunk}");
+        }
+    }
+
+    #[test]
+    fn stream_metadata_is_complete_before_any_data() {
+        let bytes = build(
+            SeqType::Protein,
+            &[("p1 a protein", b"MKV" as &[u8]), ("p2 another", b"GG")],
+        );
+        let mut src = bytes.as_slice();
+        let stream = PackedVolumeStream::begin(&mut src).unwrap();
+        assert_eq!(stream.ready_seqs(), 0);
+        assert_eq!(stream.volume().nseq(), 2);
+        assert_eq!(stream.volume().seq_len(0), 3);
+        assert_eq!(stream.volume().id(0), "p1");
+        assert_eq!(stream.volume().id(1), "p2");
+        assert!(!stream.is_complete());
+    }
+
+    #[test]
+    fn stream_handles_empty_volume() {
+        let bytes = build(SeqType::Nucleotide, &[]);
+        let mut src = bytes.as_slice();
+        let stream = PackedVolumeStream::begin(&mut src).unwrap();
+        assert!(stream.is_complete());
+        assert_eq!(stream.ready_seqs(), 0);
+        let v = stream.finish(&mut bytes.as_slice()).unwrap();
+        assert_eq!(v.nseq(), 0);
     }
 
     #[test]

@@ -118,6 +118,7 @@ mod tests {
             scheme,
             tracer: tracer.clone(),
             parallelization: Parallelization::DatabaseSegmentation,
+            prefetch: true,
         };
         let read_bytes = |t: &Tracer| -> u64 {
             t.events()

@@ -68,6 +68,7 @@ fn main() -> std::io::Result<()> {
             scheme,
             tracer: tracer.clone(),
             parallelization: Parallelization::DatabaseSegmentation,
+            prefetch: true,
         };
         let out = job.run(&query)?;
         let s = tracer.summary();

@@ -115,6 +115,7 @@ fn main() -> std::io::Result<()> {
         scheme,
         tracer: Tracer::disabled(),
         parallelization: Parallelization::DatabaseSegmentation,
+        prefetch: true,
     };
     let batch = job.run_batch(&queries.iter().map(|(_, c)| c.clone()).collect::<Vec<_>>())?;
     for ((qid, _), hits) in queries.iter().zip(&batch.per_query) {

@@ -220,6 +220,7 @@ fn batched_serving_is_byte_identical_to_sequential() {
             scheme,
             tracer: Tracer::new(),
             parallelization: Parallelization::DatabaseSegmentation,
+            prefetch: false,
         };
         let batched = serve_batched(&job, &queries, 3).unwrap();
         let sequential = serve_batched(&job, &queries, 1).unwrap();
@@ -229,6 +230,96 @@ fn batched_serving_is_byte_identical_to_sequential() {
         );
         assert_eq!(batched.batches, 2, "seed {seed}");
         assert_eq!(sequential.batches, 4, "seed {seed}");
+        std::fs::remove_dir_all(&base).ok();
+    }
+}
+
+/// The double-buffered fragment prefetch pipeline may change *when* I/O
+/// happens, never what is found: for every seed and every scheme, the
+/// full `Debug` rendering of the merged hits (scores, E-values,
+/// coordinates, order) is identical with prefetch on and off.
+#[test]
+fn prefetch_on_and_off_agree_hit_for_hit() {
+    use parblast::blast::{DbStats, Program, SearchParams};
+    use parblast::mpiblast::{ParallelBlast, Parallelization, Scheme, Tracer};
+    use parblast::seqdb::{
+        extract_query, segment_into_fragments, SeqType, SyntheticConfig, SyntheticNt,
+    };
+
+    for seed in SEEDS {
+        let base = std::env::temp_dir().join(format!(
+            "determinism_prefetch_{seed}_{}",
+            std::process::id()
+        ));
+        std::fs::create_dir_all(&base).unwrap();
+        let mut g = SyntheticNt::new(SyntheticConfig {
+            total_residues: 200_000,
+            seed,
+            ..Default::default()
+        });
+        let mut seqs = vec![];
+        while let Some(x) = g.next() {
+            seqs.push(x);
+        }
+        let query = extract_query(&seqs[2].1, 450, 0.02, seed);
+        let db = DbStats {
+            residues: g.residues(),
+            nseq: g.sequences(),
+        };
+        let infos =
+            segment_into_fragments(&base.join("fmt"), "nt", SeqType::Nucleotide, 4, seqs).unwrap();
+        let frag_bytes: Vec<(String, Vec<u8>)> = infos
+            .iter()
+            .map(|info| {
+                (
+                    info.path
+                        .file_name()
+                        .unwrap()
+                        .to_string_lossy()
+                        .into_owned(),
+                    std::fs::read(&info.path).unwrap(),
+                )
+            })
+            .collect();
+        let mut digests: Vec<(String, bool, String)> = Vec::new();
+        for which in ["original", "pvfs", "ceft"] {
+            for prefetch in [false, true] {
+                let root = base.join(format!("{which}_{prefetch}"));
+                let scheme = match which {
+                    "original" => Scheme::local_at(&root, 2).unwrap(),
+                    "pvfs" => Scheme::pvfs_at(&root, 4, 64 << 10).unwrap(),
+                    _ => Scheme::ceft_at(&root, 2, 64 << 10).unwrap(),
+                };
+                let mut fragments = vec![];
+                for (name, bytes) in &frag_bytes {
+                    scheme.load_fragment(name, bytes).unwrap();
+                    fragments.push(name.clone());
+                }
+                let job = ParallelBlast {
+                    program: Program::Blastn,
+                    params: SearchParams::blastn(),
+                    db,
+                    fragments,
+                    workers: 2,
+                    scheme,
+                    tracer: Tracer::disabled(),
+                    parallelization: Parallelization::DatabaseSegmentation,
+                    prefetch,
+                };
+                let out = job.run(&query).unwrap();
+                digests.push((which.to_string(), prefetch, format!("{:?}", out.hits)));
+            }
+        }
+        for pair in digests.chunks(2) {
+            assert_eq!(
+                pair[0].2, pair[1].2,
+                "seed {seed} scheme {}: prefetch changed the hits",
+                pair[0].0
+            );
+        }
+        // And all three schemes agree with each other.
+        assert_eq!(digests[0].2, digests[2].2, "seed {seed}: pvfs vs original");
+        assert_eq!(digests[0].2, digests[4].2, "seed {seed}: ceft vs original");
         std::fs::remove_dir_all(&base).ok();
     }
 }

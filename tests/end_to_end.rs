@@ -159,6 +159,7 @@ fn segmented_search_equals_whole_database_search() {
         scheme,
         tracer: Tracer::disabled(),
         parallelization: Parallelization::DatabaseSegmentation,
+        prefetch: true,
     };
     let out = job.run(&query).unwrap();
 

@@ -205,6 +205,7 @@ fn job(scheme: Scheme, fragments: Vec<String>, db: DbStats) -> ParallelBlast {
         scheme,
         tracer: Tracer::disabled(),
         parallelization: Parallelization::DatabaseSegmentation,
+        prefetch: false,
     }
 }
 
@@ -242,6 +243,61 @@ fn real_ceft_yields_identical_hits_after_primary_loss() {
         "failover must not change BLAST results"
     );
     std::fs::remove_dir_all(&base).ok();
+}
+
+#[test]
+fn real_ceft_completes_with_prefetch_in_flight_when_primary_dies() {
+    // The double-buffered runner keeps fragment k+1's reads in flight
+    // while fragment k is searched. Killing a primary under that pipeline
+    // must behave exactly like the sequential path: in-flight and future
+    // reads fail over to the mirror partner and the merged hits are
+    // unchanged.
+    let base = tmp("ceft_prefetch");
+    let ceft = Scheme::ceft_at(&base.join("c"), 2, 16 << 10).unwrap();
+    let (fragments, query, db) = setup(&base, &ceft);
+    let mut baseline_job = job(ceft.clone(), fragments.clone(), db);
+    baseline_job.prefetch = true;
+    let baseline = baseline_job.run(&query).unwrap();
+    assert!(!baseline.hits.is_empty(), "planted query must be found");
+
+    // Primary server 1 dies between runs: every striped replica it held
+    // is gone, so the prefetch pipeline's async reads hit the failure
+    // mid-flight from the very first fragment onward. (Server 0 keeps the
+    // `.meta` size files, so index 1 is the interesting data-loss case.)
+    kill_server_dir(&base.join("c").join("primary1"));
+    let mut degraded_job = job(ceft, fragments, db);
+    degraded_job.prefetch = true;
+    let degraded = degraded_job.run(&query).unwrap();
+    assert_eq!(
+        hit_key(&baseline),
+        hit_key(&degraded),
+        "failover under prefetch must not change BLAST results"
+    );
+    std::fs::remove_dir_all(&base).ok();
+}
+
+#[test]
+fn sim_ceft_read_ahead_crash_completes_with_failovers() {
+    // Simulated twin of the scenario above: a primary crashes while
+    // read-ahead keeps prefetched chunk reads in flight. The stale
+    // replies are dropped, the client reroutes to the mirror, and the
+    // job completes.
+    let mut cfg = sim(SimScheme::Ceft {
+        primary: vec![0, 1],
+        mirror: vec![2, 3],
+    });
+    cfg.read_ahead = 2;
+    // Read-ahead drains each fragment's chunk reads early in the compute
+    // phase, so the crash must land shortly after warmup (1 s) to catch
+    // prefetched reads still in flight.
+    cfg.faults = FaultSchedule::new().crash_server(SimTime::from_secs_f64(1.5), 1);
+    let out = run_simblast(&cfg);
+    assert!(
+        out.completed,
+        "CEFT with read-ahead must survive the crash: {:?}",
+        out.error
+    );
+    assert!(out.failovers > 0, "reads must have failed over");
 }
 
 #[test]

@@ -12,7 +12,10 @@ use parblast::pio::{
     read_all, MirroredLayout, MirroredStore, ObjectStore, ServerId, StripeLayout, StripedStore,
 };
 use parblast::pvfs::backoff_delay;
-use parblast::seqdb::{pack_2bit, reverse_complement, unpack_2bit};
+use parblast::seqdb::{
+    pack_2bit, reverse_complement, to_ascii, unpack_2bit, PackedVolume, PackedVolumeStream,
+    SeqType, VolumeWriter,
+};
 use parblast::serve::{AdmissionQueue, Priority, Query};
 use parblast::simcore::SimTime;
 
@@ -209,6 +212,43 @@ proptest! {
         });
         prop_assert!(!by_bytes.is_empty(), "self-similar subject must seed");
         prop_assert_eq!(by_bytes, by_packed);
+    }
+
+    /// Streaming volume construction equals the monolithic load: feeding
+    /// [`PackedVolumeStream`] arbitrary ragged chunk sizes — never aligned
+    /// to sequence or stripe boundaries — finishes with a volume identical
+    /// to what [`PackedVolume::read_from`] produces from the same bytes,
+    /// and `ready_seqs` grows monotonically to the full sequence count.
+    #[test]
+    fn packed_stream_equals_read_from_for_ragged_chunks(
+        seqs in proptest::collection::vec(
+            proptest::collection::vec(0u8..4, 0..60),
+            1..10,
+        ),
+        chunks in proptest::collection::vec(1usize..97, 1..40),
+    ) {
+        let mut buf = std::io::Cursor::new(Vec::new());
+        let mut w = VolumeWriter::new(&mut buf, SeqType::Nucleotide).unwrap();
+        for (i, s) in seqs.iter().enumerate() {
+            w.add_ascii(&format!("s{i} ragged-chunk prop"), &to_ascii(s)).unwrap();
+        }
+        w.finish().unwrap();
+        let bytes = buf.into_inner();
+        let whole = PackedVolume::read_from(&mut bytes.as_slice()).unwrap();
+
+        let mut src = bytes.as_slice();
+        let mut stream = PackedVolumeStream::begin(&mut src).unwrap();
+        let mut sizes = chunks.iter().cycle();
+        let mut prev_ready = 0usize;
+        while !stream.is_complete() {
+            let n = stream.feed(&mut src, *sizes.next().unwrap()).unwrap();
+            prop_assert!(n > 0, "feed must progress while incomplete");
+            prop_assert!(stream.ready_seqs() >= prev_ready, "ready_seqs shrank");
+            prev_ready = stream.ready_seqs();
+        }
+        prop_assert_eq!(stream.ready_seqs(), seqs.len());
+        let finished = stream.finish(&mut src).unwrap();
+        prop_assert_eq!(format!("{whole:?}"), format!("{finished:?}"));
     }
 
     /// Reverse complement is an involution and preserves length.
