@@ -19,7 +19,7 @@ use parblast_pvfs::retry::{backoff_delay, RetryPolicy};
 use parblast_pvfs::{
     ClientReq, ClientResp, IoError, IodRead, IodReadResp, IodWrite, IodWriteResp, CTRL_BYTES,
 };
-use parblast_simcore::{CompId, Component, Ctx, SimTime, Summary};
+use parblast_simcore::{CompId, Component, Ctx, LogHistogram, SimTime, Summary};
 
 use crate::group::MirroredLayout;
 use crate::msg::{CeftOpen, CeftOpenResp, ServerId, SkipUpdate};
@@ -99,6 +99,13 @@ struct PartState {
     forward_to: Option<(u32, CompId)>,
     forward_sync: bool,
     attempts: u32,
+    /// This read already failed over once because of a checksum mismatch;
+    /// a second mismatch means both replicas are corrupt and the operation
+    /// fails with [`IoError::Corrupt`].
+    corrupt_failover: bool,
+    /// Stripes that failed verification on the original server, queued for
+    /// rewrite once (and only once) the partner's copy verifies clean.
+    repair: Vec<u64>,
 }
 
 fn partner_of(s: ServerId) -> ServerId {
@@ -126,6 +133,7 @@ pub struct CeftClient {
     retries: u64,
     failovers: u64,
     failures: u64,
+    repaired: u64,
     /// Read scheduling mode (dual-half vs primary-only ablation).
     pub read_mode: ReadMode,
     /// Duplex write protocol.
@@ -133,6 +141,7 @@ pub struct CeftClient {
     /// Alternates which group serves the first half of successive reads.
     flip: bool,
     read_latency: Summary,
+    read_hist: LogHistogram,
     bytes_read: u64,
     bytes_written: u64,
     skipped_parts: u64,
@@ -166,10 +175,12 @@ impl CeftClient {
             retries: 0,
             failovers: 0,
             failures: 0,
+            repaired: 0,
             read_mode: ReadMode::DualHalf,
             write_protocol: WriteProtocol::ClientDuplex,
             flip: false,
             read_latency: Summary::new(),
+            read_hist: LogHistogram::new(),
             bytes_read: 0,
             bytes_written: 0,
             skipped_parts: 0,
@@ -185,6 +196,12 @@ impl CeftClient {
     /// Per-read latency summary.
     pub fn read_latency(&self) -> &Summary {
         &self.read_latency
+    }
+
+    /// Per-read latency distribution in microseconds, for tail
+    /// percentiles (foreground p95 under rebuild, §12 of DESIGN.md).
+    pub fn read_latency_hist(&self) -> &LogHistogram {
+        &self.read_hist
     }
 
     /// Parts redirected away from hot servers.
@@ -220,6 +237,12 @@ impl CeftClient {
     /// Operations that failed with [`ClientResp::Error`].
     pub fn failures(&self) -> u64 {
         self.failures
+    }
+
+    /// Corrupt stripes rewritten from the mirror partner's good copy
+    /// (read-repair).
+    pub fn repaired_stripes(&self) -> u64 {
+        self.repaired
     }
 
     /// Servers to avoid when planning reads: pushed skips plus servers
@@ -483,6 +506,8 @@ impl CeftClient {
                         forward_to: None,
                         forward_sync: false,
                         attempts: 0,
+                        corrupt_failover: false,
+                        repair: Vec::new(),
                     };
                     self.send_part(ctx, token, &state, SimTime::ZERO);
                     self.parts.insert(token, state);
@@ -549,11 +574,88 @@ impl CeftClient {
                         forward_to,
                         forward_sync,
                         attempts: 0,
+                        corrupt_failover: false,
+                        repair: Vec::new(),
                     };
                     self.send_part(ctx, token, &state, SimTime::ZERO);
                     self.parts.insert(token, state);
                 }
             }
+        }
+    }
+
+    /// A read answered. Clean data completes the part; a checksum mismatch
+    /// triggers read-repair: re-fetch the range from the mirror partner
+    /// (which holds an identical replica) and rewrite the bad stripes with
+    /// the partner's good bytes — all without spending any retry budget,
+    /// since corruption is deterministic, not transient.
+    fn on_read_resp(&mut self, ctx: &mut Ctx<'_, Ev>, r: IodReadResp) {
+        if r.corrupt.is_empty() {
+            self.flush_repairs(ctx, r.token);
+            self.part_done(ctx, r.token);
+            return;
+        }
+        // Unknown tokens: stragglers of failed/retried operations.
+        let Some(mut state) = self.parts.remove(&r.token) else {
+            return;
+        };
+        if state.corrupt_failover {
+            // The partner's copy is corrupt too — nothing left to read.
+            self.fail_op(ctx, state.op, IoError::Corrupt);
+            return;
+        }
+        // Queue the bad stripes for rewrite and re-fetch the whole part
+        // from the partner, immediately. The rewrite itself waits until the
+        // partner's bytes verify clean: repairing first would blindly
+        // clear the evidence when both replicas turn out to be corrupt.
+        state.repair = r.corrupt;
+        state.server = partner_of(state.server);
+        state.corrupt_failover = true;
+        self.failovers += 1;
+        self.send_part(ctx, r.token, &state, SimTime::ZERO);
+        self.parts.insert(r.token, state);
+    }
+
+    /// The partner's copy verified clean: rewrite the stripes that failed
+    /// verification on the original server with the good bytes. The acks
+    /// come back with unregistered tokens and are dropped by `part_done`.
+    fn flush_repairs(&mut self, ctx: &mut Ctx<'_, Ev>, token: u64) {
+        let Some((file, good_server, stripes)) = self
+            .parts
+            .get_mut(&token)
+            .map(|state| (state.file, state.server, std::mem::take(&mut state.repair)))
+        else {
+            return;
+        };
+        if stripes.is_empty() {
+            return;
+        }
+        let stripe = self
+            .files
+            .get(&file)
+            .map(|e| e.layout.stripe.stripe_size)
+            .unwrap_or(64 << 10);
+        let me = ctx.self_id();
+        let dst = self.addr(partner_of(good_server));
+        for s in stripes {
+            let token = ctx.fresh_token();
+            self.send_net(
+                ctx,
+                dst,
+                stripe + CTRL_BYTES,
+                Box::new(IodWrite {
+                    file,
+                    offset: s * stripe,
+                    len: stripe,
+                    sync: false,
+                    reply: me,
+                    reply_node: self.node,
+                    token,
+                    forward_to: None,
+                    forward_sync: false,
+                }),
+            );
+            self.repaired += 1;
         }
     }
 
@@ -578,6 +680,7 @@ impl CeftClient {
             OpKind::Read => {
                 self.bytes_read += op.len;
                 self.read_latency.record(latency.as_secs_f64());
+                self.read_hist.record((latency.as_secs_f64() * 1e6) as u64);
                 ClientResp::ReadDone {
                     tag: op.tag,
                     latency,
@@ -640,7 +743,7 @@ impl Component<Ev> for CeftClient {
                         self.dead = u.dead;
                     }
                     Err(other) => match other.downcast::<IodReadResp>() {
-                        Ok(r) => self.part_done(ctx, r.token),
+                        Ok(r) => self.on_read_resp(ctx, *r),
                         Err(other) => match other.downcast::<IodWriteResp>() {
                             Ok(w) => self.part_done(ctx, w.token),
                             Err(_) => debug_assert!(false, "ceft client got unknown message"),

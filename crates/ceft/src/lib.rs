@@ -75,6 +75,13 @@ pub struct CeftConfig {
     pub write_protocol: WriteProtocol,
     /// Skip policy.
     pub policy: SkipPolicy,
+    /// Online-resync rate cap in bytes/s for revived servers. `None`
+    /// (default) keeps the legacy instant rejoin: the first heartbeat from
+    /// a presumed-dead server returns it to read service immediately.
+    /// `Some(r)` holds a revived server out of service while the metadata
+    /// server copies its local share of every file back from the mirror
+    /// partner at up to `r` bytes/s (`Some(0)` = unpaced).
+    pub resync_rate: Option<u64>,
 }
 
 impl Default for CeftConfig {
@@ -87,6 +94,7 @@ impl Default for CeftConfig {
             read_mode: ReadMode::DualHalf,
             write_protocol: WriteProtocol::ClientDuplex,
             policy: SkipPolicy::default(),
+            resync_rate: None,
         }
     }
 }
@@ -154,6 +162,10 @@ impl Ceft {
         };
         let primary = deploy_group(eng, primary_nodes, 0);
         let mirror = deploy_group(eng, mirror_nodes, 1);
+        if let Some(rate) = cfg.resync_rate {
+            eng.component_mut::<CeftMeta>(meta)
+                .set_rebuild(rate, primary.clone(), mirror.clone());
+        }
         Ceft {
             meta: meta_addr,
             primary,

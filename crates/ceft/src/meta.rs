@@ -11,11 +11,28 @@
 use std::collections::HashMap;
 
 use parblast_hwsim::{Ev, NetSend};
-use parblast_pvfs::CTRL_BYTES;
+use parblast_pvfs::{IodRead, IodReadResp, IodWrite, IodWriteResp, CTRL_BYTES};
 use parblast_simcore::{CompId, Component, Ctx, FcfsStation, SimTime};
 
 use crate::group::MirroredLayout;
 use crate::msg::{CeftOpen, CeftOpenResp, LoadReport, ServerId, SkipUpdate};
+
+/// Rebuild copy unit (one meta-driven partner-read + revived-write round
+/// trip per chunk).
+const REBUILD_CHUNK: u64 = 1 << 20;
+
+/// Timer tag for a rebuild pacing wake-up (tag 0 is the dead-server
+/// sweep).
+fn rebuild_tag(s: ServerId) -> u64 {
+    (1 << 40) | ((s.group as u64) << 32) | s.index as u64
+}
+
+fn decode_rebuild_tag(tag: u64) -> Option<ServerId> {
+    (tag & (1 << 40) != 0).then_some(ServerId {
+        group: ((tag >> 32) & 0xff) as u8,
+        index: (tag & 0xffff_ffff) as u32,
+    })
+}
 
 /// Skip-policy knobs.
 #[derive(Debug, Clone)]
@@ -55,8 +72,26 @@ struct ServerState {
     skipped: bool,
     /// Missed enough heartbeats to be presumed crashed.
     dead: bool,
+    /// Online resync in progress: the server is heartbeating again but its
+    /// replica is stale, so it stays excluded from reads (`dead` remains
+    /// set) until the rebuild completes.
+    rebuilding: bool,
     /// When the last heartbeat arrived.
     last_report: SimTime,
+}
+
+/// One in-flight online resync: the metadata server copies every file's
+/// local share from the mirror partner to the revived server, chunk by
+/// chunk, paced to at most `resync_rate` bytes per second.
+#[derive(Debug)]
+struct Rebuild {
+    /// `(file, local share length)` segments left to copy, plus a cursor
+    /// into the first one.
+    segments: Vec<(u64, u64)>,
+    seg: usize,
+    cursor: u64,
+    /// The in-flight chunk, if any: `(file, offset, len, started)`.
+    chunk: Option<(u64, u64, u64, SimTime)>,
 }
 
 /// CEFT metadata server component.
@@ -73,6 +108,20 @@ pub struct CeftMeta {
     skip_changes: u64,
     /// Heartbeat interval; [`SimTime::ZERO`] disables dead-server sweeps.
     heartbeat: SimTime,
+    /// Online-resync rate cap in bytes/s (`None` = instant rejoin, the
+    /// legacy behavior; `Some(0)` = unpaced copy).
+    resync_rate: Option<u64>,
+    /// Data-server addresses by `[group][index]`, needed to drive rebuild
+    /// copies. Empty until [`CeftMeta::set_rebuild`].
+    groups: [Vec<(u32, CompId)>; 2],
+    rebuilds: HashMap<ServerId, Rebuild>,
+    /// In-flight rebuild chunk tokens → rebuilding server.
+    rebuild_tokens: HashMap<u64, ServerId>,
+    resyncs_completed: u64,
+    resync_bytes: u64,
+    /// Stripes the rebuild read found corrupt on the partner (lost
+    /// redundancy: nothing intact remains to copy from).
+    resync_unrepairable: u64,
     name: String,
 }
 
@@ -97,8 +146,48 @@ impl CeftMeta {
             opens: 0,
             skip_changes: 0,
             heartbeat: SimTime::ZERO,
+            resync_rate: None,
+            groups: [Vec::new(), Vec::new()],
+            rebuilds: HashMap::new(),
+            rebuild_tokens: HashMap::new(),
+            resyncs_completed: 0,
+            resync_bytes: 0,
+            resync_unrepairable: 0,
             name: name.into(),
         }
+    }
+
+    /// Enable online resync: a revived server is *not* returned to service
+    /// on its first heartbeat; instead the metadata server copies its local
+    /// share of every file back from the mirror partner at up to
+    /// `bytes_per_s` (0 = unpaced) and only then clears the dead flag.
+    pub fn set_rebuild(
+        &mut self,
+        bytes_per_s: u64,
+        primary: Vec<(u32, CompId)>,
+        mirror: Vec<(u32, CompId)>,
+    ) {
+        self.resync_rate = Some(bytes_per_s);
+        self.groups = [primary, mirror];
+    }
+
+    /// `(completed resyncs, bytes copied, unrepairable stripes seen)`.
+    pub fn resync_stats(&self) -> (u64, u64, u64) {
+        (
+            self.resyncs_completed,
+            self.resync_bytes,
+            self.resync_unrepairable,
+        )
+    }
+
+    /// Servers currently rebuilding (heartbeating but still excluded from
+    /// reads).
+    pub fn rebuilding(&self) -> Vec<ServerId> {
+        self.servers
+            .iter()
+            .filter(|(_, s)| s.rebuilding)
+            .map(|(&id, _)| id)
+            .collect()
     }
 
     /// Enable dead-server detection: a server that has been silent for
@@ -165,33 +254,226 @@ impl CeftMeta {
 
     /// Dead-server sweep: any server silent for more than 2.5 heartbeat
     /// intervals is presumed crashed, and the change is pushed to every
-    /// subscribed client so read plans fail over to mirror partners.
+    /// subscribed client so read plans fail over to mirror partners. A
+    /// rebuilding server that goes silent again has its resync cancelled
+    /// (it restarts from scratch on the next heartbeat).
     fn sweep_dead(&mut self, ctx: &mut Ctx<'_, Ev>) {
         let grace = SimTime::from_nanos(self.heartbeat.as_nanos().saturating_mul(5) / 2);
         let now = ctx.now();
         let mut changed = false;
-        for st in self.servers.values_mut() {
-            if !st.dead && now.saturating_sub(st.last_report) > grace {
-                st.dead = true;
-                changed = true;
+        let mut cancelled = Vec::new();
+        for (&id, st) in self.servers.iter_mut() {
+            if now.saturating_sub(st.last_report) > grace {
+                if st.rebuilding {
+                    st.rebuilding = false;
+                    cancelled.push(id);
+                }
+                if !st.dead {
+                    st.dead = true;
+                    changed = true;
+                }
             }
+        }
+        for id in cancelled {
+            self.rebuilds.remove(&id);
+            self.rebuild_tokens.retain(|_, s| *s != id);
         }
         if changed {
             self.push_skips(ctx);
         }
     }
 
+    /// Begin an online resync for `server` (just heartbeated back from
+    /// dead). No-op while its mirror partner is also dead — there is no
+    /// intact replica to copy from; the next heartbeat retries.
+    fn start_rebuild(&mut self, ctx: &mut Ctx<'_, Ev>, server: ServerId) {
+        let partner = ServerId {
+            group: 1 - server.group,
+            index: server.index,
+        };
+        if self.servers.get(&partner).is_some_and(|s| s.dead) {
+            return;
+        }
+        let mut segments: Vec<(u64, u64)> = self
+            .files
+            .iter()
+            .map(|(&f, e)| (f, e.layout.stripe.server_share(e.size, server.index)))
+            .filter(|&(_, n)| n > 0)
+            .collect();
+        segments.sort_unstable();
+        if let Some(st) = self.servers.get_mut(&server) {
+            st.rebuilding = true;
+        }
+        self.rebuilds.insert(
+            server,
+            Rebuild {
+                segments,
+                seg: 0,
+                cursor: 0,
+                chunk: None,
+            },
+        );
+        self.step_rebuild(ctx, server);
+    }
+
+    /// Issue the next rebuild chunk: read it from the mirror partner; the
+    /// response handler forwards the bytes to the revived server.
+    fn step_rebuild(&mut self, ctx: &mut Ctx<'_, Ev>, server: ServerId) {
+        let next = {
+            let Some(rb) = self.rebuilds.get_mut(&server) else {
+                return;
+            };
+            if rb.chunk.is_some() {
+                return;
+            }
+            match rb.segments.get(rb.seg) {
+                None => None,
+                Some(&(file, local_len)) => {
+                    let len = REBUILD_CHUNK.min(local_len - rb.cursor);
+                    rb.chunk = Some((file, rb.cursor, len, ctx.now()));
+                    Some((file, rb.cursor, len))
+                }
+            }
+        };
+        let Some((file, offset, len)) = next else {
+            self.finish_rebuild(ctx, server);
+            return;
+        };
+        let src = self.groups[(1 - server.group) as usize][server.index as usize];
+        let token = ctx.fresh_token();
+        self.rebuild_tokens.insert(token, server);
+        let me = ctx.self_id();
+        let (node, net) = (self.node, self.net);
+        ctx.send(
+            net,
+            Ev::Net(NetSend {
+                src_node: node,
+                dst_node: src.0,
+                bytes: CTRL_BYTES,
+                dst: src.1,
+                payload: Box::new(IodRead {
+                    file,
+                    offset,
+                    len,
+                    reply: me,
+                    reply_node: node,
+                    token,
+                }),
+            }),
+        );
+    }
+
+    /// Rebuild chunk arrived from the partner: push it to the revived
+    /// server. Corrupt stripes in the partner's copy are counted as
+    /// unrepairable (the only other replica is the stale one being rebuilt)
+    /// but the copy proceeds — a stale-but-flagged stripe is no worse.
+    fn on_rebuild_read(&mut self, ctx: &mut Ctx<'_, Ev>, r: IodReadResp) {
+        let Some(server) = self.rebuild_tokens.remove(&r.token) else {
+            return;
+        };
+        self.resync_unrepairable += r.corrupt.len() as u64;
+        let Some(rb) = self.rebuilds.get(&server) else {
+            return;
+        };
+        let Some((file, offset, len, _)) = rb.chunk else {
+            return;
+        };
+        let dst = self.groups[server.group as usize][server.index as usize];
+        let token = ctx.fresh_token();
+        self.rebuild_tokens.insert(token, server);
+        let me = ctx.self_id();
+        let (node, net) = (self.node, self.net);
+        ctx.send(
+            net,
+            Ev::Net(NetSend {
+                src_node: node,
+                dst_node: dst.0,
+                bytes: len + CTRL_BYTES,
+                dst: dst.1,
+                payload: Box::new(IodWrite {
+                    file,
+                    offset,
+                    len,
+                    sync: false,
+                    reply: me,
+                    reply_node: node,
+                    token,
+                    forward_to: None,
+                    forward_sync: false,
+                }),
+            }),
+        );
+    }
+
+    /// The revived server acknowledged a rebuild chunk: advance the cursor
+    /// and pace the next chunk so the copy never exceeds the resync rate.
+    fn on_rebuild_write(&mut self, ctx: &mut Ctx<'_, Ev>, w: IodWriteResp) {
+        let Some(server) = self.rebuild_tokens.remove(&w.token) else {
+            return;
+        };
+        let earliest = {
+            let Some(rb) = self.rebuilds.get_mut(&server) else {
+                return;
+            };
+            let Some((_, offset, len, started)) = rb.chunk.take() else {
+                return;
+            };
+            self.resync_bytes += len;
+            rb.cursor = offset + len;
+            if rb.cursor >= rb.segments[rb.seg].1 {
+                rb.seg += 1;
+                rb.cursor = 0;
+            }
+            match len
+                .saturating_mul(1_000_000_000)
+                .checked_div(self.resync_rate.unwrap_or(0))
+            {
+                Some(pace) => started + SimTime::from_nanos(pace),
+                None => ctx.now(),
+            }
+        };
+        if earliest <= ctx.now() {
+            self.step_rebuild(ctx, server);
+        } else {
+            ctx.wake_in(
+                earliest.saturating_sub(ctx.now()),
+                Ev::Timer(rebuild_tag(server)),
+            );
+        }
+    }
+
+    /// Resync complete: the replica is consistent again, so the server
+    /// rejoins read service and every client learns immediately.
+    fn finish_rebuild(&mut self, ctx: &mut Ctx<'_, Ev>, server: ServerId) {
+        self.rebuilds.remove(&server);
+        if let Some(st) = self.servers.get_mut(&server) {
+            st.dead = false;
+            st.rebuilding = false;
+            st.hot_streak = 0;
+            st.cool_streak = 0;
+        }
+        self.resyncs_completed += 1;
+        self.push_skips(ctx);
+    }
+
     fn on_report(&mut self, ctx: &mut Ctx<'_, Ev>, report: LoadReport) {
         let policy = self.policy.clone();
         let mut revived = false;
+        let mut needs_rebuild = false;
         {
             let st = self.servers.entry(report.server).or_default();
             st.utilization = report.utilization;
             st.last_report = ctx.now();
             if st.dead {
-                // A heartbeat from a presumed-dead server: it is back.
-                st.dead = false;
-                revived = true;
+                // A heartbeat from a presumed-dead server: it is back —
+                // but with online resync enabled its replica is stale, so
+                // it stays excluded from reads until rebuilt.
+                if self.resync_rate.is_some() {
+                    needs_rebuild = !st.rebuilding;
+                } else {
+                    st.dead = false;
+                    revived = true;
+                }
             }
             if report.utilization >= policy.hot_threshold {
                 st.hot_streak += 1;
@@ -224,6 +506,9 @@ impl CeftMeta {
         }
         if changed || revived {
             self.push_skips(ctx);
+        }
+        if needs_rebuild {
+            self.start_rebuild(ctx, report.server);
         }
     }
 
@@ -268,8 +553,10 @@ impl Component<Ev> for CeftMeta {
     fn on_event(&mut self, ctx: &mut Ctx<'_, Ev>, ev: Ev) {
         let env = match ev {
             Ev::User(env) => env,
-            Ev::Timer(_) => {
-                if self.heartbeat > SimTime::ZERO {
+            Ev::Timer(tag) => {
+                if let Some(server) = decode_rebuild_tag(tag) {
+                    self.step_rebuild(ctx, server);
+                } else if self.heartbeat > SimTime::ZERO {
                     self.sweep_dead(ctx);
                     ctx.wake_in(self.heartbeat, Ev::Timer(0));
                 }
@@ -281,7 +568,13 @@ impl Component<Ev> for CeftMeta {
             Ok(open) => self.on_open(ctx, *open),
             Err(other) => match other.downcast::<LoadReport>() {
                 Ok(r) => self.on_report(ctx, *r),
-                Err(_) => debug_assert!(false, "ceft meta got unknown message"),
+                Err(other) => match other.downcast::<IodReadResp>() {
+                    Ok(r) => self.on_rebuild_read(ctx, *r),
+                    Err(other) => match other.downcast::<IodWriteResp>() {
+                        Ok(w) => self.on_rebuild_write(ctx, *w),
+                        Err(_) => debug_assert!(false, "ceft meta got unknown message"),
+                    },
+                },
             },
         }
     }
@@ -344,6 +637,68 @@ mod tests {
             report(&mut eng, meta, hot, 0.1);
         }
         assert!(eng.component::<CeftMeta>(meta).skips().is_empty());
+    }
+
+    #[test]
+    fn revived_server_stays_excluded_until_resync_completes() {
+        use parblast_hwsim::{Cluster, HwParams};
+        use parblast_pvfs::Iod;
+        let mut eng: parblast_simcore::Engine<Ev> = parblast_simcore::Engine::new(0);
+        let c = Cluster::build(&mut eng, 3, HwParams::default());
+        let iod_p = eng.add(Iod::new("iod.p0", 0, c.nodes[0].fs, c.net));
+        let iod_m = eng.add(Iod::new("iod.m0", 1, c.nodes[1].fs, c.net));
+        let mut meta = CeftMeta::new(
+            "meta",
+            2,
+            c.net,
+            SimTime::from_micros(450),
+            SkipPolicy::default(),
+        );
+        meta.set_heartbeat(SimTime::from_secs(1));
+        meta.set_rebuild(0, vec![(0, iod_p)], vec![(1, iod_m)]);
+        meta.register(5, MirroredLayout::new(64 << 10, 1), 256 << 10);
+        let meta = eng.add(meta);
+        eng.schedule(SimTime::from_secs(1), meta, Ev::Timer(0));
+
+        let primary = ServerId { group: 0, index: 0 };
+        let mirror = ServerId { group: 1, index: 0 };
+        let beat = |eng: &mut parblast_simcore::Engine<Ev>, t: u64, s: ServerId| {
+            eng.schedule(
+                SimTime::from_secs(t),
+                meta,
+                Ev::User(Envelope::local(LoadReport {
+                    server: s,
+                    utilization: 0.1,
+                })),
+            );
+        };
+        // The mirror heartbeats steadily; the primary reports once, goes
+        // silent (crashed), and comes back at t = 6.
+        for t in 0..10 {
+            beat(&mut eng, t, mirror);
+        }
+        beat(&mut eng, 0, primary);
+        for t in 6..10 {
+            beat(&mut eng, t, primary);
+        }
+        // Silent past 2.5 heartbeats: presumed dead.
+        eng.run_until(SimTime::from_secs_f64(4.5));
+        assert!(eng.component::<CeftMeta>(meta).dead().contains(&primary));
+        // The heartbeat returns: the rebuild starts immediately, but the
+        // stale replica stays excluded from reads while it runs.
+        eng.run_until(SimTime::from_secs_f64(6.001));
+        let m = eng.component::<CeftMeta>(meta);
+        assert_eq!(m.rebuilding(), vec![primary]);
+        assert!(
+            m.dead().contains(&primary),
+            "a rebuilding server must not serve reads"
+        );
+        // The (unpaced) 256 KiB copy completes and the server rejoins.
+        eng.run_until(SimTime::from_secs(9));
+        let m = eng.component::<CeftMeta>(meta);
+        assert!(m.rebuilding().is_empty());
+        assert!(!m.dead().contains(&primary), "rejoins after the rebuild");
+        assert_eq!(m.resync_stats(), (1, 256 << 10, 0));
     }
 
     #[test]

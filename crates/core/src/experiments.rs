@@ -472,6 +472,131 @@ pub fn faults(db_bytes: u64, fail_times_s: &[f64]) -> Vec<FaultRow> {
     out
 }
 
+/// One `integrity` experiment row: the crash + revive scenario at one
+/// resync rate cap.
+#[derive(Debug, Clone)]
+pub struct IntegrityRow {
+    /// Resync pacing cap, MB/s (`0.0` = unpaced: the rebuild copies as
+    /// fast as the mirror partner's disk serves it).
+    pub rate_cap_mbs: f64,
+    /// Fault-free execution time, seconds (resync configured, never
+    /// triggered).
+    pub t_clean: f64,
+    /// Execution time with the corruption + crash + revive, seconds.
+    pub t_faulted: f64,
+    /// Foreground read p95 of the clean run, microseconds.
+    pub clean_p95_us: f64,
+    /// Foreground read p95 of the faulted run (failover + rebuild
+    /// traffic included), microseconds.
+    pub faulted_p95_us: f64,
+    /// Did every fragment complete?
+    pub completed: bool,
+    /// Online resyncs completed (1 when the revived server was rebuilt).
+    pub resyncs: u64,
+    /// Corrupt stripes rewritten from the mirror by read-repair.
+    pub repaired_stripes: u64,
+    /// Reads re-routed to mirror partners while the primary was down.
+    pub failovers: u64,
+}
+
+/// Rebuild-overhead ablation: CEFT 4+4 with 8 workers; a latent corrupt
+/// stripe on primary server 0 exercises read-repair, then primary
+/// server 1 crashes mid-search and revives 8 s later, forcing an online
+/// resync before it may serve reads again. Each row paces the rebuild
+/// copy at a different rate cap, trading rebuild duration against the
+/// disk bandwidth stolen from foreground reads — measured as the
+/// foreground read p95 vs the clean run. Averaged over the usual seeds.
+pub fn integrity(db_bytes: u64, rate_caps_mbs: &[f64]) -> Vec<IntegrityRow> {
+    use parblast_hwsim::FaultSchedule;
+    use parblast_mpiblast::FRAG_FILE_BASE;
+    use parblast_simcore::SimTime;
+
+    let mut base = sim_base(
+        8,
+        9,
+        SimScheme::Ceft {
+            primary: (0..4).collect(),
+            mirror: (4..8).collect(),
+        },
+    );
+    base.db_bytes = db_bytes;
+    // Fast heartbeat so the metadata server's dead sweep (grace =
+    // 2.5 beats) notices the crash well before the revival.
+    base.ceft.heartbeat = SimTime::from_secs(1);
+
+    let n = SEEDS.len() as f64;
+    // The clean baseline never triggers a resync, so it is the same for
+    // every cap; measure it once per seed.
+    let (mut t_clean, mut clean_p95) = (0.0, 0.0);
+    for &seed in &SEEDS {
+        let mut c = base.clone();
+        c.ceft.resync_rate = Some(u64::MAX);
+        c.seed = seed;
+        let clean = run_simblast(&c);
+        t_clean += clean.makespan_s;
+        clean_p95 += clean.read_latency_us.p95;
+    }
+    t_clean /= n;
+    clean_p95 /= n;
+
+    let crash_at = base.warmup_s + 2.0;
+    let revive_at = base.warmup_s + 10.0;
+    let mut out = Vec::new();
+    for &cap in rate_caps_mbs {
+        let mut faulted = base.clone();
+        faulted.ceft.resync_rate = Some(if cap <= 0.0 {
+            u64::MAX
+        } else {
+            (cap * 1e6) as u64
+        });
+        // Latent corruption planted before the job starts, on primary
+        // servers that stay up — found and repaired during the search.
+        faulted.faults = FaultSchedule::new()
+            .corrupt_stripe(
+                SimTime::from_secs_f64(base.warmup_s * 0.5),
+                0,
+                FRAG_FILE_BASE,
+                0,
+            )
+            .corrupt_stripe(
+                SimTime::from_secs_f64(base.warmup_s * 0.5),
+                2,
+                FRAG_FILE_BASE + 2,
+                2,
+            )
+            .crash_server(SimTime::from_secs_f64(crash_at), 1)
+            .revive_server(SimTime::from_secs_f64(revive_at), 1);
+
+        let mut t_faulted = 0.0;
+        let mut faulted_p95 = 0.0;
+        let mut completed = true;
+        let (mut resyncs, mut repaired, mut failovers) = (0, 0, 0);
+        for &seed in &SEEDS {
+            let mut f = faulted.clone();
+            f.seed = seed;
+            let r = run_simblast(&f);
+            t_faulted += r.makespan_s;
+            faulted_p95 += r.read_latency_us.p95;
+            completed &= r.completed;
+            resyncs += r.resyncs;
+            repaired += r.repaired_stripes;
+            failovers += r.failovers;
+        }
+        out.push(IntegrityRow {
+            rate_cap_mbs: cap,
+            t_clean,
+            t_faulted: t_faulted / n,
+            clean_p95_us: clean_p95,
+            faulted_p95_us: faulted_p95 / n,
+            completed,
+            resyncs,
+            repaired_stripes: repaired,
+            failovers,
+        });
+    }
+    out
+}
+
 /// Per-worker scan rate for the *serving* workload, bytes/second.
 ///
 /// The paper's single 568-nt query is compute-heavy (≈2.3 MB/s per

@@ -220,6 +220,8 @@ impl Disk {
             FaultCmd::NetRule(_) | FaultCmd::NetClear => {
                 debug_assert!(false, "network fault sent to a disk");
             }
+            // Addressed to the storage daemon, not the platter model.
+            FaultCmd::CorruptStripe { .. } => {}
         }
     }
 

@@ -238,6 +238,15 @@ pub enum FaultCmd {
     NetRule(NetFaultRule),
     /// Network: remove every installed rule.
     NetClear,
+    /// Storage daemon: silently corrupt one stripe of a stored file (a
+    /// latent media error). The daemon keeps serving the stripe; only a
+    /// checksum verification at read or scrub time can notice.
+    CorruptStripe {
+        /// Daemon-local file identifier.
+        file: u64,
+        /// Stripe index within the daemon's local portion of the file.
+        stripe: u64,
+    },
 }
 
 /// What a matching [`NetFaultRule`] does to a message.

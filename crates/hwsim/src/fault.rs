@@ -65,6 +65,18 @@ pub enum Fault {
         /// Rule expiry time.
         until: SimTime,
     },
+    /// Silently flip bits in one stripe of `file` on `server`'s local disk
+    /// (delivered to the server's storage daemon as
+    /// [`FaultCmd::CorruptStripe`]). The daemon keeps serving the stripe —
+    /// only checksum verification can notice.
+    CorruptStripe {
+        /// Server identifier used at registration.
+        server: usize,
+        /// Daemon-local file identifier.
+        file: u64,
+        /// Stripe index within the daemon's local portion of the file.
+        stripe: u64,
+    },
     /// Delay every matching `src → dst` message by `delay` until `until`.
     NetDelay {
         /// Source filter (`None` = any).
@@ -139,6 +151,18 @@ impl FaultSchedule {
     /// Repair `node`'s disk at `at`.
     pub fn repair_disk(self, at: SimTime, node: u32) -> Self {
         self.push(at, Fault::DiskRepair { node })
+    }
+
+    /// Silently corrupt `stripe` of `file` on `server` at `at`.
+    pub fn corrupt_stripe(self, at: SimTime, server: usize, file: u64, stripe: u64) -> Self {
+        self.push(
+            at,
+            Fault::CorruptStripe {
+                server,
+                file,
+                stripe,
+            },
+        )
     }
 
     /// Drop `src → dst` messages from `at` until `until`.
@@ -278,6 +302,17 @@ impl FaultInjector {
             Fault::DiskRepair { node } => {
                 if let Some(&disk) = self.disks.get(&node) {
                     ctx.send(disk, Ev::Fault(FaultCmd::DiskRepair));
+                }
+            }
+            Fault::CorruptStripe {
+                server,
+                file,
+                stripe,
+            } => {
+                // Delivered to every component of the server; non-storage
+                // components (load monitors, …) ignore the command.
+                for &comp in self.servers.get(&server).into_iter().flatten() {
+                    ctx.send(comp, Ev::Fault(FaultCmd::CorruptStripe { file, stripe }));
                 }
             }
             Fault::NetDrop { src, dst, until } => {

@@ -19,7 +19,10 @@ pub mod scheme;
 pub mod simblast;
 pub mod trace;
 
+pub use parblast_pio::{ScrubTotals, Scrubber};
 pub use runner::{BatchOutcome, ParallelBlast, Parallelization, RunOutcome};
 pub use scheme::{Scheme, TracedSource};
-pub use simblast::{run_simblast, SimBlastConfig, SimOutcome, SimScheme, WorkerStats};
+pub use simblast::{
+    run_simblast, SimBlastConfig, SimOutcome, SimScheme, WorkerStats, FRAG_FILE_BASE,
+};
 pub use trace::{IoKind, TraceEvent, TraceSummary, Tracer};

@@ -4,7 +4,8 @@ use std::io;
 use std::path::PathBuf;
 
 use parblast_pio::{
-    copy_object, LocalStore, MirroredStore, ObjectReader, ObjectStore, StripedStore,
+    copy_object, LocalStore, MirroredStore, ObjectReader, ObjectStore, RateLimiter, Scrubber,
+    StripedStore,
 };
 use parblast_seqdb::ReadAt;
 
@@ -79,6 +80,61 @@ impl Scheme {
             Scheme::Local { src, .. } => src.put(fragment, data),
             Scheme::Pvfs(st) => st.put(fragment, data),
             Scheme::Ceft(st) => st.put(fragment, data),
+        }
+    }
+
+    /// Start a background scrub over `fragments`: every stored stripe is
+    /// re-read and verified against its checksum sidecar, paced to at most
+    /// `bytes_per_s` (0 = unpaced) so foreground searches keep their disk
+    /// bandwidth. CEFT rewrites corrupt stripes from the mirror partner;
+    /// the schemes without redundancy only report them. Runs pass after
+    /// pass until [`Scrubber::stop`], which returns the totals.
+    pub fn start_scrub(&self, fragments: &[String], bytes_per_s: u64) -> Scrubber {
+        let names: Vec<String> = fragments.to_vec();
+        let mut limiter = RateLimiter::new(bytes_per_s);
+        match self {
+            Scheme::Local { src, .. } => {
+                let store = src.clone();
+                Scrubber::spawn(move || {
+                    names
+                        .iter()
+                        .map(|n| {
+                            store
+                                .scrub_object(n, &mut limiter)
+                                .map(|v| v.len() as u64)
+                                .unwrap_or(0)
+                        })
+                        .sum()
+                })
+            }
+            Scheme::Pvfs(st) => {
+                let store = st.clone();
+                Scrubber::spawn(move || {
+                    names
+                        .iter()
+                        .map(|n| {
+                            store
+                                .scrub_object(n, &mut limiter)
+                                .map(|v| v.len() as u64)
+                                .unwrap_or(0)
+                        })
+                        .sum()
+                })
+            }
+            Scheme::Ceft(st) => {
+                let store = st.clone();
+                Scrubber::spawn(move || {
+                    names
+                        .iter()
+                        .map(|n| {
+                            store
+                                .scrub_object(n, &mut limiter)
+                                .map(|(repaired, bad)| repaired + bad.len() as u64)
+                                .unwrap_or(0)
+                        })
+                        .sum()
+                })
+            }
         }
     }
 
@@ -194,6 +250,36 @@ mod tests {
         assert_eq!(s.reads, 2);
         assert_eq!(s.read_min, 13);
         assert_eq!(s.read_max, 4096);
+        std::fs::remove_dir_all(&base).ok();
+    }
+
+    #[test]
+    fn background_scrub_repairs_ceft_corruption() {
+        let base = tmp("scrub");
+        let scheme = Scheme::ceft_at(&base, 2, 64 << 10).unwrap();
+        let data: Vec<u8> = (0..300_000u32).map(|i| (i * 7 % 251) as u8).collect();
+        scheme.load_fragment("nt.000", &data).unwrap();
+        // Flip one byte of the primary copy behind the store's back.
+        let victim = base.join("primary0").join("nt.000");
+        let mut raw = std::fs::read(&victim).unwrap();
+        let orig = raw[100];
+        raw[100] ^= 0x40;
+        std::fs::write(&victim, &raw).unwrap();
+        let scrub = scheme.start_scrub(&["nt.000".into()], 0);
+        // The scrub must find the mismatch and restore the mirror's bytes.
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(30);
+        loop {
+            if std::fs::read(&victim).unwrap()[100] == orig {
+                break;
+            }
+            assert!(
+                std::time::Instant::now() < deadline,
+                "scrub never repaired the flipped byte"
+            );
+            std::thread::sleep(std::time::Duration::from_millis(10));
+        }
+        let totals = scrub.stop();
+        assert!(totals.corrupt_found >= 1, "{totals:?}");
         std::fs::remove_dir_all(&base).ok();
     }
 

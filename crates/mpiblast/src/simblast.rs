@@ -194,12 +194,26 @@ pub struct SimOutcome {
     pub retries: u64,
     /// Timed-out reads re-routed to a mirror partner (CEFT only).
     pub failovers: u64,
+    /// Corrupt stripes rewritten from the mirror partner's good copy
+    /// (CEFT read-repair), summed over workers.
+    pub repaired_stripes: u64,
+    /// Online resyncs completed by the metadata server (CEFT with
+    /// [`parblast_ceft::CeftConfig::resync_rate`] set).
+    pub resyncs: u64,
+    /// Foreground read-latency tail across all CEFT clients, in
+    /// microseconds (zeroed for the other schemes). The integrity bench
+    /// compares this clean vs. during an online rebuild.
+    pub read_latency_us: parblast_simcore::Percentiles,
     /// Event-delivery trace (empty unless
     /// [`SimBlastConfig::capture_trace`] was set).
     pub trace: Vec<TraceEntry>,
 }
 
-const FRAG_FILE_BASE: u64 = 500;
+/// Simulated file id of fragment 0; fragment `i` is file
+/// `FRAG_FILE_BASE + i`. Public so fault schedules built outside this
+/// crate (experiments, tests) can target a specific fragment's stripes
+/// with [`parblast_hwsim::FaultSchedule::corrupt_stripe`].
+pub const FRAG_FILE_BASE: u64 = 500;
 
 /// Messages between master and workers.
 #[derive(Debug, Clone)]
@@ -716,6 +730,7 @@ pub fn run_simblast(cfg: &SimBlastConfig) -> SimOutcome {
     // Deploy the I/O scheme and create one client per worker node.
     let mut ceft_clients: Vec<CompId> = Vec::new();
     let mut pvfs_clients: Vec<CompId> = Vec::new();
+    let mut ceft_meta: Option<CompId> = None;
     let clients: Vec<CompId> = match &cfg.scheme {
         SimScheme::Original => (0..cfg.workers)
             .map(|w| {
@@ -752,6 +767,7 @@ pub fn run_simblast(cfg: &SimBlastConfig) -> SimOutcome {
                 mirror,
                 &cfg.ceft,
             );
+            ceft_meta = Some(ceft.meta.1);
             for &(f, size) in &fragments {
                 ceft.register_file(&mut eng, FRAG_FILE_BASE + f as u64, size);
             }
@@ -903,14 +919,21 @@ pub fn run_simblast(cfg: &SimBlastConfig) -> SimOutcome {
         .sum();
     let mut retries = 0u64;
     let mut failovers = 0u64;
+    let mut repaired_stripes = 0u64;
     for &c in &pvfs_clients {
         retries += eng.component::<PvfsClient>(c).retries();
     }
+    let mut read_hist = parblast_simcore::LogHistogram::new();
     for &c in &ceft_clients {
         let cl = eng.component::<CeftClient>(c);
         retries += cl.retries();
         failovers += cl.failovers();
+        repaired_stripes += cl.repaired_stripes();
+        read_hist.merge(cl.read_latency_hist());
     }
+    let resyncs = ceft_meta
+        .map(|m| eng.component::<parblast_ceft::CeftMeta>(m).resync_stats().0)
+        .unwrap_or(0);
     let trace = eng.take_trace();
     SimOutcome {
         makespan_s,
@@ -921,6 +944,9 @@ pub fn run_simblast(cfg: &SimBlastConfig) -> SimOutcome {
         error,
         retries,
         failovers,
+        repaired_stripes,
+        resyncs,
+        read_latency_us: read_hist.percentiles(),
         trace,
     }
 }
@@ -1127,6 +1153,107 @@ mod tests {
             ratio > 0.9 && ratio < 1.3,
             "CEFT/PVFS ratio = {ratio} (pvfs {t_pvfs}, ceft {t_ceft})"
         );
+    }
+
+    #[test]
+    fn ceft_read_repair_survives_latent_corruption() {
+        // A latent media error flips a stripe on each primary before the
+        // search starts. Checksum verification catches it at read time,
+        // the client rewrites the bad copy from the mirror's good one,
+        // and the search completes over every byte.
+        let scheme = SimScheme::Ceft {
+            primary: vec![0, 1],
+            mirror: vec![2, 3],
+        };
+        let mut cfg = small(scheme, 4, 5);
+        let clean = run_simblast(&cfg);
+        assert!(clean.completed);
+        cfg.faults = FaultSchedule::new()
+            .corrupt_stripe(SimTime::from_secs_f64(0.5), 0, FRAG_FILE_BASE, 0)
+            .corrupt_stripe(SimTime::from_secs_f64(0.5), 1, FRAG_FILE_BASE + 1, 2);
+        let out = run_simblast(&cfg);
+        assert!(
+            out.completed,
+            "CEFT must survive latent corruption: {:?}",
+            out.error
+        );
+        assert!(
+            out.repaired_stripes >= 2,
+            "read-repair must rewrite the bad copies: {}",
+            out.repaired_stripes
+        );
+        // Corruption costs a partner re-fetch, never a lost byte: the
+        // degraded run searches at least the clean run's bytes.
+        let bytes = |o: &SimOutcome| o.per_worker.iter().map(|w| w.bytes_read).sum::<u64>();
+        assert!(bytes(&out) >= bytes(&clean));
+    }
+
+    #[test]
+    fn ceft_corruption_of_both_replicas_is_unrecoverable() {
+        // The same stripe rots on a primary AND its mirror partner: no
+        // good copy remains, so the read must surface the typed corrupt
+        // error instead of retrying forever.
+        let scheme = SimScheme::Ceft {
+            primary: vec![0, 1],
+            mirror: vec![2, 3],
+        };
+        let mut cfg = small(scheme, 4, 5);
+        cfg.faults = FaultSchedule::new()
+            .corrupt_stripe(SimTime::from_secs_f64(0.5), 0, FRAG_FILE_BASE, 0)
+            .corrupt_stripe(SimTime::from_secs_f64(0.5), 2, FRAG_FILE_BASE, 0);
+        let out = run_simblast(&cfg);
+        assert!(!out.completed, "double corruption cannot be repaired");
+        let err = out.error.expect("an error must be reported");
+        assert!(err.contains("corruption"), "unexpected error: {err}");
+    }
+
+    #[test]
+    fn pvfs_corruption_aborts_with_typed_error() {
+        // PVFS has no replica to repair from: a corrupt stripe fails the
+        // read with the non-retryable error and the job aborts after the
+        // master exhausts fragment reassignment.
+        let mut cfg = small(
+            SimScheme::Pvfs {
+                servers: vec![0, 1],
+            },
+            2,
+            3,
+        );
+        cfg.faults =
+            FaultSchedule::new().corrupt_stripe(SimTime::from_secs_f64(0.5), 0, FRAG_FILE_BASE, 0);
+        let out = run_simblast(&cfg);
+        assert!(!out.completed, "PVFS cannot mask corruption");
+        let err = out.error.expect("an error must be reported");
+        assert!(err.contains("corruption"), "unexpected error: {err}");
+        // The error is deterministic: no retry or backoff budget burned.
+        assert_eq!(out.retries, 0, "corruption must not spend retries");
+    }
+
+    #[test]
+    fn ceft_revive_resyncs_before_rejoining() {
+        // Crash a primary mid-search, revive it later with online resync
+        // enabled: the metadata server rebuilds the stale copy from the
+        // mirror partner and only then lets reads land on it again.
+        let scheme = SimScheme::Ceft {
+            primary: vec![0, 1],
+            mirror: vec![2, 3],
+        };
+        let mut cfg = small(scheme, 4, 5);
+        cfg.ceft.resync_rate = Some(256 << 20);
+        // Fast heartbeat so the metadata server's dead sweep (2.5 beats of
+        // grace) notices the crash well before the revival.
+        cfg.ceft.heartbeat = SimTime::from_secs(1);
+        cfg.faults = FaultSchedule::new()
+            .crash_server(SimTime::from_secs_f64(3.0), 1)
+            .revive_server(SimTime::from_secs_f64(8.0), 1);
+        let out = run_simblast(&cfg);
+        assert!(
+            out.completed,
+            "CEFT must survive crash + revive: {:?}",
+            out.error
+        );
+        assert!(out.failovers > 0, "reads must have failed over");
+        assert_eq!(out.resyncs, 1, "the revived server must be rebuilt");
     }
 
     #[test]

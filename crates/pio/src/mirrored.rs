@@ -12,15 +12,33 @@
 use std::fs::{self, File};
 use std::io::{self, Read, Seek, SeekFrom, Write};
 use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
 use crossbeam::channel;
 use parking_lot::Mutex;
 
+use crate::integrity;
 use crate::layout::{MirroredLayout, ServerId};
-use crate::pool::{self, PendingRead, ReaderPool};
+use crate::pool::{self, PendingRead, RateLimiter, ReaderPool};
 use crate::store::{ObjectReader, ObjectStore};
+
+/// Where a server stands in the crash → rebuild → rejoin lifecycle.
+///
+/// A server that suffered a hard failure may hold stale or missing
+/// stripes, so reads must keep avoiding it until its partner has rebuilt
+/// it: `Degraded` (dead, not yet rebuilding) → `Rebuilding` (copy from
+/// partner in progress) → `Healthy` (caught up, serving reads again).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ResyncState {
+    /// In rotation; stripes are trusted.
+    Healthy,
+    /// Failed and excluded; stripes are suspect.
+    Degraded,
+    /// Being rebuilt from its mirror partner; still excluded.
+    Rebuilding,
+}
 
 /// Latency-based hot-spot detector shared by all readers of a store.
 #[derive(Debug)]
@@ -34,9 +52,13 @@ pub struct HealthMonitor {
     /// Artificial per-read delays for fault injection (seconds).
     faults: Mutex<Vec<[f64; 2]>>,
     /// Servers that returned a hard I/O error: excluded from every
-    /// subsequent plan until [`HealthMonitor::revive`] (CEFT failover on
+    /// subsequent plan until a resync brings them back (CEFT failover on
     /// the real path — the mirror partner serves their ranges).
     dead: Mutex<Vec<[bool; 2]>>,
+    /// Crash/rebuild lifecycle per server (see [`ResyncState`]).
+    state: Mutex<Vec<[ResyncState; 2]>>,
+    /// Stripes rewritten by read-repair and scrubbing.
+    repaired: AtomicU64,
 }
 
 impl HealthMonitor {
@@ -48,18 +70,57 @@ impl HealthMonitor {
             factor: 4.0,
             faults: Mutex::new(vec![[0.0; 2]; n]),
             dead: Mutex::new(vec![[false; 2]; n]),
+            state: Mutex::new(vec![[ResyncState::Healthy; 2]; n]),
+            repaired: AtomicU64::new(0),
         }
     }
 
     /// Mark a server dead after a hard I/O error; all later plans route
-    /// its ranges to the mirror partner.
+    /// its ranges to the mirror partner, and its stripes are considered
+    /// stale until a resync completes.
     pub fn mark_dead(&self, s: ServerId) {
         self.dead.lock()[s.index as usize][s.group as usize] = true;
+        self.state.lock()[s.index as usize][s.group as usize] = ResyncState::Degraded;
     }
 
-    /// Bring a repaired server back into rotation.
-    pub fn revive(&self, s: ServerId) {
+    /// Try to bring a server back into rotation. Refused (returns
+    /// `false`, server stays excluded) while the server is `Degraded` or
+    /// `Rebuilding`: a revived-but-stale replica must not serve reads
+    /// before [`MirroredStore::resync_server`] has caught it up.
+    pub fn revive(&self, s: ServerId) -> bool {
+        if self.state.lock()[s.index as usize][s.group as usize] != ResyncState::Healthy {
+            return false;
+        }
         self.dead.lock()[s.index as usize][s.group as usize] = false;
+        true
+    }
+
+    /// The server's position in the crash → rebuild → rejoin lifecycle.
+    pub fn resync_state(&self, s: ServerId) -> ResyncState {
+        self.state.lock()[s.index as usize][s.group as usize]
+    }
+
+    /// Enter `Rebuilding` (the server stays excluded from reads).
+    pub fn begin_resync(&self, s: ServerId) {
+        self.state.lock()[s.index as usize][s.group as usize] = ResyncState::Rebuilding;
+    }
+
+    /// Rebuild finished: mark `Healthy` and put the server back into
+    /// rotation with a fresh latency history.
+    pub fn complete_resync(&self, s: ServerId) {
+        self.state.lock()[s.index as usize][s.group as usize] = ResyncState::Healthy;
+        self.dead.lock()[s.index as usize][s.group as usize] = false;
+        self.ewma.lock()[s.index as usize][s.group as usize] = 0.0;
+    }
+
+    /// Count `n` stripes rewritten by read-repair or scrubbing.
+    pub fn note_repair(&self, n: u64) {
+        self.repaired.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Total stripes rewritten from a mirror partner so far.
+    pub fn repaired_stripes(&self) -> u64 {
+        self.repaired.load(Ordering::Relaxed)
     }
 
     /// Servers currently marked dead.
@@ -210,6 +271,12 @@ impl ObjectStore for MirroredStore {
         // Duplex write: identical striped layout in both groups.
         let n = self.layout.group_size() as u64;
         let s = self.layout.stripe.stripe_size;
+        // Both groups hold identical striped layouts, so the per-server
+        // checksum sidecars are computed once and written to each group.
+        let mut sums: Vec<Vec<u32>> = vec![Vec::new(); n as usize];
+        for (k, chunk) in data.chunks(s as usize).enumerate() {
+            sums[(k as u64 % n) as usize].push(integrity::crc32c(chunk));
+        }
         for group in 0..2u8 {
             let mut files: Vec<File> = (0..n)
                 .map(|i| {
@@ -228,19 +295,23 @@ impl ObjectStore for MirroredStore {
             for mut f in files {
                 f.flush()?;
             }
+            for (i, server_sums) in sums.iter().enumerate() {
+                let side = integrity::sums_path(&self.path_of(
+                    ServerId {
+                        group,
+                        index: i as u32,
+                    },
+                    name,
+                ));
+                fs::write(side, integrity::encode_sums(server_sums))?;
+            }
         }
         let meta = self.path_of(ServerId { group: 0, index: 0 }, &format!("{name}.meta"));
         fs::write(meta, data.len().to_string())
     }
 
     fn open(&self, name: &str) -> io::Result<Box<dyn ObjectReader>> {
-        let size = self.size(name)?;
-        Ok(Box::new(MirroredReader {
-            store: self.clone(),
-            name: name.to_string(),
-            size,
-            flip: false,
-        }))
+        Ok(Box::new(self.open_reader(name)?))
     }
 
     fn size(&self, name: &str) -> io::Result<u64> {
@@ -254,7 +325,9 @@ impl ObjectStore for MirroredStore {
     fn delete(&self, name: &str) -> io::Result<()> {
         for group in 0..2u8 {
             for i in 0..self.layout.group_size() {
-                let _ = fs::remove_file(self.path_of(ServerId { group, index: i }, name));
+                let p = self.path_of(ServerId { group, index: i }, name);
+                integrity::remove_sums(&p);
+                let _ = fs::remove_file(p);
             }
         }
         let _ =
@@ -263,11 +336,160 @@ impl ObjectStore for MirroredStore {
     }
 }
 
+/// What one [`MirroredStore::resync_server`] rebuild copied.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ResyncReport {
+    /// Objects rebuilt on the target server.
+    pub objects: u64,
+    /// Bytes copied from the mirror partner.
+    pub bytes: u64,
+}
+
+impl MirroredStore {
+    /// Open a concrete [`MirroredReader`] (what [`ObjectStore::open`]
+    /// boxes), with both groups' checksum sidecars loaded for lane-side
+    /// verification and read-repair.
+    pub fn open_reader(&self, name: &str) -> io::Result<MirroredReader> {
+        let size = self.size(name)?;
+        let sums = (0..self.layout.group_size())
+            .map(|i| {
+                [0u8, 1].map(|group| {
+                    Arc::new(integrity::load_sums(
+                        &self.path_of(ServerId { group, index: i }, name),
+                    ))
+                })
+            })
+            .collect();
+        Ok(MirroredReader {
+            store: self.clone(),
+            name: name.to_string(),
+            size,
+            sums,
+            flip: false,
+        })
+    }
+
+    /// Verify every replica stripe of `name` against the sidecars, paced
+    /// by `limiter`, and rewrite any corrupt stripe from its mirror
+    /// partner (counted in [`HealthMonitor::repaired_stripes`]). Returns
+    /// `(repaired, unrepairable)` — a stripe is unrepairable when both
+    /// replicas fail verification.
+    pub fn scrub_object(
+        &self,
+        name: &str,
+        limiter: &mut RateLimiter,
+    ) -> io::Result<(u64, Vec<(ServerId, u64)>)> {
+        let s = self.layout.stripe.stripe_size;
+        let mut repaired = 0u64;
+        let mut unrepairable = Vec::new();
+        for group in 0..2u8 {
+            for i in 0..self.layout.group_size() {
+                let server = ServerId { group, index: i };
+                let path = self.path_of(server, name);
+                let partner_path = self.path_of(self.layout.partner(server), name);
+                for k in integrity::scrub_file(&path, s, limiter)? {
+                    // Fetch the partner's copy of the stripe and check it
+                    // before trusting it as the repair source.
+                    let good = (|| -> io::Result<(u64, Vec<u8>)> {
+                        let plen = fs::metadata(&partner_path)?.len();
+                        let ln = s.min(plen.saturating_sub(k * s));
+                        if ln == 0 {
+                            return Err(integrity::corrupt_error(&partner_path, k));
+                        }
+                        let got = integrity::read_aligned(&partner_path, k * s, ln, s, plen)?;
+                        limiter.consume(ln);
+                        let psums = integrity::load_sums(&partner_path);
+                        integrity::verify_aligned(&partner_path, &got.1, got.0, s, &psums)?;
+                        Ok(got)
+                    })();
+                    match good {
+                        Ok((start, bytes)) => {
+                            repaired += integrity::repair_stripes(&path, start, &bytes, &[k], s)?;
+                        }
+                        Err(_) => unrepairable.push((server, k)),
+                    }
+                }
+            }
+        }
+        self.monitor.note_repair(repaired);
+        Ok((repaired, unrepairable))
+    }
+
+    /// Rebuild every object on `s` from its mirror partner, paced at
+    /// `bytes_per_s` (0 = unpaced), then return the server to rotation.
+    ///
+    /// The server is put into [`ResyncState::Rebuilding`] for the whole
+    /// copy, so concurrent reads keep avoiding it; only a fully verified
+    /// rebuild flips it back to `Healthy`. On error the server stays
+    /// excluded (`Rebuilding`), which fails safe: a half-rebuilt replica
+    /// never serves reads.
+    pub fn resync_server(&self, s: ServerId, bytes_per_s: u64) -> io::Result<ResyncReport> {
+        let partner = self.layout.partner(s);
+        self.monitor.begin_resync(s);
+        let mut limiter = RateLimiter::new(bytes_per_s);
+        let stripe = self.layout.stripe.stripe_size;
+        let src_dir = self.dir_of(partner).clone();
+        let dst_dir = self.dir_of(s).clone();
+        // Deterministic object order: sorted data-file names (sidecars and
+        // size metadata ride along with their object).
+        let mut names: Vec<String> = fs::read_dir(&src_dir)?
+            .filter_map(|e| e.ok())
+            .filter_map(|e| e.file_name().into_string().ok())
+            .filter(|n| !n.ends_with(".meta") && !n.ends_with(".sums"))
+            .collect();
+        names.sort();
+        let mut report = ResyncReport::default();
+        for name in names {
+            let src = src_dir.join(&name);
+            let dst = dst_dir.join(&name);
+            let sums = integrity::load_sums(&src);
+            let mut f = File::open(&src)?;
+            let len = f.metadata()?.len();
+            let mut out = File::create(&dst)?;
+            let mut buf = vec![0u8; stripe.max(1) as usize];
+            let mut off = 0u64;
+            let mut k = 0u64;
+            while off < len {
+                let n = ((len - off) as usize).min(buf.len());
+                f.seek(SeekFrom::Start(off))?;
+                f.read_exact(&mut buf[..n])?;
+                limiter.consume(n as u64);
+                // The partner is the only good copy left — verify every
+                // stripe before it becomes the rebuilt replica.
+                if !sums.is_empty() {
+                    match sums.get(k as usize) {
+                        Some(&want) if integrity::crc32c(&buf[..n]) == want => {}
+                        _ => return Err(integrity::corrupt_error(&src, k)),
+                    }
+                }
+                out.write_all(&buf[..n])?;
+                off += n as u64;
+                k += 1;
+            }
+            out.flush()?;
+            if sums.is_empty() {
+                integrity::remove_sums(&dst);
+            } else {
+                fs::write(integrity::sums_path(&dst), integrity::encode_sums(&sums))?;
+            }
+            report.objects += 1;
+            report.bytes += len;
+        }
+        self.monitor.complete_resync(s);
+        Ok(report)
+    }
+}
+
 /// Parallel mirrored reader with dual-half scheduling and skipping.
 pub struct MirroredReader {
     store: MirroredStore,
     name: String,
     size: u64,
+    /// Checksum sidecars per server: `sums[index][group]`, loaded at
+    /// open. Read-repair rewrites the on-disk copy, so a reader holding a
+    /// stale cached sidecar only risks re-repairing (identical bytes),
+    /// never serving bad data.
+    sums: Vec<[Arc<Vec<u32>>; 2]>,
     flip: bool,
 }
 
@@ -322,36 +544,88 @@ impl ObjectReader for MirroredReader {
                 let partner = self.store.layout.partner(part.server);
                 let path = self.store.path_of(part.server, &self.name);
                 let partner_path = self.store.path_of(partner, &self.name);
+                let stripe = self.store.layout.stripe.stripe_size;
+                let local_len = self.store.layout.stripe.server_share(self.size, r.server);
+                let psums = Arc::clone(&self.sums[r.server as usize][part.server.group as usize]);
+                let qsums = Arc::clone(&self.sums[r.server as usize][partner.group as usize]);
                 let mon = self.store.monitor();
                 let throttle = self.store.pool.throttle_handle();
                 let tx = tx.clone();
                 let lane = self.store.lane_of(part.server);
                 self.store.pool.submit(lane, move || {
-                    let fetch = |server: ServerId, path: &PathBuf| -> io::Result<Vec<u8>> {
+                    // Fetch the stripe-aligned span covering this part
+                    // (verification needs whole stripes).
+                    let fetch = |server: ServerId, path: &PathBuf| -> io::Result<(u64, Vec<u8>)> {
                         let fault = mon.fault_of(server);
                         let t0 = Instant::now();
                         if fault > 0.0 {
                             std::thread::sleep(std::time::Duration::from_secs_f64(fault));
                         }
-                        let mut f = File::open(path)?;
-                        f.seek(SeekFrom::Start(part.local_offset))?;
-                        let mut out = vec![0u8; part.len as usize];
-                        f.read_exact(&mut out)?;
+                        let got = integrity::read_aligned(
+                            path,
+                            part.local_offset,
+                            part.len,
+                            stripe,
+                            local_len,
+                        )?;
                         pool::pace(&throttle, part.len);
                         mon.record(server, part.len, t0.elapsed().as_secs_f64());
-                        Ok(out)
+                        Ok(got)
                     };
-                    let res = match fetch(part.server, &path) {
-                        Ok(out) => Ok(out),
-                        // Hard error: the server lost its replica. Mark it
-                        // dead (later plans avoid it) and serve this part
-                        // from the mirror partner — both groups hold
-                        // identical striped layouts.
-                        Err(_) => {
-                            mon.mark_dead(part.server);
-                            fetch(partner, &partner_path)
+                    let want = |start: u64, aligned: &[u8]| -> Vec<u8> {
+                        integrity::slice_requested(start, aligned, part.local_offset, part.len)
+                    };
+                    let res: io::Result<Vec<u8>> = (|| {
+                        match fetch(part.server, &path) {
+                            Ok((astart, aligned)) => {
+                                let bad = if psums.is_empty() {
+                                    Vec::new()
+                                } else {
+                                    integrity::bad_stripes(&aligned, astart, stripe, &psums)
+                                };
+                                if bad.is_empty() {
+                                    return Ok(want(astart, &aligned));
+                                }
+                                // Checksum mismatch: read-repair. Refetch
+                                // from the mirror partner, verify *its*
+                                // copy, rewrite the corrupt stripes (data
+                                // and sidecar), and serve the good bytes.
+                                // The server is NOT marked dead — one bad
+                                // stripe is a media flaw, not a crash.
+                                let (bstart, good) = fetch(partner, &partner_path)?;
+                                integrity::verify_aligned(
+                                    &partner_path,
+                                    &good,
+                                    bstart,
+                                    stripe,
+                                    &qsums,
+                                )?;
+                                if let Ok(n) =
+                                    integrity::repair_stripes(&path, bstart, &good, &bad, stripe)
+                                {
+                                    mon.note_repair(n);
+                                }
+                                Ok(want(bstart, &good))
+                            }
+                            // Hard error: the server lost its replica.
+                            // Mark it dead (later plans avoid it until a
+                            // resync completes) and serve this part from
+                            // the mirror partner — both groups hold
+                            // identical striped layouts.
+                            Err(_) => {
+                                mon.mark_dead(part.server);
+                                let (bstart, good) = fetch(partner, &partner_path)?;
+                                integrity::verify_aligned(
+                                    &partner_path,
+                                    &good,
+                                    bstart,
+                                    stripe,
+                                    &qsums,
+                                )?;
+                                Ok(want(bstart, &good))
+                            }
                         }
-                    };
+                    })();
                     let _ = tx.send((idx, res));
                 });
             }
@@ -506,15 +780,104 @@ mod tests {
     }
 
     #[test]
-    fn revive_restores_a_dead_server() {
+    fn revive_is_refused_until_resync_completes() {
         let (p, m) = dirs("revive", 2);
         let st = MirroredStore::new(p.clone(), m.clone(), 128).unwrap();
+        let data = pattern(10_000);
+        st.put("obj", &data).unwrap();
         let dead = ServerId { group: 1, index: 0 };
         st.monitor().mark_dead(dead);
         assert_eq!(st.monitor().dead(), vec![dead]);
-        st.monitor().revive(dead);
+        assert_eq!(st.monitor().resync_state(dead), ResyncState::Degraded);
+        // A bare revive (the old instant-rejoin path) must be refused:
+        // the server's stripes are stale until its partner rebuilds it.
+        assert!(!st.monitor().revive(dead));
+        assert_eq!(st.monitor().dead(), vec![dead]);
+        // Simulate the data loss the crash caused, then rebuild.
+        fs::remove_file(m[0].join("obj")).unwrap();
+        let report = st.resync_server(dead, 0).unwrap();
+        assert_eq!(report.objects, 1);
+        assert!(report.bytes > 0);
+        assert_eq!(st.monitor().resync_state(dead), ResyncState::Healthy);
         assert!(st.monitor().dead().is_empty());
         assert!(st.monitor().skips().is_empty());
+        // The rebuilt replica is byte-identical to its partner.
+        assert_eq!(
+            fs::read(m[0].join("obj")).unwrap(),
+            fs::read(p[0].join("obj")).unwrap()
+        );
+        assert_eq!(read_all(&st, "obj").unwrap(), data);
+        cleanup(&p, &m);
+    }
+
+    #[test]
+    fn read_repair_fixes_a_flipped_bit_from_the_partner() {
+        let (p, m) = dirs("repair", 2);
+        let st = MirroredStore::new(p.clone(), m.clone(), 128).unwrap();
+        let data = pattern(20_000);
+        st.put("obj", &data).unwrap();
+        // Flip a bit in primary server 0's local file.
+        let victim = p[0].join("obj");
+        let pristine = fs::read(&victim).unwrap();
+        let mut raw = pristine.clone();
+        raw[1000] ^= 0x20;
+        fs::write(&victim, &raw).unwrap();
+        // Full reads return bytes identical to the original, transparently.
+        assert_eq!(read_all(&st, "obj").unwrap(), data);
+        assert!(st.monitor().repaired_stripes() > 0, "repair not counted");
+        // The corruption was healed on disk, and the server was NOT
+        // declared dead (a media flaw is not a crash).
+        assert_eq!(fs::read(&victim).unwrap(), pristine);
+        assert!(st.monitor().dead().is_empty());
+        assert!(st
+            .scrub_object("obj", &mut RateLimiter::unlimited())
+            .unwrap()
+            .1
+            .is_empty());
+        cleanup(&p, &m);
+    }
+
+    #[test]
+    fn corruption_on_both_replicas_is_an_error() {
+        let (p, m) = dirs("bothbad", 2);
+        let st = MirroredStore::new(p.clone(), m.clone(), 128).unwrap();
+        st.put("obj", &pattern(8_000)).unwrap();
+        for dir in [&p[0], &m[0]] {
+            let f = dir.join("obj");
+            let mut raw = fs::read(&f).unwrap();
+            raw[10] ^= 0x01;
+            fs::write(&f, &raw).unwrap();
+        }
+        let err = read_all(&st, "obj").unwrap_err();
+        assert!(integrity::is_corrupt(&err), "{err}");
+        cleanup(&p, &m);
+    }
+
+    #[test]
+    fn scrub_repairs_silent_corruption_before_any_read() {
+        let (p, m) = dirs("scrub", 2);
+        let st = MirroredStore::new(p.clone(), m.clone(), 256).unwrap();
+        let data = pattern(30_000);
+        st.put("obj", &data).unwrap();
+        // Silently corrupt two stripes on different servers.
+        for (dir, at) in [(&m[1], 100usize), (&p[0], 2000)] {
+            let f = dir.join("obj");
+            let mut raw = fs::read(&f).unwrap();
+            raw[at] ^= 0x80;
+            fs::write(&f, &raw).unwrap();
+        }
+        let (repaired, unrepairable) = st
+            .scrub_object("obj", &mut RateLimiter::unlimited())
+            .unwrap();
+        assert_eq!(repaired, 2);
+        assert!(unrepairable.is_empty());
+        assert_eq!(st.monitor().repaired_stripes(), 2);
+        // Second pass: clean.
+        let (again, _) = st
+            .scrub_object("obj", &mut RateLimiter::unlimited())
+            .unwrap();
+        assert_eq!(again, 0);
+        assert_eq!(read_all(&st, "obj").unwrap(), data);
         cleanup(&p, &m);
     }
 
@@ -563,6 +926,7 @@ mod tests {
         st.delete("obj").unwrap();
         for d in p.iter().chain(&m) {
             assert!(!d.join("obj").exists());
+            assert!(!integrity::sums_path(&d.join("obj")).exists());
         }
         cleanup(&p, &m);
     }

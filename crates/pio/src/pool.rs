@@ -99,6 +99,52 @@ pub fn pace(throttle: &AtomicU64, bytes: u64) {
     }
 }
 
+/// Token-bucket pacing for background maintenance I/O (scrubbing, mirror
+/// resync): `consume` sleeps just enough that the cumulative byte count
+/// never exceeds `bytes_per_s × elapsed`. Unlike [`pace`], which models a
+/// *disk's* service rate per request, a `RateLimiter` caps a whole
+/// background walk so foreground reads keep most of the bandwidth.
+#[derive(Debug)]
+pub struct RateLimiter {
+    rate: u64,
+    started: std::time::Instant,
+    consumed: u64,
+}
+
+impl RateLimiter {
+    /// Cap at `bytes_per_s` (0 = unlimited).
+    pub fn new(bytes_per_s: u64) -> Self {
+        RateLimiter {
+            rate: bytes_per_s,
+            started: std::time::Instant::now(),
+            consumed: 0,
+        }
+    }
+
+    /// No pacing at all.
+    pub fn unlimited() -> Self {
+        RateLimiter::new(0)
+    }
+
+    /// Account `bytes` of background I/O, sleeping if ahead of the cap.
+    pub fn consume(&mut self, bytes: u64) {
+        if self.rate == 0 || bytes == 0 {
+            return;
+        }
+        self.consumed += bytes;
+        let due = self.consumed as f64 / self.rate as f64;
+        let ahead = due - self.started.elapsed().as_secs_f64();
+        if ahead > 0.0 {
+            std::thread::sleep(Duration::from_secs_f64(ahead));
+        }
+    }
+
+    /// Bytes accounted so far.
+    pub fn consumed(&self) -> u64 {
+        self.consumed
+    }
+}
+
 /// One fetched part's copy plan: `(dst, src, len)` — copy `len` bytes from
 /// offset `src` of the part's contiguous local bytes to offset `dst` of
 /// the logical read buffer.
@@ -295,5 +341,25 @@ mod tests {
         let t0 = std::time::Instant::now();
         pace(&t, 1 << 30);
         assert!(t0.elapsed() < Duration::from_millis(100));
+    }
+
+    #[test]
+    fn rate_limiter_caps_throughput() {
+        // 1 MB/s cap, 100 KB consumed → at least ~100 ms must elapse.
+        let mut lim = RateLimiter::new(1 << 20);
+        let t0 = std::time::Instant::now();
+        for _ in 0..10 {
+            lim.consume(10 << 10);
+        }
+        assert!(
+            t0.elapsed() >= Duration::from_millis(80),
+            "{:?}",
+            t0.elapsed()
+        );
+        assert_eq!(lim.consumed(), 100 << 10);
+        // Unlimited never sleeps.
+        let t0 = std::time::Instant::now();
+        RateLimiter::unlimited().consume(1 << 40);
+        assert!(t0.elapsed() < Duration::from_millis(50));
     }
 }

@@ -13,6 +13,7 @@ use std::fs::{self, File};
 use std::io::{self, Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
 
+use crate::integrity;
 use crate::pool::PendingRead;
 
 /// Positional reader handed out by stores.
@@ -95,11 +96,25 @@ impl ObjectReader for FileReader {
     }
 }
 
+impl LocalStore {
+    /// Verify an object against its checksum sidecar, returning corrupt
+    /// stripe indices (empty = clean or no sidecar to check).
+    pub fn scrub_object(
+        &self,
+        name: &str,
+        limiter: &mut crate::pool::RateLimiter,
+    ) -> io::Result<Vec<u64>> {
+        integrity::scrub_file(&self.path_of(name), integrity::DEFAULT_STRIPE, limiter)
+    }
+}
+
 impl ObjectStore for LocalStore {
     fn put(&self, name: &str, data: &[u8]) -> io::Result<()> {
-        let mut f = File::create(self.path_of(name))?;
+        let path = self.path_of(name);
+        let mut f = File::create(&path)?;
         f.write_all(data)?;
-        f.flush()
+        f.flush()?;
+        integrity::write_sums(&path, data, integrity::DEFAULT_STRIPE)
     }
 
     fn open(&self, name: &str) -> io::Result<Box<dyn ObjectReader>> {
@@ -111,6 +126,7 @@ impl ObjectStore for LocalStore {
     }
 
     fn delete(&self, name: &str) -> io::Result<()> {
+        integrity::remove_sums(&self.path_of(name));
         match fs::remove_file(self.path_of(name)) {
             Ok(()) => Ok(()),
             Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(()),
@@ -201,6 +217,32 @@ mod tests {
         assert_eq!(read_all(&b, "db").unwrap(), data);
         fs::remove_dir_all(&d1).ok();
         fs::remove_dir_all(&d2).ok();
+    }
+
+    #[test]
+    fn put_writes_sums_sidecar_and_delete_removes_it() {
+        use crate::pool::RateLimiter;
+        let dir = tmp("sums");
+        let st = LocalStore::new(&dir).unwrap();
+        let data: Vec<u8> = (0..200_000u32).map(|i| (i % 249) as u8).collect();
+        st.put("frag", &data).unwrap();
+        let side = integrity::sums_path(&st.path_of("frag"));
+        assert!(side.exists());
+        assert!(st
+            .scrub_object("frag", &mut RateLimiter::unlimited())
+            .unwrap()
+            .is_empty());
+        // Flip one bit on disk: the scrub pinpoints the stripe.
+        let mut raw = fs::read(st.path_of("frag")).unwrap();
+        raw[130_000] ^= 1;
+        fs::write(st.path_of("frag"), &raw).unwrap();
+        let bad = st
+            .scrub_object("frag", &mut RateLimiter::unlimited())
+            .unwrap();
+        assert_eq!(bad, vec![130_000 / integrity::DEFAULT_STRIPE]);
+        st.delete("frag").unwrap();
+        assert!(!side.exists());
+        fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

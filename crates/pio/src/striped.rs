@@ -6,14 +6,15 @@
 //! for the per-server I/O daemons).
 
 use std::fs::{self, File};
-use std::io::{self, Read, Seek, SeekFrom, Write};
+use std::io::{self, Write};
 use std::path::PathBuf;
 use std::sync::Arc;
 
 use crossbeam::channel;
 
+use crate::integrity;
 use crate::layout::StripeLayout;
-use crate::pool::{self, PendingRead, ReaderPool};
+use crate::pool::{self, PendingRead, RateLimiter, ReaderPool};
 use crate::store::{ObjectReader, ObjectStore};
 
 /// RAID-0 store over N server directories.
@@ -60,6 +61,41 @@ impl StripedStore {
     fn server_path(&self, server: u32, name: &str) -> PathBuf {
         self.dirs[server as usize].join(name)
     }
+
+    /// Open a concrete [`StripedReader`] (what [`ObjectStore::open`]
+    /// boxes), with each server's checksum sidecar loaded for lane-side
+    /// verification.
+    pub fn open_reader(&self, name: &str) -> io::Result<StripedReader> {
+        let size = self.size(name)?;
+        let sums = (0..self.servers())
+            .map(|i| Arc::new(integrity::load_sums(&self.server_path(i as u32, name))))
+            .collect();
+        Ok(StripedReader {
+            store: self.clone(),
+            name: name.to_string(),
+            size,
+            sums,
+            fault_delays: Vec::new(),
+        })
+    }
+
+    /// Verify every server's stripes of `name` against the sidecars,
+    /// paced by `limiter`. PVFS has no redundancy, so corruption can only
+    /// be *reported*: the result lists `(server, local_stripe)` pairs.
+    pub fn scrub_object(
+        &self,
+        name: &str,
+        limiter: &mut RateLimiter,
+    ) -> io::Result<Vec<(u32, u64)>> {
+        let mut out = Vec::new();
+        for i in 0..self.servers() as u32 {
+            let path = self.server_path(i, name);
+            for k in integrity::scrub_file(&path, self.layout.stripe_size, limiter)? {
+                out.push((i, k));
+            }
+        }
+        Ok(out)
+    }
 }
 
 impl ObjectStore for StripedStore {
@@ -70,11 +106,20 @@ impl ObjectStore for StripedStore {
         let mut files: Vec<File> = (0..self.servers())
             .map(|i| File::create(self.server_path(i as u32, name)))
             .collect::<io::Result<_>>()?;
+        // Each data chunk is exactly one stripe (the last may be partial),
+        // so per-server checksum sidecars accumulate chunk by chunk.
+        let mut sums: Vec<Vec<u32>> = vec![Vec::new(); self.servers()];
         for (k, chunk) in data.chunks(s as usize).enumerate() {
-            files[(k as u64 % n) as usize].write_all(chunk)?;
+            let srv = (k as u64 % n) as usize;
+            files[srv].write_all(chunk)?;
+            sums[srv].push(integrity::crc32c(chunk));
         }
         for mut f in files {
             f.flush()?;
+        }
+        for (i, server_sums) in sums.into_iter().enumerate() {
+            let side = integrity::sums_path(&self.server_path(i as u32, name));
+            fs::write(side, integrity::encode_sums(&server_sums))?;
         }
         // Record the logical size (stripe math alone cannot recover it
         // when the last stripe is partial and groups are uneven).
@@ -83,13 +128,7 @@ impl ObjectStore for StripedStore {
     }
 
     fn open(&self, name: &str) -> io::Result<Box<dyn ObjectReader>> {
-        let size = self.size(name)?;
-        Ok(Box::new(StripedReader {
-            store: self.clone(),
-            name: name.to_string(),
-            size,
-            fault_delays: Vec::new(),
-        }))
+        Ok(Box::new(self.open_reader(name)?))
     }
 
     fn size(&self, name: &str) -> io::Result<u64> {
@@ -103,6 +142,7 @@ impl ObjectStore for StripedStore {
     fn delete(&self, name: &str) -> io::Result<()> {
         for i in 0..self.servers() {
             let p = self.server_path(i as u32, name);
+            integrity::remove_sums(&p);
             match fs::remove_file(p) {
                 Ok(()) | Err(_) => {}
             }
@@ -117,6 +157,9 @@ pub struct StripedReader {
     store: StripedStore,
     name: String,
     size: u64,
+    /// Per-server checksum sidecars, loaded at open (empty = none on
+    /// disk; those servers read unverified).
+    sums: Vec<Arc<Vec<u32>>>,
     /// Test/demo fault injection: artificial delay per server (seconds).
     fault_delays: Vec<f64>,
 }
@@ -157,6 +200,9 @@ impl ObjectReader for StripedReader {
             scatters.push(self.store.layout.scatter(offset, len as u64, r.server));
             let path = self.store.server_path(r.server, &self.name);
             let (lo, ln) = (r.local_offset, r.len);
+            let stripe = self.store.layout.stripe_size;
+            let local_len = self.store.layout.server_share(self.size, r.server);
+            let sums = Arc::clone(&self.sums[r.server as usize]);
             let delay = self
                 .fault_delays
                 .get(r.server as usize)
@@ -169,12 +215,16 @@ impl ObjectReader for StripedReader {
                     if delay > 0.0 {
                         std::thread::sleep(std::time::Duration::from_secs_f64(delay));
                     }
-                    let mut f = File::open(path)?;
-                    f.seek(SeekFrom::Start(lo))?;
-                    let mut out = vec![0u8; ln as usize];
-                    f.read_exact(&mut out)?;
+                    // Fetch the stripe-aligned span covering the request
+                    // and verify every covered checksum before handing
+                    // any byte back. RAID-0 has no second copy, so a
+                    // mismatch is surfaced as the typed corrupt error
+                    // (PVFS's abort-and-reassign path picks it up).
+                    let (astart, aligned) =
+                        integrity::read_aligned(&path, lo, ln, stripe, local_len)?;
                     pool::pace(&throttle, ln);
-                    Ok(out)
+                    integrity::verify_aligned(&path, &aligned, astart, stripe, &sums)?;
+                    Ok(integrity::slice_requested(astart, &aligned, lo, ln))
                 })();
                 let _ = tx.send((idx, res));
             });
@@ -283,12 +333,7 @@ mod tests {
         let st = StripedStore::new(ds.clone(), 1024).unwrap();
         let data = pattern(100_000);
         st.put("obj", &data).unwrap();
-        let mut r = StripedReader {
-            store: st.clone(),
-            name: "obj".into(),
-            size: st.size("obj").unwrap(),
-            fault_delays: Vec::new(),
-        };
+        let mut r = st.open_reader("obj").unwrap();
         // Slow one server so the fetch takes a visible amount of time.
         r.set_fault(1, 0.05);
         let t0 = std::time::Instant::now();
@@ -319,6 +364,56 @@ mod tests {
             let off = i * 7000;
             assert_eq!(p.wait().unwrap(), &data[off..off + 5000], "read {i}");
         }
+        cleanup(&ds);
+    }
+
+    #[test]
+    fn flipped_bit_surfaces_typed_corrupt_error() {
+        let ds = dirs("corrupt", 3);
+        let st = StripedStore::new(ds.clone(), 256).unwrap();
+        let data = pattern(10_000);
+        st.put("obj", &data).unwrap();
+        // Flip one bit in server 1's local file (stripe 1, i.e. logical
+        // stripe 4 of the object).
+        let victim = ds[1].join("obj");
+        let mut raw = fs::read(&victim).unwrap();
+        raw[300] ^= 0x08;
+        fs::write(&victim, &raw).unwrap();
+        // A read not touching the bad stripe still succeeds...
+        let mut r = st.open("obj").unwrap();
+        let mut buf = vec![0u8; 100];
+        r.read_at(0, &mut buf).unwrap();
+        assert_eq!(&buf[..], &data[..100]);
+        // ...but covering it reports the typed corrupt error, and the
+        // scrub pinpoints it.
+        let mut big = vec![0u8; 4000];
+        let err = r.read_at(0, &mut big).unwrap_err();
+        assert!(integrity::is_corrupt(&err), "{err}");
+        assert_eq!(integrity::corrupt_stripe_of(&err), Some(1));
+        assert_eq!(
+            st.scrub_object("obj", &mut RateLimiter::unlimited())
+                .unwrap(),
+            vec![(1, 1)]
+        );
+        cleanup(&ds);
+    }
+
+    #[test]
+    fn missing_sidecar_reads_unverified() {
+        let ds = dirs("nosums", 2);
+        let st = StripedStore::new(ds.clone(), 128).unwrap();
+        let data = pattern(2_000);
+        st.put("obj", &data).unwrap();
+        for d in &ds {
+            fs::remove_file(integrity::sums_path(&d.join("obj"))).unwrap();
+        }
+        // No sidecars: legacy objects stay readable, scrub has nothing to
+        // check.
+        assert_eq!(read_all(&st, "obj").unwrap(), data);
+        assert!(st
+            .scrub_object("obj", &mut RateLimiter::unlimited())
+            .unwrap()
+            .is_empty());
         cleanup(&ds);
     }
 

@@ -500,7 +500,18 @@ impl Component<Ev> for PvfsClient {
                     );
                 }
                 Err(other) => match other.downcast::<IodReadResp>() {
-                    Ok(r) => self.part_done(ctx, r.token),
+                    Ok(r) => {
+                        if r.corrupt.is_empty() {
+                            self.part_done(ctx, r.token);
+                        } else if let Some(state) = self.parts.remove(&r.token) {
+                            // Checksum mismatch with no redundant copy.
+                            // Re-reading the same platter returns the same
+                            // bad bytes, so this is not retryable: fail the
+                            // operation without touching the retry budget
+                            // and let the application abort or reassign.
+                            self.fail_op(ctx, state.op, IoError::Corrupt);
+                        }
+                    }
                     Err(other) => match other.downcast::<IodWriteResp>() {
                         Ok(w) => self.part_done(ctx, w.token),
                         Err(_) => debug_assert!(false, "client got unknown message"),

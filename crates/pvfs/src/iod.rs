@@ -7,7 +7,7 @@
 //! units one by one). This serialization is what turns a single stressed
 //! disk into a convoy for every client in Figure 9.
 
-use std::collections::VecDeque;
+use std::collections::{BTreeSet, VecDeque};
 
 use parblast_hwsim::{Ev, FaultCmd, FsMsg, NetSend};
 use parblast_simcore::{CompId, Component, Ctx, SimTime, Summary};
@@ -43,6 +43,11 @@ pub struct Iod {
     /// Maps global file ids into this node's local-file namespace so that
     /// different striped files don't collide with node-local files.
     file_base: u64,
+    /// Latent media errors: `(file, local stripe index)` pairs whose stored
+    /// checksum no longer matches the data. Populated by
+    /// [`FaultCmd::CorruptStripe`] and by torn writes on crash; cleared when
+    /// a write fully overwrites the stripe (which recomputes its checksum).
+    corrupt: BTreeSet<(u64, u64)>,
     reads: u64,
     writes: u64,
     bytes_read: u64,
@@ -66,6 +71,7 @@ impl Iod {
             io_unit: 64 << 10,
             awaiting_mirror: std::collections::HashMap::new(),
             file_base: 1 << 20,
+            corrupt: BTreeSet::new(),
             reads: 0,
             writes: 0,
             bytes_read: 0,
@@ -93,6 +99,36 @@ impl Iod {
     /// Requests waiting plus in service.
     pub fn backlog(&self) -> usize {
         self.queue.len() + usize::from(self.busy)
+    }
+
+    /// Corrupt `(file, stripe)` pairs currently on this daemon's platter.
+    pub fn corrupt_stripes(&self) -> Vec<(u64, u64)> {
+        self.corrupt.iter().copied().collect()
+    }
+
+    /// Local stripe indices of `file` overlapped by `[offset, offset+len)`.
+    fn stripes_of(&self, offset: u64, len: u64) -> std::ops::Range<u64> {
+        let unit = self.io_unit.max(1);
+        offset / unit..(offset + len).div_ceil(unit)
+    }
+
+    /// Stripes of the range whose checksum verification fails.
+    fn corrupt_in(&self, file: u64, offset: u64, len: u64) -> Vec<u64> {
+        self.stripes_of(offset, len)
+            .filter(|&s| self.corrupt.contains(&(file, s)))
+            .collect()
+    }
+
+    /// A write lands: stripes it fully covers get fresh checksums, wiping
+    /// any latent corruption there. Partially-covered stripes keep their
+    /// flag — a read-modify-write of bad bytes cannot resurrect good ones.
+    fn clear_overwritten(&mut self, file: u64, offset: u64, len: u64) {
+        let unit = self.io_unit.max(1);
+        for s in self.stripes_of(offset, len) {
+            if s * unit >= offset && (s + 1) * unit <= offset + len {
+                self.corrupt.remove(&(file, s));
+            }
+        }
     }
 
     fn start_next(&mut self, ctx: &mut Ctx<'_, Ev>) {
@@ -153,6 +189,9 @@ impl Iod {
             Job::Read(r) => {
                 self.reads += 1;
                 self.bytes_read += r.len;
+                // Verify stripe checksums over the served range; the bytes
+                // ship regardless, flagged so the client can decide.
+                let corrupt = self.corrupt_in(r.file, r.offset, r.len);
                 ctx.send(
                     self.net,
                     Ev::Net(NetSend {
@@ -163,6 +202,7 @@ impl Iod {
                         payload: Box::new(IodReadResp {
                             token: r.token,
                             len: r.len,
+                            corrupt,
                         }),
                     }),
                 );
@@ -170,6 +210,7 @@ impl Iod {
             Job::Write(w) => {
                 self.writes += 1;
                 self.bytes_written += w.len;
+                self.clear_overwritten(w.file, w.offset, w.len);
                 if let Some((mnode, mcomp)) = w.forward_to {
                     // Duplex forward to the mirror partner.
                     let mtoken = ctx.fresh_token();
@@ -272,12 +313,23 @@ impl Component<Ev> for Iod {
             Ev::Fault(FaultCmd::Reset) => {
                 // Crash recovery: the daemon restarts with empty queues.
                 // In-flight and queued requests are lost; clients re-send
-                // them (or fail over) via their retry policy.
+                // them (or fail over) via their retry policy. A write that
+                // was mid-flight when the power went is *torn*: its stripes
+                // hold a mix of old and new bytes, so the restarted daemon's
+                // journal scan marks them corrupt until rewritten.
+                if let Some((_, Job::Write(w))) = self.current.take() {
+                    for s in self.stripes_of(w.offset, w.len) {
+                        self.corrupt.insert((w.file, s));
+                    }
+                }
                 self.generation += 1;
                 self.queue.clear();
                 self.current = None;
                 self.busy = false;
                 self.awaiting_mirror.clear();
+            }
+            Ev::Fault(FaultCmd::CorruptStripe { file, stripe }) => {
+                self.corrupt.insert((file, stripe));
             }
             _ => {}
         }
@@ -439,5 +491,181 @@ mod tests {
         eng.run();
         assert!(*done.borrow());
         assert_eq!(eng.component::<Iod>(iod).stats().3, 690);
+    }
+
+    /// Requester that records the corrupt-stripe list of each response.
+    struct CorruptProbe {
+        net: CompId,
+        iod: CompId,
+        reads: Vec<(u64, u64, u64)>, // (file, offset, len), one per Timer
+        sent: usize,
+        got: Rc<RefCell<Vec<Vec<u64>>>>,
+    }
+
+    impl Component<Ev> for CorruptProbe {
+        fn on_event(&mut self, ctx: &mut Ctx<'_, Ev>, ev: Ev) {
+            match ev {
+                Ev::Timer(_) => {
+                    let Some(&(file, offset, len)) = self.reads.get(self.sent) else {
+                        return;
+                    };
+                    self.sent += 1;
+                    let me = ctx.self_id();
+                    ctx.send(
+                        self.net,
+                        Ev::Net(NetSend {
+                            src_node: 1,
+                            dst_node: 0,
+                            bytes: CTRL_BYTES,
+                            dst: self.iod,
+                            payload: Box::new(IodRead {
+                                file,
+                                offset,
+                                len,
+                                reply: me,
+                                reply_node: 1,
+                                token: self.sent as u64,
+                            }),
+                        }),
+                    );
+                }
+                Ev::User(env) => {
+                    let r: IodReadResp = env.expect();
+                    self.got.borrow_mut().push(r.corrupt);
+                }
+                _ => {}
+            }
+        }
+    }
+
+    #[test]
+    fn corrupt_stripe_flags_reads_until_fully_overwritten() {
+        const UNIT: u64 = 64 << 10;
+        let mut eng: Engine<Ev> = Engine::new(0);
+        let c = Cluster::build(&mut eng, 2, HwParams::default());
+        let iod = eng.add(Iod::new("iod0", 0, c.nodes[0].fs, c.net));
+        let got = Rc::new(RefCell::new(vec![]));
+        // Same 4-stripe read before and after the repair write.
+        let probe = eng.add(CorruptProbe {
+            net: c.net,
+            iod,
+            reads: vec![(7, 0, 4 * UNIT), (7, 0, 4 * UNIT)],
+            sent: 0,
+            got: got.clone(),
+        });
+        eng.schedule(
+            SimTime::ZERO,
+            iod,
+            Ev::Fault(FaultCmd::CorruptStripe { file: 7, stripe: 2 }),
+        );
+        eng.schedule(SimTime::from_secs(1), probe, Ev::Timer(0));
+        // A write fully covering stripe 2 recomputes its checksum.
+        let w = eng.add(W0 { net: c.net, iod });
+        eng.schedule(SimTime::from_secs(10), w, Ev::Timer(0));
+        eng.schedule(SimTime::from_secs(20), probe, Ev::Timer(0));
+        eng.run();
+        let v = got.borrow();
+        assert_eq!(v.len(), 2, "both reads must answer");
+        assert_eq!(v[0], vec![2], "first read must flag the bad stripe");
+        assert!(v[1].is_empty(), "overwrite must clear the flag: {:?}", v[1]);
+
+        struct W0 {
+            net: CompId,
+            iod: CompId,
+        }
+        impl Component<Ev> for W0 {
+            fn on_event(&mut self, ctx: &mut Ctx<'_, Ev>, ev: Ev) {
+                if let Ev::Timer(_) = ev {
+                    let me = ctx.self_id();
+                    ctx.send(
+                        self.net,
+                        Ev::Net(NetSend {
+                            src_node: 1,
+                            dst_node: 0,
+                            bytes: UNIT + CTRL_BYTES,
+                            dst: self.iod,
+                            payload: Box::new(IodWrite {
+                                file: 7,
+                                offset: 2 * UNIT,
+                                len: UNIT,
+                                sync: false,
+                                reply: me,
+                                reply_node: 1,
+                                token: 99,
+                                forward_to: None,
+                                forward_sync: false,
+                            }),
+                        }),
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn partial_overwrite_does_not_clear_the_flag() {
+        // A write covering only half of the corrupt stripe cannot restore
+        // its checksum: the flag must survive.
+        let mut eng: Engine<Ev> = Engine::new(0);
+        let c = Cluster::build(&mut eng, 2, HwParams::default());
+        let mut iod = Iod::new("iod0", 0, c.nodes[0].fs, c.net);
+        iod.corrupt.insert((3, 1));
+        assert_eq!(iod.corrupt_stripes(), vec![(3, 1)]);
+        iod.clear_overwritten(3, 64 << 10, 32 << 10);
+        assert_eq!(iod.corrupt_stripes(), vec![(3, 1)], "partial overwrite");
+        iod.clear_overwritten(3, 64 << 10, 64 << 10);
+        assert!(iod.corrupt_stripes().is_empty(), "full overwrite heals");
+    }
+
+    #[test]
+    fn crash_marks_in_flight_write_stripes_torn() {
+        let mut eng: Engine<Ev> = Engine::new(0);
+        let c = Cluster::build(&mut eng, 2, HwParams::default());
+        let iod = eng.add(Iod::new("iod0", 0, c.nodes[0].fs, c.net));
+        struct W {
+            net: CompId,
+            iod: CompId,
+        }
+        impl Component<Ev> for W {
+            fn on_event(&mut self, ctx: &mut Ctx<'_, Ev>, ev: Ev) {
+                if let Ev::Timer(_) = ev {
+                    let me = ctx.self_id();
+                    ctx.send(
+                        self.net,
+                        Ev::Net(NetSend {
+                            src_node: 1,
+                            dst_node: 0,
+                            bytes: 4 * MIB + CTRL_BYTES,
+                            dst: self.iod,
+                            payload: Box::new(IodWrite {
+                                file: 9,
+                                offset: 0,
+                                len: 4 * MIB,
+                                sync: true,
+                                reply: me,
+                                reply_node: 1,
+                                token: 1,
+                                forward_to: None,
+                                forward_sync: false,
+                            }),
+                        }),
+                    );
+                }
+            }
+        }
+        let w = eng.add(W { net: c.net, iod });
+        eng.schedule(SimTime::ZERO, w, Ev::Timer(0));
+        // Power fails while the 4 MiB sync write is on the platter (it
+        // arrives after ~35 ms of wire time and takes ~135 ms of disk
+        // service): every stripe it spanned is torn.
+        eng.schedule(
+            SimTime::from_nanos(100_000_000),
+            iod,
+            Ev::Fault(FaultCmd::Reset),
+        );
+        eng.run();
+        let torn = eng.component::<Iod>(iod).corrupt_stripes();
+        assert_eq!(torn.len(), (4 * MIB / (64 << 10)) as usize);
+        assert!(torn.iter().all(|&(f, _)| f == 9));
     }
 }

@@ -59,6 +59,12 @@ pub enum IoError {
     DataServerTimeout,
     /// The metadata server never answered the open, through all retries.
     MetaTimeout,
+    /// A data server delivered bytes whose stripe checksum failed and no
+    /// redundant copy exists. Unlike the timeout variants this is **not
+    /// retryable**: re-reading the same platter returns the same bad bytes,
+    /// so the client fails the operation immediately instead of burning its
+    /// retry/backoff budget.
+    Corrupt,
 }
 
 impl std::fmt::Display for IoError {
@@ -66,6 +72,7 @@ impl std::fmt::Display for IoError {
         match self {
             IoError::DataServerTimeout => write!(f, "data server timed out"),
             IoError::MetaTimeout => write!(f, "metadata server timed out"),
+            IoError::Corrupt => write!(f, "stripe checksum mismatch (unrecoverable corruption)"),
         }
     }
 }
@@ -157,6 +164,11 @@ pub struct IodReadResp {
     pub token: u64,
     /// Bytes delivered.
     pub len: u64,
+    /// Local stripe indices inside the served range whose checksum failed
+    /// verification (empty = clean data). The daemon still ships the bytes;
+    /// the client decides whether to fail the operation (PVFS) or re-fetch
+    /// from the mirror partner and repair (CEFT-PVFS).
+    pub corrupt: Vec<u64>,
 }
 
 /// Write request to a data server (carries `len` data bytes on the wire).

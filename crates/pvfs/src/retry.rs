@@ -7,6 +7,13 @@
 //! unacknowledged request after a per-attempt timeout, waiting
 //! `base · 2^attempt` (capped) between attempts, and surfaces
 //! [`crate::msg::IoError`] once the retry budget is spent.
+//!
+//! The retry budget only covers *transient* failures — lost or
+//! unacknowledged requests ([`crate::msg::IoError::DataServerTimeout`],
+//! [`crate::msg::IoError::MetaTimeout`]). A stripe-checksum mismatch
+//! ([`crate::msg::IoError::Corrupt`]) is deterministic: re-reading the same
+//! platter yields the same bad bytes, so clients surface it immediately and
+//! never spend timeout, backoff, or retry budget on it.
 
 use parblast_simcore::SimTime;
 

@@ -50,5 +50,5 @@ pub mod sim;
 pub use batcher::{BatchExecutor, BatchPolicy, BatchResult, ScanSharingServer};
 pub use metrics::{ServeMetrics, ServeReport};
 pub use queue::{AdmissionQueue, AdmitError, Priority, Query};
-pub use real::{serve_batched, RealServeOutcome};
+pub use real::{serve_batched, serve_batched_scrubbed, RealServeOutcome};
 pub use sim::{ScanPassCost, ServiceModel, SimExecutor};

@@ -16,7 +16,7 @@ use std::io;
 use std::time::Instant;
 
 use parblast_blast::tabular;
-use parblast_mpiblast::ParallelBlast;
+use parblast_mpiblast::{ParallelBlast, ScrubTotals};
 
 /// Outcome of serving a query list through scan-sharing batches.
 #[derive(Debug)]
@@ -27,6 +27,9 @@ pub struct RealServeOutcome {
     pub batches: u64,
     /// Wall-clock seconds for the whole run.
     pub wall_s: f64,
+    /// What the background integrity scrub did, when one was requested
+    /// (see [`serve_batched_scrubbed`]).
+    pub scrub: Option<ScrubTotals>,
 }
 
 /// Serve `queries` in admission order with scan-sharing batches of up to
@@ -37,7 +40,22 @@ pub fn serve_batched(
     queries: &[Vec<u8>],
     max_batch: usize,
 ) -> io::Result<RealServeOutcome> {
+    serve_batched_scrubbed(job, queries, max_batch, None)
+}
+
+/// [`serve_batched`] with an optional background integrity scrub riding
+/// along: `scrub_rate` starts a scrubber over the job's fragment set at
+/// the given bytes/second cap (0 = unpaced) for the duration of the run,
+/// so silent corruption is found and — on the mirrored scheme — repaired
+/// while the server stays up. The outcome carries the scrub totals.
+pub fn serve_batched_scrubbed(
+    job: &ParallelBlast,
+    queries: &[Vec<u8>],
+    max_batch: usize,
+    scrub_rate: Option<u64>,
+) -> io::Result<RealServeOutcome> {
     let t0 = Instant::now();
+    let scrubber = scrub_rate.map(|rate| job.scheme.start_scrub(&job.fragments, rate));
     let mut per_query = Vec::with_capacity(queries.len());
     let mut batches = 0u64;
     for chunk in queries.chunks(max_batch.max(1)) {
@@ -51,6 +69,7 @@ pub fn serve_batched(
         per_query,
         batches,
         wall_s: t0.elapsed().as_secs_f64(),
+        scrub: scrubber.map(|s| s.stop()),
     })
 }
 
@@ -139,6 +158,33 @@ mod tests {
             after_batched * 4 <= after_sequential,
             "batched {after_batched} vs sequential {after_sequential}"
         );
+        std::fs::remove_dir_all(&base).ok();
+    }
+
+    #[test]
+    fn scrubbed_serving_matches_and_reports_totals() {
+        // A background scrub over a clean mirrored store must not change
+        // a single output byte, and its totals ride back in the outcome.
+        let base = tmp("scrub");
+        let scheme = Scheme::ceft_at(&base.join("io"), 2, 64 << 10).unwrap();
+        let (fragments, queries, db) = setup(&base, &scheme);
+        let job = ParallelBlast {
+            program: Program::Blastn,
+            params: SearchParams::blastn(),
+            db,
+            fragments,
+            workers: 2,
+            scheme,
+            tracer: Tracer::new(),
+            parallelization: Parallelization::DatabaseSegmentation,
+            prefetch: true,
+        };
+        let plain = serve_batched(&job, &queries, 5).unwrap();
+        let scrubbed = serve_batched_scrubbed(&job, &queries, 5, Some(8 << 20)).unwrap();
+        assert_eq!(plain.per_query, scrubbed.per_query);
+        assert!(plain.scrub.is_none());
+        let totals = scrubbed.scrub.expect("scrub totals must be reported");
+        assert_eq!(totals.corrupt_found, 0, "clean store: {totals:?}");
         std::fs::remove_dir_all(&base).ok();
     }
 }

@@ -266,6 +266,15 @@ impl LogHistogram {
         self.quantile_interpolated(0.99)
     }
 
+    /// Merge another histogram into this one (bucket-wise), so per-client
+    /// latency distributions can be pooled into a cluster-wide one.
+    pub fn merge(&mut self, other: &LogHistogram) {
+        for (b, o) in self.buckets.iter_mut().zip(&other.buckets) {
+            *b += o;
+        }
+        self.summary.merge(&other.summary);
+    }
+
     /// The three tail percentiles experiment reports quote.
     pub fn percentiles(&self) -> Percentiles {
         Percentiles {
@@ -396,6 +405,27 @@ mod tests {
         assert_eq!(p.p50, 700.0);
         assert_eq!(p.p95, 700.0);
         assert_eq!(p.p99, 700.0);
+    }
+
+    #[test]
+    fn histogram_merge_matches_combined() {
+        let mut all = LogHistogram::new();
+        let mut a = LogHistogram::new();
+        let mut b = LogHistogram::new();
+        for i in 0..500u64 {
+            all.record(i * 3);
+            if i % 2 == 0 {
+                a.record(i * 3);
+            } else {
+                b.record(i * 3);
+            }
+        }
+        a.merge(&b);
+        assert_eq!(a.summary().count(), all.summary().count());
+        for i in 0..64 {
+            assert_eq!(a.bucket(i), all.bucket(i), "bucket {i}");
+        }
+        assert_eq!(a.percentiles(), all.percentiles());
     }
 
     #[test]

@@ -324,6 +324,94 @@ fn prefetch_on_and_off_agree_hit_for_hit() {
     }
 }
 
+/// A background integrity scrub may only *read* (and, on the mirrored
+/// scheme, rewrite corrupt stripes — there are none here), so for every
+/// seed and every scheme the per-query reports with the scrubber running
+/// are byte-identical to serving without it.
+#[test]
+fn scrub_on_and_off_agree_report_for_report() {
+    use parblast::blast::{DbStats, Program, SearchParams};
+    use parblast::mpiblast::{ParallelBlast, Parallelization, Scheme, Tracer};
+    use parblast::seqdb::{
+        extract_query, segment_into_fragments, SeqType, SyntheticConfig, SyntheticNt,
+    };
+    use parblast::serve::{serve_batched, serve_batched_scrubbed};
+
+    for seed in SEEDS {
+        let base =
+            std::env::temp_dir().join(format!("determinism_scrub_{seed}_{}", std::process::id()));
+        std::fs::create_dir_all(&base).unwrap();
+        let mut g = SyntheticNt::new(SyntheticConfig {
+            total_residues: 200_000,
+            seed,
+            ..Default::default()
+        });
+        let mut seqs = vec![];
+        while let Some(x) = g.next() {
+            seqs.push(x);
+        }
+        let queries: Vec<Vec<u8>> = (0..3)
+            .map(|i| extract_query(&seqs[i + 1].1, 350, 0.02, seed ^ i as u64))
+            .collect();
+        let db = DbStats {
+            residues: g.residues(),
+            nseq: g.sequences(),
+        };
+        let infos =
+            segment_into_fragments(&base.join("fmt"), "nt", SeqType::Nucleotide, 3, seqs).unwrap();
+        let frag_bytes: Vec<(String, Vec<u8>)> = infos
+            .iter()
+            .map(|info| {
+                (
+                    info.path
+                        .file_name()
+                        .unwrap()
+                        .to_string_lossy()
+                        .into_owned(),
+                    std::fs::read(&info.path).unwrap(),
+                )
+            })
+            .collect();
+        for which in ["original", "pvfs", "ceft"] {
+            let root = base.join(which);
+            let scheme = match which {
+                "original" => Scheme::local_at(&root, 2).unwrap(),
+                "pvfs" => Scheme::pvfs_at(&root, 4, 64 << 10).unwrap(),
+                _ => Scheme::ceft_at(&root, 2, 64 << 10).unwrap(),
+            };
+            let mut fragments = vec![];
+            for (name, bytes) in &frag_bytes {
+                scheme.load_fragment(name, bytes).unwrap();
+                fragments.push(name.clone());
+            }
+            let job = ParallelBlast {
+                program: Program::Blastn,
+                params: SearchParams::blastn(),
+                db,
+                fragments,
+                workers: 2,
+                scheme,
+                tracer: Tracer::disabled(),
+                parallelization: Parallelization::DatabaseSegmentation,
+                prefetch: true,
+            };
+            let off = serve_batched(&job, &queries, 3).unwrap();
+            let on = serve_batched_scrubbed(&job, &queries, 3, Some(4 << 20)).unwrap();
+            assert_eq!(
+                off.per_query, on.per_query,
+                "seed {seed} scheme {which}: the scrubber changed a report"
+            );
+            assert!(off.scrub.is_none(), "seed {seed} scheme {which}");
+            let totals = on.scrub.expect("scrub totals must be reported");
+            assert_eq!(
+                totals.corrupt_found, 0,
+                "seed {seed} scheme {which}: clean store scrubbed dirty: {totals:?}"
+            );
+        }
+        std::fs::remove_dir_all(&base).ok();
+    }
+}
+
 /// The serving sweep — simulator probes, Poisson arrivals, batch-queue
 /// replay, percentile extraction — is a pure function of its
 /// configuration: two identical invocations agree on every report field.

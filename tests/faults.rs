@@ -154,6 +154,83 @@ fn crash_before_revival_only_degrades_the_window() {
     );
 }
 
+#[test]
+fn sim_corruption_crash_and_revive_complete_on_ceft_across_seeds() {
+    // The issue's acceptance scenario, pinned on three seeds: a latent
+    // corrupt stripe plus a primary crash plus a later revival. CEFT must
+    // repair the stripe from the mirror, fail reads over while the
+    // primary is down, resync the revived server before it serves reads
+    // again, and still read exactly the clean run's byte count.
+    use parblast::mpiblast::FRAG_FILE_BASE;
+    for seed in [42u64, 1003, 77] {
+        let mut cfg = sim(SimScheme::Ceft {
+            primary: vec![0, 1],
+            mirror: vec![2, 3],
+        });
+        cfg.db_bytes = 256 << 20;
+        cfg.seed = seed;
+        // Fast heartbeat so the dead sweep (2.5-beat grace) notices the
+        // crash before the revival; pace the rebuild fast enough to
+        // finish within the job.
+        cfg.ceft.heartbeat = SimTime::from_secs(1);
+        cfg.ceft.resync_rate = Some(256 << 20);
+        let clean = run_simblast(&cfg);
+        assert!(clean.completed, "seed {seed}: clean run must complete");
+
+        let mut faulted = cfg.clone();
+        faulted.faults = FaultSchedule::new()
+            .corrupt_stripe(SimTime::from_secs_f64(0.5), 0, FRAG_FILE_BASE, 0)
+            .crash_server(SimTime::from_secs_f64(3.0), 1)
+            .revive_server(SimTime::from_secs_f64(8.0), 1);
+        let out = run_simblast(&faulted);
+        assert!(
+            out.completed,
+            "seed {seed}: CEFT must survive corruption + crash + revive: {:?}",
+            out.error
+        );
+        assert!(
+            out.repaired_stripes >= 1,
+            "seed {seed}: the corrupt stripe must be read-repaired"
+        );
+        assert!(out.failovers > 0, "seed {seed}: reads must fail over");
+        assert_eq!(
+            out.resyncs, 1,
+            "seed {seed}: the revived server must be rebuilt exactly once"
+        );
+        let bytes: u64 = out.per_worker.iter().map(|w| w.bytes_read).sum();
+        let clean_bytes: u64 = clean.per_worker.iter().map(|w| w.bytes_read).sum();
+        assert_eq!(
+            bytes, clean_bytes,
+            "seed {seed}: degraded run read a different byte count"
+        );
+    }
+}
+
+#[test]
+fn sim_pvfs_corruption_reports_typed_error_across_seeds() {
+    // Unmirrored PVFS has no good copy to repair from: the same latent
+    // corruption must surface as a *corruption* error (not a timeout) and
+    // must never burn the retry budget — resending the read cannot fix a
+    // bad disk block.
+    use parblast::mpiblast::FRAG_FILE_BASE;
+    for seed in [42u64, 1003, 77] {
+        let mut cfg = sim(SimScheme::Pvfs {
+            servers: vec![0, 1, 2, 3],
+        });
+        cfg.seed = seed;
+        cfg.faults =
+            FaultSchedule::new().corrupt_stripe(SimTime::from_secs_f64(0.5), 0, FRAG_FILE_BASE, 0);
+        let out = run_simblast(&cfg);
+        assert!(!out.completed, "seed {seed}: PVFS cannot mask corruption");
+        let err = out.error.expect("the abort must carry the error");
+        assert!(
+            err.contains("corruption"),
+            "seed {seed}: error must name corruption: {err}"
+        );
+        assert_eq!(out.retries, 0, "seed {seed}: corruption is non-retryable");
+    }
+}
+
 // -------------------------------------------------------------- real files
 
 fn tmp(tag: &str) -> PathBuf {
@@ -298,6 +375,56 @@ fn sim_ceft_read_ahead_crash_completes_with_failovers() {
         out.error
     );
     assert!(out.failovers > 0, "reads must have failed over");
+}
+
+#[test]
+fn real_revived_stale_server_is_excluded_until_resync_completes() {
+    // A server that died and came back with stale bytes must never serve
+    // a read until `resync_server` has rebuilt it from its mirror
+    // partner: `revive()` is refused while Degraded/Rebuilding, reads
+    // keep routing around it, and only a completed rebuild (which
+    // rewrites the stale stripes) readmits it.
+    use parblast::pio::{read_all, MirroredStore, ObjectStore, ResyncState, ServerId};
+    let base = tmp("stale_revive");
+    let p: Vec<PathBuf> = (0..2).map(|i| base.join(format!("p{i}"))).collect();
+    let m: Vec<PathBuf> = (0..2).map(|i| base.join(format!("m{i}"))).collect();
+    let store = MirroredStore::new(p, m, 16 << 10).unwrap();
+    let data: Vec<u8> = (0..200_000u32).map(|i| (i * 13 % 251) as u8).collect();
+    store.put("nt", &data).unwrap();
+
+    // Primary 1 dies, then "comes back" holding garbage where its
+    // stripes used to be — it missed every write since the crash.
+    let victim = ServerId { group: 0, index: 1 };
+    store.monitor().mark_dead(victim);
+    let shard = base.join("p1").join("nt");
+    let good_shard = std::fs::read(&shard).unwrap();
+    std::fs::write(&shard, vec![0xAAu8; good_shard.len()]).unwrap();
+
+    assert!(
+        !store.monitor().revive(victim),
+        "a stale server must not be readmitted by revival alone"
+    );
+    assert_eq!(store.monitor().resync_state(victim), ResyncState::Degraded);
+    assert!(store.monitor().dead().contains(&victim));
+    assert_eq!(
+        read_all(&store, "nt").unwrap(),
+        data,
+        "reads must route around the stale replica"
+    );
+
+    // The rebuild copies the partner's good stripes back, after which —
+    // and only after which — the server serves reads again.
+    let report = store.resync_server(victim, 0).unwrap();
+    assert!(report.bytes > 0, "{report:?}");
+    assert_eq!(store.monitor().resync_state(victim), ResyncState::Healthy);
+    assert!(store.monitor().dead().is_empty());
+    assert_eq!(
+        std::fs::read(&shard).unwrap(),
+        good_shard,
+        "the rebuild must rewrite the stale stripes"
+    );
+    assert_eq!(read_all(&store, "nt").unwrap(), data);
+    std::fs::remove_dir_all(&base).ok();
 }
 
 #[test]
