@@ -255,6 +255,7 @@ fn main() {
                     tracer: Tracer::disabled(),
                     parallelization: Parallelization::DatabaseSegmentation,
                     prefetch,
+                    list_io: false,
                 }
                 .run(&query)
                 .expect("run")

@@ -17,7 +17,8 @@ use std::collections::HashMap;
 use parblast_hwsim::{Envelope, Ev, NetSend};
 use parblast_pvfs::retry::{backoff_delay, RetryPolicy};
 use parblast_pvfs::{
-    ClientReq, ClientResp, IoError, IodRead, IodReadResp, IodWrite, IodWriteResp, CTRL_BYTES,
+    list_req_wire_bytes, validate_regions, ClientReq, ClientResp, IoError, IodRead, IodReadList,
+    IodReadListResp, IodReadResp, IodWrite, IodWriteResp, Region, CTRL_BYTES,
 };
 use parblast_simcore::{CompId, Component, Ctx, LogHistogram, SimTime, Summary};
 
@@ -108,11 +109,60 @@ struct PartState {
     repair: Vec<u64>,
 }
 
+/// One in-flight aggregated list request to a single server. Batches
+/// stream back in order; on a timeout the client fails over to the mirror
+/// partner and re-sends **only the unserved tail** (`regions[served..]`),
+/// so regions already delivered are never refetched. The retry budget is
+/// spent per list request, not per region.
+#[derive(Debug, Clone)]
+struct ListPartState {
+    op: u64,
+    server: ServerId,
+    file: u64,
+    /// Full per-server region list, in server-local coordinates.
+    regions: Vec<Region>,
+    /// Regions received and accepted so far.
+    served: usize,
+    attempts: u32,
+    /// A batch already failed verification and the tail moved to the
+    /// partner; a second mismatch means both replicas are corrupt.
+    corrupt_failover: bool,
+    /// Stripes queued for rewrite once the partner's bytes verify clean.
+    repair: Vec<u64>,
+    /// Earliest time a pending timeout may fire; accepted batches push it
+    /// out (progress resets the clock).
+    deadline: SimTime,
+}
+
 fn partner_of(s: ServerId) -> ServerId {
     ServerId {
         group: 1 - s.group,
         index: s.index,
     }
+}
+
+/// Split a sorted region list at its byte midpoint (cutting a region in
+/// two if the midpoint lands inside it), for the dual-half schedule: the
+/// first portion reads from one group, the rest from the other. A
+/// single-region list degenerates to the contiguous dual-half plan.
+fn split_at_midpoint(regions: &[Region]) -> (Vec<Region>, Vec<Region>) {
+    let total: u64 = regions.iter().map(|r| r.len).sum();
+    let half = total / 2;
+    let (mut first, mut second) = (Vec::new(), Vec::new());
+    let mut acc = 0u64;
+    for r in regions {
+        if acc >= half {
+            second.push(*r);
+        } else if acc + r.len <= half {
+            first.push(*r);
+        } else {
+            let cut = half - acc;
+            first.push(Region::new(r.offset, cut));
+            second.push(Region::new(r.offset + cut, r.len - cut));
+        }
+        acc += r.len;
+    }
+    (first, second)
 }
 
 /// CEFT client component.
@@ -128,6 +178,7 @@ pub struct CeftClient {
     opens: HashMap<u64, PendingOpen>,
     ops: HashMap<u64, PendingOp>,
     parts: HashMap<u64, PartState>,
+    list_parts: HashMap<u64, ListPartState>,
     next_op: u64,
     retry: RetryPolicy,
     retries: u64,
@@ -170,6 +221,7 @@ impl CeftClient {
             opens: HashMap::new(),
             ops: HashMap::new(),
             parts: HashMap::new(),
+            list_parts: HashMap::new(),
             next_op: 1,
             retry: RetryPolicy::disabled(),
             retries: 0,
@@ -328,6 +380,43 @@ impl CeftClient {
         }
     }
 
+    /// (Re-)send the unserved tail of one per-server list request after
+    /// `delay`, arming (or pushing out) its timeout.
+    fn send_list_part(
+        &mut self,
+        ctx: &mut Ctx<'_, Ev>,
+        token: u64,
+        state: &ListPartState,
+        delay: SimTime,
+    ) {
+        let me = ctx.self_id();
+        let node = self.node;
+        let dst = self.addr(state.server);
+        let tail = state.regions[state.served..].to_vec();
+        let bytes = list_req_wire_bytes(tail.len());
+        ctx.schedule_in(
+            delay,
+            self.net,
+            Ev::Net(NetSend {
+                src_node: node,
+                dst_node: dst.0,
+                bytes,
+                dst: dst.1,
+                payload: Box::new(IodReadList {
+                    file: state.file,
+                    first: state.served as u64,
+                    regions: tail,
+                    reply: me,
+                    reply_node: node,
+                    token,
+                }),
+            }),
+        );
+        if self.retry.enabled() {
+            ctx.wake_in(delay + self.retry.timeout, Ev::Timer(token));
+        }
+    }
+
     /// Abandon a whole operation: a server (and, for reads, its partner
     /// too) exhausted the retry budget.
     fn fail_op(&mut self, ctx: &mut Ctx<'_, Ev>, op_id: u64, error: IoError) {
@@ -335,6 +424,7 @@ impl CeftClient {
             return;
         };
         self.parts.retain(|_, s| s.op != op_id);
+        self.list_parts.retain(|_, s| s.op != op_id);
         self.failures += 1;
         ctx.send(
             op.reply_to,
@@ -365,6 +455,38 @@ impl CeftClient {
             self.retries += 1;
             self.send_part(ctx, token, &state, delay);
             self.parts.insert(token, state);
+            return;
+        }
+        if let Some(state) = self.list_parts.get_mut(&token) {
+            if ctx.now() < state.deadline {
+                // Stale timer: a batch arrived since it was armed and
+                // pushed the real deadline out.
+                return;
+            }
+            if state.attempts >= self.retry.max_retries {
+                let op = state.op;
+                self.fail_op(ctx, op, IoError::DataServerTimeout);
+                return;
+            }
+            // Fail over to the mirror partner, re-requesting only the
+            // unserved tail of the list: regions already streamed back
+            // before the crash are kept.
+            state.server = partner_of(state.server);
+            self.failovers += 1;
+            let delay = backoff_delay(
+                state.attempts,
+                self.retry.base_backoff,
+                self.retry.max_backoff,
+            );
+            state.attempts += 1;
+            self.retries += 1;
+            let mut state = self.list_parts.remove(&token).unwrap();
+            state.deadline = ctx
+                .now()
+                .saturating_add(delay)
+                .saturating_add(self.retry.timeout);
+            self.send_list_part(ctx, token, &state, delay);
+            self.list_parts.insert(token, state);
             return;
         }
         if let Some(open) = self.opens.get_mut(&token) {
@@ -513,6 +635,103 @@ impl CeftClient {
                     self.parts.insert(token, state);
                 }
             }
+            ClientReq::ReadList {
+                file,
+                regions,
+                reply_to,
+                tag,
+            } => {
+                if let Err(e) = validate_regions(&regions) {
+                    panic!("ReadList with invalid region list: {e}");
+                }
+                let entry = self
+                    .files
+                    .get(&file)
+                    .unwrap_or_else(|| panic!("read of unopened file {file}"))
+                    .clone();
+                let first_group = u8::from(self.flip);
+                self.flip = !self.flip;
+                let avoid = self.avoid();
+                let total: u64 = regions.iter().map(|r| r.len).sum();
+                // Dual-half over the whole list: split at the byte
+                // midpoint, first portion from one group, rest from the
+                // other (all 2N servers participate, like `plan_read`).
+                let halves: [(Vec<Region>, u8); 2] = match self.read_mode {
+                    ReadMode::DualHalf => {
+                        let (a, b) = split_at_midpoint(&regions);
+                        [(a, first_group), (b, 1 - first_group)]
+                    }
+                    ReadMode::PrimaryOnly => [(regions, 0), (Vec::new(), 0)],
+                };
+                // One aggregated request per involved physical server;
+                // processing the halves in logical order keeps each
+                // server's list sorted even under skip substitution.
+                let n = entry.layout.group_size() as usize;
+                let mut lists: Vec<Vec<Region>> = vec![Vec::new(); 2 * n];
+                for (half, group) in &halves {
+                    for lr in half {
+                        for p in entry
+                            .layout
+                            .plan_single_group(lr.offset, lr.len, *group, &avoid)
+                        {
+                            if p.redirected {
+                                self.skipped_parts += 1;
+                            }
+                            let lane = p.server.group as usize * n + p.server.index as usize;
+                            lists[lane].push(Region::new(p.local_offset, p.len));
+                        }
+                    }
+                }
+                let involved = lists.iter().filter(|l| !l.is_empty()).count();
+                if involved == 0 {
+                    ctx.send(
+                        reply_to,
+                        Ev::User(Envelope::local(ClientResp::ReadDone {
+                            tag,
+                            latency: SimTime::ZERO,
+                            len: 0,
+                        })),
+                    );
+                    return;
+                }
+                let op = self.next_op;
+                self.next_op += 1;
+                self.ops.insert(
+                    op,
+                    PendingOp {
+                        kind: OpKind::Read,
+                        remaining: involved as u32,
+                        reply_to,
+                        tag,
+                        started: ctx.now(),
+                        len: total,
+                    },
+                );
+                for (lane, list) in lists.into_iter().enumerate() {
+                    if list.is_empty() {
+                        continue;
+                    }
+                    debug_assert!(validate_regions(&list).is_ok());
+                    let server = ServerId {
+                        group: (lane / n) as u8,
+                        index: (lane % n) as u32,
+                    };
+                    let token = ctx.fresh_token();
+                    let state = ListPartState {
+                        op,
+                        server,
+                        file,
+                        regions: list,
+                        served: 0,
+                        attempts: 0,
+                        corrupt_failover: false,
+                        repair: Vec::new(),
+                        deadline: ctx.now().saturating_add(self.retry.timeout),
+                    };
+                    self.send_list_part(ctx, token, &state, SimTime::ZERO);
+                    self.list_parts.insert(token, state);
+                }
+            }
             ClientReq::Write {
                 file,
                 offset,
@@ -616,6 +835,55 @@ impl CeftClient {
         self.parts.insert(r.token, state);
     }
 
+    /// Accept one streamed batch of a list request: clean batches advance
+    /// `served`; a corrupt batch is rejected and the tail (that batch
+    /// included) moves to the mirror partner, with the bad stripes queued
+    /// for read-repair — no retry budget spent, corruption is
+    /// deterministic, not transient.
+    fn on_list_resp(&mut self, ctx: &mut Ctx<'_, Ev>, r: IodReadListResp) {
+        // Unknown tokens: stragglers of completed or failed operations.
+        let Some(state) = self.list_parts.get_mut(&r.token) else {
+            return;
+        };
+        if r.first != state.served as u64 {
+            // Stale or duplicate batch from a superseded attempt.
+            return;
+        }
+        if !r.corrupt.is_empty() {
+            if state.corrupt_failover {
+                // The partner's copy is corrupt too — nothing left to
+                // read.
+                let op = state.op;
+                self.fail_op(ctx, op, IoError::Corrupt);
+                return;
+            }
+            state.repair.extend(r.corrupt);
+            state.server = partner_of(state.server);
+            state.corrupt_failover = true;
+            self.failovers += 1;
+            let mut state = self.list_parts.remove(&r.token).unwrap();
+            state.deadline = ctx.now().saturating_add(self.retry.timeout);
+            self.send_list_part(ctx, r.token, &state, SimTime::ZERO);
+            self.list_parts.insert(r.token, state);
+            return;
+        }
+        state.served += r.count as usize;
+        if state.served < state.regions.len() {
+            // More batches are coming; progress pushes the timeout out.
+            if self.retry.enabled() {
+                state.deadline = ctx.now().saturating_add(self.retry.timeout);
+                ctx.wake_in(self.retry.timeout, Ev::Timer(r.token));
+            }
+            return;
+        }
+        // List complete. Whatever served the final regions verified
+        // clean, so flush any queued repairs against its copy.
+        let mut state = self.list_parts.remove(&r.token).unwrap();
+        let stripes = std::mem::take(&mut state.repair);
+        self.send_repair_writes(ctx, state.file, state.server, stripes);
+        self.finish_part_of(ctx, state.op);
+    }
+
     /// The partner's copy verified clean: rewrite the stripes that failed
     /// verification on the original server with the good bytes. The acks
     /// come back with unregistered tokens and are dropped by `part_done`.
@@ -627,6 +895,18 @@ impl CeftClient {
         else {
             return;
         };
+        self.send_repair_writes(ctx, file, good_server, stripes);
+    }
+
+    /// Rewrite `stripes` on `good_server`'s mirror partner with the good
+    /// copy just fetched from `good_server`.
+    fn send_repair_writes(
+        &mut self,
+        ctx: &mut Ctx<'_, Ev>,
+        file: u64,
+        good_server: ServerId,
+        stripes: Vec<u64>,
+    ) {
         if stripes.is_empty() {
             return;
         }
@@ -666,7 +946,12 @@ impl CeftClient {
         let Some(state) = self.parts.remove(&token) else {
             return;
         };
-        let op_id = state.op;
+        self.finish_part_of(ctx, state.op);
+    }
+
+    /// One per-server part of `op_id` fully delivered; complete the
+    /// operation when it was the last.
+    fn finish_part_of(&mut self, ctx: &mut Ctx<'_, Ev>, op_id: u64) {
         let Some(op) = self.ops.get_mut(&op_id) else {
             return;
         };
@@ -744,9 +1029,12 @@ impl Component<Ev> for CeftClient {
                     }
                     Err(other) => match other.downcast::<IodReadResp>() {
                         Ok(r) => self.on_read_resp(ctx, *r),
-                        Err(other) => match other.downcast::<IodWriteResp>() {
-                            Ok(w) => self.part_done(ctx, w.token),
-                            Err(_) => debug_assert!(false, "ceft client got unknown message"),
+                        Err(other) => match other.downcast::<IodReadListResp>() {
+                            Ok(r) => self.on_list_resp(ctx, *r),
+                            Err(other) => match other.downcast::<IodWriteResp>() {
+                                Ok(w) => self.part_done(ctx, w.token),
+                                Err(_) => debug_assert!(false, "ceft client got unknown message"),
+                            },
                         },
                     },
                 },

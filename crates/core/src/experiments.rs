@@ -762,6 +762,7 @@ pub fn fig4(workdir: &Path, total_residues: u64) -> std::io::Result<Fig4Result> 
         tracer: tracer.clone(),
         parallelization: Parallelization::DatabaseSegmentation,
         prefetch: false,
+        list_io: false,
     };
     let out = job.run(&query)?;
     let events = tracer.events();

@@ -73,6 +73,12 @@ pub struct ParallelBlast {
     /// fetch thread pulls fragment k+1 in the background. Off = the
     /// sequential fetch-then-search loop the paper measured.
     pub prefetch: bool,
+    /// List I/O: after the volume header, fetch the index, packed data,
+    /// and defline regions in ONE vectored request per storage server
+    /// (`read_many_at`) instead of one request per region. Bytes read,
+    /// traced events, and results are identical either way — only the
+    /// request count changes.
+    pub list_io: bool,
 }
 
 /// Result of a run.
@@ -485,7 +491,11 @@ impl ParallelBlast {
         let t0 = Instant::now();
         let (reader, copy) = self.scheme.open_for_worker(worker, fragment)?;
         let mut src = TracedSource::new(reader, tracer.clone(), worker as u32);
-        let volume = PackedVolume::read_from(&mut src)?;
+        let volume = if self.list_io {
+            PackedVolume::read_from_listio(&mut src)?
+        } else {
+            PackedVolume::read_from(&mut src)?
+        };
         IoClocks::add(&clocks.copy_ns, copy);
         IoClocks::add(&clocks.fetch_ns, t0.elapsed());
         Ok(volume)
@@ -551,6 +561,7 @@ mod tests {
             tracer: Tracer::new(),
             parallelization: Parallelization::DatabaseSegmentation,
             prefetch: false,
+            list_io: false,
         };
         job.run(&query).unwrap()
     }
@@ -618,6 +629,7 @@ mod tests {
             tracer: Tracer::disabled(),
             parallelization: Parallelization::DatabaseSegmentation,
             prefetch: true,
+            list_io: false,
         };
         let batch = job.run_batch(&[q1.clone(), q2.clone()]).unwrap();
         assert_eq!(batch.per_query.len(), 2);
@@ -646,6 +658,7 @@ mod tests {
             tracer: tracer.clone(),
             parallelization: Parallelization::DatabaseSegmentation,
             prefetch: true,
+            list_io: false,
         };
         let queries: Vec<Vec<u8>> = (0..5).map(|_| q1.clone()).collect();
         job.run_batch(&queries).unwrap();
@@ -705,6 +718,7 @@ mod tests {
             tracer: Tracer::disabled(),
             parallelization,
             prefetch: false,
+            list_io: false,
         };
         let db_seg = mk(Parallelization::DatabaseSegmentation)
             .run(&query)
@@ -752,6 +766,7 @@ mod tests {
                 tracer: tracer.clone(),
                 parallelization,
                 prefetch: false,
+                list_io: false,
             }
             .run(&query)
             .unwrap();
@@ -792,6 +807,7 @@ mod tests {
             tracer: tracer.clone(),
             parallelization: Parallelization::DatabaseSegmentation,
             prefetch: true,
+            list_io: false,
         };
         job.run(&query).unwrap();
         let s = tracer.summary();
@@ -822,6 +838,7 @@ mod tests {
                 tracer: tracer.clone(),
                 parallelization: Parallelization::DatabaseSegmentation,
                 prefetch,
+                list_io: false,
             };
             let out = job.run(&query).unwrap();
             // Per-worker trace interleaving varies with thread timing;
@@ -864,6 +881,7 @@ mod tests {
             tracer: Tracer::disabled(),
             parallelization: Parallelization::DatabaseSegmentation,
             prefetch: false,
+            list_io: false,
         };
         let out = job.run(&query).unwrap();
         assert!(out.io_fetch_s > 0.0, "fetch clock must run");

@@ -197,6 +197,17 @@ impl ReadAt for TracedSource {
             .record(self.worker, IoKind::Read, buf.len() as u64);
         Ok(())
     }
+    fn read_many_at(&mut self, regions: &[(u64, u64)]) -> io::Result<Vec<u8>> {
+        // Ride the store's vectored lane (one aggregated request per
+        // server), but trace one read event per region in list order so
+        // the recorded read sequence is identical to issuing the regions
+        // one `read_at` at a time.
+        let out = self.reader.read_many_at(regions)?;
+        for &(_, len) in regions {
+            self.tracer.record(self.worker, IoKind::Read, len);
+        }
+        Ok(out)
+    }
     fn len(&mut self) -> io::Result<u64> {
         self.reader.len()
     }

@@ -19,7 +19,9 @@ use parblast_hwsim::{
     start_stressor, Cluster, CpuMsg, DiskStressor, Envelope, Ev, FaultInjector, FaultSchedule,
     FsDone, FsMsg, HwParams, NetSend, StressorConfig,
 };
-use parblast_pvfs::{ClientReq, ClientResp, Pvfs, PvfsClient, RetryPolicy, CTRL_BYTES};
+use parblast_pvfs::{
+    ClientReq, ClientResp, Iod, Pvfs, PvfsClient, Region, RetryPolicy, CTRL_BYTES,
+};
 use parblast_simcore::{CompId, Component, Ctx, Engine, SimTime, TraceEntry};
 
 use crate::trace::{IoKind, Tracer};
@@ -95,6 +97,13 @@ pub struct SimBlastConfig {
     /// simulation event-for-event unchanged; `1` double-buffers so chunk
     /// k+1 arrives while chunk k is scanned.
     pub read_ahead: u32,
+    /// List I/O: a worker ships its fragment's whole chunk list as ONE
+    /// `ReadList` request (the client aggregates it into one vectored
+    /// request per data server) instead of one `Read` per chunk. `false`
+    /// (the default) is the per-chunk protocol and leaves the simulation
+    /// event-for-event unchanged; either way every byte is read exactly
+    /// once and the per-worker traced read sequence is identical.
+    pub list_io: bool,
     /// Optional application-level I/O trace collector. Pass
     /// [`Tracer::simulated`] to take a Figure-4-style trace from inside
     /// the simulator with deterministic `SimTime` timestamps.
@@ -146,6 +155,7 @@ impl Default for SimBlastConfig {
             result_write_bytes: 690,
             queries_per_pass: 1,
             read_ahead: 0,
+            list_io: false,
             io_tracer: None,
             ceft: CeftConfig::default(),
             stress_nodes: Vec::new(),
@@ -207,6 +217,16 @@ pub struct SimOutcome {
     /// Event-delivery trace (empty unless
     /// [`SimBlastConfig::capture_trace`] was set).
     pub trace: Vec<TraceEntry>,
+    /// Read requests served by the data servers (PVFS/CEFT; 0 for the
+    /// original scheme's local disks). A vectored list request counts
+    /// once however many regions it carries — this is the number the
+    /// list-I/O aggregation collapses.
+    pub server_reads: u64,
+    /// Of [`SimOutcome::server_reads`], how many were vectored
+    /// `ReadList` requests.
+    pub server_list_reads: u64,
+    /// Regions carried by those list requests in total.
+    pub server_list_regions: u64,
 }
 
 /// Simulated file id of fragment 0; fragment `i` is file
@@ -240,6 +260,10 @@ enum JobMsg {
 struct LocalClient {
     fs: CompId,
     pending: std::collections::HashMap<u64, (CompId, u64, SimTime, u64)>,
+    /// FS-read token → owning list id (list-I/O regions in flight).
+    list_regions: std::collections::HashMap<u64, u64>,
+    /// List id → (reply_to, app tag, start, total bytes, regions left).
+    lists: std::collections::HashMap<u64, (CompId, u64, SimTime, u64, u32)>,
     name: String,
 }
 
@@ -248,6 +272,8 @@ impl LocalClient {
         LocalClient {
             fs,
             pending: std::collections::HashMap::new(),
+            list_regions: std::collections::HashMap::new(),
+            lists: std::collections::HashMap::new(),
             name: name.into(),
         }
     }
@@ -294,6 +320,39 @@ impl Component<Ev> for LocalClient {
                             }),
                         );
                     }
+                    ClientReq::ReadList {
+                        file,
+                        regions,
+                        reply_to,
+                        tag,
+                    } => {
+                        // The local disk has no per-request network cost to
+                        // amortize, but honoring the op keeps the Original
+                        // scheme usable with the list knob on: every region
+                        // is read, one reply reports the whole list.
+                        let list = ctx.fresh_token();
+                        let total: u64 = regions.iter().map(|r| r.len).sum();
+                        self.lists.insert(
+                            list,
+                            (reply_to, tag, ctx.now(), total, regions.len() as u32),
+                        );
+                        for r in regions {
+                            let token = ctx.fresh_token();
+                            self.list_regions.insert(token, list);
+                            ctx.send(
+                                self.fs,
+                                Ev::Fs(FsMsg::Read {
+                                    file,
+                                    offset: r.offset,
+                                    len: r.len,
+                                    mmap: true,
+                                    unit: 0,
+                                    reply_to: ctx.self_id(),
+                                    tag: token,
+                                }),
+                            );
+                        }
+                    }
                     ClientReq::Write {
                         file,
                         offset,
@@ -329,6 +388,21 @@ impl Component<Ev> for LocalClient {
                             len,
                         })),
                     );
+                } else if let Some(list) = self.list_regions.remove(&tag) {
+                    let e = self.lists.get_mut(&list).expect("list state");
+                    e.4 -= 1;
+                    if e.4 == 0 {
+                        let (reply_to, app_tag, t0, total, _) =
+                            self.lists.remove(&list).expect("list state");
+                        ctx.send(
+                            reply_to,
+                            Ev::User(Envelope::local(ClientResp::ReadDone {
+                                tag: app_tag,
+                                latency: ctx.now().saturating_sub(t0).max(latency),
+                                len: total,
+                            })),
+                        );
+                    }
                 }
             }
             _ => {}
@@ -364,6 +438,7 @@ struct SimWorker {
     result_write_bytes: u64,
     batch: u32,
     read_ahead: u32,
+    list_io: bool,
     tracer: Option<Tracer>,
     // run state
     fragment: Option<(u32, u64)>,
@@ -375,6 +450,9 @@ struct SimWorker {
     gen: u64,
     /// Chunk reads submitted and not yet delivered.
     inflight: u32,
+    /// Chunk lengths of the in-flight `ReadList` (list-I/O mode): the one
+    /// `ReadDone` reply re-expands into these per-chunk compute slices.
+    list_chunks: Vec<u64>,
     /// Delivered chunks (their lengths) waiting for the CPU.
     buffered: std::collections::VecDeque<u64>,
     stats: WorkerStats,
@@ -400,6 +478,30 @@ impl SimWorker {
         self.inflight += 1;
     }
 
+    /// Ship the fragment's whole remaining chunk list as one `ReadList`:
+    /// the client turns it into one vectored request per data server.
+    fn issue_list_read(&mut self, ctx: &mut Ctx<'_, Ev>) {
+        let (frag, size) = self.fragment.expect("assigned");
+        let mut regions = Vec::new();
+        while self.offset < size {
+            let len = self.chunk.min(size - self.offset);
+            regions.push(Region::new(self.offset, len));
+            self.offset += len;
+            self.stats.bytes_read += len;
+        }
+        self.list_chunks = regions.iter().map(|r| r.len).collect();
+        ctx.send(
+            self.client,
+            Ev::User(Envelope::local(ClientReq::ReadList {
+                file: FRAG_FILE_BASE + frag as u64,
+                regions,
+                reply_to: ctx.self_id(),
+                tag: TAG_READ | (self.gen << 2),
+            })),
+        );
+        self.inflight += 1;
+    }
+
     /// Top up the chunk pipeline. While the CPU is busy the worker keeps
     /// `read_ahead` chunks in flight or buffered; when it is idle at
     /// least one read goes out (the synchronous path's only read).
@@ -407,6 +509,13 @@ impl SimWorker {
         let Some((_, size)) = self.fragment else {
             return;
         };
+        if self.list_io {
+            // One vectored request covers the fragment; nothing to top up.
+            if self.offset < size && self.inflight == 0 {
+                self.issue_list_read(ctx);
+            }
+            return;
+        }
         let cap = if self.cpu_pending > 0 {
             self.read_ahead
         } else {
@@ -518,6 +627,27 @@ impl Component<Ev> for SimWorker {
                                 }
                                 self.inflight -= 1;
                                 self.stats.io_s += latency.as_secs_f64();
+                                if self.list_io {
+                                    // The whole chunk list arrived as one
+                                    // reply: re-expand it so the compute
+                                    // loop (and the trace) still proceeds
+                                    // chunk by chunk, as the per-chunk
+                                    // protocol would.
+                                    let chunks = std::mem::take(&mut self.list_chunks);
+                                    if let Some(tr) = &self.tracer {
+                                        tr.advance_to(ctx.now());
+                                        for &c in &chunks {
+                                            tr.record(self.index, IoKind::Read, c);
+                                        }
+                                    }
+                                    self.buffered.extend(chunks);
+                                    if self.cpu_pending == 0 {
+                                        if let Some(first) = self.buffered.pop_front() {
+                                            self.start_compute(ctx, first);
+                                        }
+                                    }
+                                    return;
+                                }
                                 if let Some(tr) = &self.tracer {
                                     tr.advance_to(ctx.now());
                                     tr.record(self.index, IoKind::Read, len);
@@ -552,6 +682,7 @@ impl Component<Ev> for SimWorker {
                                 };
                                 self.gen += 1;
                                 self.inflight = 0;
+                                self.list_chunks.clear();
                                 self.buffered.clear();
                                 self.cpu_pending = 0;
                                 let worker = self.index;
@@ -731,6 +862,7 @@ pub fn run_simblast(cfg: &SimBlastConfig) -> SimOutcome {
     let mut ceft_clients: Vec<CompId> = Vec::new();
     let mut pvfs_clients: Vec<CompId> = Vec::new();
     let mut ceft_meta: Option<CompId> = None;
+    let mut iod_ids: Vec<CompId> = Vec::new();
     let clients: Vec<CompId> = match &cfg.scheme {
         SimScheme::Original => (0..cfg.workers)
             .map(|w| {
@@ -743,6 +875,7 @@ pub fn run_simblast(cfg: &SimBlastConfig) -> SimOutcome {
             for &(f, size) in &fragments {
                 pvfs.register_file(&mut eng, FRAG_FILE_BASE + f as u64, size);
             }
+            iod_ids = pvfs.iods.iter().map(|&(_, id)| id).collect();
             if let Some(inj) = injector.as_mut() {
                 for (i, &(_, iod)) in pvfs.iods.iter().enumerate() {
                     inj.register_server(i, vec![iod]);
@@ -768,6 +901,12 @@ pub fn run_simblast(cfg: &SimBlastConfig) -> SimOutcome {
                 &cfg.ceft,
             );
             ceft_meta = Some(ceft.meta.1);
+            iod_ids = ceft
+                .primary
+                .iter()
+                .chain(ceft.mirror.iter())
+                .map(|&(_, id)| id)
+                .collect();
             for &(f, size) in &fragments {
                 ceft.register_file(&mut eng, FRAG_FILE_BASE + f as u64, size);
             }
@@ -821,6 +960,7 @@ pub fn run_simblast(cfg: &SimBlastConfig) -> SimOutcome {
                 result_write_bytes: cfg.result_write_bytes,
                 batch: cfg.queries_per_pass.max(1),
                 read_ahead: cfg.read_ahead,
+                list_io: cfg.list_io,
                 tracer: cfg.io_tracer.clone(),
                 fragment: None,
                 offset: 0,
@@ -828,6 +968,7 @@ pub fn run_simblast(cfg: &SimBlastConfig) -> SimOutcome {
                 cpu_pending: 0,
                 gen: 0,
                 inflight: 0,
+                list_chunks: Vec::new(),
                 buffered: std::collections::VecDeque::new(),
                 stats: WorkerStats::default(),
                 name: format!("worker{w}"),
@@ -934,6 +1075,16 @@ pub fn run_simblast(cfg: &SimBlastConfig) -> SimOutcome {
     let resyncs = ceft_meta
         .map(|m| eng.component::<parblast_ceft::CeftMeta>(m).resync_stats().0)
         .unwrap_or(0);
+    let mut server_reads = 0u64;
+    let mut server_list_reads = 0u64;
+    let mut server_list_regions = 0u64;
+    for &id in &iod_ids {
+        let iod = eng.component::<Iod>(id);
+        server_reads += iod.stats().0;
+        let (lr, lrg) = iod.list_stats();
+        server_list_reads += lr;
+        server_list_regions += lrg;
+    }
     let trace = eng.take_trace();
     SimOutcome {
         makespan_s,
@@ -948,6 +1099,9 @@ pub fn run_simblast(cfg: &SimBlastConfig) -> SimOutcome {
         resyncs,
         read_latency_us: read_hist.percentiles(),
         trace,
+        server_reads,
+        server_list_reads,
+        server_list_regions,
     }
 }
 

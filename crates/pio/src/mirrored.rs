@@ -21,7 +21,7 @@ use parking_lot::Mutex;
 
 use crate::integrity;
 use crate::layout::{MirroredLayout, ServerId};
-use crate::pool::{self, PendingRead, RateLimiter, ReaderPool};
+use crate::pool::{self, PendingRead, RateLimiter, ReaderPool, ScatterSeg};
 use crate::store::{ObjectReader, ObjectStore};
 
 /// Where a server stands in the crash → rebuild → rejoin lifecycle.
@@ -238,6 +238,12 @@ impl MirroredStore {
     /// Model per-server disk bandwidth (bytes/second; 0 = unthrottled).
     pub fn set_io_throttle(&self, bytes_per_s: u64) {
         self.pool.set_throttle(bytes_per_s);
+    }
+
+    /// Server requests (lane jobs) issued through this store so far —
+    /// the number list I/O collapses.
+    pub fn server_requests(&self) -> u64 {
+        self.pool.jobs_submitted()
     }
 
     fn lane_of(&self, s: ServerId) -> usize {
@@ -631,6 +637,159 @@ impl ObjectReader for MirroredReader {
             }
         }
         Ok(PendingRead::in_flight(len, rx, scatters))
+    }
+
+    fn read_many_at(&mut self, regions: &[(u64, u64)]) -> io::Result<Vec<u8>> {
+        self.read_many_at_async(regions)?.wait()
+    }
+
+    fn read_many_at_async(&mut self, regions: &[(u64, u64)]) -> io::Result<PendingRead> {
+        for &(off, len) in regions {
+            if off + len > self.size {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "mirrored read past end of object",
+                ));
+            }
+        }
+        let total: usize = regions.iter().map(|&(_, l)| l as usize).sum();
+        if total == 0 {
+            return Ok(PendingRead::ready(Vec::new()));
+        }
+        // One flip per list: every region in the call follows the same
+        // dual-half orientation, exactly as a sequence of per-region reads
+        // would alternate had they been issued through `read_at_async`.
+        let first_group = u8::from(self.flip);
+        self.flip = !self.flip;
+        let skips = self.store.monitor.skips();
+        let n = self.store.layout.group_size() as usize;
+        // Aggregate: per physical server (lane), the list of
+        // (local_offset, len) segments it must serve — in list order so
+        // each lane reads its spans monotonically — plus the scatter plan
+        // rebasing every segment into the concatenated output buffer.
+        let mut segs: Vec<Vec<(u64, u64)>> = vec![Vec::new(); 2 * n];
+        let mut plans: Vec<Vec<ScatterSeg>> = vec![Vec::new(); 2 * n];
+        let mut dst_base = 0usize;
+        for &(off, len) in regions {
+            let half = len / 2;
+            let halves = [
+                (off, half, first_group),
+                (off + half, len - half, 1 - first_group),
+            ];
+            for &(ho, hl, group) in &halves {
+                if hl == 0 {
+                    continue;
+                }
+                for r in self.store.layout.stripe.map_extent(ho, hl) {
+                    let part = self.store.layout.place(r, group, &skips);
+                    let lane = self.store.lane_of(part.server);
+                    let shift = (ho - off) as usize + dst_base;
+                    let src_base: usize = segs[lane].iter().map(|&(_, l)| l as usize).sum();
+                    for (dst, src, count) in self.store.layout.stripe.scatter(ho, hl, r.server) {
+                        plans[lane].push((dst + shift, src + src_base, count));
+                    }
+                    segs[lane].push((part.local_offset, part.len));
+                }
+            }
+            dst_base += len as usize;
+        }
+        let (tx, rx) = channel::unbounded();
+        let mut scatters = Vec::new();
+        for lane in 0..2 * n {
+            let job_segs = std::mem::take(&mut segs[lane]);
+            if job_segs.is_empty() {
+                continue;
+            }
+            let idx = scatters.len();
+            scatters.push(std::mem::take(&mut plans[lane]));
+            let server = ServerId {
+                group: (lane / n) as u8,
+                index: (lane % n) as u32,
+            };
+            let partner = self.store.layout.partner(server);
+            let path = self.store.path_of(server, &self.name);
+            let partner_path = self.store.path_of(partner, &self.name);
+            let stripe = self.store.layout.stripe.stripe_size;
+            let local_len = self
+                .store
+                .layout
+                .stripe
+                .server_share(self.size, server.index);
+            let psums = Arc::clone(&self.sums[server.index as usize][server.group as usize]);
+            let qsums = Arc::clone(&self.sums[server.index as usize][partner.group as usize]);
+            let mon = self.store.monitor();
+            let throttle = self.store.pool.throttle_handle();
+            let tx = tx.clone();
+            self.store.pool.submit(lane, move || {
+                // ONE job per server: walk this server's segments in list
+                // order, preserving the per-segment verify → read-repair →
+                // partner-failover ladder of the single-part path.
+                let res: io::Result<Vec<u8>> = (|| {
+                    let mut out =
+                        Vec::with_capacity(job_segs.iter().map(|&(_, l)| l as usize).sum());
+                    for (seg_off, seg_len) in job_segs {
+                        let fetch = |srv: ServerId, p: &PathBuf| -> io::Result<(u64, Vec<u8>)> {
+                            let fault = mon.fault_of(srv);
+                            let t0 = Instant::now();
+                            if fault > 0.0 {
+                                std::thread::sleep(std::time::Duration::from_secs_f64(fault));
+                            }
+                            let got =
+                                integrity::read_aligned(p, seg_off, seg_len, stripe, local_len)?;
+                            pool::pace(&throttle, seg_len);
+                            mon.record(srv, seg_len, t0.elapsed().as_secs_f64());
+                            Ok(got)
+                        };
+                        let want = |start: u64, aligned: &[u8]| -> Vec<u8> {
+                            integrity::slice_requested(start, aligned, seg_off, seg_len)
+                        };
+                        let bytes = match fetch(server, &path) {
+                            Ok((astart, aligned)) => {
+                                let bad = if psums.is_empty() {
+                                    Vec::new()
+                                } else {
+                                    integrity::bad_stripes(&aligned, astart, stripe, &psums)
+                                };
+                                if bad.is_empty() {
+                                    want(astart, &aligned)
+                                } else {
+                                    let (bstart, good) = fetch(partner, &partner_path)?;
+                                    integrity::verify_aligned(
+                                        &partner_path,
+                                        &good,
+                                        bstart,
+                                        stripe,
+                                        &qsums,
+                                    )?;
+                                    if let Ok(k) = integrity::repair_stripes(
+                                        &path, bstart, &good, &bad, stripe,
+                                    ) {
+                                        mon.note_repair(k);
+                                    }
+                                    want(bstart, &good)
+                                }
+                            }
+                            Err(_) => {
+                                mon.mark_dead(server);
+                                let (bstart, good) = fetch(partner, &partner_path)?;
+                                integrity::verify_aligned(
+                                    &partner_path,
+                                    &good,
+                                    bstart,
+                                    stripe,
+                                    &qsums,
+                                )?;
+                                want(bstart, &good)
+                            }
+                        };
+                        out.extend_from_slice(&bytes);
+                    }
+                    Ok(out)
+                })();
+                let _ = tx.send((idx, res));
+            });
+        }
+        Ok(PendingRead::in_flight(total, rx, scatters))
     }
 
     fn len(&mut self) -> io::Result<u64> {

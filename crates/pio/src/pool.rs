@@ -33,6 +33,10 @@ pub struct ReaderPool {
     /// benchmarks to stand in for the paper's ~26 MB/s disks, where real
     /// reads would be served from the page cache at memory speed.
     throttle: Arc<AtomicU64>,
+    /// Jobs ever submitted across all lanes — each stands in for one
+    /// request at a PVFS I/O daemon, so benches read it to show the
+    /// list-I/O request-count collapse on the real path.
+    submitted: Arc<AtomicU64>,
 }
 
 impl ReaderPool {
@@ -52,6 +56,7 @@ impl ReaderPool {
         ReaderPool {
             lanes: senders,
             throttle: Arc::new(AtomicU64::new(0)),
+            submitted: Arc::new(AtomicU64::new(0)),
         }
     }
 
@@ -63,9 +68,16 @@ impl ReaderPool {
     /// Enqueue `job` on `lane`; it runs after everything already queued
     /// there.
     pub fn submit(&self, lane: usize, job: impl FnOnce() + Send + 'static) {
+        self.submitted.fetch_add(1, Ordering::Relaxed);
         self.lanes[lane]
             .send(Box::new(job))
             .unwrap_or_else(|_| unreachable!("lane thread outlives its sender"));
+    }
+
+    /// Total jobs submitted across all lanes since the pool was created
+    /// (one job = one server request).
+    pub fn jobs_submitted(&self) -> u64 {
+        self.submitted.load(Ordering::Relaxed)
     }
 
     /// Model disk bandwidth: every fetched byte costs `1/bytes_per_s`

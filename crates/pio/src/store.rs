@@ -32,6 +32,30 @@ pub trait ObjectReader: Send {
         self.read_at(offset, &mut buf)?;
         Ok(PendingRead::ready(buf))
     }
+    /// Read every `(offset, len)` region and return their bytes
+    /// concatenated in list order (list I/O). Equivalent to one
+    /// [`ObjectReader::read_at`] per region; pool-backed stores override
+    /// the async variant to ship **one vectored lane job per server**
+    /// instead of one per region per server, which is the request
+    /// aggregation this crate's striped/mirrored readers are measured on.
+    fn read_many_at(&mut self, regions: &[(u64, u64)]) -> io::Result<Vec<u8>> {
+        self.read_many_at_async(regions)?.wait()
+    }
+    /// Start a vectored read of `regions` without waiting for the data.
+    /// The default performs the reads synchronously region by region and
+    /// returns an already-completed handle, so plain sources stay
+    /// correct.
+    fn read_many_at_async(&mut self, regions: &[(u64, u64)]) -> io::Result<PendingRead> {
+        let total: usize = regions.iter().map(|&(_, l)| l as usize).sum();
+        let mut out = vec![0u8; total];
+        let mut at = 0usize;
+        for &(off, len) in regions {
+            let n = len as usize;
+            self.read_at(off, &mut out[at..at + n])?;
+            at += n;
+        }
+        Ok(PendingRead::ready(out))
+    }
     /// Object length in bytes.
     fn len(&mut self) -> io::Result<u64>;
     /// True when the object is empty.

@@ -14,7 +14,7 @@ use crossbeam::channel;
 
 use crate::integrity;
 use crate::layout::StripeLayout;
-use crate::pool::{self, PendingRead, RateLimiter, ReaderPool};
+use crate::pool::{self, PendingRead, RateLimiter, ReaderPool, ScatterSeg};
 use crate::store::{ObjectReader, ObjectStore};
 
 /// RAID-0 store over N server directories.
@@ -46,6 +46,12 @@ impl StripedStore {
     /// Benchmarks use this to stand in for the paper's ~26 MB/s disks.
     pub fn set_io_throttle(&self, bytes_per_s: u64) {
         self.pool.set_throttle(bytes_per_s);
+    }
+
+    /// Server requests (lane jobs) issued through this store so far —
+    /// the number list I/O collapses.
+    pub fn server_requests(&self) -> u64 {
+        self.pool.jobs_submitted()
     }
 
     /// The stripe layout in use.
@@ -230,6 +236,87 @@ impl ObjectReader for StripedReader {
             });
         }
         Ok(PendingRead::in_flight(len, rx, scatters))
+    }
+
+    fn read_many_at(&mut self, regions: &[(u64, u64)]) -> io::Result<Vec<u8>> {
+        self.read_many_at_async(regions)?.wait()
+    }
+
+    fn read_many_at_async(&mut self, regions: &[(u64, u64)]) -> io::Result<PendingRead> {
+        let total: usize = regions.iter().map(|&(_, l)| l as usize).sum();
+        for &(off, len) in regions {
+            if off + len > self.size {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "striped read past end of object",
+                ));
+            }
+        }
+        if total == 0 {
+            return Ok(PendingRead::ready(Vec::new()));
+        }
+        // List I/O: ONE vectored lane job per involved server, carrying
+        // every region's segment on that server, instead of one job per
+        // region per server. Scatter plans are rebased into the
+        // concatenated output buffer (dst) and the job's concatenated
+        // fetch (src); each segment is still checksum-verified on its
+        // own, so a flipped bit surfaces the typed corrupt error for
+        // exactly the region that covers it.
+        let servers = self.store.servers();
+        let mut segs: Vec<Vec<(u64, u64)>> = vec![Vec::new(); servers];
+        let mut plans: Vec<Vec<ScatterSeg>> = vec![Vec::new(); servers];
+        let mut dst_base = 0usize;
+        for &(off, len) in regions {
+            for r in self.store.layout.map_extent(off, len) {
+                let srv = r.server as usize;
+                let src_base: usize = segs[srv].iter().map(|&(_, l)| l as usize).sum();
+                for (dst, src, n) in self.store.layout.scatter(off, len, r.server) {
+                    plans[srv].push((dst + dst_base, src + src_base, n));
+                }
+                segs[srv].push((r.local_offset, r.len));
+            }
+            dst_base += len as usize;
+        }
+        let (tx, rx) = channel::unbounded();
+        let mut scatters = Vec::new();
+        for srv in 0..servers {
+            let job_segs = std::mem::take(&mut segs[srv]);
+            if job_segs.is_empty() {
+                continue;
+            }
+            let idx = scatters.len();
+            scatters.push(std::mem::take(&mut plans[srv]));
+            let path = self.store.server_path(srv as u32, &self.name);
+            let stripe = self.store.layout.stripe_size;
+            let local_len = self.store.layout.server_share(self.size, srv as u32);
+            let sums = Arc::clone(&self.sums[srv]);
+            let delay = self.fault_delays.get(srv).copied().unwrap_or(0.0);
+            let throttle = self.store.pool.throttle_handle();
+            let tx = tx.clone();
+            self.store.pool.submit(srv, move || {
+                let res = (|| {
+                    // One aggregated request: the injected per-request
+                    // delay is paid once for the whole list.
+                    if delay > 0.0 {
+                        std::thread::sleep(std::time::Duration::from_secs_f64(delay));
+                    }
+                    let mut out =
+                        Vec::with_capacity(job_segs.iter().map(|&(_, l)| l as usize).sum());
+                    for (lo, ln) in job_segs {
+                        let (astart, aligned) =
+                            integrity::read_aligned(&path, lo, ln, stripe, local_len)?;
+                        pool::pace(&throttle, ln);
+                        integrity::verify_aligned(&path, &aligned, astart, stripe, &sums)?;
+                        out.extend_from_slice(&integrity::slice_requested(
+                            astart, &aligned, lo, ln,
+                        ));
+                    }
+                    Ok(out)
+                })();
+                let _ = tx.send((idx, res));
+            });
+        }
+        Ok(PendingRead::in_flight(total, rx, scatters))
     }
 
     fn len(&mut self) -> io::Result<u64> {

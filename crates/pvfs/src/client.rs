@@ -13,8 +13,9 @@ use parblast_simcore::{CompId, Component, Ctx, SimTime, Summary};
 
 use crate::meta::FileMeta;
 use crate::msg::{
-    ClientReq, ClientResp, IoError, IodRead, IodReadResp, IodWrite, IodWriteResp, MetaOpen,
-    MetaOpenResp, CTRL_BYTES,
+    list_req_wire_bytes, validate_regions, ClientReq, ClientResp, IoError, IodRead, IodReadList,
+    IodReadListResp, IodReadResp, IodWrite, IodWriteResp, MetaOpen, MetaOpenResp, Region,
+    CTRL_BYTES,
 };
 use crate::retry::{backoff_delay, RetryPolicy};
 
@@ -57,6 +58,27 @@ struct PartState {
     attempts: u32,
 }
 
+/// One in-flight aggregated list request to a single server. The server
+/// streams batches back in order; `served` counts the regions accepted so
+/// far, so a timed-out attempt re-sends **only the unserved tail**
+/// (`regions[served..]` with `first = served`) and late batches from the
+/// original attempt are recognized by their stale `first` and dropped.
+#[derive(Debug, Clone)]
+struct ListPartState {
+    op: u64,
+    server: usize,
+    file: u64,
+    /// Full per-server region list, in server-local coordinates.
+    regions: Vec<Region>,
+    /// Regions received and accepted so far.
+    served: usize,
+    /// The retry budget is spent per **list request**, not per region.
+    attempts: u32,
+    /// Earliest time the pending timeout timer is allowed to fire; each
+    /// accepted batch pushes it out (progress resets the clock).
+    deadline: SimTime,
+}
+
 /// Address of a protocol server: `(node index, component)`.
 pub type ServerAddr = (u32, CompId);
 
@@ -70,6 +92,7 @@ pub struct PvfsClient {
     opens: HashMap<u64, PendingOpen>,
     ops: HashMap<u64, PendingOp>,
     parts: HashMap<u64, PartState>,
+    list_parts: HashMap<u64, ListPartState>,
     next_op: u64,
     retry: RetryPolicy,
     retries: u64,
@@ -99,6 +122,7 @@ impl PvfsClient {
             opens: HashMap::new(),
             ops: HashMap::new(),
             parts: HashMap::new(),
+            list_parts: HashMap::new(),
             next_op: 1,
             retry: RetryPolicy::disabled(),
             retries: 0,
@@ -202,12 +226,50 @@ impl PvfsClient {
         }
     }
 
+    /// (Re-)send the unserved tail of one per-server list request after
+    /// `delay`, arming (or pushing out) its timeout.
+    fn send_list_part(
+        &mut self,
+        ctx: &mut Ctx<'_, Ev>,
+        token: u64,
+        state: &ListPartState,
+        delay: SimTime,
+    ) {
+        let me = ctx.self_id();
+        let node = self.node;
+        let dst = self.iods[state.server];
+        let tail = state.regions[state.served..].to_vec();
+        let bytes = list_req_wire_bytes(tail.len());
+        ctx.schedule_in(
+            delay,
+            self.net,
+            Ev::Net(NetSend {
+                src_node: node,
+                dst_node: dst.0,
+                bytes,
+                dst: dst.1,
+                payload: Box::new(IodReadList {
+                    file: state.file,
+                    first: state.served as u64,
+                    regions: tail,
+                    reply: me,
+                    reply_node: node,
+                    token,
+                }),
+            }),
+        );
+        if self.retry.enabled() {
+            ctx.wake_in(delay + self.retry.timeout, Ev::Timer(token));
+        }
+    }
+
     /// Abandon a whole operation: a server exhausted its retry budget.
     fn fail_op(&mut self, ctx: &mut Ctx<'_, Ev>, op_id: u64, error: IoError) {
         let Some(op) = self.ops.remove(&op_id) else {
             return;
         };
         self.parts.retain(|_, s| s.op != op_id);
+        self.list_parts.retain(|_, s| s.op != op_id);
         self.failures += 1;
         ctx.send(
             op.reply_to,
@@ -233,6 +295,33 @@ impl PvfsClient {
             self.retries += 1;
             self.send_part(ctx, token, &state, delay);
             self.parts.insert(token, state);
+            return;
+        }
+        if let Some(state) = self.list_parts.get_mut(&token) {
+            if ctx.now() < state.deadline {
+                // A stale timer armed before a batch arrived; progress
+                // pushed the real deadline out.
+                return;
+            }
+            if state.attempts >= self.retry.max_retries {
+                let op = state.op;
+                self.fail_op(ctx, op, IoError::DataServerTimeout);
+                return;
+            }
+            let delay = backoff_delay(
+                state.attempts,
+                self.retry.base_backoff,
+                self.retry.max_backoff,
+            );
+            state.attempts += 1;
+            self.retries += 1;
+            let mut state = self.list_parts.remove(&token).unwrap();
+            state.deadline = ctx
+                .now()
+                .saturating_add(delay)
+                .saturating_add(self.retry.timeout);
+            self.send_list_part(ctx, token, &state, delay);
+            self.list_parts.insert(token, state);
             return;
         }
         if let Some(open) = self.opens.get_mut(&token) {
@@ -368,6 +457,74 @@ impl PvfsClient {
                     self.parts.insert(token, state);
                 }
             }
+            ClientReq::ReadList {
+                file,
+                regions,
+                reply_to,
+                tag,
+            } => {
+                if let Err(e) = validate_regions(&regions) {
+                    panic!("ReadList with invalid region list: {e}");
+                }
+                let meta = self
+                    .files
+                    .get(&file)
+                    .unwrap_or_else(|| panic!("read of unopened file {file}"))
+                    .clone();
+                let total: u64 = regions.iter().map(|r| r.len).sum();
+                // One aggregated request per involved server: each logical
+                // region contributes its per-server ranges, concatenated in
+                // logical order (local offsets are monotone per server, so
+                // the per-server lists stay sorted and non-overlapping).
+                let mut lists: Vec<Vec<Region>> = vec![Vec::new(); self.iods.len()];
+                for lr in &regions {
+                    for r in meta.layout.map_extent(lr.offset, lr.len) {
+                        lists[r.server as usize].push(Region::new(r.local_offset, r.len));
+                    }
+                }
+                let involved = lists.iter().filter(|l| !l.is_empty()).count();
+                if involved == 0 {
+                    ctx.send(
+                        reply_to,
+                        Ev::User(parblast_hwsim::Envelope::local(ClientResp::ReadDone {
+                            tag,
+                            latency: SimTime::ZERO,
+                            len: 0,
+                        })),
+                    );
+                    return;
+                }
+                let op = self.next_op;
+                self.next_op += 1;
+                self.ops.insert(
+                    op,
+                    PendingOp {
+                        kind: OpKind::Read,
+                        remaining: involved as u32,
+                        reply_to,
+                        tag,
+                        started: ctx.now(),
+                        len: total,
+                    },
+                );
+                for (server, list) in lists.into_iter().enumerate() {
+                    if list.is_empty() {
+                        continue;
+                    }
+                    let token = ctx.fresh_token();
+                    let state = ListPartState {
+                        op,
+                        server,
+                        file,
+                        regions: list,
+                        served: 0,
+                        attempts: 0,
+                        deadline: ctx.now().saturating_add(self.retry.timeout),
+                    };
+                    self.send_list_part(ctx, token, &state, SimTime::ZERO);
+                    self.list_parts.insert(token, state);
+                }
+            }
             ClientReq::Write {
                 file,
                 offset,
@@ -423,6 +580,38 @@ impl PvfsClient {
         }
     }
 
+    /// Accept one streamed batch of a list request.
+    fn on_list_resp(&mut self, ctx: &mut Ctx<'_, Ev>, r: IodReadListResp) {
+        // Unknown tokens: stragglers of completed or failed operations.
+        let Some(state) = self.list_parts.get_mut(&r.token) else {
+            return;
+        };
+        if !r.corrupt.is_empty() {
+            // Checksum mismatch with no redundant copy: non-retryable,
+            // exactly like the per-stripe path (the retry budget is never
+            // spent on corruption).
+            let op = state.op;
+            self.fail_op(ctx, op, IoError::Corrupt);
+            return;
+        }
+        if r.first != state.served as u64 {
+            // Stale or duplicate batch from a superseded attempt.
+            return;
+        }
+        state.served += r.count as usize;
+        if state.served < state.regions.len() {
+            // More batches are coming; progress pushes the timeout out.
+            if self.retry.enabled() {
+                state.deadline = ctx.now().saturating_add(self.retry.timeout);
+                ctx.wake_in(self.retry.timeout, Ev::Timer(r.token));
+            }
+            return;
+        }
+        let op_id = state.op;
+        self.list_parts.remove(&r.token);
+        self.finish_part_of(ctx, op_id);
+    }
+
     fn part_done(&mut self, ctx: &mut Ctx<'_, Ev>, token: u64) {
         // Unknown tokens are expected under retries: a duplicate answer to a
         // re-sent request, or a straggler of an operation that already
@@ -430,7 +619,12 @@ impl PvfsClient {
         let Some(state) = self.parts.remove(&token) else {
             return;
         };
-        let op_id = state.op;
+        self.finish_part_of(ctx, state.op);
+    }
+
+    /// One per-server part of `op_id` fully delivered; complete the
+    /// operation when it was the last.
+    fn finish_part_of(&mut self, ctx: &mut Ctx<'_, Ev>, op_id: u64) {
         let Some(op) = self.ops.get_mut(&op_id) else {
             return;
         };
@@ -512,9 +706,12 @@ impl Component<Ev> for PvfsClient {
                             self.fail_op(ctx, state.op, IoError::Corrupt);
                         }
                     }
-                    Err(other) => match other.downcast::<IodWriteResp>() {
-                        Ok(w) => self.part_done(ctx, w.token),
-                        Err(_) => debug_assert!(false, "client got unknown message"),
+                    Err(other) => match other.downcast::<IodReadListResp>() {
+                        Ok(r) => self.on_list_resp(ctx, *r),
+                        Err(other) => match other.downcast::<IodWriteResp>() {
+                            Ok(w) => self.part_done(ctx, w.token),
+                            Err(_) => debug_assert!(false, "client got unknown message"),
+                        },
                     },
                 },
             },

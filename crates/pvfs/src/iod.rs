@@ -12,11 +12,32 @@ use std::collections::{BTreeSet, VecDeque};
 use parblast_hwsim::{Ev, FaultCmd, FsMsg, NetSend};
 use parblast_simcore::{CompId, Component, Ctx, SimTime, Summary};
 
-use crate::msg::{IodRead, IodReadResp, IodWrite, IodWriteResp, CTRL_BYTES};
+use crate::msg::{
+    validate_regions, IodRead, IodReadList, IodReadListResp, IodReadResp, IodWrite, IodWriteResp,
+    CTRL_BYTES, LIST_REGION_CAP,
+};
+
+/// In-progress list-I/O request: the daemon walks the regions through the
+/// local file system one at a time (it is single-threaded, like a real
+/// iod) and ships them back in order as batches of at most
+/// [`LIST_REGION_CAP`] regions.
+#[derive(Debug)]
+struct ListJob {
+    req: IodReadList,
+    /// Next region index (relative to `req.regions`) to pass to the FS.
+    next: usize,
+    /// First relative index of the batch currently being accumulated.
+    batch_start: usize,
+    /// Data bytes accumulated in the current batch.
+    batch_bytes: u64,
+    /// Corrupt local stripe indices found in the current batch.
+    batch_corrupt: Vec<u64>,
+}
 
 #[derive(Debug)]
 enum Job {
     Read(IodRead),
+    ReadList(ListJob),
     Write(IodWrite),
 }
 
@@ -49,6 +70,10 @@ pub struct Iod {
     /// a write fully overwrites the stripe (which recomputes its checksum).
     corrupt: BTreeSet<(u64, u64)>,
     reads: u64,
+    /// Of `reads`, how many were aggregated list-I/O requests…
+    list_reads: u64,
+    /// …and how many regions those lists carried in total.
+    list_regions: u64,
     writes: u64,
     bytes_read: u64,
     bytes_written: u64,
@@ -73,6 +98,8 @@ impl Iod {
             file_base: 1 << 20,
             corrupt: BTreeSet::new(),
             reads: 0,
+            list_reads: 0,
+            list_regions: 0,
             writes: 0,
             bytes_read: 0,
             bytes_written: 0,
@@ -86,9 +113,17 @@ impl Iod {
         self.overhead = overhead;
     }
 
-    /// `(reads, bytes_read, writes, bytes_written)` served.
+    /// `(reads, bytes_read, writes, bytes_written)` served. A list-I/O
+    /// request counts as **one** read regardless of how many regions it
+    /// carries — `reads` is the request count the aggregation collapses.
     pub fn stats(&self) -> (u64, u64, u64, u64) {
         (self.reads, self.bytes_read, self.writes, self.bytes_written)
+    }
+
+    /// `(list requests, total regions carried by them)` served, for the
+    /// request-count-collapse accounting in benchmarks.
+    pub fn list_stats(&self) -> (u64, u64) {
+        (self.list_reads, self.list_regions)
     }
 
     /// Request queue-delay summary (time from arrival to service start).
@@ -158,6 +193,25 @@ impl Iod {
                     }),
                 );
             }
+            Job::ReadList(l) => {
+                // The per-request overhead is paid once, here; the
+                // remaining regions of the list follow back-to-back with
+                // no further fixed cost — that is the aggregation win.
+                let r = l.req.regions[l.next];
+                ctx.schedule_in(
+                    overhead,
+                    self.fs,
+                    Ev::Fs(FsMsg::Read {
+                        file: self.file_base + l.req.file,
+                        offset: r.offset,
+                        len: r.len,
+                        mmap: false,
+                        unit: self.io_unit,
+                        reply_to: ctx.self_id(),
+                        tag: self.generation,
+                    }),
+                );
+            }
             Job::Write(w) => {
                 ctx.schedule_in(
                     overhead,
@@ -179,13 +233,72 @@ impl Iod {
     /// Forwarded writes whose mirror ack the client is waiting on:
     /// mirror-token → (client node, client comp, client token, len).
     fn finish_current(&mut self, ctx: &mut Ctx<'_, Ev>) {
-        let Some((_, job)) = self.current.take() else {
+        let Some((arrived, job)) = self.current.take() else {
             // A crash reset discarded the in-flight job.
             self.busy = false;
             return;
         };
         self.busy = false;
         match job {
+            Job::ReadList(mut l) => {
+                // Region `next` just came off the platter: fold it into
+                // the outgoing batch.
+                let region = l.req.regions[l.next];
+                self.bytes_read += region.len;
+                l.batch_bytes += region.len;
+                l.batch_corrupt
+                    .extend(self.corrupt_in(l.req.file, region.offset, region.len));
+                l.next += 1;
+                let finished = l.next == l.req.regions.len();
+                if finished {
+                    self.reads += 1;
+                    self.list_reads += 1;
+                    self.list_regions += l.req.regions.len() as u64;
+                }
+                if finished || l.next - l.batch_start == LIST_REGION_CAP {
+                    // Flush the batch: one response message carrying the
+                    // accumulated data bytes, streamed back in list order.
+                    ctx.send(
+                        self.net,
+                        Ev::Net(NetSend {
+                            src_node: self.node,
+                            dst_node: l.req.reply_node,
+                            bytes: l.batch_bytes + CTRL_BYTES,
+                            dst: l.req.reply,
+                            payload: Box::new(IodReadListResp {
+                                token: l.req.token,
+                                first: l.req.first + l.batch_start as u64,
+                                count: (l.next - l.batch_start) as u64,
+                                len: l.batch_bytes,
+                                done: finished,
+                                corrupt: std::mem::take(&mut l.batch_corrupt),
+                            }),
+                        }),
+                    );
+                    l.batch_start = l.next;
+                    l.batch_bytes = 0;
+                }
+                if !finished {
+                    // Next region follows immediately: the daemon stays
+                    // busy serving this one list request.
+                    self.busy = true;
+                    let r = l.req.regions[l.next];
+                    ctx.send(
+                        self.fs,
+                        Ev::Fs(FsMsg::Read {
+                            file: self.file_base + l.req.file,
+                            offset: r.offset,
+                            len: r.len,
+                            mmap: false,
+                            unit: self.io_unit,
+                            reply_to: ctx.self_id(),
+                            tag: self.generation,
+                        }),
+                    );
+                    self.current = Some((arrived, Job::ReadList(l)));
+                    return;
+                }
+            }
             Job::Read(r) => {
                 self.reads += 1;
                 self.bytes_read += r.len;
@@ -271,32 +384,53 @@ impl Component<Ev> for Iod {
                 let payload = env.payload;
                 let job = match payload.downcast::<IodRead>() {
                     Ok(r) => Job::Read(*r),
-                    Err(other) => match other.downcast::<IodWrite>() {
-                        Ok(w) => Job::Write(*w),
-                        Err(other) => match other.downcast::<IodWriteResp>() {
-                            Ok(ack) => {
-                                // Mirror ack of a server-sync duplex write:
-                                // release the waiting client.
-                                if let Some((cnode, ccomp, ctoken, len)) =
-                                    self.awaiting_mirror.remove(&ack.token)
-                                {
-                                    ctx.send(
-                                        self.net,
-                                        Ev::Net(NetSend {
-                                            src_node: self.node,
-                                            dst_node: cnode,
-                                            bytes: CTRL_BYTES,
-                                            dst: ccomp,
-                                            payload: Box::new(IodWriteResp { token: ctoken, len }),
-                                        }),
-                                    );
+                    Err(other) => match other.downcast::<IodReadList>() {
+                        Ok(list) => {
+                            // A server never acts on a malformed list: the
+                            // framing layer rejects it before any platter
+                            // time is spent.
+                            if validate_regions(&list.regions).is_err() {
+                                debug_assert!(false, "iod got invalid region list");
+                                return;
+                            }
+                            Job::ReadList(ListJob {
+                                req: *list,
+                                next: 0,
+                                batch_start: 0,
+                                batch_bytes: 0,
+                                batch_corrupt: Vec::new(),
+                            })
+                        }
+                        Err(other) => match other.downcast::<IodWrite>() {
+                            Ok(w) => Job::Write(*w),
+                            Err(other) => match other.downcast::<IodWriteResp>() {
+                                Ok(ack) => {
+                                    // Mirror ack of a server-sync duplex write:
+                                    // release the waiting client.
+                                    if let Some((cnode, ccomp, ctoken, len)) =
+                                        self.awaiting_mirror.remove(&ack.token)
+                                    {
+                                        ctx.send(
+                                            self.net,
+                                            Ev::Net(NetSend {
+                                                src_node: self.node,
+                                                dst_node: cnode,
+                                                bytes: CTRL_BYTES,
+                                                dst: ccomp,
+                                                payload: Box::new(IodWriteResp {
+                                                    token: ctoken,
+                                                    len,
+                                                }),
+                                            }),
+                                        );
+                                    }
+                                    return;
                                 }
-                                return;
-                            }
-                            Err(_) => {
-                                debug_assert!(false, "iod got unknown message");
-                                return;
-                            }
+                                Err(_) => {
+                                    debug_assert!(false, "iod got unknown message");
+                                    return;
+                                }
+                            },
                         },
                     },
                 };

@@ -33,8 +33,10 @@ pub use iod::Iod;
 pub use layout::{LocalRange, StripeLayout};
 pub use meta::{FileMeta, MetaServer};
 pub use msg::{
-    ClientReq, ClientResp, IoError, IodRead, IodReadResp, IodWrite, IodWriteResp, MetaOpen,
-    MetaOpenResp, CTRL_BYTES,
+    decode_read_list, encode_read_list, list_req_wire_bytes, validate_regions, ClientReq,
+    ClientResp, IoError, IodRead, IodReadList, IodReadListResp, IodReadResp, IodWrite,
+    IodWriteResp, ListFrameError, MetaOpen, MetaOpenResp, Region, CTRL_BYTES, LIST_MAGIC,
+    LIST_REGION_CAP, LIST_VERSION,
 };
 pub use retry::{backoff_delay, RetryPolicy};
 

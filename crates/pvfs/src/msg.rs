@@ -11,6 +11,173 @@ use crate::layout::StripeLayout;
 /// Approximate wire size of a control message (request headers, acks).
 pub const CTRL_BYTES: u64 = 128;
 
+/// Most regions a data server packs into one [`IodReadListResp`] batch.
+/// Longer lists are split automatically: the daemon streams back batches
+/// of at most this many regions, each flagged `done: false` until the
+/// final one. Bounding the batch keeps any single response (and the
+/// buffer it describes) a few megabytes at the 64 KB stripe size.
+pub const LIST_REGION_CAP: usize = 32;
+
+/// One `(offset, len)` region of a list-I/O request. Offsets are
+/// server-local for [`IodReadList`] and logical for
+/// [`ClientReq::ReadList`]; either way a valid list is sorted by offset,
+/// free of overlaps, and contains no zero-length regions
+/// (see [`validate_regions`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Region {
+    /// Byte offset of the region.
+    pub offset: u64,
+    /// Length in bytes (never zero in a valid list).
+    pub len: u64,
+}
+
+impl Region {
+    /// Shorthand constructor.
+    pub fn new(offset: u64, len: u64) -> Self {
+        Region { offset, len }
+    }
+}
+
+/// Why a `ReadList` frame or region list was rejected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ListFrameError {
+    /// The list carries no regions at all.
+    Empty,
+    /// Region at this index has `len == 0`.
+    ZeroLen(usize),
+    /// Region at this index starts before the previous region.
+    Unsorted(usize),
+    /// Region at this index overlaps the previous region.
+    Overlap(usize),
+    /// The byte frame ended before the declared region count.
+    Truncated,
+    /// The frame does not start with [`LIST_MAGIC`].
+    BadMagic,
+    /// Unknown frame version.
+    BadVersion(u8),
+}
+
+impl std::fmt::Display for ListFrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ListFrameError::Empty => write!(f, "region list is empty"),
+            ListFrameError::ZeroLen(i) => write!(f, "region {i} has zero length"),
+            ListFrameError::Unsorted(i) => write!(f, "region {i} is out of order"),
+            ListFrameError::Overlap(i) => write!(f, "region {i} overlaps its predecessor"),
+            ListFrameError::Truncated => write!(f, "frame truncated"),
+            ListFrameError::BadMagic => write!(f, "bad frame magic"),
+            ListFrameError::BadVersion(v) => write!(f, "unknown frame version {v}"),
+        }
+    }
+}
+
+/// Magic number opening every `ReadList` wire frame (`"PVL1"` bytes).
+pub const LIST_MAGIC: u32 = 0x5056_4C31;
+
+/// Current `ReadList` frame version.
+pub const LIST_VERSION: u8 = 1;
+
+/// Check that `regions` form a valid list: non-empty, every region
+/// non-zero length, sorted by offset, no overlaps. Adjacent regions are
+/// legal (the requester may keep stripe boundaries visible).
+pub fn validate_regions(regions: &[Region]) -> Result<(), ListFrameError> {
+    if regions.is_empty() {
+        return Err(ListFrameError::Empty);
+    }
+    let mut end = 0u64;
+    for (i, r) in regions.iter().enumerate() {
+        if r.len == 0 {
+            return Err(ListFrameError::ZeroLen(i));
+        }
+        if i > 0 {
+            if r.offset < regions[i - 1].offset {
+                return Err(ListFrameError::Unsorted(i));
+            }
+            if r.offset < end {
+                return Err(ListFrameError::Overlap(i));
+            }
+        }
+        end = r.offset + r.len;
+    }
+    Ok(())
+}
+
+/// Wire size of an encoded `ReadList` request frame carrying `regions`
+/// regions: 33-byte header plus 16 bytes per region. This is what a
+/// client charges the network for one aggregated request (instead of
+/// [`CTRL_BYTES`] per stripe).
+pub fn list_req_wire_bytes(regions: usize) -> u64 {
+    33 + 16 * regions as u64
+}
+
+/// Encode a `ReadList` request frame (little-endian):
+/// magic `u32`, version `u8`, token `u64`, file `u64`, first `u64`,
+/// count `u32`, then count × (offset `u64`, len `u64`).
+/// The list is validated first; invalid lists never hit the wire.
+pub fn encode_read_list(
+    token: u64,
+    file: u64,
+    first: u64,
+    regions: &[Region],
+) -> Result<Vec<u8>, ListFrameError> {
+    validate_regions(regions)?;
+    let mut out = Vec::with_capacity(list_req_wire_bytes(regions.len()) as usize);
+    out.extend_from_slice(&LIST_MAGIC.to_le_bytes());
+    out.push(LIST_VERSION);
+    out.extend_from_slice(&token.to_le_bytes());
+    out.extend_from_slice(&file.to_le_bytes());
+    out.extend_from_slice(&first.to_le_bytes());
+    out.extend_from_slice(&(regions.len() as u32).to_le_bytes());
+    for r in regions {
+        out.extend_from_slice(&r.offset.to_le_bytes());
+        out.extend_from_slice(&r.len.to_le_bytes());
+    }
+    Ok(out)
+}
+
+fn take<const N: usize>(buf: &[u8], at: &mut usize) -> Result<[u8; N], ListFrameError> {
+    let end = *at + N;
+    if end > buf.len() {
+        return Err(ListFrameError::Truncated);
+    }
+    let mut out = [0u8; N];
+    out.copy_from_slice(&buf[*at..end]);
+    *at = end;
+    Ok(out)
+}
+
+/// Decode and validate a `ReadList` request frame produced by
+/// [`encode_read_list`]. Returns `(token, file, first, regions)`.
+/// Rejects bad magic/version, truncated frames, trailing garbage, and
+/// any region list [`validate_regions`] would refuse — a server never
+/// acts on a malformed list.
+pub fn decode_read_list(frame: &[u8]) -> Result<(u64, u64, u64, Vec<Region>), ListFrameError> {
+    let mut at = 0usize;
+    let magic = u32::from_le_bytes(take::<4>(frame, &mut at)?);
+    if magic != LIST_MAGIC {
+        return Err(ListFrameError::BadMagic);
+    }
+    let version = take::<1>(frame, &mut at)?[0];
+    if version != LIST_VERSION {
+        return Err(ListFrameError::BadVersion(version));
+    }
+    let token = u64::from_le_bytes(take::<8>(frame, &mut at)?);
+    let file = u64::from_le_bytes(take::<8>(frame, &mut at)?);
+    let first = u64::from_le_bytes(take::<8>(frame, &mut at)?);
+    let count = u32::from_le_bytes(take::<4>(frame, &mut at)?) as usize;
+    let mut regions = Vec::with_capacity(count.min(4096));
+    for _ in 0..count {
+        let offset = u64::from_le_bytes(take::<8>(frame, &mut at)?);
+        let len = u64::from_le_bytes(take::<8>(frame, &mut at)?);
+        regions.push(Region { offset, len });
+    }
+    if at != frame.len() {
+        return Err(ListFrameError::Truncated);
+    }
+    validate_regions(&regions)?;
+    Ok((token, file, first, regions))
+}
+
 /// Application-facing request to a PVFS client component.
 #[derive(Debug, Clone)]
 pub enum ClientReq {
@@ -31,6 +198,22 @@ pub enum ClientReq {
         offset: u64,
         /// Length in bytes.
         len: u64,
+        /// Completion recipient.
+        reply_to: CompId,
+        /// Correlation tag.
+        tag: u64,
+    },
+    /// Read a *list* of logical extents with one aggregated request per
+    /// involved data server (list I/O). Equivalent to issuing one
+    /// [`ClientReq::Read`] per region, but the per-server stripe lists
+    /// are shipped as single [`IodReadList`] requests, so the request
+    /// count collapses from regions × servers to at most one per server.
+    ReadList {
+        /// Global file id (must be open).
+        file: u64,
+        /// Logical regions to read (validated; must be sorted and
+        /// non-overlapping).
+        regions: Vec<Region>,
         /// Completion recipient.
         reply_to: CompId,
         /// Correlation tag.
@@ -168,6 +351,53 @@ pub struct IodReadResp {
     /// verification (empty = clean data). The daemon still ships the bytes;
     /// the client decides whether to fail the operation (PVFS) or re-fetch
     /// from the mirror partner and repair (CEFT-PVFS).
+    pub corrupt: Vec<u64>,
+}
+
+/// Aggregated list-I/O read request to a data server: every region the
+/// requester wants from this server, in one message, in server-local
+/// coordinates. The daemon streams the regions back **in list order** as
+/// one or more [`IodReadListResp`] batches of at most
+/// [`LIST_REGION_CAP`] regions each, paying its per-request fixed
+/// overhead once for the whole list rather than once per region.
+#[derive(Debug, Clone)]
+pub struct IodReadList {
+    /// Global file id.
+    pub file: u64,
+    /// Absolute index (in the requester's numbering) of `regions[0]`.
+    /// A failover or retry resends only the unserved tail with `first`
+    /// advanced, so late batches from the original attempt are
+    /// recognized and dropped by their stale `first`.
+    pub first: u64,
+    /// Server-local regions, sorted and non-overlapping
+    /// ([`validate_regions`] holds).
+    pub regions: Vec<Region>,
+    /// Requesting component.
+    pub reply: CompId,
+    /// Requesting component's node.
+    pub reply_node: u32,
+    /// Correlation token.
+    pub token: u64,
+}
+
+/// One streamed batch of a list-I/O response (carries `len` data bytes
+/// on the wire). The requester accepts a batch only when `first` matches
+/// the count of regions it has already received for the token, which
+/// makes duplicated or stale batches harmless.
+#[derive(Debug, Clone)]
+pub struct IodReadListResp {
+    /// Echoed token.
+    pub token: u64,
+    /// Absolute index of the first region in this batch.
+    pub first: u64,
+    /// Regions delivered in this batch (≤ [`LIST_REGION_CAP`]).
+    pub count: u64,
+    /// Data bytes delivered in this batch.
+    pub len: u64,
+    /// True on the final batch of the request.
+    pub done: bool,
+    /// Local stripe indices inside this batch whose checksum failed
+    /// (empty = clean). Same contract as [`IodReadResp::corrupt`].
     pub corrupt: Vec<u64>,
 }
 

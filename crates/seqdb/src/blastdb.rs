@@ -44,6 +44,21 @@ pub enum SeqType {
 pub trait ReadAt {
     /// Fill `buf` from absolute `offset`; must read exactly `buf.len()`.
     fn read_at(&mut self, offset: u64, buf: &mut [u8]) -> io::Result<()>;
+    /// Read every `(offset, len)` region, returning the bytes concatenated
+    /// in list order (list I/O). The default loops [`ReadAt::read_at`];
+    /// sources backed by a parallel store override it to ship one vectored
+    /// request per server instead of one per region.
+    fn read_many_at(&mut self, regions: &[(u64, u64)]) -> io::Result<Vec<u8>> {
+        let total: usize = regions.iter().map(|&(_, l)| l as usize).sum();
+        let mut out = vec![0u8; total];
+        let mut at = 0usize;
+        for &(off, len) in regions {
+            let n = len as usize;
+            self.read_at(off, &mut out[at..at + n])?;
+            at += n;
+        }
+        Ok(out)
+    }
     /// Total length in bytes.
     fn len(&mut self) -> io::Result<u64>;
     /// True when the source holds no bytes.
@@ -339,14 +354,49 @@ impl PackedVolume {
         let def_len = (total - header.defline_offset) as usize;
         let mut deflines = vec![0u8; def_len];
         src.read_at(header.defline_offset, &mut deflines)?;
+        Self::assemble(&header, &index, data, deflines)
+    }
 
+    /// [`PackedVolume::read_from`] over list I/O: after the header, the
+    /// index, packed data, and defline regions travel in ONE vectored
+    /// [`ReadAt::read_many_at`] call — one aggregated request per storage
+    /// server instead of one per region — listed in the same
+    /// index → data → deflines order the plain reader visits them, so the
+    /// traced read sequence (and of course the decoded volume) is
+    /// identical.
+    pub fn read_from_listio<R: ReadAt>(src: &mut R) -> io::Result<PackedVolume> {
+        let mut hdr = [0u8; HEADER_LEN as usize];
+        src.read_at(0, &mut hdr)?;
+        let header = VolumeHeader::from_bytes(&hdr)?;
+        let index_len = (header.nseq * INDEX_ENTRY_LEN) as usize;
+        let data_len = (header.index_offset - HEADER_LEN) as usize;
+        let total = src.len()?;
+        let def_len = (total - header.defline_offset) as usize;
+        let blob = src.read_many_at(&[
+            (header.index_offset, index_len as u64),
+            (HEADER_LEN, data_len as u64),
+            (header.defline_offset, def_len as u64),
+        ])?;
+        let index = blob[..index_len].to_vec();
+        let data = blob[index_len..index_len + data_len].to_vec();
+        let deflines = blob[index_len + data_len..].to_vec();
+        Self::assemble(&header, &index, data, deflines)
+    }
+
+    /// Shared parse tail: build the volume from its four raw regions.
+    fn assemble(
+        header: &VolumeHeader,
+        index: &[u8],
+        data: Vec<u8>,
+        deflines: Vec<u8>,
+    ) -> io::Result<PackedVolume> {
         let mut entries = Vec::with_capacity(header.nseq as usize);
         for i in 0..header.nseq as usize {
             let at = i * INDEX_ENTRY_LEN as usize;
-            let data_start = (get_u64(&index, at) - HEADER_LEN) as usize;
-            let nres = get_u64(&index, at + 8) as usize;
-            let def_start = get_u64(&index, at + 16) as usize;
-            let dlen = get_u64(&index, at + 24) as usize;
+            let data_start = (get_u64(index, at) - HEADER_LEN) as usize;
+            let nres = get_u64(index, at + 8) as usize;
+            let def_start = get_u64(index, at + 16) as usize;
+            let dlen = get_u64(index, at + 24) as usize;
             let stored = match header.seq_type {
                 SeqType::Nucleotide => nres.div_ceil(4),
                 SeqType::Protein => nres,

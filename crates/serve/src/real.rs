@@ -138,6 +138,7 @@ mod tests {
             tracer: tracer.clone(),
             parallelization: Parallelization::DatabaseSegmentation,
             prefetch: true,
+            list_io: false,
         };
         let read_bytes = |t: &Tracer| -> u64 {
             t.events()
@@ -178,6 +179,7 @@ mod tests {
             tracer: Tracer::new(),
             parallelization: Parallelization::DatabaseSegmentation,
             prefetch: true,
+            list_io: false,
         };
         let plain = serve_batched(&job, &queries, 5).unwrap();
         let scrubbed = serve_batched_scrubbed(&job, &queries, 5, Some(8 << 20)).unwrap();

@@ -69,6 +69,7 @@ fn main() -> std::io::Result<()> {
             tracer: tracer.clone(),
             parallelization: Parallelization::DatabaseSegmentation,
             prefetch: true,
+            list_io: false,
         };
         let out = job.run(&query)?;
         let s = tracer.summary();

@@ -116,6 +116,7 @@ fn main() -> std::io::Result<()> {
         tracer: Tracer::disabled(),
         parallelization: Parallelization::DatabaseSegmentation,
         prefetch: true,
+        list_io: false,
     };
     let batch = job.run_batch(&queries.iter().map(|(_, c)| c.clone()).collect::<Vec<_>>())?;
     for ((qid, _), hits) in queries.iter().zip(&batch.per_query) {

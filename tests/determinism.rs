@@ -221,6 +221,7 @@ fn batched_serving_is_byte_identical_to_sequential() {
             tracer: Tracer::new(),
             parallelization: Parallelization::DatabaseSegmentation,
             prefetch: false,
+            list_io: false,
         };
         let batched = serve_batched(&job, &queries, 3).unwrap();
         let sequential = serve_batched(&job, &queries, 1).unwrap();
@@ -305,6 +306,7 @@ fn prefetch_on_and_off_agree_hit_for_hit() {
                     tracer: Tracer::disabled(),
                     parallelization: Parallelization::DatabaseSegmentation,
                     prefetch,
+                    list_io: false,
                 };
                 let out = job.run(&query).unwrap();
                 digests.push((which.to_string(), prefetch, format!("{:?}", out.hits)));
@@ -321,6 +323,202 @@ fn prefetch_on_and_off_agree_hit_for_hit() {
         assert_eq!(digests[0].2, digests[2].2, "seed {seed}: pvfs vs original");
         assert_eq!(digests[0].2, digests[4].2, "seed {seed}: ceft vs original");
         std::fs::remove_dir_all(&base).ok();
+    }
+}
+
+/// List-I/O aggregation may only collapse *requests*, never change what
+/// is read or found: for every seed and every scheme, the merged hits AND
+/// every fragment's traced read block (header, index, data, deflines — in
+/// order, with exact byte counts) are identical with list I/O on and off.
+/// Blocks are compared as a sorted multiset because which worker thread
+/// claims which fragment races between runs; the per-fragment read
+/// sequence itself must not change. (The simulated twin below pins full
+/// per-worker sequences, where scheduling is deterministic.)
+#[test]
+fn list_io_on_and_off_agree_hit_for_hit_and_trace_for_trace() {
+    use parblast::blast::{DbStats, Program, SearchParams};
+    use parblast::mpiblast::{IoKind, ParallelBlast, Parallelization, Scheme, Tracer};
+    use parblast::seqdb::{
+        extract_query, segment_into_fragments, SeqType, SyntheticConfig, SyntheticNt,
+    };
+    use std::collections::BTreeMap;
+
+    for seed in SEEDS {
+        let base =
+            std::env::temp_dir().join(format!("determinism_listio_{seed}_{}", std::process::id()));
+        std::fs::create_dir_all(&base).unwrap();
+        let mut g = SyntheticNt::new(SyntheticConfig {
+            total_residues: 200_000,
+            seed,
+            ..Default::default()
+        });
+        let mut seqs = vec![];
+        while let Some(x) = g.next() {
+            seqs.push(x);
+        }
+        let query = extract_query(&seqs[2].1, 450, 0.02, seed);
+        let db = DbStats {
+            residues: g.residues(),
+            nseq: g.sequences(),
+        };
+        let infos =
+            segment_into_fragments(&base.join("fmt"), "nt", SeqType::Nucleotide, 4, seqs).unwrap();
+        let frag_bytes: Vec<(String, Vec<u8>)> = infos
+            .iter()
+            .map(|info| {
+                (
+                    info.path
+                        .file_name()
+                        .unwrap()
+                        .to_string_lossy()
+                        .into_owned(),
+                    std::fs::read(&info.path).unwrap(),
+                )
+            })
+            .collect();
+        for which in ["original", "pvfs", "ceft"] {
+            let mut runs: Vec<(String, Vec<Vec<u64>>)> = Vec::new();
+            for list_io in [false, true] {
+                let root = base.join(format!("{which}_{list_io}"));
+                let scheme = match which {
+                    "original" => Scheme::local_at(&root, 2).unwrap(),
+                    "pvfs" => Scheme::pvfs_at(&root, 4, 64 << 10).unwrap(),
+                    _ => Scheme::ceft_at(&root, 2, 64 << 10).unwrap(),
+                };
+                let mut fragments = vec![];
+                for (name, bytes) in &frag_bytes {
+                    scheme.load_fragment(name, bytes).unwrap();
+                    fragments.push(name.clone());
+                }
+                let tracer = Tracer::new();
+                let job = ParallelBlast {
+                    program: Program::Blastn,
+                    params: SearchParams::blastn(),
+                    db,
+                    fragments,
+                    workers: 2,
+                    scheme,
+                    tracer: tracer.clone(),
+                    parallelization: Parallelization::DatabaseSegmentation,
+                    prefetch: false,
+                    list_io,
+                };
+                let out = job.run(&query).unwrap();
+                // Split each worker's in-order read stream into per-fragment
+                // blocks: every volume load starts with the fixed-size
+                // header read.
+                let mut per_worker: BTreeMap<u32, Vec<u64>> = BTreeMap::new();
+                for e in tracer.events() {
+                    if matches!(e.kind, IoKind::Read) {
+                        per_worker.entry(e.worker).or_default().push(e.bytes);
+                    }
+                }
+                let header = per_worker.values().next().unwrap()[0];
+                let mut blocks: Vec<Vec<u64>> = Vec::new();
+                for seq in per_worker.values() {
+                    for b in seq {
+                        if *b == header {
+                            blocks.push(Vec::new());
+                        }
+                        blocks.last_mut().unwrap().push(*b);
+                    }
+                }
+                blocks.sort();
+                runs.push((format!("{:?}", out.hits), blocks));
+            }
+            assert_eq!(
+                runs[0].0, runs[1].0,
+                "seed {seed} scheme {which}: list I/O changed the hits"
+            );
+            assert_eq!(
+                runs[0].1, runs[1].1,
+                "seed {seed} scheme {which}: list I/O changed a fragment's \
+                 read sequence"
+            );
+        }
+        std::fs::remove_dir_all(&base).ok();
+    }
+}
+
+/// Simulated twin of the pin above, plus the collapse itself: for every
+/// seed and every scheme, turning list I/O on leaves each simulated
+/// worker's traced read sequence and byte totals unchanged while the
+/// servers field strictly fewer (aggregated) read requests.
+#[test]
+fn sim_list_io_preserves_per_worker_reads_while_collapsing_requests() {
+    use parblast::mpiblast::{IoKind, Tracer};
+    use std::collections::BTreeMap;
+
+    let schemes = [
+        ("original", SimScheme::Original),
+        (
+            "pvfs",
+            SimScheme::Pvfs {
+                servers: vec![0, 1, 2, 3],
+            },
+        ),
+        (
+            "ceft",
+            SimScheme::Ceft {
+                primary: vec![0, 1],
+                mirror: vec![2, 3],
+            },
+        ),
+    ];
+    for seed in SEEDS {
+        for (name, scheme) in &schemes {
+            let mut runs = Vec::new();
+            for list_io in [false, true] {
+                let tracer = Tracer::simulated();
+                let cfg = SimBlastConfig {
+                    nodes: 5,
+                    workers: 4,
+                    fragments: 4,
+                    db_bytes: 64 << 20,
+                    scheme: scheme.clone(),
+                    master_node: 4,
+                    warmup_s: 1.0,
+                    horizon_s: 400.0,
+                    seed,
+                    list_io,
+                    io_tracer: Some(tracer.clone()),
+                    ..Default::default()
+                };
+                let out = run_simblast(&cfg);
+                assert!(out.completed, "seed {seed} {name} list_io={list_io}");
+                let mut per_worker: BTreeMap<u32, Vec<(IoKind, u64)>> = BTreeMap::new();
+                for e in tracer.events() {
+                    if matches!(e.kind, IoKind::Read) {
+                        per_worker
+                            .entry(e.worker)
+                            .or_default()
+                            .push((e.kind, e.bytes));
+                    }
+                }
+                let bytes: u64 = out.per_worker.iter().map(|w| w.bytes_read).sum();
+                runs.push((per_worker, bytes, out));
+            }
+            assert_eq!(
+                runs[0].0, runs[1].0,
+                "seed {seed} {name}: list I/O changed a worker's read sequence"
+            );
+            assert_eq!(
+                runs[0].1, runs[1].1,
+                "seed {seed} {name}: list I/O changed the bytes read"
+            );
+            if *name != "original" {
+                let (off, on) = (&runs[0].2, &runs[1].2);
+                assert_eq!(off.server_list_reads, 0, "seed {seed} {name}");
+                assert!(on.server_list_reads > 0, "seed {seed} {name}");
+                assert!(
+                    on.server_reads < off.server_reads,
+                    "seed {seed} {name}: aggregation must collapse requests \
+                     ({} vs {})",
+                    on.server_reads,
+                    off.server_reads
+                );
+            }
+        }
     }
 }
 
@@ -394,6 +592,7 @@ fn scrub_on_and_off_agree_report_for_report() {
                 tracer: Tracer::disabled(),
                 parallelization: Parallelization::DatabaseSegmentation,
                 prefetch: true,
+                list_io: false,
             };
             let off = serve_batched(&job, &queries, 3).unwrap();
             let on = serve_batched_scrubbed(&job, &queries, 3, Some(4 << 20)).unwrap();

@@ -150,19 +150,6 @@ fn segmented_search_equals_whole_database_search() {
         scheme.load_fragment(&name, &bytes).unwrap();
         fragments.push(name);
     }
-    let job = ParallelBlast {
-        program: Program::Blastn,
-        params,
-        db,
-        fragments,
-        workers: 3,
-        scheme,
-        tracer: Tracer::disabled(),
-        parallelization: Parallelization::DatabaseSegmentation,
-        prefetch: true,
-    };
-    let out = job.run(&query).unwrap();
-
     let key = |hits: &[parblast::blast::Hit]| -> Vec<(String, i32)> {
         let mut v: Vec<(String, i32)> = hits
             .iter()
@@ -171,14 +158,37 @@ fn segmented_search_equals_whole_database_search() {
         v.sort();
         v
     };
-    assert_eq!(key(&whole), key(&out.hits));
-    // And E-values agree for the best hit.
-    let best_whole = whole[0].best_evalue();
-    let best_seg = out.hits[0].best_evalue();
-    assert!(
-        (best_whole.log10() - best_seg.log10()).abs() < 1e-9,
-        "{best_whole} vs {best_seg}"
-    );
+    // Equivalence must hold for every combination of the two I/O-shape
+    // knobs: fragment prefetch and list-I/O request aggregation.
+    for prefetch in [false, true] {
+        for list_io in [false, true] {
+            let job = ParallelBlast {
+                program: Program::Blastn,
+                params: params.clone(),
+                db,
+                fragments: fragments.clone(),
+                workers: 3,
+                scheme: scheme.clone(),
+                tracer: Tracer::disabled(),
+                parallelization: Parallelization::DatabaseSegmentation,
+                prefetch,
+                list_io,
+            };
+            let out = job.run(&query).unwrap();
+            assert_eq!(
+                key(&whole),
+                key(&out.hits),
+                "prefetch={prefetch} list_io={list_io}"
+            );
+            // And E-values agree for the best hit.
+            let best_whole = whole[0].best_evalue();
+            let best_seg = out.hits[0].best_evalue();
+            assert!(
+                (best_whole.log10() - best_seg.log10()).abs() < 1e-9,
+                "prefetch={prefetch} list_io={list_io}: {best_whole} vs {best_seg}"
+            );
+        }
+    }
     std::fs::remove_dir_all(&dir).ok();
 }
 

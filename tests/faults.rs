@@ -231,6 +231,129 @@ fn sim_pvfs_corruption_reports_typed_error_across_seeds() {
     }
 }
 
+// ------------------------------------------------------------ list I/O
+
+#[test]
+fn sim_ceft_list_io_crash_refetches_only_the_unserved_tail() {
+    // A primary dies while a multi-batch ReadList is in flight. The CEFT
+    // client must resend only `regions[served..]` to the mirror partner —
+    // never the whole list — so the regions the partner serves are
+    // strictly fewer than a full resend would cost.
+    let scheme = SimScheme::Ceft {
+        primary: vec![0, 1],
+        mirror: vec![2, 3],
+    };
+    let mut cfg = sim(scheme);
+    cfg.list_io = true;
+    // 128 KiB chunks over 16 MiB fragments: 128 regions per list, 64 per
+    // dual-half, i.e. two LIST_REGION_CAP batches per half — a crash can
+    // land between batches.
+    cfg.chunk = 128 << 10;
+    let clean = run_simblast(&cfg);
+    assert!(clean.completed, "clean list-I/O CEFT run must complete");
+    assert!(clean.server_list_reads > 0, "lists must be in use");
+
+    let mut faulted = cfg.clone();
+    faulted.faults = FaultSchedule::new().crash_server(SimTime::from_secs_f64(1.5), 1);
+    let out = run_simblast(&faulted);
+    assert!(
+        out.completed,
+        "CEFT list I/O must survive a primary crash: {:?}",
+        out.error
+    );
+    assert!(out.failovers > 0, "list tails must fail over to the mirror");
+    let bytes: u64 = out.per_worker.iter().map(|w| w.bytes_read).sum();
+    let clean_bytes: u64 = clean.per_worker.iter().map(|w| w.bytes_read).sum();
+    assert_eq!(
+        bytes, clean_bytes,
+        "degraded run read a different byte count"
+    );
+    // Tail-only refetch, read off the servers' own accounting: an iod
+    // counts a list's regions only when it FINISHES the list, so the dead
+    // primary's in-flight lists are never counted and the partner counts
+    // only the tail regions it was re-sent. A full-list resend would make
+    // the partner re-count every region and bring the degraded total back
+    // up to the clean total — the deficit below is exactly the batches the
+    // dead server had already delivered and the client did not re-request.
+    assert!(
+        out.server_list_regions < clean.server_list_regions,
+        "partner must be sent only the unserved tail ({} vs clean {})",
+        out.server_list_regions,
+        clean.server_list_regions
+    );
+    // The deficit is bounded by the dead server's share (~1/4 of regions).
+    assert!(
+        out.server_list_regions >= clean.server_list_regions * 3 / 4,
+        "deficit larger than the dead server's own share ({} vs clean {})",
+        out.server_list_regions,
+        clean.server_list_regions
+    );
+}
+
+#[test]
+fn sim_pvfs_list_io_retry_budget_is_counted_per_list_request() {
+    // With aggregation on, the retry budget applies to the one list
+    // request a client has outstanding at the dead server — not to every
+    // chunk it carries. Each worker burns at most `max_retries` retries
+    // before aborting, however many regions the list held.
+    let mut cfg = sim(SimScheme::Pvfs {
+        servers: vec![0, 1, 2, 3],
+    });
+    cfg.list_io = true;
+    cfg.chunk = 128 << 10; // 128 regions per fragment list
+    cfg.faults = FaultSchedule::new().crash_server(SimTime::from_secs_f64(1.5), 1);
+    let out = run_simblast(&cfg);
+    assert!(
+        !out.completed,
+        "unmirrored PVFS cannot survive a dead server"
+    );
+    let err = out.error.expect("the abort must carry the I/O error");
+    assert!(
+        err.contains("timed out"),
+        "error should name the timeout: {err}"
+    );
+    assert!(
+        out.retries > 0,
+        "the client must have retried before giving up"
+    );
+    // Each failed fragment attempt issues one list part at the dead
+    // server and burns at most `max_retries` on it; the master re-assigns
+    // each fragment up to 3 attempts. A per-region budget would spend
+    // 128 × max_retries per attempt instead.
+    let budget = RetryPolicy::default().max_retries as u64;
+    let attempts = cfg.fragments as u64 * 3;
+    assert!(
+        out.retries <= budget * attempts,
+        "retries must be budgeted per list request ({} > {budget} × \
+         {attempts} fragment attempts); a per-region budget would burn \
+         128 × {budget} per attempt",
+        out.retries
+    );
+}
+
+#[test]
+fn sim_list_io_corruption_stays_non_retryable() {
+    // Regression pin: aggregating reads into lists must not reclassify
+    // corruption as retryable. A corrupt region fails the list with the
+    // typed corruption error and burns zero retries — resending the same
+    // list cannot fix a bad disk block.
+    use parblast::mpiblast::FRAG_FILE_BASE;
+    let mut cfg = sim(SimScheme::Pvfs {
+        servers: vec![0, 1, 2, 3],
+    });
+    cfg.list_io = true;
+    cfg.faults =
+        FaultSchedule::new().corrupt_stripe(SimTime::from_secs_f64(0.5), 0, FRAG_FILE_BASE, 0);
+    let out = run_simblast(&cfg);
+    assert!(!out.completed, "PVFS cannot mask corruption");
+    let err = out.error.expect("the abort must carry the error");
+    assert!(
+        err.contains("corruption"),
+        "error must name corruption: {err}"
+    );
+    assert_eq!(out.retries, 0, "corruption is non-retryable under list I/O");
+}
+
 // -------------------------------------------------------------- real files
 
 fn tmp(tag: &str) -> PathBuf {
@@ -283,6 +406,7 @@ fn job(scheme: Scheme, fragments: Vec<String>, db: DbStats) -> ParallelBlast {
         tracer: Tracer::disabled(),
         parallelization: Parallelization::DatabaseSegmentation,
         prefetch: false,
+        list_io: false,
     }
 }
 
