@@ -55,6 +55,7 @@ pub use parblast_blast as blast;
 pub use parblast_ceft as ceft;
 pub use parblast_hwsim as hwsim;
 pub use parblast_mpiblast as mpiblast;
+pub use parblast_net as net;
 pub use parblast_pio as pio;
 pub use parblast_pvfs as pvfs;
 pub use parblast_seqdb as seqdb;
@@ -70,6 +71,7 @@ pub mod prelude {
         run_simblast, ParallelBlast, Parallelization, RunOutcome, Scheme, SimBlastConfig,
         SimOutcome, SimScheme, TraceSummary, Tracer,
     };
+    pub use parblast_net::{BlastRunner, ClientConfig, NetClient, NetServer, ServerConfig};
     pub use parblast_pio::{
         LocalStore, MirroredStore, ObjectReader, ObjectStore, ServerId, StripedStore,
     };

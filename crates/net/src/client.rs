@@ -1,0 +1,342 @@
+//! The blocking client library.
+//!
+//! [`NetClient`] speaks the [`crate::proto`] frame protocol over one TCP
+//! connection and layers the PR 1 fault policy on top: a per-attempt
+//! timeout from [`parblast_pvfs::RetryPolicy`], bounded exponential
+//! backoff via [`parblast_pvfs::backoff_delay`] between attempts, and a
+//! hard split between transient failures (timeouts, connection drops,
+//! `Failed` results — retried, with a fresh connection per attempt) and
+//! deterministic ones (`Shed` refusals and `Corrupt` results — surfaced
+//! immediately; re-sending cannot change the answer, exactly as
+//! `pvfs::retry` treats checksum mismatches).
+//!
+//! Two call styles:
+//! * [`NetClient::query`] — one query, blocking, full retry policy; what
+//!   `pb-blastall --connect` uses.
+//! * [`NetClient::submit`] + [`NetClient::recv_response`] — pipelined
+//!   submits with out-of-band completion matching by query id; what the
+//!   open-loop bench clients use (no retry: the bench wants to *see*
+//!   sheds, not paper over them).
+
+use std::io::{self, Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+use parblast_pvfs::{backoff_delay, RetryPolicy};
+use parblast_serve::Priority;
+
+use crate::proto::{encode_frame, Frame, FrameError, ResultStatus, ShedReason, StatsSnapshot};
+
+/// Per-connection client knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct ClientConfig {
+    /// Tenant id stamped on every `Submit` (quota accounting key).
+    pub tenant: u32,
+    /// Scheduling class stamped on every `Submit`.
+    pub priority: Priority,
+    /// Relative deadline in microseconds (0 = no deadline).
+    pub deadline_us: u64,
+    /// Timeout/retry/backoff policy for [`NetClient::query`].
+    pub retry: RetryPolicy,
+}
+
+impl Default for ClientConfig {
+    fn default() -> Self {
+        ClientConfig {
+            tenant: 0,
+            priority: Priority::Normal,
+            deadline_us: 0,
+            retry: RetryPolicy::default(),
+        }
+    }
+}
+
+/// Why a client call failed.
+#[derive(Debug)]
+pub enum ClientError {
+    /// The server refused the query with a typed reason. **Not retried**
+    /// by [`NetClient::query`]: the server said no on purpose, and the
+    /// `retry_after_us` hint belongs to the caller's pacing decision.
+    Shed {
+        /// The server's refusal reason.
+        reason: ShedReason,
+        /// Microseconds the server suggests waiting before retrying
+        /// (0 = no hint).
+        retry_after_us: u64,
+    },
+    /// The server executed the query and hit unrecoverable data
+    /// corruption. **Not retried** — deterministic, like
+    /// `pvfs::msg::IoError::Corrupt`.
+    Corrupt(String),
+    /// The server failed to execute the batch (retried up to the policy
+    /// budget, then surfaced).
+    Failed(String),
+    /// Transport-level failure after the retry budget was spent.
+    Io(io::Error),
+    /// The server sent bytes that do not decode as a valid frame.
+    Protocol(FrameError),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Shed {
+                reason,
+                retry_after_us,
+            } => write!(
+                f,
+                "shed by server: {reason:?} (retry after {retry_after_us} us)"
+            ),
+            ClientError::Corrupt(msg) => write!(f, "corrupt result: {msg}"),
+            ClientError::Failed(msg) => write!(f, "server-side failure: {msg}"),
+            ClientError::Io(e) => write!(f, "transport error: {e}"),
+            ClientError::Protocol(e) => write!(f, "protocol violation: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+/// One response to a pipelined submit, matched to its query by `id`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Response {
+    /// The rendered result payload.
+    Ok(Vec<u8>),
+    /// Executed, but the store is corrupt.
+    Corrupt(Vec<u8>),
+    /// Executed, but the runner failed.
+    Failed(Vec<u8>),
+    /// Refused with a typed reason and a retry hint.
+    Shed(ShedReason, u64),
+}
+
+/// A blocking client over one TCP connection to the daemon.
+pub struct NetClient {
+    addr: String,
+    stream: TcpStream,
+    reader: crate::proto::FrameReader,
+    config: ClientConfig,
+    next_id: u64,
+}
+
+impl NetClient {
+    /// Connect with the default [`ClientConfig`].
+    pub fn connect(addr: &str) -> io::Result<Self> {
+        Self::connect_with(addr, ClientConfig::default())
+    }
+
+    /// Connect with explicit knobs.
+    pub fn connect_with(addr: &str, config: ClientConfig) -> io::Result<Self> {
+        let stream = Self::dial(addr, &config)?;
+        Ok(NetClient {
+            addr: addr.to_string(),
+            stream,
+            reader: crate::proto::FrameReader::new(),
+            config,
+            next_id: 1,
+        })
+    }
+
+    fn dial(addr: &str, config: &ClientConfig) -> io::Result<TcpStream> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        if config.retry.enabled() {
+            let t = Duration::from_nanos(config.retry.timeout.as_nanos());
+            stream.set_read_timeout(Some(t))?;
+        }
+        Ok(stream)
+    }
+
+    /// The configured knobs.
+    pub fn config(&self) -> ClientConfig {
+        self.config
+    }
+
+    fn send(&mut self, frame: &Frame) -> io::Result<()> {
+        self.stream.write_all(&encode_frame(frame))
+    }
+
+    /// Blocking read of the next frame from the server. `Ok(None)` means
+    /// the server closed the connection cleanly (drain complete).
+    fn recv_frame(&mut self) -> Result<Option<Frame>, ClientError> {
+        let mut buf = [0u8; 16 * 1024];
+        loop {
+            match self.reader.next_frame() {
+                Ok(Some(f)) => return Ok(Some(f)),
+                Ok(None) => {}
+                Err(e) => return Err(ClientError::Protocol(e)),
+            }
+            match self.stream.read(&mut buf) {
+                Ok(0) => return Ok(None),
+                Ok(n) => self.reader.feed(&buf[..n]),
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(ClientError::Io(e)),
+            }
+        }
+    }
+
+    /// Pipelined submit: send one `Submit` frame, return its query id
+    /// without waiting. Pair with [`Self::recv_response`].
+    pub fn submit(&mut self, query: &[u8]) -> io::Result<u64> {
+        let id = self.next_id;
+        self.next_id += 1;
+        self.send(&Frame::Submit {
+            id,
+            tenant: self.config.tenant,
+            priority: self.config.priority,
+            deadline_us: self.config.deadline_us,
+            query: query.to_vec(),
+        })?;
+        Ok(id)
+    }
+
+    /// Blocking read of the next `Result`/`Shed` for any outstanding
+    /// submit. `Ok(None)` = server closed the connection (drained).
+    pub fn recv_response(&mut self) -> Result<Option<(u64, Response)>, ClientError> {
+        loop {
+            match self.recv_frame()? {
+                None => return Ok(None),
+                Some(Frame::Result {
+                    id,
+                    status,
+                    payload,
+                }) => {
+                    let resp = match status {
+                        ResultStatus::Ok => Response::Ok(payload),
+                        ResultStatus::Corrupt => Response::Corrupt(payload),
+                        ResultStatus::Failed => Response::Failed(payload),
+                    };
+                    return Ok(Some((id, resp)));
+                }
+                Some(Frame::Shed {
+                    id,
+                    reason,
+                    retry_after_us,
+                }) => return Ok(Some((id, Response::Shed(reason, retry_after_us)))),
+                // Out-of-band admin replies are skipped here.
+                Some(_) => continue,
+            }
+        }
+    }
+
+    /// Best-effort cancel of a previously submitted query id.
+    pub fn cancel(&mut self, id: u64) -> io::Result<()> {
+        self.send(&Frame::Cancel { id })
+    }
+
+    /// Ask the daemon for its counter snapshot.
+    pub fn stats(&mut self) -> Result<StatsSnapshot, ClientError> {
+        self.send(&Frame::Stats)?;
+        loop {
+            match self.recv_frame()? {
+                None => {
+                    return Err(ClientError::Io(io::Error::new(
+                        io::ErrorKind::UnexpectedEof,
+                        "connection closed before StatsReply",
+                    )))
+                }
+                Some(Frame::StatsReply(s)) => return Ok(s),
+                Some(_) => continue,
+            }
+        }
+    }
+
+    /// Start a graceful drain; returns the queued+in-flight count the
+    /// server acknowledged. After this, the server finishes outstanding
+    /// work, flushes results, and closes every connection.
+    pub fn drain(&mut self) -> Result<u64, ClientError> {
+        self.send(&Frame::Drain)?;
+        loop {
+            match self.recv_frame()? {
+                None => {
+                    return Err(ClientError::Io(io::Error::new(
+                        io::ErrorKind::UnexpectedEof,
+                        "connection closed before DrainAck",
+                    )))
+                }
+                Some(Frame::DrainAck { queued }) => return Ok(queued),
+                Some(_) => continue,
+            }
+        }
+    }
+
+    /// One blocking query with the full retry policy: submit, wait for
+    /// the matching response, and on a *transient* failure (transport
+    /// error, per-attempt timeout, server-side `Failed`) reconnect and
+    /// re-send after `backoff_delay(attempt)` — up to
+    /// `retry.max_retries` retries. `Shed` and `Corrupt` short-circuit:
+    /// they are deterministic answers, not losses.
+    pub fn query(&mut self, query: &[u8]) -> Result<Vec<u8>, ClientError> {
+        let policy = self.config.retry;
+        let mut last_err: Option<ClientError> = None;
+        let attempts = 1 + if policy.enabled() {
+            policy.max_retries
+        } else {
+            0
+        };
+        for attempt in 0..attempts {
+            if attempt > 0 {
+                let delay = backoff_delay(attempt - 1, policy.base_backoff, policy.max_backoff);
+                std::thread::sleep(Duration::from_nanos(delay.as_nanos()));
+                // A fresh connection: the old one may hold a half-read
+                // frame or be dead.
+                match Self::dial(&self.addr, &self.config) {
+                    Ok(s) => {
+                        self.stream = s;
+                        self.reader = crate::proto::FrameReader::new();
+                    }
+                    Err(e) => {
+                        last_err = Some(ClientError::Io(e));
+                        continue;
+                    }
+                }
+            }
+            match self.query_once(query) {
+                Ok(payload) => return Ok(payload),
+                // Deterministic outcomes: retrying cannot help.
+                Err(e @ (ClientError::Shed { .. } | ClientError::Corrupt(_))) => return Err(e),
+                Err(e) => last_err = Some(e),
+            }
+        }
+        Err(last_err.unwrap_or_else(|| {
+            ClientError::Io(io::Error::other("retry budget spent with no attempt made"))
+        }))
+    }
+
+    fn query_once(&mut self, query: &[u8]) -> Result<Vec<u8>, ClientError> {
+        let id = self.submit(query)?;
+        loop {
+            match self.recv_response()? {
+                None => {
+                    return Err(ClientError::Io(io::Error::new(
+                        io::ErrorKind::UnexpectedEof,
+                        "connection closed before result",
+                    )))
+                }
+                Some((got, resp)) if got == id => {
+                    return match resp {
+                        Response::Ok(payload) => Ok(payload),
+                        Response::Corrupt(msg) => Err(ClientError::Corrupt(
+                            String::from_utf8_lossy(&msg).into_owned(),
+                        )),
+                        Response::Failed(msg) => Err(ClientError::Failed(
+                            String::from_utf8_lossy(&msg).into_owned(),
+                        )),
+                        Response::Shed(reason, retry_after_us) => Err(ClientError::Shed {
+                            reason,
+                            retry_after_us,
+                        }),
+                    }
+                }
+                // A response for a different (older, pipelined) id.
+                Some(_) => continue,
+            }
+        }
+    }
+}

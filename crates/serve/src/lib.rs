@@ -48,7 +48,7 @@ pub mod real;
 pub mod sim;
 
 pub use batcher::{BatchExecutor, BatchPolicy, BatchResult, ScanSharingServer};
-pub use metrics::{ServeMetrics, ServeReport};
+pub use metrics::{CountersSnapshot, ServeCounters, ServeMetrics, ServeReport};
 pub use queue::{AdmissionQueue, AdmitError, Priority, Query};
 pub use real::{serve_batched, serve_batched_scrubbed, RealServeOutcome};
 pub use sim::{ScanPassCost, ServiceModel, SimExecutor};

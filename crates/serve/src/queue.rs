@@ -157,13 +157,29 @@ impl AdmissionQueue {
     /// deadline is `< now` are dropped (counted in [`Self::expired`]) and
     /// never occupy a batch slot.
     pub fn take_batch(&mut self, max: usize, now: SimTime) -> Vec<Query> {
+        self.take_batch_with_expired(max, now).0
+    }
+
+    /// [`Self::take_batch`], but also returns the queries it dropped on an
+    /// expired deadline. A networked server must answer *every* accepted
+    /// query, so it needs the expired ones back to send each a typed
+    /// response instead of silently losing them.
+    pub fn take_batch_with_expired(
+        &mut self,
+        max: usize,
+        now: SimTime,
+    ) -> (Vec<Query>, Vec<Query>) {
         let mut batch = Vec::new();
+        let mut dropped = Vec::new();
         for lane in &mut self.lanes {
             while batch.len() < max {
                 match lane.pop_front() {
                     None => break,
                     Some(q) => match q.deadline {
-                        Some(d) if d < now => self.expired += 1,
+                        Some(d) if d < now => {
+                            self.expired += 1;
+                            dropped.push(q);
+                        }
                         _ => batch.push(q),
                     },
                 }
@@ -172,7 +188,7 @@ impl AdmissionQueue {
                 break;
             }
         }
-        batch
+        (batch, dropped)
     }
 }
 
@@ -231,6 +247,20 @@ mod tests {
         let batch = aq.take_batch(4, SimTime::from_secs(10));
         assert_eq!(batch.len(), 1);
         assert_eq!(batch[0].id, 2);
+        assert_eq!(aq.expired(), 1);
+    }
+
+    #[test]
+    fn expired_queries_are_returned_for_response() {
+        let mut aq = AdmissionQueue::new(16);
+        let mut early = q(1, Priority::Normal);
+        early.deadline = Some(SimTime::from_secs(5));
+        aq.offer(early).unwrap();
+        aq.offer(q(2, Priority::Normal)).unwrap();
+        let (batch, dropped) = aq.take_batch_with_expired(4, SimTime::from_secs(10));
+        assert_eq!(batch.len(), 1);
+        assert_eq!(dropped.len(), 1);
+        assert_eq!(dropped[0].id, 1);
         assert_eq!(aq.expired(), 1);
     }
 

@@ -129,6 +129,20 @@ pub mod channel {
                 .pop_front()
         }
 
+        /// Messages currently queued.
+        pub fn len(&self) -> usize {
+            self.inner
+                .queue
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .len()
+        }
+
+        /// Is the queue currently empty?
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
+        }
+
         /// Blocking iterator over received values, ending at disconnect.
         pub fn iter(&self) -> Iter<'_, T> {
             Iter { receiver: self }

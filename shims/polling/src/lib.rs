@@ -1,0 +1,272 @@
+//! Workspace-local stand-in for `polling`.
+//!
+//! A minimal readiness poller (the subset this workspace uses): register
+//! file descriptors under integer keys, wait for read/write readiness with
+//! a timeout, and wake a blocked `wait` from another thread with
+//! [`Poller::notify`]. Unlike the real `polling` crate this shim is
+//! **level-triggered** — a source that stays readable is reported again on
+//! the next `wait` — and there is no oneshot re-arming protocol. On Unix
+//! it is a thin wrapper over `poll(2)` (via a direct FFI declaration, so
+//! no external crate is needed); the notifier is a `UnixStream` self-pipe.
+
+#![warn(missing_docs)]
+#![cfg(unix)]
+
+use std::collections::BTreeMap;
+use std::io::{self, Read, Write};
+use std::os::unix::io::{AsRawFd, RawFd};
+use std::os::unix::net::UnixStream;
+use std::sync::Mutex;
+use std::time::Duration;
+
+/// Readiness interest / readiness state for one registered source.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Event {
+    /// Caller-chosen key identifying the source.
+    pub key: usize,
+    /// Interested in (or ready for) reading.
+    pub readable: bool,
+    /// Interested in (or ready for) writing.
+    pub writable: bool,
+}
+
+impl Event {
+    /// Interest in read readiness only.
+    pub fn readable(key: usize) -> Self {
+        Event {
+            key,
+            readable: true,
+            writable: false,
+        }
+    }
+
+    /// Interest in both read and write readiness.
+    pub fn all(key: usize) -> Self {
+        Event {
+            key,
+            readable: true,
+            writable: true,
+        }
+    }
+}
+
+#[repr(C)]
+#[derive(Clone, Copy)]
+struct PollFd {
+    fd: RawFd,
+    events: i16,
+    revents: i16,
+}
+
+const POLLIN: i16 = 0x001;
+const POLLOUT: i16 = 0x004;
+const POLLERR: i16 = 0x008;
+const POLLHUP: i16 = 0x010;
+const POLLNVAL: i16 = 0x020;
+
+extern "C" {
+    // poll(2): libc is already linked by std, so a direct declaration
+    // avoids pulling in the `libc` crate.
+    fn poll(fds: *mut PollFd, nfds: u64, timeout: i32) -> i32;
+}
+
+/// A registry of `(fd, interest)` pairs that can be waited on.
+#[derive(Debug)]
+pub struct Poller {
+    sources: Mutex<BTreeMap<usize, (RawFd, Event)>>,
+    notify_tx: Mutex<UnixStream>,
+    notify_rx: Mutex<UnixStream>,
+}
+
+impl Poller {
+    /// New empty poller with its notification channel armed.
+    pub fn new() -> io::Result<Poller> {
+        let (tx, rx) = UnixStream::pair()?;
+        tx.set_nonblocking(true)?;
+        rx.set_nonblocking(true)?;
+        Ok(Poller {
+            sources: Mutex::new(BTreeMap::new()),
+            notify_tx: Mutex::new(tx),
+            notify_rx: Mutex::new(rx),
+        })
+    }
+
+    /// Register `source` under `interest.key`. The caller keeps ownership
+    /// of the source and must [`Poller::delete`] it before closing it.
+    /// Re-adding an existing key replaces its registration.
+    pub fn add(&self, source: &impl AsRawFd, interest: Event) -> io::Result<()> {
+        let fd = source.as_raw_fd();
+        self.sources
+            .lock()
+            .unwrap()
+            .insert(interest.key, (fd, interest));
+        Ok(())
+    }
+
+    /// Change the interest set of an already-registered key.
+    pub fn modify(&self, source: &impl AsRawFd, interest: Event) -> io::Result<()> {
+        self.add(source, interest)
+    }
+
+    /// Remove a registration; unknown keys are ignored.
+    pub fn delete_key(&self, key: usize) {
+        self.sources.lock().unwrap().remove(&key);
+    }
+
+    /// Remove the registration of `source` (all keys pointing at its fd).
+    pub fn delete(&self, source: &impl AsRawFd) -> io::Result<()> {
+        let fd = source.as_raw_fd();
+        self.sources.lock().unwrap().retain(|_, (f, _)| *f != fd);
+        Ok(())
+    }
+
+    /// Wake a concurrent (or the next) [`Poller::wait`] immediately.
+    pub fn notify(&self) -> io::Result<()> {
+        let mut tx = self.notify_tx.lock().unwrap();
+        match tx.write(&[1]) {
+            Ok(_) => Ok(()),
+            // A full pipe already guarantees a pending wakeup.
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => Ok(()),
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Block until a registered source is ready, the timeout elapses, or
+    /// [`Poller::notify`] is called; ready sources are appended to
+    /// `events`. Returns the number of ready sources (0 on timeout or
+    /// notification).
+    pub fn wait(&self, events: &mut Vec<Event>, timeout: Option<Duration>) -> io::Result<usize> {
+        let (mut fds, keys) = {
+            let sources = self.sources.lock().unwrap();
+            let mut fds = Vec::with_capacity(sources.len() + 1);
+            let mut keys = Vec::with_capacity(sources.len());
+            for (key, (fd, interest)) in sources.iter() {
+                let mut ev = 0i16;
+                if interest.readable {
+                    ev |= POLLIN;
+                }
+                if interest.writable {
+                    ev |= POLLOUT;
+                }
+                fds.push(PollFd {
+                    fd: *fd,
+                    events: ev,
+                    revents: 0,
+                });
+                keys.push(*key);
+            }
+            // The notify self-pipe rides along as the last entry.
+            fds.push(PollFd {
+                fd: self.notify_rx.lock().unwrap().as_raw_fd(),
+                events: POLLIN,
+                revents: 0,
+            });
+            (fds, keys)
+        };
+        let timeout_ms: i32 = match timeout {
+            None => -1,
+            Some(d) => d.as_millis().min(i32::MAX as u128) as i32,
+        };
+        let rc = loop {
+            let rc = unsafe { poll(fds.as_mut_ptr(), fds.len() as u64, timeout_ms) };
+            if rc >= 0 {
+                break rc;
+            }
+            let err = io::Error::last_os_error();
+            if err.kind() != io::ErrorKind::Interrupted {
+                return Err(err);
+            }
+        };
+        if rc == 0 {
+            return Ok(0);
+        }
+        // Drain the notify pipe so the next wait blocks again.
+        let notify_ready = fds.last().map(|p| p.revents != 0).unwrap_or(false);
+        if notify_ready {
+            let mut buf = [0u8; 64];
+            let mut rx = self.notify_rx.lock().unwrap();
+            while matches!(rx.read(&mut buf), Ok(n) if n > 0) {}
+        }
+        let mut ready = 0usize;
+        for (i, pfd) in fds[..keys.len()].iter().enumerate() {
+            if pfd.revents == 0 {
+                continue;
+            }
+            let err = pfd.revents & (POLLERR | POLLHUP | POLLNVAL) != 0;
+            events.push(Event {
+                key: keys[i],
+                // Errors/hangups surface as readability so the owner's
+                // next read observes the failure and drops the source.
+                readable: pfd.revents & POLLIN != 0 || err,
+                writable: pfd.revents & POLLOUT != 0,
+            });
+            ready += 1;
+        }
+        Ok(ready)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::{TcpListener, TcpStream};
+
+    #[test]
+    fn notify_wakes_wait() {
+        let poller = std::sync::Arc::new(Poller::new().unwrap());
+        let p2 = poller.clone();
+        let t = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(30));
+            p2.notify().unwrap();
+        });
+        let mut events = Vec::new();
+        let t0 = std::time::Instant::now();
+        let n = poller
+            .wait(&mut events, Some(Duration::from_secs(10)))
+            .unwrap();
+        assert_eq!(n, 0, "notification is not a source event");
+        assert!(t0.elapsed() < Duration::from_secs(5), "wait never woke");
+        t.join().unwrap();
+    }
+
+    #[test]
+    fn readable_socket_reported_level_triggered() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let mut client = TcpStream::connect(addr).unwrap();
+        let (server, _) = listener.accept().unwrap();
+        server.set_nonblocking(true).unwrap();
+
+        let poller = Poller::new().unwrap();
+        poller.add(&server, Event::readable(7)).unwrap();
+
+        client.write_all(b"x").unwrap();
+        for _ in 0..2 {
+            // Level-triggered: unread data keeps reporting.
+            let mut events = Vec::new();
+            let n = poller
+                .wait(&mut events, Some(Duration::from_secs(5)))
+                .unwrap();
+            assert_eq!(n, 1);
+            assert_eq!(events[0].key, 7);
+            assert!(events[0].readable);
+        }
+        poller.delete(&server).unwrap();
+        let mut events = Vec::new();
+        let n = poller
+            .wait(&mut events, Some(Duration::from_millis(10)))
+            .unwrap();
+        assert_eq!(n, 0);
+    }
+
+    #[test]
+    fn timeout_expires_without_sources() {
+        let poller = Poller::new().unwrap();
+        let mut events = Vec::new();
+        let n = poller
+            .wait(&mut events, Some(Duration::from_millis(10)))
+            .unwrap();
+        assert_eq!(n, 0);
+        assert!(events.is_empty());
+    }
+}

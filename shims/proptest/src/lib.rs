@@ -155,6 +155,36 @@ pub mod strategy {
         }
     }
 
+    /// Strategy that always yields a clone of one fixed value
+    /// (proptest's `Just`).
+    #[derive(Debug, Clone)]
+    pub struct Just<T>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    macro_rules! impl_tuple_strategy {
+        ($(($($s:ident/$i:tt),+))+) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$i.generate(rng),)+)
+                }
+            }
+        )+};
+    }
+    impl_tuple_strategy! {
+        (A/0, B/1)
+        (A/0, B/1, C/2)
+        (A/0, B/1, C/2, D/3)
+        (A/0, B/1, C/2, D/3, E/4)
+        (A/0, B/1, C/2, D/3, E/4, F/5)
+    }
+
     /// Full-domain strategy returned by [`any`](crate::arbitrary::any).
     pub struct Any<T> {
         pub(crate) _marker: core::marker::PhantomData<T>,
@@ -244,7 +274,7 @@ pub mod option {
 /// Everything a property-test file needs in scope.
 pub mod prelude {
     pub use crate::arbitrary::any;
-    pub use crate::strategy::Strategy;
+    pub use crate::strategy::{Just, Strategy};
     pub use crate::{prop_assert, prop_assert_eq, prop_assume, prop_oneof, proptest};
     pub use crate::{ProptestConfig, TestCaseError};
 }

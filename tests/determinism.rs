@@ -611,6 +611,125 @@ fn scrub_on_and_off_agree_report_for_report() {
     }
 }
 
+/// The networked daemon is a transport, not a transform: for every seed,
+/// the payload a TCP client receives for each query is byte-identical to
+/// what in-process `serve_batched` renders for the same query against
+/// the same store — pinned by an FNV-1a digest over the concatenated
+/// results as well as query-by-query equality.
+#[test]
+fn daemon_results_are_byte_identical_to_in_process_serving() {
+    use parblast::blast::{DbStats, Program, SearchParams};
+    use parblast::mpiblast::{ParallelBlast, Parallelization, Scheme, Tracer};
+    use parblast::net::{BlastRunner, NetClient, NetServer, ServerConfig};
+    use parblast::seqdb::{
+        extract_query, segment_into_fragments, SeqType, SyntheticConfig, SyntheticNt,
+    };
+    use parblast::serve::serve_batched;
+    use std::sync::Arc;
+
+    let fnv = |chunks: &[&[u8]]| -> u64 {
+        let mut h: u64 = 0xcbf29ce484222325;
+        for chunk in chunks {
+            for &b in *chunk {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x100000001b3);
+            }
+        }
+        h
+    };
+
+    for seed in SEEDS {
+        let base =
+            std::env::temp_dir().join(format!("determinism_daemon_{seed}_{}", std::process::id()));
+        std::fs::create_dir_all(&base).unwrap();
+        let mut g = SyntheticNt::new(SyntheticConfig {
+            total_residues: 200_000,
+            seed,
+            ..Default::default()
+        });
+        let mut seqs = vec![];
+        while let Some(x) = g.next() {
+            seqs.push(x);
+        }
+        let queries: Vec<Vec<u8>> = (0..4)
+            .map(|i| extract_query(&seqs[i + 1].1, 350, 0.02, seed ^ i as u64))
+            .collect();
+        let db = DbStats {
+            residues: g.residues(),
+            nseq: g.sequences(),
+        };
+        let infos =
+            segment_into_fragments(&base.join("fmt"), "nt", SeqType::Nucleotide, 3, seqs).unwrap();
+        let frag_bytes: Vec<(String, Vec<u8>)> = infos
+            .iter()
+            .map(|info| {
+                (
+                    info.path
+                        .file_name()
+                        .unwrap()
+                        .to_string_lossy()
+                        .into_owned(),
+                    std::fs::read(&info.path).unwrap(),
+                )
+            })
+            .collect();
+        let make_job = |root: &std::path::Path| {
+            let scheme = Scheme::local_at(root, 2).unwrap();
+            let mut fragments = vec![];
+            for (name, bytes) in &frag_bytes {
+                scheme.load_fragment(name, bytes).unwrap();
+                fragments.push(name.clone());
+            }
+            ParallelBlast {
+                program: Program::Blastn,
+                params: SearchParams::blastn(),
+                db,
+                fragments,
+                workers: 2,
+                scheme,
+                tracer: Tracer::disabled(),
+                parallelization: Parallelization::DatabaseSegmentation,
+                prefetch: false,
+                list_io: false,
+            }
+        };
+
+        let in_process = serve_batched(&make_job(&base.join("local")), &queries, 2).unwrap();
+
+        let handle = NetServer::start(
+            "127.0.0.1:0",
+            ServerConfig {
+                shards: 1,
+                max_batch: 2,
+                ..Default::default()
+            },
+            Arc::new(BlastRunner::new(make_job(&base.join("daemon")), 0)),
+        )
+        .unwrap();
+        let mut client = NetClient::connect(&handle.addr().to_string()).unwrap();
+        let over_the_wire: Vec<Vec<u8>> =
+            queries.iter().map(|q| client.query(q).unwrap()).collect();
+        handle.drain();
+        handle.join();
+
+        for (i, (wire, local)) in over_the_wire.iter().zip(&in_process.per_query).enumerate() {
+            assert_eq!(
+                wire.as_slice(),
+                local.as_bytes(),
+                "seed {seed} query {i}: daemon result diverged from serve_batched"
+            );
+        }
+        let wire_digest = fnv(&over_the_wire.iter().map(Vec::as_slice).collect::<Vec<_>>());
+        let local_digest = fnv(&in_process
+            .per_query
+            .iter()
+            .map(String::as_bytes)
+            .collect::<Vec<_>>());
+        assert_eq!(wire_digest, local_digest, "seed {seed}: digest mismatch");
+        std::fs::remove_dir_all(&base).ok();
+    }
+}
+
 /// The serving sweep — simulator probes, Poisson arrivals, batch-queue
 /// replay, percentile extraction — is a pure function of its
 /// configuration: two identical invocations agree on every report field.
