@@ -12,6 +12,13 @@
 //!   path reads a [`PackedVolume`] and runs [`search_packed_with`] with one
 //!   reused [`ScanWorkspace`].
 //!
+//! A third measurement covers the **fused multi-query kernel**
+//! ([`search_packed_batch_with`]): for B ∈ {1, 2, 4, 8} on a scan-bound
+//! and an extend-bound query mix, one fused pass is timed against B
+//! sequential per-query passes, interleaved, with hit-for-hit identity
+//! asserted every rep. The resulting batch-scaling curve is the
+//! provenance for `FUSED_SCAN_FRAC` in `parblast_mpiblast::simblast`.
+//!
 //! Writes `BENCH_engine.json` (CI archives it). The measured new-kernel
 //! byte rate is the provenance for `SERVE_SEARCH_RATE` in
 //! `parblast_core::experiments`.
@@ -20,7 +27,10 @@ use std::time::Instant;
 
 use parblast_bench::{arg_u64, arg_value, print_table};
 use parblast_blast::baseline::search_blastn_baseline;
-use parblast_blast::{search_packed_with, DbStats, NtLookup, Program, ScanWorkspace, SearchParams};
+use parblast_blast::{
+    search_packed_batch_with, search_packed_with, BatchScanWorkspace, DbStats, NtLookup, Program,
+    ScanWorkspace, SearchParams,
+};
 use parblast_seqdb::{
     extract_query, unpack_2bit_into, PackedVolume, SeqType, SyntheticConfig, SyntheticNt, Volume,
     VolumeWriter,
@@ -178,6 +188,109 @@ fn main() {
     );
     let nhits: usize = new_hits.iter().map(|h| h.len()).sum();
 
+    // --- fused multi-query batch scaling --------------------------------
+    // The fused kernel rolls the seed word across the packed volume once
+    // per batch instead of once per query. Two mixes bracket the regimes:
+    // scan-bound queries come from an independent stream (nearly every
+    // subject misses, so the seed scan the fusion amortizes dominates),
+    // while extend-bound queries are all lifted from the same database
+    // sequence (every pass hits it, so extension work — which fusion
+    // cannot amortize — dominates, and the per-query path re-unpacks the
+    // shared subject once per query).
+    let mut sgen = SyntheticNt::new(SyntheticConfig {
+        total_residues: 64_000,
+        min_len: 600,
+        seed: 4242,
+        ..Default::default()
+    });
+    let scan_bound: Vec<Vec<u8>> = (0..8u64)
+        .map(|i| {
+            let src = sgen.next().expect("scan-bound query stream").1;
+            extract_query(&src, 568.min(src.len()), 0.03, 100 + i)
+        })
+        .collect();
+    let hot = &volume.sequences[7 % volume.sequences.len()].codes;
+    let extend_bound: Vec<Vec<u8>> = (0..8u64)
+        .map(|i| extract_query(hot, 568.min(hot.len()), 0.02, 200 + i))
+        .collect();
+    let mut bws = BatchScanWorkspace::new();
+    let mut batch_rows: Vec<Vec<String>> = Vec::new();
+    let mut scaling_json = String::from("[");
+    for (mix, pool) in [("scan_bound", &scan_bound), ("extend_bound", &extend_bound)] {
+        for &b in &[1usize, 2, 4, 8] {
+            let qs: Vec<&[u8]> = pool[..b].iter().map(|q| q.as_slice()).collect();
+            let run_seq = |ws: &mut ScanWorkspace| {
+                qs.iter()
+                    .map(|q| search_packed_with(Program::Blastn, q, &packed, &params, db, ws))
+                    .collect::<Vec<_>>()
+            };
+            let run_fused = |bws: &mut BatchScanWorkspace| {
+                search_packed_batch_with(Program::Blastn, &qs, &packed, &params, db, bws)
+            };
+            let u0 = ws.unpacks();
+            let seq_hits = run_seq(&mut ws);
+            let seq_unpacks = ws.unpacks() - u0;
+            let u0 = bws.unpacks();
+            let fused_hits = run_fused(&mut bws);
+            let fused_unpacks = bws.unpacks() - u0;
+            assert_eq!(
+                format!("{seq_hits:?}"),
+                format!("{fused_hits:?}"),
+                "fused kernel must be hit-for-hit identical ({mix}, B={b})"
+            );
+            // The fused pass unpacks a subject at most once per fragment
+            // pass, no matter how many queries hit it.
+            assert!(
+                fused_unpacks <= seq_unpacks,
+                "fused pass unpacked more subjects ({mix}, B={b}): {fused_unpacks} vs {seq_unpacks}"
+            );
+            if mix == "extend_bound" && b > 1 {
+                assert!(
+                    fused_unpacks < seq_unpacks,
+                    "{b} queries hitting one subject must share its unpack: \
+                     {fused_unpacks} vs {seq_unpacks}"
+                );
+            }
+            let mut seq_times = Vec::with_capacity(reps);
+            let mut fused_times = Vec::with_capacity(reps);
+            for _ in 0..reps {
+                let t0 = Instant::now();
+                let s = run_seq(&mut ws);
+                seq_times.push(t0.elapsed().as_secs_f64());
+                let t0 = Instant::now();
+                let f = run_fused(&mut bws);
+                fused_times.push(t0.elapsed().as_secs_f64());
+                assert_eq!(
+                    format!("{s:?}"),
+                    format!("{f:?}"),
+                    "unstable fused/sequential pair ({mix}, B={b})"
+                );
+            }
+            seq_times.sort_by(f64::total_cmp);
+            fused_times.sort_by(f64::total_cmp);
+            let seq_s = seq_times[reps / 2];
+            let fused_s = fused_times[reps / 2];
+            batch_rows.push(vec![
+                mix.into(),
+                format!("{b}"),
+                format!("{seq_s:.4}"),
+                format!("{fused_s:.4}"),
+                format!("{:.2}x", seq_s / fused_s),
+                format!("{fused_unpacks}/{seq_unpacks}"),
+            ]);
+            if scaling_json.len() > 1 {
+                scaling_json.push_str(", ");
+            }
+            scaling_json.push_str(&format!(
+                "{{\"mix\": \"{mix}\", \"batch\": {b}, \"sequential_s\": {seq_s:.6}, \
+                 \"fused_s\": {fused_s:.6}, \"speedup\": {:.3}, \
+                 \"sequential_unpacks\": {seq_unpacks}, \"fused_unpacks\": {fused_unpacks}}}",
+                seq_s / fused_s
+            ));
+        }
+    }
+    scaling_json.push(']');
+
     let scan_legacy_bps = total_bases as f64 / legacy_scan_s;
     let scan_packed_bps = total_bases as f64 / packed_scan_s;
     let searched_bases = total_bases as f64 * nqueries as f64;
@@ -221,6 +334,19 @@ fn main() {
         ],
     );
 
+    println!();
+    print_table(
+        &[
+            "mix",
+            "B",
+            "sequential (s)",
+            "fused (s)",
+            "speedup",
+            "unpacks f/s",
+        ],
+        &batch_rows,
+    );
+
     let payload = format!(
         "{{\n  \"experiment\": \"engine\",\n  \"residues\": {},\n  \"nseq\": {},\n  \
          \"stats_residues\": {},\n  \"stats_nseq\": {},\n  \
@@ -231,7 +357,8 @@ fn main() {
          \"speedup\": {:.3}}},\n  \
          \"fragment_search\": {{\"baseline_s\": {:.6}, \"packed_s\": {:.6}, \
          \"baseline_bases_per_s\": {:.0}, \"packed_bases_per_s\": {:.0}, \
-         \"packed_bytes_per_s\": {:.0}, \"speedup\": {:.3}}}\n}}\n",
+         \"packed_bytes_per_s\": {:.0}, \"speedup\": {:.3}}},\n  \
+         \"batch_scaling\": {scaling_json}\n}}\n",
         volume.residues(),
         volume.sequences.len(),
         db.residues,

@@ -52,12 +52,13 @@ pub use gapped::{
     AlignOp, AlignStats, GappedWorkspace,
 };
 pub use karlin::{gapped_params, scorer_params, ungapped_params, KarlinParams};
-pub use lookup::{AaLookup, NtLookup};
+pub use lookup::{AaLookup, BatchedNtLookup, NtLookup, MAX_BATCH_CONTEXTS};
 pub use matrix::{GapPenalties, Scorer, AA_BACKGROUND, BLOSUM62};
 pub use report::{tabular, Hit, Hsp};
 pub use search::{
-    rank_hits, search_packed, search_packed_range_with, search_packed_with, search_volume,
-    search_volume_with, DbStats, Program, ScanWorkspace, SearchParams,
+    rank_hits, search_packed, search_packed_batch, search_packed_batch_with,
+    search_packed_range_with, search_packed_with, search_volume, search_volume_with,
+    BatchScanWorkspace, DbStats, Program, ScanWorkspace, SearchParams, MAX_FUSED_BATCH,
 };
 pub use translate::{six_frames, translate_codon, translate_frame, Frame};
 pub use workspace::DiagTracker;

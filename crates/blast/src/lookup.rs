@@ -168,6 +168,185 @@ impl NtLookup {
     }
 }
 
+/// Most contexts a [`BatchedNtLookup`] can merge: 8 queries × 2 strands.
+/// The per-cell context tag is a `u16` bitmask, so this is a hard cap.
+pub const MAX_BATCH_CONTEXTS: usize = 16;
+
+/// One query context for a [`BatchedNtLookup`]: its 2-bit codes plus the
+/// soft-mask intervals to exclude from seeding (empty slice = unmasked).
+pub type MaskedContext<'a> = (&'a [u8], &'a [(usize, usize)]);
+
+/// Fused multi-context blastn lookup: merges up to [`MAX_BATCH_CONTEXTS`]
+/// query contexts (each query contributes a plus- and a minus-strand
+/// context) into ONE direct-address table, so a single rolled pass over a
+/// packed fragment serves the whole batch.
+///
+/// Layout mirrors [`NtLookup`] — direct table of 1-based `ranges`
+/// indices, CSR-packed hit lists, 512 KB presence bit vector — with two
+/// batch extensions:
+///
+/// * every hit-list entry is `(ctx, qpos)` so the scanner can demux each
+///   seed to its owning context's diagonal tracker and extension stage;
+/// * `ranges` is paired with a per-cell `ctx_masks` bitmask (bit `c` set
+///   iff context `c` has at least one position in the cell). The merged
+///   `pv` answers "does *anyone* want this word?" in one cache-resident
+///   probe — the union of the B per-query vectors, which is the
+///   "widened" presence structure: probe density grows with the batch
+///   but the scan still rolls the word across the packed bytes exactly
+///   once per fragment.
+pub struct BatchedNtLookup {
+    /// Word size (≤ 12, same direct-table cap as [`NtLookup`]).
+    pub word: usize,
+    mask: u32,
+    nctx: usize,
+    table: Vec<u32>,
+    ranges: Vec<(u32, u32)>,
+    /// `(ctx, qpos)` hit-list entries; within a cell, grouped by context
+    /// ascending with ascending `qpos` inside each context — exactly the
+    /// order B sequential per-context scans would report the cell's hits.
+    entries: Vec<(u16, u32)>,
+    /// Union presence bit vector over all merged contexts.
+    pv: Vec<u64>,
+    /// Per non-empty cell (parallel to `ranges`): bitmask of contexts
+    /// with at least one position in the cell.
+    ctx_masks: Vec<u16>,
+}
+
+impl BatchedNtLookup {
+    /// Build over a batch of 2-bit-coded query contexts. Panics if `word`
+    /// is 0 or > 12 or more than [`MAX_BATCH_CONTEXTS`] contexts are
+    /// supplied.
+    pub fn build(contexts: &[&[u8]], word: usize) -> Self {
+        let masked: Vec<MaskedContext> = contexts.iter().map(|&c| (c, &[][..])).collect();
+        Self::build_masked(&masked, word)
+    }
+
+    /// Build with per-context soft masking (same DUST semantics as
+    /// [`NtLookup::build_masked`], applied context by context).
+    pub fn build_masked(contexts: &[MaskedContext], word: usize) -> Self {
+        assert!(word > 0 && word <= 12, "word size must be 1..=12");
+        assert!(
+            contexts.len() <= MAX_BATCH_CONTEXTS,
+            "at most {MAX_BATCH_CONTEXTS} contexts per batched lookup"
+        );
+        let cells = 1usize << (2 * word);
+        let code_mask = (cells - 1) as u32;
+        // Collect (cell, ctx, qpos) once across the whole batch, then
+        // stable-sort by cell: contexts are visited in order and each
+        // context's positions ascend, so the per-cell entry order is
+        // (ctx asc, qpos asc) — the sequential per-context scan order.
+        let total: usize = contexts.iter().map(|(q, _)| q.len()).sum();
+        let mut triples: Vec<(u32, u16, u32)> = Vec::with_capacity(total);
+        for (ctx, (query, mask)) in contexts.iter().enumerate() {
+            let mut w = 0u32;
+            for (i, &c) in query.iter().enumerate() {
+                w = ((w << 2) | c as u32) & code_mask;
+                if i + 1 >= word && !word_masked(mask, i + 1 - word, word) {
+                    triples.push((w, ctx as u16, (i + 1 - word) as u32));
+                }
+            }
+        }
+        triples.sort_by_key(|&(cell, _, _)| cell);
+        let mut table = vec![0u32; cells];
+        let mut pv = vec![0u64; cells.div_ceil(64)];
+        let mut ranges: Vec<(u32, u32)> = Vec::new();
+        let mut ctx_masks: Vec<u16> = Vec::new();
+        let mut entries = Vec::with_capacity(triples.len());
+        for &(cell, ctx, qpos) in &triples {
+            let c = cell as usize;
+            if table[c] == 0 {
+                ranges.push((entries.len() as u32, entries.len() as u32));
+                ctx_masks.push(0);
+                table[c] = ranges.len() as u32;
+                pv[c >> 6] |= 1u64 << (c & 63);
+            }
+            entries.push((ctx, qpos));
+            ranges.last_mut().expect("just pushed").1 = entries.len() as u32;
+            *ctx_masks.last_mut().expect("just pushed") |= 1u16 << ctx;
+        }
+        BatchedNtLookup {
+            word,
+            mask: code_mask,
+            nctx: contexts.len(),
+            table,
+            ranges,
+            entries,
+            pv,
+            ctx_masks,
+        }
+    }
+
+    /// Number of merged contexts.
+    #[inline]
+    pub fn contexts(&self) -> usize {
+        self.nctx
+    }
+
+    /// Context bitmask for word `w`: bit `c` set iff context `c` has at
+    /// least one query position whose word equals `w`.
+    #[inline]
+    pub fn cell_mask(&self, w: u32) -> u16 {
+        let cell = (w & self.mask) as usize;
+        match self.table[cell] {
+            0 => 0,
+            r => self.ctx_masks[r as usize - 1],
+        }
+    }
+
+    /// Emit all batch hits for the rolled word `w` whose last residue is
+    /// at subject index `i - 1`, as `f(ctx, qpos, spos)`.
+    #[inline(always)]
+    fn probe<F: FnMut(u16, u32, u32)>(&self, w: u32, i: usize, f: &mut F) {
+        let cell = w as usize;
+        if self.pv[cell >> 6] & (1u64 << (cell & 63)) == 0 {
+            return;
+        }
+        let (lo, hi) = self.ranges[self.table[cell] as usize - 1];
+        let spos = (i - self.word) as u32;
+        for &(ctx, qpos) in &self.entries[lo as usize..hi as usize] {
+            f(ctx, qpos, spos);
+        }
+    }
+
+    /// Scan a 2-bit packed subject of `nbases` residues ONCE for the
+    /// whole batch, invoking `f(ctx, qpos, spos)` for every word hit of
+    /// every merged context. For each context `c`, the subsequence of
+    /// calls with `ctx == c` is exactly what that context's own
+    /// [`NtLookup::scan_packed`] would report, in the same order — the
+    /// fused pass is a strict interleaving of the B per-context scans.
+    pub fn scan_packed_batched<F: FnMut(u16, u32, u32)>(
+        &self,
+        packed: &[u8],
+        nbases: usize,
+        mut f: F,
+    ) {
+        if nbases < self.word {
+            return;
+        }
+        debug_assert!(packed.len() >= nbases.div_ceil(4));
+        let mut w = 0u32;
+        let mut i = 0usize;
+        let full = nbases / 4;
+        for &b in &packed[..full] {
+            for c in [(b >> 6) & 3, (b >> 4) & 3, (b >> 2) & 3, b & 3] {
+                w = ((w << 2) | c as u32) & self.mask;
+                i += 1;
+                if i >= self.word {
+                    self.probe(w, i, &mut f);
+                }
+            }
+        }
+        for idx in full * 4..nbases {
+            let c = (packed[idx / 4] >> (6 - 2 * (idx % 4))) & 3;
+            w = ((w << 2) | c as u32) & self.mask;
+            i += 1;
+            if i >= self.word {
+                self.probe(w, i, &mut f);
+            }
+        }
+    }
+}
+
 /// blastp neighborhood lookup over 3-mers. Like [`NtLookup`], the table
 /// is CSR-packed: one `starts` prefix-sum over the direct-address cells
 /// plus one flat `positions` array, instead of a `Vec` allocation per
@@ -369,6 +548,61 @@ mod tests {
         let mut hits = 0;
         lk.scan(&encode_nt_seq(b"ACG"), |_, _| hits += 1);
         assert_eq!(hits, 0);
+    }
+
+    #[test]
+    fn batched_lookup_matches_per_context_scans() {
+        use parblast_seqdb::pack_2bit;
+        for len in [7usize, 16, 33, 250, 255] {
+            let subject: Vec<u8> = (0..len).map(|i| ((i * 31 + 7) % 4) as u8).collect();
+            let queries: Vec<Vec<u8>> = (0..5)
+                .map(|q| {
+                    (0..30 + q * 7)
+                        .map(|i| ((i * 13 + q * 5 + 3) % 4) as u8)
+                        .collect()
+                })
+                .collect();
+            for word in [4usize, 8, 11] {
+                let ctxs: Vec<&[u8]> = queries.iter().map(|q| q.as_slice()).collect();
+                let blk = BatchedNtLookup::build(&ctxs, word);
+                let mut fused: Vec<Vec<(u32, u32)>> = vec![vec![]; queries.len()];
+                blk.scan_packed_batched(&pack_2bit(&subject), len, |ctx, qp, sp| {
+                    fused[ctx as usize].push((qp, sp))
+                });
+                for (ci, q) in queries.iter().enumerate() {
+                    let lk = NtLookup::build(q, word);
+                    let mut solo = vec![];
+                    lk.scan_packed(&pack_2bit(&subject), len, |qp, sp| solo.push((qp, sp)));
+                    assert_eq!(fused[ci], solo, "len {len} word {word} ctx {ci}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn batched_lookup_cell_masks_track_contexts() {
+        let a = encode_nt_seq(b"ACGTACGT");
+        let b = encode_nt_seq(b"ACGTTTTT");
+        let blk = BatchedNtLookup::build(&[&a, &b], 4);
+        assert_eq!(blk.contexts(), 2);
+        // "ACGT" (cell 0b00011011) occurs in both; "TTTT" only in b;
+        // "GGGG" in neither.
+        let code = |s: &[u8]| -> u32 {
+            encode_nt_seq(s)
+                .iter()
+                .fold(0u32, |w, &c| (w << 2) | c as u32)
+        };
+        assert_eq!(blk.cell_mask(code(b"ACGT")), 0b11);
+        assert_eq!(blk.cell_mask(code(b"TTTT")), 0b10);
+        assert_eq!(blk.cell_mask(code(b"GGGG")), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "contexts per batched lookup")]
+    fn batched_lookup_rejects_too_many_contexts() {
+        let q = encode_nt_seq(b"ACGTACGT");
+        let ctxs: Vec<&[u8]> = (0..MAX_BATCH_CONTEXTS + 1).map(|_| &q[..]).collect();
+        let _ = BatchedNtLookup::build(&ctxs, 4);
     }
 
     #[test]

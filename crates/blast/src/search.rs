@@ -12,7 +12,7 @@ use crate::dust::{dust_mask, DustParams};
 use crate::extend::extend_ungapped;
 use crate::gapped::{align_stats, banded_global, extend_gapped_with, GappedWorkspace};
 use crate::karlin::{gapped_params, scorer_params, KarlinParams};
-use crate::lookup::{AaLookup, NtLookup};
+use crate::lookup::{AaLookup, BatchedNtLookup, MaskedContext, NtLookup, MAX_BATCH_CONTEXTS};
 use crate::matrix::{GapPenalties, Scorer};
 use crate::report::{Hit, Hsp};
 use crate::translate::six_frames;
@@ -175,6 +175,7 @@ pub struct ScanWorkspace {
     last_hit: DiagTracker,
     subject: Vec<u8>,
     subject_valid: bool,
+    unpacks: u64,
     cands: Vec<Candidate>,
     kept: Vec<Candidate>,
     gapped: GappedWorkspace,
@@ -184,6 +185,61 @@ impl ScanWorkspace {
     /// Empty workspace; buffers grow to the largest subject seen.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// How many subject unpacks this workspace has performed (lifetime
+    /// count). In the sequential per-query path every query that seeds a
+    /// given subject re-unpacks it; the batched path shares one unpack —
+    /// the engine bench asserts the drop.
+    pub fn unpacks(&self) -> u64 {
+        self.unpacks
+    }
+}
+
+/// Most queries one fused kernel pass can serve: each blastn query brings
+/// two strand contexts and the batched lookup holds
+/// [`MAX_BATCH_CONTEXTS`] contexts. Larger batches are chunked
+/// transparently by [`search_packed_batch_with`].
+pub const MAX_FUSED_BATCH: usize = MAX_BATCH_CONTEXTS / 2;
+
+/// Per-context scratch for the fused batched scan: its own diagonal
+/// tracker (diagonal redundancy is a per-context notion) and its own
+/// candidate list (so the interleaved fused scan can be demuxed back into
+/// exactly the sequential per-context candidate order).
+#[derive(Default)]
+struct CtxScratch {
+    diag_end: DiagTracker,
+    cands: Vec<Candidate>,
+}
+
+/// Reusable scratch for [`search_packed_batch_with`]: per-context diagonal
+/// trackers and candidate lists, ONE shared subject-unpack buffer for the
+/// whole batch, and shared gapped-DP rows. Like [`ScanWorkspace`], one
+/// workspace serves any number of batches and grows to the largest
+/// subject/batch seen.
+#[derive(Default)]
+pub struct BatchScanWorkspace {
+    ctx: Vec<CtxScratch>,
+    subject: Vec<u8>,
+    unpacks: u64,
+    merged: Vec<Candidate>,
+    kept: Vec<Candidate>,
+    gapped: GappedWorkspace,
+    /// Fallback scratch for programs without a fused kernel (everything
+    /// but blastn), which run the sequential per-query path.
+    solo: ScanWorkspace,
+}
+
+impl BatchScanWorkspace {
+    /// Empty workspace; buffers grow to the largest batch seen.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// How many subject unpacks this workspace has performed (lifetime
+    /// count, including any sequential-fallback searches).
+    pub fn unpacks(&self) -> u64 {
+        self.unpacks + self.solo.unpacks
     }
 }
 
@@ -245,6 +301,7 @@ fn scan_nt_context(
                 if !ws.subject_valid {
                     unpack_2bit_into(bytes, len, &mut ws.subject);
                     ws.subject_valid = true;
+                    ws.unpacks += 1;
                 }
                 nt_hit(
                     query,
@@ -626,6 +683,198 @@ pub fn search_packed_with(
             search_volume_with(program, query, &decoded, params, db, ws)
         }
     }
+}
+
+/// Run `program` for a whole batch of queries over one packed volume with
+/// the fused multi-query kernel. Convenience wrapper over
+/// [`search_packed_batch_with`] with a throwaway workspace.
+pub fn search_packed_batch(
+    program: Program,
+    queries: &[&[u8]],
+    volume: &PackedVolume,
+    params: &SearchParams,
+    db: DbStats,
+) -> Vec<Vec<Hit>> {
+    search_packed_batch_with(
+        program,
+        queries,
+        volume,
+        params,
+        db,
+        &mut BatchScanWorkspace::new(),
+    )
+}
+
+/// [`search_packed_batch`] with a caller-provided reusable
+/// [`BatchScanWorkspace`].
+///
+/// For blastn this is the fused hot path: the batch's seed tables are
+/// merged into one [`BatchedNtLookup`] and the seed word rolls across the
+/// packed volume bytes **once per fragment for the whole batch** instead
+/// of once per query — scan cost is per-pass, extension cost stays
+/// per-query. Batches larger than [`MAX_FUSED_BATCH`] queries are chunked.
+/// Results are hit-for-hit identical to `queries.len()` sequential
+/// [`search_packed_with`] calls: same candidates in the same insertion
+/// order, so every downstream tie-break (stable score sort, containment
+/// cull, E-value ranking) resolves identically.
+///
+/// Programs other than blastn have no fused kernel and fall back to the
+/// sequential per-query path.
+pub fn search_packed_batch_with(
+    program: Program,
+    queries: &[&[u8]],
+    volume: &PackedVolume,
+    params: &SearchParams,
+    db: DbStats,
+    ws: &mut BatchScanWorkspace,
+) -> Vec<Vec<Hit>> {
+    match program {
+        Program::Blastn => {
+            assert_eq!(volume.seq_type, SeqType::Nucleotide, "blastn needs a nt db");
+            let mut out = Vec::with_capacity(queries.len());
+            for chunk in queries.chunks(MAX_FUSED_BATCH) {
+                out.extend(search_blastn_batch(chunk, volume, params, db, ws));
+            }
+            out
+        }
+        _ => queries
+            .iter()
+            .map(|q| search_packed_with(program, q, volume, params, db, &mut ws.solo))
+            .collect(),
+    }
+}
+
+/// One fused chunk (≤ [`MAX_FUSED_BATCH`] queries) of the batched blastn
+/// search: one merged lookup, one rolled pass per subject, per-context
+/// demux into the sequential candidate order.
+fn search_blastn_batch(
+    queries: &[&[u8]],
+    volume: &PackedVolume,
+    params: &SearchParams,
+    db: DbStats,
+    ws: &mut BatchScanWorkspace,
+) -> Vec<Vec<Hit>> {
+    let b = queries.len();
+    if b == 0 {
+        return Vec::new();
+    }
+    // Per-query statistics and strand contexts; context index `2q` is
+    // query q's plus strand, `2q + 1` its minus strand — the order the
+    // sequential path scans them.
+    let stats: Vec<StatsCtx> = queries
+        .iter()
+        .map(|q| stats_ctx(params, q.len(), db))
+        .collect();
+    let ctxs: Vec<[QueryCtx; 2]> = queries
+        .iter()
+        .map(|q| {
+            [
+                QueryCtx {
+                    codes: q.to_vec(),
+                    frame: 1,
+                },
+                QueryCtx {
+                    codes: reverse_complement(q),
+                    frame: -1,
+                },
+            ]
+        })
+        .collect();
+    let masks: Vec<Vec<(usize, usize)>> = ctxs
+        .iter()
+        .flat_map(|pair| pair.iter())
+        .map(|c| {
+            params
+                .dust
+                .map(|d| dust_mask(&c.codes, d))
+                .unwrap_or_default()
+        })
+        .collect();
+    let merged_ctxs: Vec<MaskedContext> = ctxs
+        .iter()
+        .flat_map(|pair| pair.iter())
+        .zip(&masks)
+        .map(|(c, m)| (c.codes.as_slice(), m.as_slice()))
+        .collect();
+    let lookup = BatchedNtLookup::build_masked(&merged_ctxs, params.word_size);
+
+    if ws.ctx.len() < 2 * b {
+        ws.ctx.resize_with(2 * b, CtxScratch::default);
+    }
+    // Split the workspace into disjoint field borrows once: the scan
+    // closure needs the context scratch, the shared unpack buffer, and
+    // the gapped rows simultaneously.
+    let BatchScanWorkspace {
+        ctx: ctx_ws,
+        subject,
+        unpacks,
+        merged,
+        kept,
+        gapped,
+        ..
+    } = ws;
+
+    let mut per_query: Vec<Vec<Hit>> = (0..b).map(|_| Vec::new()).collect();
+    for si in 0..volume.nseq() {
+        let bytes = volume.packed(si);
+        let slen = volume.seq_len(si);
+        let mut subject_valid = false;
+        for (c, cs) in ctx_ws.iter_mut().enumerate().take(2 * b) {
+            cs.cands.clear();
+            cs.diag_end.begin(ctxs[c / 2][c % 2].codes.len() + slen + 1);
+        }
+        lookup.scan_packed_batched(bytes, slen, |ctx, qp, sp| {
+            if !subject_valid {
+                unpack_2bit_into(bytes, slen, subject);
+                subject_valid = true;
+                *unpacks += 1;
+            }
+            let c = ctx as usize;
+            let qctx = &ctxs[c / 2][c % 2];
+            let cs = &mut ctx_ws[c];
+            nt_hit(
+                &qctx.codes,
+                subject,
+                qp as usize,
+                sp as usize,
+                lookup.word,
+                qctx.frame,
+                qctx.frame, // s_frame mirrors the context, as sequentially
+                params,
+                &stats[c / 2],
+                &mut cs.diag_end,
+                gapped,
+                &mut cs.cands,
+            );
+        });
+        for (qi, hits) in per_query.iter_mut().enumerate() {
+            // Reassemble this query's sequential candidate order: the
+            // whole plus-strand scan precedes the whole minus-strand
+            // scan, exactly as `search_blastn_range` appends them.
+            merged.clear();
+            merged.append(&mut ctx_ws[2 * qi].cands);
+            merged.append(&mut ctx_ws[2 * qi + 1].cands);
+            if merged.is_empty() {
+                continue;
+            }
+            // Any candidate implies a seed hit, so the shared lazy
+            // unpack has filled `subject` by now.
+            let codes: &[u8] = subject;
+            let subject_ctxs = [(1i8, codes), (-1i8, codes)];
+            let hsps = finalize(merged, kept, &ctxs[qi], &subject_ctxs, params, &stats[qi]);
+            if !hsps.is_empty() {
+                hits.push(Hit {
+                    subject_id: volume.id(si),
+                    subject_index: si,
+                    hsps,
+                });
+            }
+        }
+    }
+    per_query
+        .into_iter()
+        .map(|hits| rank(hits, params.max_hits))
+        .collect()
 }
 
 /// The blastn subject source: a decoded volume or a packed one.
@@ -1207,6 +1456,113 @@ mod tests {
         );
         assert_eq!(hits[0].subject_id, "full");
         assert_eq!(hits[1].subject_id, "half");
+    }
+
+    #[test]
+    fn batched_search_is_hit_for_hit_identical_to_sequential() {
+        use parblast_seqdb::{extract_query, SyntheticConfig, SyntheticNt, VolumeWriter};
+
+        let mut g = SyntheticNt::new(SyntheticConfig {
+            total_residues: 60_000,
+            seed: 33,
+            ..Default::default()
+        });
+        let mut buf = std::io::Cursor::new(Vec::new());
+        let mut w = VolumeWriter::new(&mut buf, SeqType::Nucleotide).unwrap();
+        let mut sources = Vec::new();
+        while let Some((d, c)) = g.next() {
+            sources.push(c.clone());
+            w.add_codes(&d, &c).unwrap();
+        }
+        w.finish().unwrap();
+        let bytes = buf.into_inner();
+        let packed = PackedVolume::read_from(&mut bytes.as_slice()).unwrap();
+        let db = DbStats {
+            residues: packed.residues(),
+            nseq: packed.nseq() as u64,
+        };
+        let params = SearchParams::blastn();
+        // A mix of planted queries (each hits a different subject, one on
+        // the minus strand) and random misses; 10 queries forces the
+        // MAX_FUSED_BATCH chunking path.
+        let mut rng = StdRng::seed_from_u64(33);
+        let queries: Vec<Vec<u8>> = (0..10)
+            .map(|i| {
+                if i % 3 == 0 {
+                    let q = extract_query(&sources[i % sources.len()], 300, 0.02, 33 + i as u64);
+                    if i % 6 == 0 {
+                        reverse_complement(&q)
+                    } else {
+                        q
+                    }
+                } else {
+                    random_nt(&mut rng, 350)
+                }
+            })
+            .collect();
+        let refs: Vec<&[u8]> = queries.iter().map(|q| q.as_slice()).collect();
+
+        let mut ws = ScanWorkspace::new();
+        let sequential: Vec<Vec<Hit>> = refs
+            .iter()
+            .map(|q| search_packed_with(Program::Blastn, q, &packed, &params, db, &mut ws))
+            .collect();
+        assert!(
+            sequential.iter().any(|h| !h.is_empty()),
+            "vacuous comparison"
+        );
+
+        let mut bws = BatchScanWorkspace::new();
+        let batched =
+            search_packed_batch_with(Program::Blastn, &refs, &packed, &params, db, &mut bws);
+        assert_eq!(
+            format!("{sequential:?}"),
+            format!("{batched:?}"),
+            "fused batch must be hit-for-hit identical"
+        );
+        // The whole batch shares one unpack per seeded subject: strictly
+        // fewer unpacks than the per-query path on this hit-heavy mix.
+        assert!(
+            bws.unpacks() < ws.unpacks(),
+            "batched unpacks {} !< sequential {}",
+            bws.unpacks(),
+            ws.unpacks()
+        );
+    }
+
+    #[test]
+    fn batched_search_non_blastn_falls_back_to_sequential() {
+        let q1 = encode_aa_seq(b"MKWVTFISLLFLFSSAYSRGVFRRDAHKSEVAHRFKDLGEENFKALVLIAFAQYLQQ");
+        let q2 = encode_aa_seq(b"GAGAGAGAGAGAGAGA");
+        let mut subj = encode_aa_seq(b"GGGGGGGGGG");
+        subj.extend_from_slice(&q1);
+        let v = Volume {
+            seq_type: SeqType::Protein,
+            sequences: vec![DbSequence {
+                defline: "t".into(),
+                codes: subj,
+            }],
+        };
+        let packed = {
+            let mut buf = std::io::Cursor::new(Vec::new());
+            let mut w = parblast_seqdb::VolumeWriter::new(&mut buf, SeqType::Protein).unwrap();
+            for s in &v.sequences {
+                w.add_codes(&s.defline, &s.codes).unwrap();
+            }
+            w.finish().unwrap();
+            let bytes = buf.into_inner();
+            PackedVolume::read_from(&mut bytes.as_slice()).unwrap()
+        };
+        let params = SearchParams::blastp();
+        let db = db_stats(&v);
+        let refs: Vec<&[u8]> = vec![&q1, &q2];
+        let batched = search_packed_batch(Program::Blastp, &refs, &packed, &params, db);
+        let sequential: Vec<Vec<Hit>> = refs
+            .iter()
+            .map(|q| search_packed(Program::Blastp, q, &packed, &params, db))
+            .collect();
+        assert_eq!(format!("{sequential:?}"), format!("{batched:?}"));
+        assert!(!batched[0].is_empty());
     }
 
     #[test]

@@ -21,7 +21,10 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 
 use crossbeam::channel;
-use parblast_blast::{search_packed_with, DbStats, Hit, Program, ScanWorkspace, SearchParams};
+use parblast_blast::{
+    search_packed_batch_with, search_packed_with, BatchScanWorkspace, DbStats, Hit, Program,
+    ScanWorkspace, SearchParams, MAX_FUSED_BATCH,
+};
 use parblast_seqdb::PackedVolume;
 
 use crate::scheme::{Scheme, TracedSource};
@@ -151,6 +154,24 @@ pub struct BatchOutcome {
     pub io_fetch_s: f64,
     /// Seconds search threads waited for fragment data.
     pub io_stall_s: f64,
+    /// Seed-scan kernel passes actually executed (one fused pass serves
+    /// up to [`MAX_FUSED_BATCH`] queries per fragment).
+    pub kernel_passes: u64,
+    /// Kernel passes the fused kernel avoided versus the per-query path
+    /// (`queries × fragments − kernel_passes` over the searched volumes).
+    pub passes_saved: u64,
+}
+
+/// Which seed-scan kernel a batch run drives. [`BatchKernel::Fused`] is
+/// the production path; [`BatchKernel::PerQuery`] preserves the
+/// pre-fusion per-query loop so benches can interleave the two and assert
+/// they are hit-for-hit identical.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchKernel {
+    /// One merged-lookup pass per fragment serves the whole batch.
+    Fused,
+    /// Every query runs its own seed scan over every fragment.
+    PerQuery,
 }
 
 /// Pull the next task for a worker's pipeline: block when the pipeline is
@@ -168,9 +189,24 @@ impl ParallelBlast {
     /// Run a batch of queries over the fragment set: each worker task
     /// searches one fragment with *all* queries (one pass over the data,
     /// the way production blastall streams query batches), so the database
-    /// is still read only once in total.
+    /// is still read only once in total. Drives the fused multi-query
+    /// kernel: the batch's merged seed table rolls over each fragment's
+    /// packed bytes once per [`MAX_FUSED_BATCH`]-query chunk instead of
+    /// once per query, with hit-for-hit identical results.
     pub fn run_batch(&self, queries: &[Vec<u8>]) -> io::Result<BatchOutcome> {
+        self.run_batch_with_kernel(queries, BatchKernel::Fused)
+    }
+
+    /// [`Self::run_batch`] with an explicit kernel choice; the per-query
+    /// kernel exists for interleaved fused-vs-per-query benchmarking.
+    pub fn run_batch_with_kernel(
+        &self,
+        queries: &[Vec<u8>],
+        kernel: BatchKernel,
+    ) -> io::Result<BatchOutcome> {
         let t0 = Instant::now();
+        let kernel_passes = AtomicU64::new(0);
+        let passes_saved = AtomicU64::new(0);
         let (task_tx, task_rx) = channel::unbounded::<String>();
         for f in &self.fragments {
             task_tx.send(f.clone()).expect("queue");
@@ -185,6 +221,8 @@ impl ParallelBlast {
                 let res_tx = res_tx.clone();
                 let tracer = self.tracer.clone();
                 let clocks = &clocks;
+                let kernel_passes = &kernel_passes;
+                let passes_saved = &passes_saved;
                 // Worker pair: the search thread feeds fragment names to
                 // its fetcher, which sends back decoded volumes. One read
                 // of each fragment serves every query; nucleotide data
@@ -203,6 +241,7 @@ impl ParallelBlast {
                     // One workspace per worker: scan and DP buffers are
                     // recycled across every fragment and every query.
                     let mut ws = ScanWorkspace::new();
+                    let mut bws = BatchScanWorkspace::new();
                     let mut in_pipeline = 0usize;
                     loop {
                         while in_pipeline < depth {
@@ -222,12 +261,22 @@ impl ParallelBlast {
                         IoClocks::add(&clocks.stall_ns, w0.elapsed());
                         in_pipeline -= 1;
                         let r = fetched.map(|volume| {
-                            queries
-                                .iter()
-                                .enumerate()
-                                .map(|(qi, q)| {
-                                    (
-                                        qi,
+                            let per_query: Vec<Vec<Hit>> = match kernel {
+                                BatchKernel::Fused => {
+                                    let refs: Vec<&[u8]> =
+                                        queries.iter().map(|q| q.as_slice()).collect();
+                                    search_packed_batch_with(
+                                        self.program,
+                                        &refs,
+                                        &volume,
+                                        &self.params,
+                                        self.db,
+                                        &mut bws,
+                                    )
+                                }
+                                BatchKernel::PerQuery => queries
+                                    .iter()
+                                    .map(|q| {
                                         search_packed_with(
                                             self.program,
                                             q,
@@ -235,10 +284,22 @@ impl ParallelBlast {
                                             &self.params,
                                             self.db,
                                             &mut ws,
-                                        ),
-                                    )
-                                })
-                                .collect()
+                                        )
+                                    })
+                                    .collect(),
+                            };
+                            // Only blastn has a fused kernel; everything
+                            // else scans once per query either way.
+                            let passes = match (kernel, self.program) {
+                                (BatchKernel::Fused, Program::Blastn) => {
+                                    queries.len().div_ceil(MAX_FUSED_BATCH) as u64
+                                }
+                                _ => queries.len() as u64,
+                            };
+                            kernel_passes.fetch_add(passes, Ordering::Relaxed);
+                            passes_saved
+                                .fetch_add(queries.len() as u64 - passes, Ordering::Relaxed);
+                            per_query.into_iter().enumerate().collect()
                         });
                         if res_tx.send(r).is_err() {
                             break;
@@ -268,6 +329,8 @@ impl ParallelBlast {
                 wall_s: t0.elapsed().as_secs_f64(),
                 io_fetch_s: IoClocks::secs(&clocks.fetch_ns),
                 io_stall_s: IoClocks::secs(&clocks.stall_ns),
+                kernel_passes: kernel_passes.load(Ordering::Relaxed),
+                passes_saved: passes_saved.load(Ordering::Relaxed),
             })
         })
     }
@@ -640,6 +703,48 @@ mod tests {
                 .collect()
         };
         assert_eq!(key(&batch.per_query[0]), key(&single1.hits));
+    }
+
+    #[test]
+    fn fused_kernel_matches_per_query_kernel_and_counts_passes() {
+        let base = tmp("fused");
+        let scheme = Scheme::local_at(&base.join("io"), 2).unwrap();
+        let (fragments, q1, db) = setup(&base, &scheme, 4);
+        let nfrag = fragments.len() as u64;
+        let job = ParallelBlast {
+            program: Program::Blastn,
+            params: SearchParams::blastn(),
+            db,
+            fragments,
+            workers: 2,
+            scheme,
+            tracer: Tracer::disabled(),
+            parallelization: Parallelization::DatabaseSegmentation,
+            prefetch: false,
+            list_io: false,
+        };
+        // 10 queries exercises the MAX_FUSED_BATCH=8 chunking inside the
+        // fused kernel (2 passes per fragment instead of 10).
+        let queries: Vec<Vec<u8>> = (0..10)
+            .map(|i| q1.iter().map(|&c| (c + i) & 3).collect())
+            .collect();
+        let fused = job
+            .run_batch_with_kernel(&queries, BatchKernel::Fused)
+            .unwrap();
+        let seq = job
+            .run_batch_with_kernel(&queries, BatchKernel::PerQuery)
+            .unwrap();
+        assert_eq!(
+            format!("{:?}", fused.per_query),
+            format!("{:?}", seq.per_query),
+            "fused kernel must be hit-for-hit identical"
+        );
+        assert!(!fused.per_query[0].is_empty(), "vacuous comparison");
+        assert_eq!(fused.kernel_passes, 2 * nfrag);
+        assert_eq!(fused.passes_saved, 8 * nfrag);
+        assert_eq!(seq.kernel_passes, 10 * nfrag);
+        assert_eq!(seq.passes_saved, 0);
+        std::fs::remove_dir_all(&base).ok();
     }
 
     #[test]

@@ -163,6 +163,12 @@ pub struct StatsSnapshot {
     pub batches: u64,
     /// Database bytes the executed batches read.
     pub bytes_read: u64,
+    /// Seed-scan kernel passes the executed batches ran (the fused
+    /// multi-query kernel merges up to 8 queries into one pass per
+    /// fragment).
+    pub kernel_passes: u64,
+    /// Kernel passes the fused kernel avoided versus per-query scanning.
+    pub passes_saved: u64,
     /// Queries served by each shard, in shard order (the per-shard
     /// balance the bench reports).
     pub per_shard_served: Vec<u64>,
@@ -318,6 +324,8 @@ pub fn encode_frame(frame: &Frame) -> Vec<u8> {
                 s.cancelled,
                 s.batches,
                 s.bytes_read,
+                s.kernel_passes,
+                s.passes_saved,
             ] {
                 payload.extend_from_slice(&v.to_le_bytes());
             }
@@ -436,7 +444,7 @@ fn decode_payload(kind: u8, payload: &[u8]) -> Result<Frame, FrameError> {
             queued: take_u64(payload, &mut at)?,
         },
         KIND_STATS_REPLY => {
-            let mut vals = [0u64; 9];
+            let mut vals = [0u64; 11];
             for v in vals.iter_mut() {
                 *v = take_u64(payload, &mut at)?;
             }
@@ -455,6 +463,8 @@ fn decode_payload(kind: u8, payload: &[u8]) -> Result<Frame, FrameError> {
                 cancelled: vals[6],
                 batches: vals[7],
                 bytes_read: vals[8],
+                kernel_passes: vals[9],
+                passes_saved: vals[10],
                 per_shard_served,
             })
         }
@@ -577,6 +587,8 @@ mod tests {
             cancelled: 7,
             batches: 8,
             bytes_read: 9,
+            kernel_passes: 10,
+            passes_saved: 11,
             per_shard_served: vec![4, 5, 6],
         }));
     }

@@ -52,6 +52,11 @@ pub struct RunnerOutput {
     pub search_s: f64,
     /// Database bytes the pass read (0 when the executor cannot tell).
     pub bytes_read: u64,
+    /// Seed-scan kernel passes the batch executed across all fragments
+    /// (the fused kernel merges up to 8 queries into one pass).
+    pub kernel_passes: u64,
+    /// Kernel passes the fused kernel avoided versus per-query scanning.
+    pub passes_saved: u64,
 }
 
 /// Something that can execute a scan-sharing batch of raw queries.
@@ -105,6 +110,8 @@ impl BatchRunner for BlastRunner {
             scan_s: out.io_fetch_s,
             search_s: (wall - out.io_stall_s).max(0.0),
             bytes_read: self.bytes_per_pass,
+            kernel_passes: out.kernel_passes,
+            passes_saved: out.passes_saved,
         })
     }
 }
@@ -153,6 +160,8 @@ impl BatchRunner for EchoRunner {
             scan_s: self.delay.as_secs_f64(),
             search_s: 0.0,
             bytes_read: 0,
+            kernel_passes: 1,
+            passes_saved: queries.len() as u64 - 1,
         })
     }
 }

@@ -158,6 +158,8 @@ impl Shared {
             let c = s.counters.snapshot();
             agg.batches += c.batches;
             agg.bytes_read += c.bytes_read;
+            agg.kernel_passes += c.kernel_passes;
+            agg.passes_saved += c.passes_saved;
             per_shard_served.push(s.served.load(Ordering::Relaxed));
         }
         StatsSnapshot {
@@ -170,6 +172,8 @@ impl Shared {
             cancelled: self.cancelled.load(Ordering::Relaxed),
             batches: agg.batches,
             bytes_read: agg.bytes_read,
+            kernel_passes: agg.kernel_passes,
+            passes_saved: agg.passes_saved,
             per_shard_served,
         }
     }
@@ -684,6 +688,8 @@ fn exec_thread(
                     scan_s: out.scan_s,
                     search_s: out.search_s,
                     bytes_read: out.bytes_read,
+                    kernel_passes: out.kernel_passes,
+                    passes_saved: out.passes_saved,
                 };
                 shard
                     .state

@@ -45,6 +45,12 @@ pub struct BatchResult {
     pub search_s: f64,
     /// Database bytes read by the pass (shared by the whole batch).
     pub bytes_read: u64,
+    /// Seed-scan kernel passes the batch actually executed (the fused
+    /// multi-query kernel merges up to 8 queries into one pass per
+    /// fragment).
+    pub kernel_passes: u64,
+    /// Kernel passes the fused kernel avoided versus per-query scanning.
+    pub passes_saved: u64,
 }
 
 /// Something that can search a batch of queries against every fragment in
@@ -193,6 +199,8 @@ mod tests {
                 scan_s: self.io_s,
                 search_s: search,
                 bytes_read: self.pass_bytes,
+                kernel_passes: 1,
+                passes_saved: batch.len() as u64 - 1,
             }
         }
     }

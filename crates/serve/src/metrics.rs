@@ -31,6 +31,8 @@ pub struct ServeCounters {
     bytes_read: AtomicU64,
     bytes_unbatched: AtomicU64,
     deadline_hits: AtomicU64,
+    kernel_passes: AtomicU64,
+    passes_saved: AtomicU64,
 }
 
 /// A point-in-time copy of [`ServeCounters`].
@@ -46,12 +48,27 @@ pub struct CountersSnapshot {
     pub bytes_unbatched: u64,
     /// Served queries that met their deadline.
     pub deadline_hits: u64,
+    /// Seed-scan kernel passes actually executed (the fused multi-query
+    /// kernel runs one merged pass per fragment per ≤8-query chunk).
+    pub kernel_passes: u64,
+    /// Kernel passes the fused kernel avoided versus per-query scanning.
+    pub passes_saved: u64,
 }
 
 impl ServeCounters {
     /// Record one completed batch of `n` queries, of which
-    /// `deadline_hits` met their deadline.
-    pub fn record_batch(&self, n: u64, bytes_read: u64, deadline_hits: u64) {
+    /// `deadline_hits` met their deadline; `kernel_passes` is the number
+    /// of seed-scan passes the batch actually executed and
+    /// `passes_saved` how many the fused kernel avoided versus the
+    /// per-query path.
+    pub fn record_batch(
+        &self,
+        n: u64,
+        bytes_read: u64,
+        deadline_hits: u64,
+        kernel_passes: u64,
+        passes_saved: u64,
+    ) {
         self.served.fetch_add(n, Ordering::Relaxed);
         self.batches.fetch_add(1, Ordering::Relaxed);
         self.bytes_read.fetch_add(bytes_read, Ordering::Relaxed);
@@ -59,6 +76,9 @@ impl ServeCounters {
             .fetch_add(bytes_read * n, Ordering::Relaxed);
         self.deadline_hits
             .fetch_add(deadline_hits, Ordering::Relaxed);
+        self.kernel_passes
+            .fetch_add(kernel_passes, Ordering::Relaxed);
+        self.passes_saved.fetch_add(passes_saved, Ordering::Relaxed);
     }
 
     /// Read every counter with relaxed ordering. Safe to call from any
@@ -70,6 +90,8 @@ impl ServeCounters {
             bytes_read: self.bytes_read.load(Ordering::Relaxed),
             bytes_unbatched: self.bytes_unbatched.load(Ordering::Relaxed),
             deadline_hits: self.deadline_hits.load(Ordering::Relaxed),
+            kernel_passes: self.kernel_passes.load(Ordering::Relaxed),
+            passes_saved: self.passes_saved.load(Ordering::Relaxed),
         }
     }
 
@@ -80,6 +102,8 @@ impl ServeCounters {
             bytes_read: AtomicU64::new(snap.bytes_read),
             bytes_unbatched: AtomicU64::new(snap.bytes_unbatched),
             deadline_hits: AtomicU64::new(snap.deadline_hits),
+            kernel_passes: AtomicU64::new(snap.kernel_passes),
+            passes_saved: AtomicU64::new(snap.passes_saved),
         }
     }
 }
@@ -148,8 +172,13 @@ impl ServeMetrics {
         // Counter side (served, batches, bytes, unbatched-equivalent
         // bytes — one full pass per query without scan sharing) goes
         // through the relaxed atomics so snapshot readers never wait.
-        self.counters
-            .record_batch(batch.len() as u64, res.bytes_read, deadline_hits);
+        self.counters.record_batch(
+            batch.len() as u64,
+            res.bytes_read,
+            deadline_hits,
+            res.kernel_passes,
+            res.passes_saved,
+        );
     }
 
     /// Freeze into a report. `queue` supplies the admission counters,
@@ -183,6 +212,8 @@ impl ServeMetrics {
             bytes_read: c.bytes_read,
             bytes_unbatched: c.bytes_unbatched,
             deadline_hits: c.deadline_hits,
+            kernel_passes: c.kernel_passes,
+            passes_saved: c.passes_saved,
         }
     }
 }
@@ -223,6 +254,11 @@ pub struct ServeReport {
     /// Served queries that met their deadline (only counted for queries
     /// that had one).
     pub deadline_hits: u64,
+    /// Seed-scan kernel passes actually executed.
+    pub kernel_passes: u64,
+    /// Kernel passes the fused multi-query kernel avoided versus
+    /// per-query scanning.
+    pub passes_saved: u64,
 }
 
 impl ServeReport {
@@ -261,6 +297,8 @@ mod tests {
             scan_s: 1.0,
             search_s: 2.0,
             bytes_read: 100,
+            kernel_passes: 1,
+            passes_saved: 1,
         };
         m.record_batch(&batch, SimTime::from_secs(2), SimTime::from_secs(5), &res);
         let r = m.report(&AdmissionQueue::new(4), SimTime::from_secs(5));
@@ -268,6 +306,8 @@ mod tests {
         assert_eq!(r.batches, 1);
         assert_eq!(r.bytes_read, 100);
         assert_eq!(r.bytes_unbatched, 200);
+        assert_eq!(r.kernel_passes, 1);
+        assert_eq!(r.passes_saved, 1);
         assert!((r.io_savings() - 2.0).abs() < 1e-12);
         assert!((r.mean_batch - 2.0).abs() < 1e-12);
         // Query 1 waited 2 s and finished at latency 5 s; query 2 waited
@@ -293,6 +333,8 @@ mod tests {
             scan_s: 0.5,
             search_s: 0.5,
             bytes_read: 40,
+            kernel_passes: 1,
+            passes_saved: 1,
         };
         m.record_batch(
             &[query(1, 0), query(2, 0)],
@@ -332,6 +374,8 @@ mod tests {
             scan_s: 0.5,
             search_s: 1.5,
             bytes_read: 10,
+            kernel_passes: 1,
+            passes_saved: 2,
         };
         m.record_batch(&[a, b, c], SimTime::ZERO, SimTime::from_secs(2), &res);
         let r = m.report(&AdmissionQueue::new(4), SimTime::from_secs(2));

@@ -27,6 +27,11 @@ pub struct RealServeOutcome {
     pub batches: u64,
     /// Wall-clock seconds for the whole run.
     pub wall_s: f64,
+    /// Seed-scan kernel passes executed across all batches and fragments
+    /// (the fused kernel folds up to 8 queries into one pass).
+    pub kernel_passes: u64,
+    /// Kernel passes the fused kernel avoided versus per-query scanning.
+    pub passes_saved: u64,
     /// What the background integrity scrub did, when one was requested
     /// (see [`serve_batched_scrubbed`]).
     pub scrub: Option<ScrubTotals>,
@@ -58,9 +63,13 @@ pub fn serve_batched_scrubbed(
     let scrubber = scrub_rate.map(|rate| job.scheme.start_scrub(&job.fragments, rate));
     let mut per_query = Vec::with_capacity(queries.len());
     let mut batches = 0u64;
+    let mut kernel_passes = 0u64;
+    let mut passes_saved = 0u64;
     for chunk in queries.chunks(max_batch.max(1)) {
         let out = job.run_batch(chunk)?;
         batches += 1;
+        kernel_passes += out.kernel_passes;
+        passes_saved += out.passes_saved;
         for hits in &out.per_query {
             per_query.push(tabular("query", hits));
         }
@@ -69,6 +78,8 @@ pub fn serve_batched_scrubbed(
         per_query,
         batches,
         wall_s: t0.elapsed().as_secs_f64(),
+        kernel_passes,
+        passes_saved,
         scrub: scrubber.map(|s| s.stop()),
     })
 }
@@ -155,6 +166,11 @@ mod tests {
         assert_eq!(batched.per_query, sequential.per_query);
         assert_eq!(batched.batches, 1);
         assert_eq!(sequential.batches, 5);
+        // Fused kernel: 4 fragments x 1 merged pass vs 4 x 5 per-query.
+        assert_eq!(batched.kernel_passes, 4);
+        assert_eq!(batched.passes_saved, 16);
+        assert_eq!(sequential.kernel_passes, 20);
+        assert_eq!(sequential.passes_saved, 0);
         assert!(
             after_batched * 4 <= after_sequential,
             "batched {after_batched} vs sequential {after_sequential}"

@@ -29,6 +29,11 @@ pub struct ScanPassCost {
     pub search_s: f64,
     /// Database bytes read by the pass.
     pub bytes_read: u64,
+    /// Seed-scan kernel passes the batch executes across all fragments.
+    pub kernel_passes: u64,
+    /// Kernel passes avoided versus per-query scanning (nonzero only when
+    /// the probed config models the fused multi-query kernel).
+    pub passes_saved: u64,
 }
 
 /// Pass-cost model probed from the calibrated simulator.
@@ -66,11 +71,22 @@ impl ServiceModel {
         } else {
             0.0
         };
+        // Pass accounting mirrors the real runner: the fused kernel merges
+        // up to 8 queries into one scan pass per fragment.
+        let frags = u64::from(cfg.fragments.max(1));
+        let per_query_passes = frags * u64::from(k);
+        let kernel_passes = if cfg.fused_kernel {
+            frags * u64::from(k).div_ceil(8)
+        } else {
+            per_query_passes
+        };
         let c = ScanPassCost {
             service_s: out.makespan_s,
             scan_s: out.makespan_s * io_share,
             search_s: out.makespan_s * (1.0 - io_share),
             bytes_read: bytes,
+            kernel_passes,
+            passes_saved: per_query_passes - kernel_passes,
         };
         self.cache.insert(k, c);
         c
@@ -119,6 +135,8 @@ impl BatchExecutor for SimExecutor {
             scan_s: c.scan_s * f,
             search_s: c.search_s * f,
             bytes_read: c.bytes_read,
+            kernel_passes: c.kernel_passes,
+            passes_saved: c.passes_saved,
         }
     }
 }
@@ -153,6 +171,25 @@ mod tests {
         assert!(c4.service_s / 4.0 < c1.service_s, "c1={c1:?} c4={c4:?}");
         // Probes are cached.
         assert_eq!(m.cost(4), c4);
+    }
+
+    #[test]
+    fn fused_model_amortizes_compute_and_counts_passes() {
+        let mut per_query = ServiceModel::new(base());
+        let mut fused = ServiceModel::new(SimBlastConfig {
+            fused_kernel: true,
+            ..base()
+        });
+        let pq = per_query.cost(8);
+        let fu = fused.cost(8);
+        // Same scan either way; the fused kernel only cuts compute.
+        assert_eq!(pq.bytes_read, fu.bytes_read);
+        assert!(fu.service_s < pq.service_s * 0.5, "pq={pq:?} fu={fu:?}");
+        // 2 fragments x 8 queries: fused folds each fragment to one pass.
+        assert_eq!(pq.kernel_passes, 16);
+        assert_eq!(pq.passes_saved, 0);
+        assert_eq!(fu.kernel_passes, 2);
+        assert_eq!(fu.passes_saved, 14);
     }
 
     #[test]

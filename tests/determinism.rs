@@ -235,6 +235,96 @@ fn batched_serving_is_byte_identical_to_sequential() {
     }
 }
 
+/// Fused multi-query kernel pin: for every seed, gapped and ungapped, the
+/// FNV digest of one `search_packed_batch` pass equals the digest of
+/// per-query `search_packed` passes — hit-for-hit, covering both strands,
+/// so subject order, HSP order, scores, E-values, coordinates, and
+/// tie-breaks all survive the kernel fusion.
+#[test]
+fn fused_batch_digest_matches_sequential() {
+    use parblast::blast::{search_packed, search_packed_batch, DbStats, Program, SearchParams};
+    use parblast::seqdb::{
+        extract_query, reverse_complement, PackedVolume, SeqType, SyntheticConfig, SyntheticNt,
+        VolumeWriter,
+    };
+
+    let fnv = |rendered: &str| -> String {
+        let mut h: u64 = 0xcbf29ce484222325;
+        for b in rendered.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100000001b3);
+        }
+        format!("{h:016x}")
+    };
+    for seed in SEEDS {
+        let mut g = SyntheticNt::new(SyntheticConfig {
+            total_residues: 150_000,
+            seed,
+            ..Default::default()
+        });
+        let mut buf = std::io::Cursor::new(Vec::new());
+        let mut w = VolumeWriter::new(&mut buf, SeqType::Nucleotide).unwrap();
+        let mut sources = vec![];
+        while let Some((defline, codes)) = g.next() {
+            w.add_codes(&defline, &codes).unwrap();
+            sources.push(codes);
+        }
+        w.finish().unwrap();
+        let bytes = buf.into_inner();
+        let packed = PackedVolume::read_from(&mut bytes.as_slice()).unwrap();
+        let db = DbStats {
+            residues: g.residues(),
+            nseq: g.sequences(),
+        };
+        // Query mix: forward extracts (plus-strand hits), one
+        // reverse-complemented extract (minus-strand hits), and one from
+        // an independent stream (mostly misses) — 5 queries, one fused
+        // chunk.
+        let mut queries: Vec<Vec<u8>> = (0..3)
+            .map(|i| extract_query(&sources[i + 1], 400, 0.03, seed ^ i as u64))
+            .collect();
+        queries.push(reverse_complement(&extract_query(
+            &sources[4],
+            400,
+            0.02,
+            seed ^ 9,
+        )));
+        let mut alien = SyntheticNt::new(SyntheticConfig {
+            total_residues: 2_000,
+            min_len: 600,
+            seed: seed ^ 0xdead,
+            ..Default::default()
+        });
+        let stray = alien.next().unwrap().1;
+        queries.push(extract_query(&stray, 568.min(stray.len()), 0.03, seed));
+        let qrefs: Vec<&[u8]> = queries.iter().map(|q| q.as_slice()).collect();
+
+        for gapped in [true, false] {
+            let mut params = SearchParams::blastn();
+            params.gapped = gapped;
+            let fused = search_packed_batch(Program::Blastn, &qrefs, &packed, &params, db);
+            let sequential: Vec<_> = qrefs
+                .iter()
+                .map(|q| search_packed(Program::Blastn, q, &packed, &params, db))
+                .collect();
+            let frames: std::collections::BTreeSet<i8> = fused
+                .iter()
+                .flatten()
+                .flat_map(|h| h.hsps.iter().map(|s| s.q_frame))
+                .collect();
+            assert!(
+                frames.contains(&1) && frames.contains(&-1),
+                "seed {seed} gapped={gapped}: digest must cover both strands, got {frames:?}"
+            );
+            assert_eq!(
+                fnv(&format!("{fused:?}")),
+                fnv(&format!("{sequential:?}")),
+                "seed {seed} gapped={gapped}: fused and sequential digests diverged"
+            );
+        }
+    }
+}
+
 /// The double-buffered fragment prefetch pipeline may change *when* I/O
 /// happens, never what is found: for every seed and every scheme, the
 /// full `Debug` rendering of the merged hits (scores, E-values,

@@ -108,11 +108,13 @@ fn golden_drain_ack_and_stats_reply_frames() {
         cancelled: 7,
         batches: 8,
         bytes_read: 9,
+        kernel_passes: 10,
+        passes_saved: 11,
         per_shard_served: vec![10, 11],
     };
     let frame = encode_frame(&Frame::StatsReply(snap));
-    let mut want = header(8, 9 * 8 + 4 + 2 * 8);
-    for v in 1u64..=9 {
+    let mut want = header(8, 11 * 8 + 4 + 2 * 8);
+    for v in 1u64..=11 {
         want.extend_from_slice(&v.to_le_bytes());
     }
     want.extend_from_slice(&[2, 0, 0, 0]); // shard count
@@ -297,7 +299,7 @@ fn arb_frame() -> impl Strategy<Value = Frame> {
         }),
         any::<u64>().prop_map(|queued| Frame::DrainAck { queued }),
         (
-            proptest::collection::vec(any::<u64>(), 9..10),
+            proptest::collection::vec(any::<u64>(), 11..12),
             proptest::collection::vec(any::<u64>(), 0..8)
         )
             .prop_map(|(v, per_shard_served)| {
@@ -311,6 +313,8 @@ fn arb_frame() -> impl Strategy<Value = Frame> {
                     cancelled: v[6],
                     batches: v[7],
                     bytes_read: v[8],
+                    kernel_passes: v[9],
+                    passes_saved: v[10],
                     per_shard_served,
                 })
             }),
@@ -392,6 +396,10 @@ fn daemon_serves_concurrent_clients() {
     let stats = handle.stats();
     assert_eq!(stats.accepted, 100);
     assert_eq!(stats.served, 100);
+    // The runner reports one fused kernel pass per batch, so the pass
+    // counters must balance: passes + saved == queries served.
+    assert_eq!(stats.kernel_passes, stats.batches);
+    assert_eq!(stats.kernel_passes + stats.passes_saved, stats.served);
     assert_eq!(stats.per_shard_served.len(), 2);
     // Round-robin connection placement spreads clients over both shards.
     assert!(

@@ -214,6 +214,37 @@ proptest! {
         prop_assert_eq!(by_bytes, by_packed);
     }
 
+    /// Fused-kernel oracle: one `scan_packed_batched` pass over the
+    /// merged lookup of B queries reports, per query, exactly the
+    /// `(qpos, spos)` stream B separate per-query `scan_packed` passes
+    /// report — for B ∈ 1..=8, every supported word size, and ragged
+    /// (non-multiple-of-4) subject lengths. The union of per-query
+    /// candidate sets is therefore identical, with per-context order
+    /// preserved.
+    #[test]
+    fn scan_packed_batched_equals_per_query_scans(
+        queries in proptest::collection::vec(
+            proptest::collection::vec(0u8..4, 0..120),
+            1..9usize,
+        ),
+        subject in proptest::collection::vec(0u8..4, 0..250),
+        word in 4usize..=12,
+    ) {
+        let ctxs: Vec<&[u8]> = queries.iter().map(|q| q.as_slice()).collect();
+        let batched = parblast::blast::BatchedNtLookup::build(&ctxs, word);
+        let packed = pack_2bit(&subject);
+        let mut fused: Vec<Vec<(u32, u32)>> = vec![Vec::new(); queries.len()];
+        batched.scan_packed_batched(&packed, subject.len(), |ctx, qp, sp| {
+            fused[ctx as usize].push((qp, sp));
+        });
+        for (i, q) in queries.iter().enumerate() {
+            let lookup = parblast::blast::NtLookup::build(q, word);
+            let mut solo = Vec::new();
+            lookup.scan_packed(&packed, subject.len(), |qp, sp| solo.push((qp, sp)));
+            prop_assert_eq!(&fused[i], &solo, "query {} diverged from its solo scan", i);
+        }
+    }
+
     /// Streaming volume construction equals the monolithic load: feeding
     /// [`PackedVolumeStream`] arbitrary ragged chunk sizes — never aligned
     /// to sequence or stripe boundaries — finishes with a volume identical
