@@ -225,6 +225,7 @@ fn main() {
         queue_capacity: cfg.queue_capacity,
         max_batch: cfg.max_batch,
         quota: Some(QuotaConfig::per_second(cfg.quota_qps)),
+        ..Default::default()
     };
     let runner = Arc::new(EchoRunner::with_delay(cfg.batch_delay));
     let handle = NetServer::start("127.0.0.1:0", server_cfg, runner).expect("start daemon");

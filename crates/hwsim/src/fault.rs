@@ -369,6 +369,285 @@ impl Component<Ev> for FaultInjector {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Socket-level fault schedules (shared with `net::chaos`)
+// ---------------------------------------------------------------------------
+
+/// Which half of a byte stream a [`SocketFault`] applies to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SocketDir {
+    /// The fault fires when the *read* cursor reaches the offset.
+    Read,
+    /// The fault fires when the *write* cursor reaches the offset.
+    Write,
+}
+
+/// One injectable stream fault. Mirrors the failure modes a TCP connection
+/// actually exhibits: partial transfers, stalls, and hard resets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SocketFaultKind {
+    /// Cap the next transfer in this direction at `cap` bytes (≥ 1 — a
+    /// zero-byte read would forge an EOF, which is a different fault).
+    ShortOp {
+        /// Maximum bytes the next op may move.
+        cap: usize,
+    },
+    /// Sleep `for_ms` milliseconds before the next op in this direction —
+    /// a straggler link, or a slowloris peer when injected on writes.
+    Stall {
+        /// Stall duration, wall milliseconds.
+        for_ms: u64,
+    },
+    /// Hard-close the underlying transport; every later op in *either*
+    /// direction fails with `ConnectionReset`.
+    Reset,
+}
+
+/// A [`SocketFaultKind`] bound to a byte offset in one direction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SocketFault {
+    /// Direction whose cursor triggers the fault.
+    pub dir: SocketDir,
+    /// Cursor position (bytes moved so far in `dir`) at or past which the
+    /// fault fires.
+    pub at_byte: u64,
+    /// What happens.
+    pub kind: SocketFaultKind,
+}
+
+/// Knobs for [`SocketFaultSchedule::seeded`]: per-connection probabilities
+/// and ranges from which a deterministic schedule is drawn.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SocketChaosProfile {
+    /// Probability this connection gets a hard reset.
+    pub reset_prob: f64,
+    /// Probability this connection gets short reads/writes sprinkled in.
+    pub short_prob: f64,
+    /// How many short ops to inject when drawn.
+    pub shorts: usize,
+    /// Probability this connection gets a stall.
+    pub stall_prob: f64,
+    /// Stall duration, milliseconds.
+    pub stall_ms: u64,
+    /// Fault byte offsets are drawn uniformly from `[0, window)`.
+    pub window: u64,
+    /// Independent draw rounds, one per consecutive `window` of bytes:
+    /// round `r` places its faults in `[r*window, (r+1)*window)`. With 1
+    /// (the default) the probabilities are per-connection; raising it
+    /// makes them per-window-of-traffic, which keeps fault pressure on
+    /// long-lived pooled connections instead of only testing their first
+    /// few frames.
+    pub repeats: usize,
+}
+
+impl Default for SocketChaosProfile {
+    fn default() -> Self {
+        SocketChaosProfile {
+            reset_prob: 0.0,
+            short_prob: 0.0,
+            shorts: 4,
+            stall_prob: 0.0,
+            stall_ms: 1,
+            window: 256,
+            repeats: 1,
+        }
+    }
+}
+
+impl SocketChaosProfile {
+    /// A profile that only injects connection resets.
+    pub fn resets(prob: f64, window: u64) -> Self {
+        SocketChaosProfile {
+            reset_prob: prob,
+            window,
+            ..Default::default()
+        }
+    }
+
+    /// A profile that only injects short reads/writes.
+    pub fn short_ops(prob: f64, shorts: usize, window: u64) -> Self {
+        SocketChaosProfile {
+            short_prob: prob,
+            shorts,
+            window,
+            ..Default::default()
+        }
+    }
+
+    /// A profile that only injects stalls.
+    pub fn stalls(prob: f64, stall_ms: u64, window: u64) -> Self {
+        SocketChaosProfile {
+            stall_prob: prob,
+            stall_ms,
+            window,
+            ..Default::default()
+        }
+    }
+
+    /// Re-draw the profile once per consecutive `window` of bytes for
+    /// `repeats` windows (probabilities become per-window-of-traffic).
+    pub fn with_repeats(mut self, repeats: usize) -> Self {
+        self.repeats = repeats.max(1);
+        self
+    }
+}
+
+/// Declarative per-connection stream-fault plan, byte-offset ordered within
+/// each direction. Built explicitly (builder style, like [`FaultSchedule`])
+/// or drawn deterministically from a seed + [`SocketChaosProfile`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SocketFaultSchedule {
+    faults: Vec<SocketFault>,
+}
+
+impl SocketFaultSchedule {
+    /// Empty schedule (a perfectly healthy connection).
+    pub fn new() -> Self {
+        SocketFaultSchedule::default()
+    }
+
+    /// Cap the read that crosses offset `at_byte` to `cap` bytes.
+    pub fn short_read(mut self, at_byte: u64, cap: usize) -> Self {
+        self.faults.push(SocketFault {
+            dir: SocketDir::Read,
+            at_byte,
+            kind: SocketFaultKind::ShortOp { cap: cap.max(1) },
+        });
+        self
+    }
+
+    /// Cap the write that crosses offset `at_byte` to `cap` bytes.
+    pub fn short_write(mut self, at_byte: u64, cap: usize) -> Self {
+        self.faults.push(SocketFault {
+            dir: SocketDir::Write,
+            at_byte,
+            kind: SocketFaultKind::ShortOp { cap: cap.max(1) },
+        });
+        self
+    }
+
+    /// Stall the read that crosses offset `at_byte` by `for_ms` ms.
+    pub fn stall_read(mut self, at_byte: u64, for_ms: u64) -> Self {
+        self.faults.push(SocketFault {
+            dir: SocketDir::Read,
+            at_byte,
+            kind: SocketFaultKind::Stall { for_ms },
+        });
+        self
+    }
+
+    /// Stall the write that crosses offset `at_byte` by `for_ms` ms.
+    pub fn stall_write(mut self, at_byte: u64, for_ms: u64) -> Self {
+        self.faults.push(SocketFault {
+            dir: SocketDir::Write,
+            at_byte,
+            kind: SocketFaultKind::Stall { for_ms },
+        });
+        self
+    }
+
+    /// Hard-reset the connection once `dir`'s cursor reaches `at_byte`.
+    pub fn reset_at(mut self, dir: SocketDir, at_byte: u64) -> Self {
+        self.faults.push(SocketFault {
+            dir,
+            at_byte,
+            kind: SocketFaultKind::Reset,
+        });
+        self
+    }
+
+    /// Draw a schedule from `seed` and `profile`. The same `(seed,
+    /// profile)` always yields the same schedule — chaos tests replay
+    /// byte-identically across runs and machines.
+    pub fn seeded(seed: u64, profile: &SocketChaosProfile) -> Self {
+        let mut rng = parblast_simcore::SimRng::new(seed);
+        let mut s = SocketFaultSchedule::new();
+        let window = profile.window.max(1);
+        for round in 0..profile.repeats.max(1) as u64 {
+            let base = round * window;
+            if profile.short_prob > 0.0 && rng.chance(profile.short_prob) {
+                for _ in 0..profile.shorts {
+                    let at = base + rng.below(window);
+                    let cap = 1 + rng.below(4) as usize;
+                    s = if rng.chance(0.5) {
+                        s.short_read(at, cap)
+                    } else {
+                        s.short_write(at, cap)
+                    };
+                }
+            }
+            if profile.stall_prob > 0.0 && rng.chance(profile.stall_prob) {
+                let at = base + rng.below(window);
+                s = if rng.chance(0.5) {
+                    s.stall_read(at, profile.stall_ms)
+                } else {
+                    s.stall_write(at, profile.stall_ms)
+                };
+            }
+            if profile.reset_prob > 0.0 && rng.chance(profile.reset_prob) {
+                let dir = if rng.chance(0.5) {
+                    SocketDir::Read
+                } else {
+                    SocketDir::Write
+                };
+                s = s.reset_at(dir, base + rng.below(window));
+                // The connection dies here; later rounds can never fire.
+                break;
+            }
+        }
+        s
+    }
+
+    /// The planned faults, in insertion order.
+    pub fn faults(&self) -> &[SocketFault] {
+        &self.faults
+    }
+
+    /// The faults for one direction, sorted by byte offset (stable — ties
+    /// keep insertion order).
+    pub fn for_dir(&self, dir: SocketDir) -> Vec<SocketFault> {
+        let mut v: Vec<SocketFault> = self
+            .faults
+            .iter()
+            .filter(|f| f.dir == dir)
+            .copied()
+            .collect();
+        v.sort_by_key(|f| f.at_byte);
+        v
+    }
+
+    /// FNV-1a digest over the schedule contents; equal schedules hash
+    /// equal, so determinism tests can pin a seed's plan with one number.
+    pub fn digest(&self) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut mix = |x: u64| {
+            for b in x.to_le_bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x1000_0000_01b3);
+            }
+        };
+        for f in &self.faults {
+            mix(match f.dir {
+                SocketDir::Read => 0,
+                SocketDir::Write => 1,
+            });
+            mix(f.at_byte);
+            match f.kind {
+                SocketFaultKind::ShortOp { cap } => {
+                    mix(2);
+                    mix(cap as u64);
+                }
+                SocketFaultKind::Stall { for_ms } => {
+                    mix(3);
+                    mix(for_ms);
+                }
+                SocketFaultKind::Reset => mix(4),
+            }
+        }
+        h
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -593,5 +872,90 @@ mod tests {
         assert_eq!(times, vec![0, 4]);
         assert_eq!(*resets.borrow(), 1);
         assert_eq!(eng.events_dropped(), 1);
+    }
+
+    #[test]
+    fn socket_schedule_builder_sorts_per_direction() {
+        let s = SocketFaultSchedule::new()
+            .short_read(100, 2)
+            .short_read(10, 1)
+            .stall_write(50, 5)
+            .reset_at(SocketDir::Write, 20);
+        assert_eq!(s.faults().len(), 4);
+        let reads = s.for_dir(SocketDir::Read);
+        assert_eq!(
+            reads.iter().map(|f| f.at_byte).collect::<Vec<_>>(),
+            vec![10, 100]
+        );
+        let writes = s.for_dir(SocketDir::Write);
+        assert_eq!(
+            writes.iter().map(|f| f.at_byte).collect::<Vec<_>>(),
+            vec![20, 50]
+        );
+    }
+
+    #[test]
+    fn socket_schedule_repeats_draw_per_window() {
+        let p = SocketChaosProfile::short_ops(1.0, 2, 100).with_repeats(3);
+        let s = SocketFaultSchedule::seeded(9, &p);
+        // Two shorts per round, three rounds, each inside its own window.
+        assert_eq!(s.faults().len(), 6);
+        for (i, f) in s.faults().iter().enumerate() {
+            let round = (i / 2) as u64;
+            assert!(
+                f.at_byte >= round * 100 && f.at_byte < (round + 1) * 100,
+                "fault {i} at {} escaped round {round}'s window",
+                f.at_byte
+            );
+        }
+        // A reset kills the connection, so no later round ever draws.
+        let p = SocketChaosProfile::resets(1.0, 100).with_repeats(5);
+        let s = SocketFaultSchedule::seeded(9, &p);
+        assert_eq!(s.faults().len(), 1);
+        assert!(s.faults()[0].at_byte < 100);
+    }
+
+    #[test]
+    fn socket_schedule_seeded_is_deterministic() {
+        let p = SocketChaosProfile {
+            reset_prob: 0.7,
+            short_prob: 0.7,
+            shorts: 3,
+            stall_prob: 0.7,
+            stall_ms: 2,
+            window: 512,
+            repeats: 1,
+        };
+        for seed in [0u64, 42, 1003, u64::MAX] {
+            let a = SocketFaultSchedule::seeded(seed, &p);
+            let b = SocketFaultSchedule::seeded(seed, &p);
+            assert_eq!(a, b);
+            assert_eq!(a.digest(), b.digest());
+        }
+        // Different seeds should (at these probabilities) disagree for at
+        // least one of a handful of draws.
+        let base = SocketFaultSchedule::seeded(1, &p).digest();
+        assert!(
+            (2..20).any(|s| SocketFaultSchedule::seeded(s, &p).digest() != base),
+            "every seed produced the same schedule"
+        );
+    }
+
+    #[test]
+    fn socket_schedule_zero_prob_is_empty() {
+        let p = SocketChaosProfile::default();
+        assert_eq!(
+            SocketFaultSchedule::seeded(9, &p),
+            SocketFaultSchedule::new()
+        );
+    }
+
+    #[test]
+    fn socket_short_cap_is_clamped_to_one() {
+        let s = SocketFaultSchedule::new().short_read(0, 0);
+        match s.faults()[0].kind {
+            SocketFaultKind::ShortOp { cap } => assert_eq!(cap, 1),
+            other => panic!("unexpected {other:?}"),
+        }
     }
 }

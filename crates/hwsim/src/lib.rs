@@ -38,7 +38,10 @@ pub use event::{
     CpuDone, CpuMsg, DiskCtl, DiskDone, DiskOp, DiskReq, Envelope, Ev, FaultCmd, FsDone, FsMsg,
     NetFaultMode, NetFaultRule, NetSend,
 };
-pub use fault::{Fault, FaultEvent, FaultInjector, FaultSchedule};
+pub use fault::{
+    Fault, FaultEvent, FaultInjector, FaultSchedule, SocketChaosProfile, SocketDir, SocketFault,
+    SocketFaultKind, SocketFaultSchedule,
+};
 pub use localfs::{file_pos, LocalFs};
 pub use net::Network;
 pub use params::{DiskParams, HwParams, NetParams, NodeParams, GIB, KIB, MIB};

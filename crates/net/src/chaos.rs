@@ -1,0 +1,402 @@
+//! Socket fault injection: deterministic chaos for the serving tier.
+//!
+//! [`FaultyStream`] wraps any byte stream and replays a
+//! [`SocketFaultSchedule`] (the PR 1 `FaultSchedule` idiom moved from
+//! simulated time to byte offsets): short reads/writes cap a transfer,
+//! stalls sleep before one, and a reset hard-closes the transport so the
+//! peer sees a mid-frame connection death. Faults key on *cursor
+//! positions* — bytes moved so far in each direction — so a schedule is a
+//! pure function of the data exchanged, independent of timing, and two
+//! runs with the same seed inject byte-identical failures.
+//!
+//! A transfer is additionally capped so it never crosses the next
+//! scheduled fault offset: a reset planned at byte 7 fires after exactly
+//! 7 bytes moved, even if the caller offered 64 KiB. That is what makes
+//! the kill-at-every-byte sweep in `tests/net.rs` exhaustive.
+//!
+//! [`ChaosDialer`] plugs this into [`crate::NetClient`]: connection `i`
+//! of a client gets the schedule drawn from `(seed, i)`, so a multi-client
+//! chaos run is fully determined by its seeds while every connection
+//! still fails differently.
+
+use std::io::{self, Read, Write};
+use std::net::{Shutdown, TcpStream};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+use parblast_hwsim::{
+    SocketChaosProfile, SocketDir, SocketFault, SocketFaultKind, SocketFaultSchedule,
+};
+
+use crate::client::{ClientStream, Dialer};
+
+/// Transports that can simulate a peer reset (`TcpStream::shutdown`).
+pub trait HardReset {
+    /// Hard-close both halves; subsequent peer ops fail or see EOF.
+    fn hard_reset(&mut self) -> io::Result<()>;
+}
+
+impl HardReset for TcpStream {
+    fn hard_reset(&mut self) -> io::Result<()> {
+        self.shutdown(Shutdown::Both)
+    }
+}
+
+/// Counters of faults actually applied by a [`FaultyStream`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultCounts {
+    /// Transfers capped short.
+    pub shorts: u64,
+    /// Stalls slept.
+    pub stalls: u64,
+    /// Resets fired (0 or 1).
+    pub resets: u64,
+}
+
+/// A byte stream that injects scheduled faults into both directions.
+#[derive(Debug)]
+pub struct FaultyStream<S> {
+    inner: S,
+    read_faults: Vec<SocketFault>,
+    write_faults: Vec<SocketFault>,
+    rd_ix: usize,
+    wr_ix: usize,
+    read_pos: u64,
+    write_pos: u64,
+    reset: bool,
+    counts: FaultCounts,
+}
+
+impl<S> FaultyStream<S> {
+    /// Wrap `inner`, replaying `schedule` against it.
+    pub fn new(inner: S, schedule: &SocketFaultSchedule) -> Self {
+        FaultyStream {
+            inner,
+            read_faults: schedule.for_dir(SocketDir::Read),
+            write_faults: schedule.for_dir(SocketDir::Write),
+            rd_ix: 0,
+            wr_ix: 0,
+            read_pos: 0,
+            write_pos: 0,
+            reset: false,
+            counts: FaultCounts::default(),
+        }
+    }
+
+    /// Faults applied so far.
+    pub fn counts(&self) -> FaultCounts {
+        self.counts
+    }
+
+    /// Bytes moved so far as `(read, written)`.
+    pub fn positions(&self) -> (u64, u64) {
+        (self.read_pos, self.write_pos)
+    }
+
+    /// The wrapped stream.
+    pub fn get_ref(&self) -> &S {
+        &self.inner
+    }
+
+    fn reset_err() -> io::Error {
+        io::Error::new(io::ErrorKind::ConnectionReset, "injected connection reset")
+    }
+}
+
+impl<S: HardReset> FaultyStream<S> {
+    /// Apply every fault due at `pos` in `faults[*ix..]`; returns the
+    /// transfer cap for this op, or `None` if a reset fired.
+    fn due_faults(
+        inner: &mut S,
+        faults: &[SocketFault],
+        ix: &mut usize,
+        pos: u64,
+        mut cap: usize,
+        counts: &mut FaultCounts,
+        reset: &mut bool,
+    ) -> Option<usize> {
+        while let Some(f) = faults.get(*ix) {
+            if f.at_byte > pos {
+                // Never let one transfer sail past a scheduled fault:
+                // stop exactly at its offset so it fires on the next op.
+                cap = cap.min((f.at_byte - pos) as usize);
+                break;
+            }
+            *ix += 1;
+            match f.kind {
+                SocketFaultKind::ShortOp { cap: c } => {
+                    counts.shorts += 1;
+                    cap = cap.min(c.max(1));
+                }
+                SocketFaultKind::Stall { for_ms } => {
+                    counts.stalls += 1;
+                    std::thread::sleep(Duration::from_millis(for_ms));
+                }
+                SocketFaultKind::Reset => {
+                    counts.resets += 1;
+                    *reset = true;
+                    let _ = inner.hard_reset();
+                    return None;
+                }
+            }
+        }
+        // A zero-byte read forges an EOF and a zero-byte write spins the
+        // caller; a fault may shorten a transfer, never erase it.
+        Some(cap.max(1))
+    }
+}
+
+impl<S: Read + HardReset> Read for FaultyStream<S> {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        if self.reset {
+            return Err(Self::reset_err());
+        }
+        if buf.is_empty() {
+            return self.inner.read(buf);
+        }
+        let cap = match Self::due_faults(
+            &mut self.inner,
+            &self.read_faults,
+            &mut self.rd_ix,
+            self.read_pos,
+            buf.len(),
+            &mut self.counts,
+            &mut self.reset,
+        ) {
+            None => return Err(Self::reset_err()),
+            Some(c) => c,
+        };
+        let n = self.inner.read(&mut buf[..cap])?;
+        self.read_pos += n as u64;
+        Ok(n)
+    }
+}
+
+impl<S: Write + HardReset> Write for FaultyStream<S> {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        if self.reset {
+            return Err(Self::reset_err());
+        }
+        if buf.is_empty() {
+            return self.inner.write(buf);
+        }
+        let cap = match Self::due_faults(
+            &mut self.inner,
+            &self.write_faults,
+            &mut self.wr_ix,
+            self.write_pos,
+            buf.len(),
+            &mut self.counts,
+            &mut self.reset,
+        ) {
+            None => return Err(Self::reset_err()),
+            Some(c) => c,
+        };
+        let n = self.inner.write(&buf[..cap])?;
+        self.write_pos += n as u64;
+        Ok(n)
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        if self.reset {
+            return Err(Self::reset_err());
+        }
+        self.inner.flush()
+    }
+}
+
+impl ClientStream for FaultyStream<TcpStream> {
+    fn set_read_timeout(&self, dur: Option<Duration>) -> io::Result<()> {
+        self.inner.set_read_timeout(dur)
+    }
+
+    fn shutdown(&self) -> io::Result<()> {
+        self.inner.shutdown(Shutdown::Both)
+    }
+}
+
+/// The seed for connection `index` under a dialer seeded with `seed`
+/// (splitmix64 over the pair, so adjacent indices decorrelate).
+pub fn connection_seed(seed: u64, index: u64) -> u64 {
+    let mut z = seed
+        .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+        .wrapping_add(index.wrapping_mul(0xbf58_476d_1ce4_e5b9))
+        .wrapping_add(0x94d0_49bb_1331_11eb);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// A [`Dialer`] whose `i`-th connection carries the fault schedule drawn
+/// from `(seed, i)` — deterministic chaos per connection.
+#[derive(Debug)]
+pub struct ChaosDialer {
+    seed: u64,
+    profile: SocketChaosProfile,
+    dials: AtomicU64,
+}
+
+impl ChaosDialer {
+    /// Dialer injecting faults drawn from `profile`, keyed by `seed`.
+    pub fn new(seed: u64, profile: SocketChaosProfile) -> Self {
+        ChaosDialer {
+            seed,
+            profile,
+            dials: AtomicU64::new(0),
+        }
+    }
+
+    /// Connections dialed so far.
+    pub fn dials(&self) -> u64 {
+        self.dials.load(Ordering::SeqCst)
+    }
+
+    /// The schedule connection `index` will carry.
+    pub fn schedule_for(&self, index: u64) -> SocketFaultSchedule {
+        SocketFaultSchedule::seeded(connection_seed(self.seed, index), &self.profile)
+    }
+}
+
+impl Dialer for ChaosDialer {
+    fn dial(&self, addr: &str) -> io::Result<Box<dyn ClientStream>> {
+        let index = self.dials.fetch_add(1, Ordering::SeqCst);
+        let schedule = self.schedule_for(index);
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(Box::new(FaultyStream::new(stream, &schedule)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// In-memory duplex half: reads from a script, records writes.
+    #[derive(Default)]
+    struct Scripted {
+        incoming: Vec<u8>,
+        consumed: usize,
+        written: Vec<u8>,
+        resets: u32,
+    }
+
+    impl Read for Scripted {
+        fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+            let left = &self.incoming[self.consumed..];
+            let n = left.len().min(buf.len());
+            buf[..n].copy_from_slice(&left[..n]);
+            self.consumed += n;
+            Ok(n)
+        }
+    }
+
+    impl Write for Scripted {
+        fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+            self.written.extend_from_slice(buf);
+            Ok(buf.len())
+        }
+
+        fn flush(&mut self) -> io::Result<()> {
+            Ok(())
+        }
+    }
+
+    impl HardReset for Scripted {
+        fn hard_reset(&mut self) -> io::Result<()> {
+            self.resets += 1;
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn short_read_caps_the_crossing_op() {
+        let sched = SocketFaultSchedule::new().short_read(4, 2);
+        let mut s = FaultyStream::new(
+            Scripted {
+                incoming: (0..16).collect(),
+                ..Default::default()
+            },
+            &sched,
+        );
+        let mut buf = [0u8; 16];
+        // First read stops exactly at the fault offset...
+        assert_eq!(s.read(&mut buf).unwrap(), 4);
+        // ...the next one is capped at 2 by the fault...
+        assert_eq!(s.read(&mut buf).unwrap(), 2);
+        assert_eq!(s.counts().shorts, 1);
+        // ...and the rest flows freely.
+        assert_eq!(s.read(&mut buf).unwrap(), 10);
+        assert_eq!(s.positions().0, 16);
+    }
+
+    #[test]
+    fn write_reset_fires_at_exact_offset() {
+        let sched = SocketFaultSchedule::new().reset_at(SocketDir::Write, 7);
+        let mut s = FaultyStream::new(Scripted::default(), &sched);
+        // 7 bytes pass (capped from 10), then the reset fires.
+        assert_eq!(s.write(&[1u8; 10]).unwrap(), 7);
+        let err = s.write(&[1u8; 10]).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::ConnectionReset);
+        assert_eq!(s.get_ref().resets, 1, "underlying transport was closed");
+        // The stream stays poisoned in both directions.
+        let mut buf = [0u8; 4];
+        assert_eq!(
+            s.read(&mut buf).unwrap_err().kind(),
+            io::ErrorKind::ConnectionReset
+        );
+        assert_eq!(s.counts().resets, 1);
+    }
+
+    #[test]
+    fn stall_applies_once_then_clears() {
+        let sched = SocketFaultSchedule::new().stall_write(0, 1);
+        let mut s = FaultyStream::new(Scripted::default(), &sched);
+        assert_eq!(s.write(&[9u8; 3]).unwrap(), 3);
+        assert_eq!(s.counts().stalls, 1);
+        assert_eq!(s.write(&[9u8; 3]).unwrap(), 3);
+        assert_eq!(s.counts().stalls, 1, "a stall fires exactly once");
+        assert_eq!(s.get_ref().written.len(), 6);
+    }
+
+    #[test]
+    fn faulty_stream_replay_is_deterministic() {
+        let run = |seed: u64| {
+            let profile = SocketChaosProfile {
+                short_prob: 1.0,
+                shorts: 3,
+                ..Default::default()
+            };
+            let sched = SocketFaultSchedule::seeded(seed, &profile);
+            let mut s = FaultyStream::new(
+                Scripted {
+                    incoming: (0u8..=255).collect(),
+                    ..Default::default()
+                },
+                &sched,
+            );
+            let mut sizes = Vec::new();
+            let mut buf = [0u8; 64];
+            loop {
+                let n = s.read(&mut buf).unwrap();
+                if n == 0 {
+                    break;
+                }
+                sizes.push(n);
+            }
+            (sizes, s.counts())
+        };
+        for seed in [1u64, 42, 1003] {
+            assert_eq!(run(seed), run(seed), "seed {seed} replay diverged");
+        }
+    }
+
+    #[test]
+    fn connection_seed_decorrelates_indices() {
+        let a = connection_seed(42, 0);
+        let b = connection_seed(42, 1);
+        let c = connection_seed(43, 0);
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(a, connection_seed(42, 0));
+    }
+}

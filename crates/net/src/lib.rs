@@ -30,21 +30,36 @@
 //!   `pio` store, [`EchoRunner`] for tests); results are byte-identical
 //!   to in-process [`parblast_serve::serve_batched`].
 //! * [`client`] — the blocking client with the PR 1 timeout/retry/backoff
-//!   policy (`Shed` and `Corrupt` are deterministic → never retried).
+//!   policy (`Shed` and `Corrupt` are deterministic → never retried),
+//!   pooled-connection retries, a retry budget, a circuit breaker,
+//!   deadline propagation, and hedged Submits.
+//! * [`chaos`] — deterministic socket fault injection ([`FaultyStream`],
+//!   [`ChaosDialer`]) replaying seeded `hwsim` socket-fault schedules.
+//! * [`resilience`] — the pure client-side state machines
+//!   ([`RetryBudget`], [`CircuitBreaker`], [`LatencyTracker`]).
 
 #![warn(missing_docs)]
 
+pub mod chaos;
 pub mod client;
 pub mod proto;
 pub mod quota;
+pub mod resilience;
 pub mod runner;
 pub mod server;
 
-pub use client::{ClientConfig, ClientError, NetClient, Response};
+pub use chaos::{connection_seed, ChaosDialer, FaultCounts, FaultyStream, HardReset};
+pub use client::{
+    ClientConfig, ClientCounters, ClientError, ClientStream, Dialer, NetClient, Response, TcpDialer,
+};
 pub use proto::{
     decode_frame, decode_header, encode_frame, Frame, FrameError, FrameReader, ResultStatus,
     ShedReason, StatsSnapshot, FRAME_HEADER_LEN, MAX_FRAME_LEN, NET_MAGIC, NET_VERSION,
 };
 pub use quota::{QuotaConfig, TenantQuotas};
+pub use resilience::{
+    BreakerConfig, BreakerState, BudgetConfig, CircuitBreaker, HedgeConfig, LatencyTracker,
+    RetryBudget,
+};
 pub use runner::{BatchRunner, BlastRunner, EchoRunner, RunnerError, RunnerOutput};
 pub use server::{NetServer, ServerConfig, ServerHandle};

@@ -169,6 +169,14 @@ pub struct StatsSnapshot {
     pub kernel_passes: u64,
     /// Kernel passes the fused kernel avoided versus per-query scanning.
     pub passes_saved: u64,
+    /// Every decoded `Submit` frame, before any gate. The accounting
+    /// identity `submits == accepted + shed_queue_full + shed_quota +
+    /// shed_draining` holds at drain; combined with the accepted-side
+    /// identity, `submits == served + shed + expired + cancelled`.
+    pub submits: u64,
+    /// Connections forcibly closed by the read-deadline (slowloris)
+    /// guard.
+    pub evicted: u64,
     /// Queries served by each shard, in shard order (the per-shard
     /// balance the bench reports).
     pub per_shard_served: Vec<u64>,
@@ -326,6 +334,8 @@ pub fn encode_frame(frame: &Frame) -> Vec<u8> {
                 s.bytes_read,
                 s.kernel_passes,
                 s.passes_saved,
+                s.submits,
+                s.evicted,
             ] {
                 payload.extend_from_slice(&v.to_le_bytes());
             }
@@ -444,7 +454,7 @@ fn decode_payload(kind: u8, payload: &[u8]) -> Result<Frame, FrameError> {
             queued: take_u64(payload, &mut at)?,
         },
         KIND_STATS_REPLY => {
-            let mut vals = [0u64; 11];
+            let mut vals = [0u64; 13];
             for v in vals.iter_mut() {
                 *v = take_u64(payload, &mut at)?;
             }
@@ -465,6 +475,8 @@ fn decode_payload(kind: u8, payload: &[u8]) -> Result<Frame, FrameError> {
                 bytes_read: vals[8],
                 kernel_passes: vals[9],
                 passes_saved: vals[10],
+                submits: vals[11],
+                evicted: vals[12],
                 per_shard_served,
             })
         }
@@ -589,6 +601,8 @@ mod tests {
             bytes_read: 9,
             kernel_passes: 10,
             passes_saved: 11,
+            submits: 12,
+            evicted: 13,
             per_shard_served: vec![4, 5, 6],
         }));
     }

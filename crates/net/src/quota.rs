@@ -74,12 +74,18 @@ impl TenantQuotas {
         });
         let dt_s = now_ns.saturating_sub(b.last_ns) as f64 / 1e9;
         b.tokens = (b.tokens + dt_s * self.cfg.qps).min(self.cfg.burst);
-        b.last_ns = now_ns;
+        // Clocks read on different shards can arrive here out of order;
+        // moving `last_ns` backwards would re-grant the interval between
+        // the two reads on the next refill. Advance-only.
+        b.last_ns = b.last_ns.max(now_ns);
         if b.tokens >= 1.0 {
             b.tokens -= 1.0;
             Ok(())
         } else if self.cfg.qps > 0.0 {
             let wait_s = (1.0 - b.tokens) / self.cfg.qps;
+            // `wait_s` is finite (qps > 0), but a tiny rate can push the
+            // hint past u64 microseconds; `as` saturates, which is the
+            // honest answer ("don't bother").
             Err((wait_s * 1e6).ceil() as u64)
         } else {
             Err(u64::MAX)
@@ -145,5 +151,63 @@ mod tests {
         });
         assert!(q.try_admit(1, 0).is_ok());
         assert_eq!(q.try_admit(1, u64::MAX / 2), Err(u64::MAX));
+    }
+
+    #[test]
+    fn out_of_order_clock_reads_do_not_regrant_tokens() {
+        // Shard A reads the clock at t=10s, shard B at t=0, but B's
+        // admit lands second. The backwards timestamp must not rewind
+        // `last_ns` — otherwise the *next* admit at 10 s would re-earn
+        // the whole 10 s interval a second time.
+        let q = TenantQuotas::new(QuotaConfig {
+            qps: 1.0,
+            burst: 1.0,
+        });
+        // Bucket now empty, last = 10 s.
+        assert!(q.try_admit(1, 10 * S).is_ok());
+        // Stale read: no refill, no rewind.
+        assert!(q.try_admit(1, 0).is_err());
+        // At 10.5 s only 0.5 tokens have accrued since the last grant.
+        assert!(
+            q.try_admit(1, 10 * S + S / 2).is_err(),
+            "backdated read re-granted the elapsed interval"
+        );
+        assert!(q.try_admit(1, 11 * S).is_ok());
+    }
+
+    #[test]
+    fn zero_capacity_bucket_sheds_everything_with_saturated_hint() {
+        let q = TenantQuotas::new(QuotaConfig {
+            qps: 0.0,
+            burst: 0.0,
+        });
+        assert_eq!(q.try_admit(1, 0), Err(u64::MAX));
+        assert_eq!(q.try_admit(1, u64::MAX), Err(u64::MAX));
+    }
+
+    #[test]
+    fn huge_elapsed_time_saturates_instead_of_overflowing() {
+        let q = TenantQuotas::new(QuotaConfig {
+            qps: 1e12,
+            burst: 5.0,
+        });
+        assert!(q.try_admit(1, 0).is_ok());
+        // ~585 years of nanoseconds at 10^12 qps: the f64 product is
+        // astronomically large but must clamp at burst, not go inf/NaN.
+        for _ in 0..5 {
+            assert!(q.try_admit(1, u64::MAX).is_ok());
+        }
+        assert!(q.try_admit(1, u64::MAX).is_err());
+    }
+
+    #[test]
+    fn subnormal_rate_hint_saturates_to_u64_max() {
+        let q = TenantQuotas::new(QuotaConfig {
+            qps: f64::MIN_POSITIVE,
+            burst: 1.0,
+        });
+        assert!(q.try_admit(1, 0).is_ok());
+        // wait_s ≈ 1/MIN_POSITIVE overflows u64 µs; `as` saturates.
+        assert_eq!(q.try_admit(1, 0), Err(u64::MAX));
     }
 }

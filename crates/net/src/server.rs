@@ -50,6 +50,15 @@ pub struct ServerConfig {
     pub max_batch: usize,
     /// Per-tenant token-bucket quota; `None` admits everything.
     pub quota: Option<QuotaConfig>,
+    /// Slowloris guard: a connection that has held a *partial* frame
+    /// this long without completing it is evicted (counted in
+    /// `StatsSnapshot::evicted`, pending queries cancelled). `None`
+    /// waits forever.
+    pub read_deadline: Option<Duration>,
+    /// Most Submits one connection may have accepted-but-unanswered;
+    /// the excess is shed `QueueFull` before touching quota or queue, so
+    /// one runaway pipeliner cannot monopolize a shard's slots.
+    pub max_inflight_per_conn: usize,
 }
 
 impl Default for ServerConfig {
@@ -59,6 +68,8 @@ impl Default for ServerConfig {
             queue_capacity: 256,
             max_batch: 4,
             quota: None,
+            read_deadline: Some(Duration::from_secs(10)),
+            max_inflight_per_conn: 1024,
         }
     }
 }
@@ -124,12 +135,16 @@ struct Shared {
     quotas: Option<TenantQuotas>,
     shards: Vec<Shard>,
     accept_poller: Poller,
+    read_deadline: Option<Duration>,
+    max_inflight_per_conn: usize,
+    submits: AtomicU64,
     accepted: AtomicU64,
     shed_queue_full: AtomicU64,
     shed_quota: AtomicU64,
     shed_draining: AtomicU64,
     expired: AtomicU64,
     cancelled: AtomicU64,
+    evicted: AtomicU64,
     next_query_id: AtomicU64,
 }
 
@@ -174,6 +189,8 @@ impl Shared {
             bytes_read: agg.bytes_read,
             kernel_passes: agg.kernel_passes,
             passes_saved: agg.passes_saved,
+            submits: self.submits.load(Ordering::Relaxed),
+            evicted: self.evicted.load(Ordering::Relaxed),
             per_shard_served,
         }
     }
@@ -259,12 +276,16 @@ impl NetServer {
             quotas: config.quota.map(TenantQuotas::new),
             shards: shard_vec,
             accept_poller: Poller::new()?,
+            read_deadline: config.read_deadline,
+            max_inflight_per_conn: config.max_inflight_per_conn.max(1),
+            submits: AtomicU64::new(0),
             accepted: AtomicU64::new(0),
             shed_queue_full: AtomicU64::new(0),
             shed_quota: AtomicU64::new(0),
             shed_draining: AtomicU64::new(0),
             expired: AtomicU64::new(0),
             cancelled: AtomicU64::new(0),
+            evicted: AtomicU64::new(0),
             next_query_id: AtomicU64::new(1),
         });
 
@@ -346,6 +367,12 @@ struct Conn {
     // Interest currently registered with the poller.
     writable_armed: bool,
     closed: bool,
+    // Submits accepted into the queue but not yet answered.
+    inflight: usize,
+    // When the oldest byte of the current *partial* frame arrived; the
+    // slowloris guard evicts the connection if the frame does not
+    // complete within `read_deadline`.
+    partial_since: Option<Instant>,
 }
 
 impl Conn {
@@ -403,15 +430,20 @@ fn io_thread(shared: Arc<Shared>, shard_ix: usize, conn_rx: channel::Receiver<Tc
                     outbox: Vec::new(),
                     writable_armed: false,
                     closed: false,
+                    inflight: 0,
+                    partial_since: None,
                 },
             );
         }
 
         // Exec results → owning connection's outbox. A result whose
         // connection is gone is dropped (the client hung up on us).
+        // Every routed message answers exactly one accepted Submit, so
+        // it releases one in-flight slot.
         while let Some((key, bytes)) = shard.results_rx.try_recv() {
             if let Some(conn) = conns.get_mut(&key) {
                 conn.outbox.extend_from_slice(&bytes);
+                conn.inflight = conn.inflight.saturating_sub(1);
             }
         }
 
@@ -452,6 +484,31 @@ fn io_thread(shared: Arc<Shared>, shard_ix: usize, conn_rx: channel::Receiver<Tc
                     }
                 }
             }
+            // Slowloris bookkeeping: a nonempty reader buffer is a
+            // partial frame. The clock starts when the partial appears
+            // and only resets when a frame *completes* — trickling one
+            // byte per tick buys no extension.
+            if conn.reader.buffered() == 0 {
+                conn.partial_since = None;
+            } else if conn.partial_since.is_none() {
+                conn.partial_since = Some(Instant::now());
+            }
+        }
+
+        // Evict connections whose partial frame outlived the read
+        // deadline: they hold decode state forever and starve nothing
+        // else out, the classic slowloris shape.
+        if let Some(deadline) = shared.read_deadline {
+            for conn in conns.values_mut() {
+                if !conn.closed
+                    && conn
+                        .partial_since
+                        .is_some_and(|t0| t0.elapsed() >= deadline)
+                {
+                    conn.closed = true;
+                    shared.evicted.fetch_add(1, Ordering::Relaxed);
+                }
+            }
         }
 
         // Flush every outbox; arm/disarm write interest as needed.
@@ -471,7 +528,13 @@ fn io_thread(shared: Arc<Shared>, shard_ix: usize, conn_rx: channel::Receiver<Tc
             }
         }
 
-        // Reap closed connections.
+        // Reap closed connections. A dead connection's still-queued
+        // Submits are flagged cancelled so the exec thread releases
+        // their queue slots (as Shed(Cancelled), routed to the gone
+        // connection and dropped) instead of wasting a scan pass on
+        // answers nobody will read — and, because the slab entry is
+        // consumed exactly once, the server provably cannot
+        // double-answer a query whose connection died mid-frame.
         let dead: Vec<usize> = conns
             .iter()
             .filter(|(_, c)| c.closed)
@@ -480,6 +543,26 @@ fn io_thread(shared: Arc<Shared>, shard_ix: usize, conn_rx: channel::Receiver<Tc
         for key in dead {
             if let Some(conn) = conns.remove(&key) {
                 let _ = shard.poller.delete(&conn.stream);
+                let _ = conn.stream.shutdown(std::net::Shutdown::Both);
+            }
+            let mut st = shard.state.lock().unwrap();
+            let orphaned: Vec<(usize, u64)> = st
+                .slab
+                .iter()
+                .flatten()
+                .filter(|p| p.conn == key)
+                .map(|p| (key, p.id))
+                .collect();
+            let mut flagged = false;
+            for pair in orphaned {
+                if !st.cancelled.contains(&pair) {
+                    st.cancelled.push(pair);
+                    flagged = true;
+                }
+            }
+            drop(st);
+            if flagged {
+                shard.cv.notify_one();
             }
         }
 
@@ -509,6 +592,7 @@ fn handle_frame(shared: &Arc<Shared>, shard_ix: usize, key: usize, conn: &mut Co
             deadline_us,
             query,
         } => {
+            shared.submits.fetch_add(1, Ordering::Relaxed);
             // Admission gate 1: drain refuses all new work.
             if shared.draining.load(Ordering::SeqCst) {
                 shared.shed_draining.fetch_add(1, Ordering::Relaxed);
@@ -519,7 +603,19 @@ fn handle_frame(shared: &Arc<Shared>, shard_ix: usize, key: usize, conn: &mut Co
                 });
                 return;
             }
-            // Gate 2: the tenant's token bucket.
+            // Gate 2: the per-connection in-flight cap. Checked before
+            // quota so an over-pipelined connection is not also charged
+            // tokens for work the server will refuse anyway.
+            if conn.inflight >= shared.max_inflight_per_conn {
+                shared.shed_queue_full.fetch_add(1, Ordering::Relaxed);
+                conn.push_frame(&Frame::Shed {
+                    id,
+                    reason: ShedReason::QueueFull,
+                    retry_after_us: 0,
+                });
+                return;
+            }
+            // Gate 3: the tenant's token bucket.
             if let Some(q) = &shared.quotas {
                 if let Err(retry_after_us) = q.try_admit(tenant, shared.now_ns()) {
                     shared.shed_quota.fetch_add(1, Ordering::Relaxed);
@@ -531,7 +627,7 @@ fn handle_frame(shared: &Arc<Shared>, shard_ix: usize, key: usize, conn: &mut Co
                     return;
                 }
             }
-            // Gate 3: the shard queue's capacity backpressure.
+            // Gate 4: the shard queue's capacity backpressure.
             let arrival = shared.now();
             let mut st = shard.state.lock().unwrap();
             let payload = st.insert(PendingQuery {
@@ -551,6 +647,7 @@ fn handle_frame(shared: &Arc<Shared>, shard_ix: usize, key: usize, conn: &mut Co
                 Ok(()) => {
                     drop(st);
                     shared.accepted.fetch_add(1, Ordering::Relaxed);
+                    conn.inflight += 1;
                     shard.cv.notify_one();
                 }
                 Err(_) => {
@@ -605,6 +702,9 @@ fn handle_frame(shared: &Arc<Shared>, shard_ix: usize, key: usize, conn: &mut Co
     }
 }
 
+/// A batch entry: the admitted query paired with its reply-routing slot.
+type BatchEntry = (Query, PendingQuery);
+
 /// Shard exec loop: form scan-sharing batches, run them, route responses.
 fn exec_thread(
     shared: Arc<Shared>,
@@ -615,7 +715,7 @@ fn exec_thread(
     let shard = &shared.shards[shard_ix];
     loop {
         // Wait for work (or drain).
-        let (expired, work): (Vec<PendingQuery>, Vec<(Query, PendingQuery)>) = {
+        let (expired, work): (Vec<PendingQuery>, Vec<BatchEntry>) = {
             let mut st = shard.state.lock().unwrap();
             let (batch, expired_q) = loop {
                 let now = shared.now();
@@ -655,6 +755,24 @@ fn exec_thread(
             (expired, work)
         };
         for p in expired {
+            shared.expired.fetch_add(1, Ordering::Relaxed);
+            let frame = Frame::Shed {
+                id: p.id,
+                reason: ShedReason::Expired,
+                retry_after_us: 0,
+            };
+            let _ = shard.results_tx.send((p.conn, encode_frame(&frame)));
+        }
+        // Deadline enforcement a second time, at the execution boundary:
+        // the dequeue check used the batch-formation clock, but lock
+        // hand-off and cancel resolution consume real time — a query
+        // whose propagated deadline lapsed in between must not burn a
+        // scan pass on an answer its client has already written off.
+        let now = shared.now();
+        let (late, work): (Vec<BatchEntry>, Vec<BatchEntry>) = work
+            .into_iter()
+            .partition(|(q, _)| q.deadline.is_some_and(|d| d < now));
+        for (_, p) in late {
             shared.expired.fetch_add(1, Ordering::Relaxed);
             let frame = Frame::Shed {
                 id: p.id,

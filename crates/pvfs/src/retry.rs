@@ -101,4 +101,48 @@ mod tests {
         assert!(!RetryPolicy::disabled().enabled());
         assert!(RetryPolicy::default().enabled());
     }
+
+    #[test]
+    fn zero_base_backoff_stays_zero() {
+        // 0 · 2^n must be 0 for every n, including the saturated shift.
+        for attempt in [0u32, 1, 62, 63, 64, u32::MAX] {
+            assert_eq!(
+                backoff_delay(attempt, SimTime::ZERO, SimTime::from_secs(4)),
+                SimTime::ZERO
+            );
+        }
+    }
+
+    #[test]
+    fn zero_cap_clamps_everything_to_zero() {
+        for attempt in [0u32, 5, u32::MAX] {
+            assert_eq!(
+                backoff_delay(attempt, SimTime::from_secs(1), SimTime::ZERO),
+                SimTime::ZERO
+            );
+        }
+    }
+
+    #[test]
+    fn shift_saturation_boundary_is_monotone() {
+        // Around the 2^63 boundary the factor saturates; the delay must
+        // never *decrease* with the attempt number.
+        let base = SimTime::from_nanos(3);
+        let cap = SimTime::MAX;
+        let mut prev = SimTime::ZERO;
+        for attempt in [0u32, 1, 31, 32, 61, 62, 63, 64, 65, 1000, u32::MAX] {
+            let d = backoff_delay(attempt, base, cap);
+            assert!(d >= prev, "attempt {attempt}: {d:?} < {prev:?}");
+            prev = d;
+        }
+    }
+
+    #[test]
+    fn max_base_saturates_at_simtime_max() {
+        assert_eq!(
+            backoff_delay(1, SimTime::MAX, SimTime::MAX),
+            SimTime::MAX,
+            "base · 2 past u64::MAX ns must saturate, not wrap"
+        );
+    }
 }

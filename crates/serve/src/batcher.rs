@@ -119,6 +119,15 @@ impl<E: BatchExecutor> ScanSharingServer<E> {
                 // Everything popped had expired; re-check the queue.
                 continue;
             }
+            // Deadlines are enforced twice: at dequeue (above) and again
+            // here with the clock the executor will actually run under.
+            // In this simulated loop `t` has not advanced, so this drops
+            // nothing — it pins the invariant the networked server relies
+            // on (no scan slot is ever spent on an already-dead query).
+            let (batch, _stale) = self.queue.expire_before_exec(batch, t);
+            if batch.is_empty() {
+                continue;
+            }
             let res = self.exec.execute(&batch, t);
             let done = t.saturating_add(res.service);
             self.metrics.record_batch(&batch, t, done, &res);

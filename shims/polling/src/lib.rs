@@ -63,6 +63,14 @@ const POLLOUT: i16 = 0x004;
 const POLLERR: i16 = 0x008;
 const POLLHUP: i16 = 0x010;
 const POLLNVAL: i16 = 0x020;
+// Peer half-closed its write side (Linux). Requested alongside POLLIN so
+// a client that shut down mid-frame surfaces as readable *now* rather
+// than on the next data byte — the net daemon's reaper depends on
+// seeing the dead connection promptly to release its queue slots.
+#[cfg(target_os = "linux")]
+const POLLRDHUP: i16 = 0x2000;
+#[cfg(not(target_os = "linux"))]
+const POLLRDHUP: i16 = 0;
 
 extern "C" {
     // poll(2): libc is already linked by std, so a direct declaration
@@ -143,7 +151,7 @@ impl Poller {
             for (key, (fd, interest)) in sources.iter() {
                 let mut ev = 0i16;
                 if interest.readable {
-                    ev |= POLLIN;
+                    ev |= POLLIN | POLLRDHUP;
                 }
                 if interest.writable {
                     ev |= POLLOUT;
@@ -192,7 +200,7 @@ impl Poller {
             if pfd.revents == 0 {
                 continue;
             }
-            let err = pfd.revents & (POLLERR | POLLHUP | POLLNVAL) != 0;
+            let err = pfd.revents & (POLLERR | POLLHUP | POLLNVAL | POLLRDHUP) != 0;
             events.push(Event {
                 key: keys[i],
                 // Errors/hangups surface as readability so the owner's
@@ -257,6 +265,28 @@ mod tests {
             .wait(&mut events, Some(Duration::from_millis(10)))
             .unwrap();
         assert_eq!(n, 0);
+    }
+
+    #[test]
+    fn peer_half_close_reported_readable() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let client = TcpStream::connect(addr).unwrap();
+        let (server, _) = listener.accept().unwrap();
+        server.set_nonblocking(true).unwrap();
+
+        let poller = Poller::new().unwrap();
+        poller.add(&server, Event::readable(3)).unwrap();
+        // Half-close from the peer (no data in flight) must surface as
+        // readability so the owner's next read observes the EOF.
+        client.shutdown(std::net::Shutdown::Write).unwrap();
+        let mut events = Vec::new();
+        let n = poller
+            .wait(&mut events, Some(Duration::from_secs(5)))
+            .unwrap();
+        assert_eq!(n, 1);
+        assert_eq!(events[0].key, 3);
+        assert!(events[0].readable);
     }
 
     #[test]

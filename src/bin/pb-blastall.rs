@@ -171,6 +171,13 @@ fn daemon_mode(addr: &str) -> std::io::Result<()> {
         quota: arg("--quota-qps")
             .and_then(|v| v.parse().ok())
             .map(QuotaConfig::per_second),
+        read_deadline: arg("--read-deadline-ms")
+            .and_then(|v| v.parse().ok())
+            .map(std::time::Duration::from_millis)
+            .or(ServerConfig::default().read_deadline),
+        max_inflight_per_conn: arg("--max-inflight")
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(ServerConfig::default().max_inflight_per_conn),
     };
     let runner = Arc::new(BlastRunner::new(staged.job, staged.fragment_bytes));
     let handle = NetServer::start(addr, config, runner)?;
@@ -226,9 +233,11 @@ fn connect_mode(addr: &str) -> std::io::Result<()> {
     if flag("--stats") {
         let s = client.stats().map_err(other_err)?;
         println!(
-            "accepted\t{}\nserved\t{}\nshed_queue_full\t{}\nshed_quota\t{}\n\
+            "submits\t{}\nevicted\t{}\naccepted\t{}\nserved\t{}\nshed_queue_full\t{}\nshed_quota\t{}\n\
              shed_draining\t{}\nexpired\t{}\ncancelled\t{}\nbatches\t{}\n\
              bytes_read\t{}\nper_shard_served\t{:?}",
+            s.submits,
+            s.evicted,
             s.accepted,
             s.served,
             s.shed_queue_full,

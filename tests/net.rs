@@ -110,11 +110,13 @@ fn golden_drain_ack_and_stats_reply_frames() {
         bytes_read: 9,
         kernel_passes: 10,
         passes_saved: 11,
+        submits: 12,
+        evicted: 13,
         per_shard_served: vec![10, 11],
     };
     let frame = encode_frame(&Frame::StatsReply(snap));
-    let mut want = header(8, 11 * 8 + 4 + 2 * 8);
-    for v in 1u64..=11 {
+    let mut want = header(8, 13 * 8 + 4 + 2 * 8);
+    for v in 1u64..=13 {
         want.extend_from_slice(&v.to_le_bytes());
     }
     want.extend_from_slice(&[2, 0, 0, 0]); // shard count
@@ -299,7 +301,7 @@ fn arb_frame() -> impl Strategy<Value = Frame> {
         }),
         any::<u64>().prop_map(|queued| Frame::DrainAck { queued }),
         (
-            proptest::collection::vec(any::<u64>(), 11..12),
+            proptest::collection::vec(any::<u64>(), 13..14),
             proptest::collection::vec(any::<u64>(), 0..8)
         )
             .prop_map(|(v, per_shard_served)| {
@@ -315,6 +317,8 @@ fn arb_frame() -> impl Strategy<Value = Frame> {
                     bytes_read: v[8],
                     kernel_passes: v[9],
                     passes_saved: v[10],
+                    submits: v[11],
+                    evicted: v[12],
                     per_shard_served,
                 })
             }),
@@ -479,6 +483,7 @@ fn full_queue_sheds_with_queue_full() {
             queue_capacity: 2,
             max_batch: 1,
             quota: None,
+            ..Default::default()
         },
         Duration::from_millis(150),
     );
@@ -607,6 +612,7 @@ fn drain_under_load_loses_no_accepted_query() {
             queue_capacity: 1024,
             max_batch: 4,
             quota: None,
+            ..Default::default()
         },
         Duration::from_millis(2),
     );
@@ -672,10 +678,213 @@ fn drain_under_load_loses_no_accepted_query() {
         "drain must answer every accepted query: {stats:?}"
     );
     assert_eq!(stats.expired + stats.cancelled, 0);
+    // The full submit ledger: every Submit frame the daemon decoded is
+    // accounted for as accepted or some typed shed — nothing vanishes.
+    assert_eq!(
+        stats.submits,
+        stats.accepted + stats.shed_queue_full + stats.shed_quota + stats.shed_draining,
+        "submit ledger must balance: {stats:?}"
+    );
     // And counted on the clients: every Ok that reached a client is one
     // the server served. (Results the kernel was still carrying at EOF
     // cannot exceed what the server says it served.)
     assert!(total_ok <= stats.served);
     assert!(stats.served > 0, "load ran before the drain");
     assert!(stats.accepted > 0);
+}
+
+// ---------------------------------------------------------------------
+// Hardening: fault-injected connections, pipelining caps, slowloris.
+// ---------------------------------------------------------------------
+
+/// Kill-at-every-byte sweep: a client connection is hard-reset at every
+/// possible byte offset of a Submit frame. Whatever the cut point, the
+/// server must (a) never double-answer any query, (b) release every
+/// queue/slab slot it took, and (c) keep its accounting identity exact —
+/// proven by serving a full queue's worth of work afterwards and by the
+/// final drained counters.
+#[test]
+fn kill_at_every_byte_never_double_answers_and_releases_slots() {
+    use parblast::net::FaultyStream;
+    use parblast_hwsim::{SocketDir, SocketFaultSchedule};
+    use std::io::Write;
+
+    let handle = echo_server(
+        ServerConfig {
+            shards: 1,
+            queue_capacity: 4,
+            max_batch: 1,
+            quota: None,
+            read_deadline: Some(Duration::from_millis(250)),
+            ..Default::default()
+        },
+        Duration::ZERO,
+    );
+    let addr = handle.addr().to_string();
+
+    let frame = encode_frame(&Frame::Submit {
+        id: 1,
+        tenant: 0,
+        priority: Priority::Normal,
+        deadline_us: 0,
+        query: b"kill-sweep".to_vec(),
+    });
+
+    let mut completed = 0u64;
+    for cut in 0..=frame.len() as u64 {
+        // `cut == frame.len()` is the control case: the fault offset sits
+        // past the frame, so the whole Submit is delivered and the
+        // connection then drops without reading its answer.
+        let sched = SocketFaultSchedule::new().reset_at(SocketDir::Write, cut);
+        let stream = std::net::TcpStream::connect(&addr).unwrap();
+        stream.set_nodelay(true).unwrap();
+        let mut s = FaultyStream::new(stream, &sched);
+        let mut off = 0usize;
+        while let Ok(n) = s.write(&frame[off..]) {
+            off += n;
+            if off == frame.len() {
+                break;
+            }
+        }
+        let _ = s.flush();
+        assert_eq!(off as u64, cut.min(frame.len() as u64), "cut {cut}");
+        if off == frame.len() {
+            completed += 1;
+        }
+        // Dropping `s` closes the socket; for cut < len the reset already
+        // hard-closed it mid-frame.
+    }
+    assert_eq!(completed, 1, "exactly the control connection completes");
+
+    // Give the reaper a few ticks, then prove no slot leaked: a healthy
+    // client can still push a full queue's worth of queries through.
+    std::thread::sleep(Duration::from_millis(100));
+    let mut client = NetClient::connect(&addr).unwrap();
+    let mut ids = HashSet::new();
+    for i in 0..4u32 {
+        ids.insert(client.submit(format!("post-sweep-{i}").as_bytes()).unwrap());
+    }
+    for _ in 0..4 {
+        let (id, resp) = client.recv_response().unwrap().expect("answer");
+        assert!(ids.remove(&id), "exactly one answer per id");
+        assert!(matches!(resp, Response::Ok(_)), "{resp:?}");
+    }
+
+    let stats = client.stats().unwrap();
+    // Only complete Submit frames reach the ledger: the control kill plus
+    // the four post-sweep queries.
+    assert_eq!(stats.submits, 1 + 4);
+    assert_eq!(stats.accepted, 1 + 4);
+
+    handle.drain();
+    let stats = handle.join();
+    // The one-answer-per-accept identity holds through every kill: the
+    // control query was served (its answer routed to a dead connection
+    // and dropped there, which still counts as served) or cancelled at
+    // dequeue if the reaper flagged it first.
+    assert_eq!(
+        stats.accepted,
+        stats.served + stats.expired + stats.cancelled,
+        "{stats:?}"
+    );
+    assert_eq!(
+        stats.submits,
+        stats.accepted + stats.shed_queue_full + stats.shed_quota + stats.shed_draining,
+        "{stats:?}"
+    );
+}
+
+/// The per-connection in-flight cap: a client that pipelines more unread
+/// Submits than `max_inflight_per_conn` gets the excess shed QueueFull
+/// while the in-cap prefix is still served — one greedy pipeliner cannot
+/// monopolize a shard.
+#[test]
+fn inflight_cap_sheds_excess_pipelining() {
+    let handle = echo_server(
+        ServerConfig {
+            shards: 1,
+            max_batch: 1,
+            max_inflight_per_conn: 2,
+            ..Default::default()
+        },
+        Duration::from_millis(100),
+    );
+    let mut client = NetClient::connect(&handle.addr().to_string()).unwrap();
+
+    let mut ids = HashSet::new();
+    for i in 0..6u32 {
+        ids.insert(client.submit(format!("pipeline-{i}").as_bytes()).unwrap());
+    }
+    let mut ok = 0u64;
+    let mut shed = 0u64;
+    for _ in 0..6 {
+        let (id, resp) = client.recv_response().unwrap().expect("answer per submit");
+        assert!(ids.remove(&id), "exactly one answer per id");
+        match resp {
+            Response::Ok(_) => ok += 1,
+            Response::Shed(ShedReason::QueueFull, _) => shed += 1,
+            other => panic!("unexpected response {other:?}"),
+        }
+    }
+    // The 6 submits land within microseconds while the first batch needs
+    // 100 ms, so exactly the cap's worth is accepted.
+    assert_eq!((ok, shed), (2, 4));
+    let stats = client.stats().unwrap();
+    assert_eq!(stats.shed_queue_full, 4);
+    assert_eq!(stats.accepted, 2);
+    handle.drain();
+    handle.join();
+}
+
+/// Slowloris: a connection holding a partial frame past the read deadline
+/// is evicted even while it keeps trickling bytes — byte progress does
+/// not reset the partial-frame clock, only frame completion does.
+#[test]
+fn slowloris_partial_frame_is_evicted() {
+    use std::io::{Read, Write};
+
+    let handle = echo_server(
+        ServerConfig {
+            shards: 1,
+            read_deadline: Some(Duration::from_millis(100)),
+            ..Default::default()
+        },
+        Duration::ZERO,
+    );
+    let addr = handle.addr().to_string();
+
+    let frame = encode_frame(&Frame::Submit {
+        id: 1,
+        tenant: 0,
+        priority: Priority::Normal,
+        deadline_us: 0,
+        query: vec![7; 64],
+    });
+    let mut sock = std::net::TcpStream::connect(&addr).unwrap();
+    sock.set_nodelay(true).unwrap();
+    sock.write_all(&frame[..6]).unwrap();
+    // Trickle one byte every 40 ms: total elapsed blows through the
+    // 100 ms deadline even though bytes keep arriving.
+    for i in 6..12 {
+        std::thread::sleep(Duration::from_millis(40));
+        // Writes may start failing once the server hard-closes us.
+        let _ = sock.write_all(&frame[i..i + 1]);
+    }
+    // The server must have hung up on us: EOF or a reset error.
+    sock.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+    let mut buf = [0u8; 16];
+    match sock.read(&mut buf) {
+        Ok(0) | Err(_) => {}
+        Ok(n) => panic!("evicted connection produced {n} bytes"),
+    }
+
+    // A well-behaved client on the same daemon is unaffected.
+    let mut client = NetClient::connect(&addr).unwrap();
+    let q = b"healthy".to_vec();
+    assert_eq!(client.query(&q).unwrap(), EchoRunner::expected(&q));
+    let stats = client.stats().unwrap();
+    assert_eq!(stats.evicted, 1);
+    assert_eq!(stats.submits, 1, "the partial Submit never decoded");
+    handle.drain();
+    handle.join();
 }
